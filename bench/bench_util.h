@@ -1,0 +1,90 @@
+// Shared benchmark harness utilities.
+#ifndef BDCC_BENCH_BENCH_UTIL_H_
+#define BDCC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tpch/tpch_db.h"
+#include "tpch/tpch_queries.h"
+
+namespace bdcc {
+namespace bench {
+
+/// Scale factor for TPC-H benches; override with BDCC_BENCH_SF.
+inline double BenchScaleFactor(double fallback = 0.05) {
+  const char* env = std::getenv("BDCC_BENCH_SF");
+  if (env != nullptr) {
+    double sf = std::atof(env);
+    if (sf > 0) return sf;
+  }
+  return fallback;
+}
+
+struct QueryRun {
+  double wall_ms = 0;
+  double sim_io_ms = 0;
+  uint64_t peak_memory = 0;
+  uint64_t rows = 0;
+  std::vector<std::string> notes;
+  bool ok = false;
+  std::string error;
+};
+
+/// Cold-run one query on one scheme: clears the scheme's buffer pool, runs,
+/// and collects wall time + simulated I/O + peak operator memory.
+inline QueryRun RunQueryCold(tpch::TpchDb* db, opt::Scheme scheme, int q) {
+  QueryRun out;
+  io::BufferPool* pool = db->pool(scheme);
+  io::DeviceModel* device = db->device(scheme);
+  pool->Clear();
+  device->ResetStats();
+
+  exec::ExecContext exec_ctx(pool);
+  tpch::QueryContext ctx;
+  ctx.db = &db->db(scheme);
+  ctx.exec = &exec_ctx;
+  ctx.scale_factor = db->options().scale_factor;
+  ctx.notes = &out.notes;
+
+  auto start = std::chrono::steady_clock::now();
+  auto result = tpch::RunTpchQuery(q, ctx);
+  auto end = std::chrono::steady_clock::now();
+
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  out.sim_io_ms = device->stats().simulated_seconds * 1000.0;
+  out.peak_memory = exec_ctx.memory()->peak_bytes();
+  if (result.ok()) {
+    out.ok = true;
+    out.rows = result.value().num_rows;
+  } else {
+    out.error = result.status().ToString();
+  }
+  return out;
+}
+
+inline std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", bytes / double(1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / double(1ull << 20));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace bdcc
+
+#endif  // BDCC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Storage-footprint ablation. The paper notes "all three schemes use
+// automatic compression, take roughly 55GB on disk" — i.e. BDCC's
+// reordering does not inflate storage. This bench measures the estimated
+// compressed footprint (per-block best-of codec) for Plain vs BDCC layouts
+// and per-table ratios; clustering typically *helps* RLE/delta codecs on
+// the clustered columns.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "storage/compression/codec.h"
+
+using namespace bdcc;         // NOLINT
+using namespace bdcc::bench;  // NOLINT
+
+namespace {
+
+struct Footprint {
+  uint64_t raw = 0;
+  uint64_t compressed = 0;
+};
+
+Footprint Measure(const Table& t) {
+  Footprint f;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    auto est = compression::EstimateCompression(t.column(c));
+    f.raw += est.raw_bytes;
+    f.compressed += est.compressed_bytes;
+  }
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  double sf = BenchScaleFactor(0.02);
+  std::printf("== Storage footprint: plain vs BDCC, automatic compression "
+              "(SF %.3f) ==\n\n",
+              sf);
+  tpch::TpchDbOptions options;
+  options.scale_factor = sf;
+  options.build_pk = false;
+  auto db = tpch::TpchDb::Create(options).ValueOrDie();
+
+  std::printf("%-10s | %10s %12s %12s | ratio plain  ratio bdcc\n", "table",
+              "raw", "plain-comp", "bdcc-comp");
+  uint64_t raw_total = 0, plain_total = 0, bdcc_total = 0;
+  for (const auto& [name, bt] : db->bdcc_tables()) {
+    const Table* plain = db->plain().storage(name);
+    Footprint fp = Measure(*plain);
+    Footprint fb = Measure(bt.data());
+    raw_total += fp.raw;
+    plain_total += fp.compressed;
+    bdcc_total += fb.compressed;
+    std::printf("%-10s | %10s %12s %12s | %10.2fx %10.2fx\n", name.c_str(),
+                HumanBytes(fp.raw).c_str(), HumanBytes(fp.compressed).c_str(),
+                HumanBytes(fb.compressed).c_str(),
+                double(fp.raw) / double(fp.compressed),
+                double(fb.raw) / double(fb.compressed));
+  }
+  std::printf("-----------+\n");
+  std::printf("%-10s | %10s %12s %12s |\n", "total",
+              HumanBytes(raw_total).c_str(), HumanBytes(plain_total).c_str(),
+              HumanBytes(bdcc_total).c_str());
+  std::printf(
+      "\nshape check: BDCC compressed size within ~±10%% of plain "
+      "(paper: both ~55GB at SF100). measured bdcc/plain = %.3f\n"
+      "(note: the BDCC layout additionally stores the _bdcc_ key column, "
+      "which is near-sorted and compresses to almost nothing)\n",
+      double(bdcc_total) / double(plain_total));
+  return 0;
+}

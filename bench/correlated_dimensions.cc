@@ -1,0 +1,104 @@
+// Reproduces the Section III "correlated dimensions / puff pastry" study:
+// when clustered dimensions are correlated or hierarchical, many of the
+// 2^(d*b) possible groups are missing; the per-granularity group-size
+// histograms let Algorithm 1 pick a *higher* count-table granularity to
+// keep average group sizes at AR. "Puff pastry does not hurt."
+//
+// Synthetic setup: a fact table clustered on two dimensions that are
+// (a) independent, (b) perfectly correlated (hierarchical), (c) partially
+// correlated. Reports observed groups vs 2^b, the missing-group factor,
+// and the granularity Algorithm 1 picks in each case.
+#include <cstdio>
+
+#include "bdcc/bdcc_table.h"
+#include "bdcc/binning.h"
+#include "catalog/catalog.h"
+#include "common/rng.h"
+
+using namespace bdcc;  // NOLINT
+
+namespace {
+
+class NoFkResolver : public TableResolver {
+ public:
+  explicit NoFkResolver(const Table* t) : t_(t) {}
+  Result<const Table*> GetTable(const std::string& name) const override {
+    if (name == t_->name()) return t_;
+    return Status::NotFound(name);
+  }
+  Result<const catalog::ForeignKey*> GetForeignKey(
+      const std::string& id) const override {
+    return Status::NotFound(id);
+  }
+
+ private:
+  const Table* t_;
+};
+
+void RunCase(const char* label, double correlation, uint64_t rows) {
+  Rng rng(99);
+  Table t("FACT");
+  Column a(TypeId::kInt32), b(TypeId::kInt32), payload(TypeId::kInt64);
+  for (uint64_t i = 0; i < rows; ++i) {
+    int32_t va = static_cast<int32_t>(rng.Uniform(0, 255));
+    // With probability `correlation`, B is a function of A (hierarchy);
+    // otherwise independent.
+    int32_t vb = rng.Chance(correlation)
+                     ? (va * 7) % 256
+                     : static_cast<int32_t>(rng.Uniform(0, 255));
+    a.AppendInt32(va);
+    b.AppendInt32(vb);
+    payload.AppendInt64(static_cast<int64_t>(i));
+  }
+  t.AddColumn("a", std::move(a)).AbortIfNotOK();
+  t.AddColumn("b", std::move(b)).AbortIfNotOK();
+  t.AddColumn("payload", std::move(payload)).AbortIfNotOK();
+
+  auto da = binning::CreateRangeDimension("D_A", "FACT", "a", 0, 255, 8)
+                .ValueOrDie();
+  auto db = binning::CreateRangeDimension("D_B", "FACT", "b", 0, 255, 8)
+                .ValueOrDie();
+  std::vector<DimensionUse> uses(2);
+  uses[0].dimension = std::make_shared<const Dimension>(std::move(da));
+  uses[1].dimension = std::make_shared<const Dimension>(std::move(db));
+
+  NoFkResolver resolver(&t);  // must outlive the build (path resolution)
+  BdccBuildOptions options;
+  options.tuning.efficient_access_bytes = 4 * 1024;
+  auto built =
+      BuildBdccTable(t.Clone(), uses, resolver, options).ValueOrDie();
+
+  int b_chosen = built.count_bits();
+  const GroupSizeAnalysis& an = built.analysis();
+  std::printf("%-22s | groups@%2d: %6llu of %8llu (missing factor %6.1f) | "
+              "chosen b=%d, groups=%zu\n",
+              label, built.full_bits(),
+              static_cast<unsigned long long>(an.NumGroups(built.full_bits())),
+              static_cast<unsigned long long>(1ull << built.full_bits()),
+              an.MissingGroupFactor(built.full_bits()), b_chosen,
+              built.count_table().num_groups());
+  // Histogram at the chosen granularity.
+  std::vector<uint64_t> hist = built.analysis().Histogram(b_chosen);
+  std::printf("  log2 group-size histogram @b=%d:", b_chosen);
+  for (size_t x = 0; x < hist.size(); ++x) {
+    if (hist[x]) {
+      std::printf(" [2^%zu:%llu]", x,
+                  static_cast<unsigned long long>(hist[x]));
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Correlated dimensions (puff pastry) ==\n\n");
+  RunCase("independent", 0.0, 200000);
+  RunCase("50%% correlated", 0.5, 200000);
+  RunCase("hierarchical (100%%)", 1.0, 200000);
+  std::printf(
+      "\nexpected shape: the more correlated the dimensions, the fewer of\n"
+      "the 2^16 potential groups exist; Algorithm 1 compensates with a\n"
+      "higher chosen granularity while keeping group sizes >= AR.\n");
+  return 0;
+}

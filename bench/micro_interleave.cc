@@ -1,0 +1,78 @@
+// google-benchmark microbenchmarks for the BDCC key machinery: bit
+// spread/extract, key composition, bin lookup, count-table construction.
+#include <benchmark/benchmark.h>
+
+#include "bdcc/binning.h"
+#include "bdcc/count_table.h"
+#include "bdcc/interleave.h"
+#include "common/bits.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace bdcc;  // NOLINT
+
+void BM_SpreadBits(benchmark::State& state) {
+  Rng rng(1);
+  uint64_t mask = 0x5555555555ull;  // 20 alternating bits
+  uint64_t v = rng.Next64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits::SpreadBits(v & 0xFFFFF, mask));
+    v += 0x9E3779B9;
+  }
+}
+BENCHMARK(BM_SpreadBits);
+
+void BM_ExtractBits(benchmark::State& state) {
+  Rng rng(2);
+  uint64_t mask = 0x5555555555ull;
+  uint64_t v = rng.Next64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits::ExtractBits(v, mask));
+    v += 0x9E3779B9;
+  }
+}
+BENCHMARK(BM_ExtractBits);
+
+void BM_ComposeKey(benchmark::State& state) {
+  std::vector<int> use_bits = {13, 5, 5, 13};
+  auto spec =
+      interleave::BuildMasks(use_bits, interleave::Policy::kRoundRobinPerUse)
+          .ValueOrDie();
+  uint64_t bins[4] = {1234, 17, 22, 4000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        interleave::ComposeKey(bins, use_bits.data(), spec));
+    bins[0] = (bins[0] + 1) & 0x1FFF;
+  }
+}
+BENCHMARK(BM_ComposeKey);
+
+void BM_BinLookup(benchmark::State& state) {
+  int bits = static_cast<int>(state.range(0));
+  auto dim = binning::CreateRangeDimension("D", "T", "k", 0, 1 << 20, bits)
+                 .ValueOrDie();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dim.BinOfInt(static_cast<int64_t>(rng.Next64() % (1 << 20))));
+  }
+}
+BENCHMARK(BM_BinLookup)->Arg(5)->Arg(10)->Arg(13);
+
+void BM_CountTableBuild(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(4);
+  std::vector<uint64_t> keys(n);
+  for (int64_t i = 0; i < n; ++i) keys[i] = rng.Next64() & 0xFFFFF;
+  std::sort(keys.begin(), keys.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTable::Build(keys, 20, 12));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CountTableBuild)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

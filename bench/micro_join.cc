@@ -1,0 +1,177 @@
+// google-benchmark microbenchmarks for the paper's benefit (iii): join
+// acceleration and memory reduction via sandwich operators. Joins two
+// co-clustered tables with a plain hash join vs. a sandwich hash join and
+// reports time plus peak build memory.
+#include <benchmark/benchmark.h>
+
+#include "bdcc/bdcc_table.h"
+#include "bdcc/binning.h"
+#include "bdcc/scatter_scan.h"
+#include "catalog/catalog.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "exec/hash_join.h"
+#include "exec/sandwich_join.h"
+#include "exec/scan.h"
+
+namespace {
+
+using namespace bdcc;  // NOLINT
+
+// DIM(dk, dval) clustered on D; FACT(fk -> dk, payload) co-clustered on
+// the same dimension over FK_F_D.
+struct Fixture {
+  catalog::Catalog catalog;
+  std::map<std::string, Table> base;
+  std::unique_ptr<BdccTable> fact, dim;
+
+  class Resolver : public TableResolver {
+   public:
+    Resolver(const std::map<std::string, Table>* tables,
+             const catalog::Catalog* cat)
+        : tables_(tables), cat_(cat) {}
+    Result<const Table*> GetTable(const std::string& name) const override {
+      auto it = tables_->find(name);
+      if (it == tables_->end()) return Status::NotFound(name);
+      return &it->second;
+    }
+    Result<const catalog::ForeignKey*> GetForeignKey(
+        const std::string& id) const override {
+      return cat_->GetForeignKey(id);
+    }
+
+   private:
+    const std::map<std::string, Table>* tables_;
+    const catalog::Catalog* cat_;
+  };
+
+  Fixture() {
+    const int64_t kDimRows = 20000;
+    const uint64_t kFactRows = 400000;
+    catalog::TableDef dim_def{"DIM",
+                              {{"dk", TypeId::kInt32},
+                               {"dval", TypeId::kInt32}},
+                              {"dk"}};
+    catalog::TableDef fact_def{"FACT",
+                               {{"fk", TypeId::kInt32},
+                                {"payload", TypeId::kFloat64}},
+                               {}};
+    catalog.AddTable(dim_def).AbortIfNotOK();
+    catalog.AddTable(fact_def).AbortIfNotOK();
+    catalog.AddForeignKey({"FK_F_D", "FACT", {"fk"}, "DIM", {"dk"}})
+        .AbortIfNotOK();
+
+    Rng rng(6);
+    {
+      Table t("DIM");
+      Column dk(TypeId::kInt32), dval(TypeId::kInt32);
+      for (int64_t i = 0; i < kDimRows; ++i) {
+        dk.AppendInt32(static_cast<int32_t>(i));
+        dval.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 9999)));
+      }
+      t.AddColumn("dk", std::move(dk)).AbortIfNotOK();
+      t.AddColumn("dval", std::move(dval)).AbortIfNotOK();
+      base.emplace("DIM", std::move(t));
+    }
+    {
+      Table t("FACT");
+      Column fk(TypeId::kInt32), payload(TypeId::kFloat64);
+      for (uint64_t i = 0; i < kFactRows; ++i) {
+        fk.AppendInt32(static_cast<int32_t>(rng.Uniform(0, kDimRows - 1)));
+        payload.AppendFloat64(rng.NextDouble());
+      }
+      t.AddColumn("fk", std::move(fk)).AbortIfNotOK();
+      t.AddColumn("payload", std::move(payload)).AbortIfNotOK();
+      base.emplace("FACT", std::move(t));
+    }
+
+    auto d = binning::CreateRangeDimension("D_K", "DIM", "dk", 0,
+                                           kDimRows - 1, 8)
+                 .ValueOrDie();
+    DimensionPtr dp = std::make_shared<const Dimension>(std::move(d));
+    Resolver resolver(&base, &catalog);
+
+    // Small AR so both tables keep the dimension's full 8 bits at count
+    // granularity; the benchmark sweeps the *shared* width explicitly.
+    BdccBuildOptions build;
+    build.tuning.efficient_access_bytes = 256;
+
+    std::vector<DimensionUse> dim_uses(1);
+    dim_uses[0].dimension = dp;
+    dim = std::make_unique<BdccTable>(
+        BuildBdccTable(base.at("DIM").Clone(), dim_uses, resolver, build)
+            .ValueOrDie());
+
+    std::vector<DimensionUse> fact_uses(1);
+    fact_uses[0].dimension = dp;
+    fact_uses[0].path.fk_ids = {"FK_F_D"};
+    fact = std::make_unique<BdccTable>(
+        BuildBdccTable(base.at("FACT").Clone(), fact_uses, resolver, build)
+            .ValueOrDie());
+  }
+};
+
+Fixture& F() {
+  static Fixture f;
+  return f;
+}
+
+exec::OperatorPtr GroupedScan(const BdccTable& bt,
+                              std::vector<std::string> cols, int shared) {
+  auto ranges = PlanScatterScan(bt, {0}).ValueOrDie();
+  return std::make_unique<exec::BdccScan>(
+      &bt, std::move(cols), std::move(ranges),
+      std::vector<exec::ScanPredicate>{},
+      std::vector<exec::GroupSpec>{{0, shared}});
+}
+
+// Sandwich alignment: both sides must tag with the same width, bounded by
+// what each table's self-tuned count granularity kept of the dimension.
+int ClampShared(const Fixture& f, int requested) {
+  return std::min({requested, bits::Ones(f.fact->ReducedMask(0)),
+                   bits::Ones(f.dim->ReducedMask(0))});
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  Fixture& f = F();
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    exec::ExecContext ctx(nullptr);
+    auto left = std::make_unique<exec::BdccScan>(
+        f.fact.get(), std::vector<std::string>{"fk", "payload"},
+        PlanNaturalScan(*f.fact));
+    auto right = std::make_unique<exec::BdccScan>(
+        f.dim.get(), std::vector<std::string>{"dk", "dval"},
+        PlanNaturalScan(*f.dim));
+    exec::HashJoin join(std::move(left), std::move(right), {"fk"}, {"dk"},
+                        exec::JoinType::kInner);
+    auto out = exec::CollectAll(&join, &ctx).ValueOrDie();
+    benchmark::DoNotOptimize(out.num_rows);
+    peak = std::max(peak, ctx.memory()->peak_bytes());
+  }
+  state.counters["peak_mem_kb"] = static_cast<double>(peak) / 1024.0;
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_SandwichJoin(benchmark::State& state) {
+  Fixture& f = F();
+  int shared = ClampShared(f, static_cast<int>(state.range(0)));
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    exec::ExecContext ctx(nullptr);
+    exec::SandwichHashJoin join(
+        GroupedScan(*f.fact, {"fk", "payload"}, shared),
+        GroupedScan(*f.dim, {"dk", "dval"}, shared), {"fk"}, {"dk"},
+        exec::JoinType::kInner);
+    auto out = exec::CollectAll(&join, &ctx).ValueOrDie();
+    benchmark::DoNotOptimize(out.num_rows);
+    peak = std::max(peak, ctx.memory()->peak_bytes());
+  }
+  state.counters["peak_mem_kb"] = static_cast<double>(peak) / 1024.0;
+}
+// Partition counts 2^2 .. 2^8: more shared bits -> smaller per-group build.
+BENCHMARK(BM_SandwichJoin)->Arg(2)->Arg(5)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Reproduces the paper's "Other Orderings" self-comparison: the automatic
+// round-robin (Z-order) interleaving versus a hand-created major-minor
+// setup with the same dimensions and bit counts, favoring the time
+// dimension as major. Paper result: comparable totals, Z-order slightly
+// faster (284s vs 291s) — and Z-order needs no DBA decision.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace bdcc;         // NOLINT
+using namespace bdcc::bench;  // NOLINT
+
+namespace {
+
+double RunAll(tpch::TpchDb* db, double* io_ms_out) {
+  double total = 0, io = 0;
+  for (int q = 1; q <= tpch::kNumTpchQueries; ++q) {
+    QueryRun run = RunQueryCold(db, opt::Scheme::kBdcc, q);
+    if (!run.ok) {
+      std::fprintf(stderr, "Q%d failed: %s\n", q, run.error.c_str());
+      std::exit(1);
+    }
+    total += run.wall_ms;
+    io += run.sim_io_ms;
+  }
+  *io_ms_out = io;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  double sf = BenchScaleFactor();
+  std::printf("== Other Orderings: Z-order vs major-minor (SF %.3f) ==\n",
+              sf);
+
+  double zorder_io = 0, mm_io = 0;
+  double zorder_ms, mm_ms;
+  {
+    tpch::TpchDbOptions options;
+    options.scale_factor = sf;
+    options.build_plain = false;
+    options.build_pk = false;
+    options.advisor.build.policy = interleave::Policy::kRoundRobinPerUse;
+    auto db = tpch::TpchDb::Create(options).ValueOrDie();
+    zorder_ms = RunAll(db.get(), &zorder_io);
+  }
+  {
+    tpch::TpchDbOptions options;
+    options.scale_factor = sf;
+    options.build_plain = false;
+    options.build_pk = false;
+    options.advisor.build.policy = interleave::Policy::kMajorMinor;
+    auto db = tpch::TpchDb::Create(options).ValueOrDie();
+    mm_ms = RunAll(db.get(), &mm_io);
+  }
+  std::printf("%-22s %12s %12s\n", "setup", "wall(ms)", "sim-I/O(ms)");
+  std::printf("%-22s %12.2f %12.2f\n", "z-order (automatic)", zorder_ms,
+              zorder_io);
+  std::printf("%-22s %12.2f %12.2f\n", "major-minor (manual)", mm_ms, mm_io);
+  std::printf(
+      "\npaper (SF100): automatic 284s vs manual 291s (comparable, "
+      "automatic slightly ahead)\nmeasured ratio: %.3f\n",
+      mm_ms / zorder_ms);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces the paper's Section IV dimension-use table (per-table masks).
+//
+// Two renderings:
+//  (1) at the *paper's* dimension granularities (D_NATION=5, D_PART=13,
+//      D_DATE=13 bits; LINEITEM reduced to 20 bits) — the masks must match
+//      the published bit strings exactly;
+//  (2) at the current scale factor's advisor output.
+#include <cstdio>
+
+#include "advisor/report.h"
+#include "bdcc/interleave.h"
+#include "bench/bench_util.h"
+#include "common/bits.h"
+
+using namespace bdcc;         // NOLINT
+using namespace bdcc::bench;  // NOLINT
+
+namespace {
+
+void PrintPaperMasks() {
+  struct Row {
+    const char* table;
+    std::vector<int> use_bits;
+    std::vector<const char*> labels;
+    int reduce_to;  // -1: keep full
+    std::vector<const char*> expected;
+  };
+  // The paper's TPC-H setup: bits(D_DATE)=13, bits(D_NATION)=5,
+  // bits(D_PART)=13; LINEITEM count-table granularity 20.
+  std::vector<Row> rows = {
+      {"NATION", {5}, {"D_NATION -"}, -1, {"11111"}},
+      {"SUPPLIER", {5}, {"D_NATION FK_S_N"}, -1, {"11111"}},
+      {"CUSTOMER", {5}, {"D_NATION FK_C_N"}, -1, {"11111"}},
+      {"PART", {13}, {"D_PART -"}, -1, {"1111111111111"}},
+      {"PARTSUPP",
+       {13, 5},
+       {"D_PART FK_PS_P", "D_NATION FK_PS_S.FK_S_N"},
+       -1,
+       {"101010101011111111", "10101010100000000"}},
+      {"ORDERS",
+       {13, 5},
+       {"D_DATE -", "D_NATION FK_O_C.FK_C_N"},
+       -1,
+       {"101010101011111111", "10101010100000000"}},
+      {"LINEITEM",
+       {13, 5, 5, 13},
+       {"D_DATE FK_L_O", "D_NATION FK_L_O.FK_O_C.FK_C_N",
+        "D_NATION FK_L_S.FK_S_N", "D_PART FK_L_P"},
+       20,
+       {"10001000100010001000", "1000100010001000100",
+        "100010001000100010", "10001000100010001"}},
+  };
+  int mismatches = 0;
+  for (const Row& row : rows) {
+    auto spec =
+        interleave::BuildMasks(row.use_bits,
+                               interleave::Policy::kRoundRobinPerUse)
+            .ValueOrDie();
+    if (row.reduce_to > 0) spec = interleave::Reduce(spec, row.reduce_to);
+    for (size_t u = 0; u < spec.masks.size(); ++u) {
+      std::string got =
+          advisor::PaperMask(spec.masks[u], spec.total_bits);
+      bool match = got == row.expected[u];
+      if (!match) ++mismatches;
+      std::printf("%-10s %-32s %-22s %s\n", u == 0 ? row.table : "",
+                  row.labels[u], got.c_str(), match ? "== paper" : "!= paper");
+    }
+  }
+  std::printf("\n%s\n", mismatches == 0
+                            ? "all masks match the published table"
+                            : "MISMATCH against the published table!");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Section IV dimension-use table at paper granularities ==\n\n");
+  PrintPaperMasks();
+
+  double sf = BenchScaleFactor(0.05);
+  tpch::TpchDbOptions options;
+  options.scale_factor = sf;
+  options.build_plain = false;
+  options.build_pk = false;
+  auto db = tpch::TpchDb::Create(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== Advisor output at SF %.3f (masks at full granularity, "
+              "self-tuned TCOUNT) ==\n\n%s\n",
+              sf,
+              advisor::RenderBuiltTables(db.value()->bdcc_tables()).c_str());
+  return 0;
+}

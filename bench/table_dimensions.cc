@@ -1,0 +1,37 @@
+// Reproduces the paper's Section IV dimension table:
+//
+//   BDCC dimension D  bits(D)  table T(D)  key K(D)
+//   D_NATION          5        NATION      n_regionkey,n_nationkey
+//   D_PART            13       PART        p_partkey
+//   D_DATE            13       ORDERS      o_orderdate
+//
+// derived by Algorithm 2 from the DDL hints alone. bits(D_PART) is
+// scale-dependent (ceil(log2 #parts), capped at 13); at the paper's SF100
+// it caps at 13, at small SF it is log2 of the part count.
+#include <cstdio>
+
+#include "advisor/report.h"
+#include "bench/bench_util.h"
+
+using namespace bdcc;         // NOLINT
+using namespace bdcc::bench;  // NOLINT
+
+int main() {
+  double sf = BenchScaleFactor(0.05);
+  tpch::TpchDbOptions options;
+  options.scale_factor = sf;
+  options.build_plain = false;
+  options.build_pk = false;
+  auto db = tpch::TpchDb::Create(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Section IV dimension table (SF %.3f) ==\n\n%s\n", sf,
+              advisor::RenderDimensionTable(db.value()->design()).c_str());
+  std::printf(
+      "paper (SF100): D_NATION 5 bits (NATION: n_regionkey,n_nationkey)\n"
+      "               D_PART  13 bits (PART: p_partkey)\n"
+      "               D_DATE  13 bits (ORDERS: o_orderdate)\n");
+  return 0;
+}

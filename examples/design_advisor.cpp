@@ -1,0 +1,163 @@
+// Drive Algorithm 2 on a custom (non-TPC-H) snowflake schema written in
+// plain DDL, showing that the advisor generalizes beyond the paper's
+// evaluation schema: dimensions are discovered from CREATE INDEX hints,
+// uses are inherited over declared FKs, and each table self-tunes its
+// count-table granularity per Algorithm 1.
+//
+//   $ ./build/examples/design_advisor
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "advisor/report.h"
+#include "catalog/ddl_parser.h"
+#include "common/rng.h"
+
+using namespace bdcc;  // NOLINT
+
+namespace {
+
+constexpr const char* kDdl = R"ddl(
+CREATE TABLE STORE (
+  store_id   INT NOT NULL,
+  region     INT NOT NULL,
+  opened     DATE NOT NULL,
+  PRIMARY KEY (store_id)
+);
+CREATE TABLE PRODUCT (
+  product_id INT NOT NULL,
+  category   INT NOT NULL,
+  PRIMARY KEY (product_id)
+);
+CREATE TABLE SALE (
+  sale_id    INT NOT NULL,
+  store_id   INT NOT NULL,
+  product_id INT NOT NULL,
+  sale_date  DATE NOT NULL,
+  amount     DECIMAL(15,2) NOT NULL,
+  PRIMARY KEY (sale_id),
+  FOREIGN KEY FK_SALE_STORE (store_id) REFERENCES STORE (store_id),
+  FOREIGN KEY FK_SALE_PRODUCT (product_id) REFERENCES PRODUCT (product_id)
+);
+CREATE TABLE RETURNED (
+  return_id  INT NOT NULL,
+  sale_id    INT NOT NULL,
+  PRIMARY KEY (return_id),
+  FOREIGN KEY FK_RET_SALE (sale_id) REFERENCES SALE (sale_id)
+);
+
+CREATE INDEX region_idx ON STORE (region);
+CREATE INDEX category_idx ON PRODUCT (category);
+CREATE INDEX saledate_idx ON SALE (sale_date);
+CREATE INDEX sale_store_fk_idx ON SALE (store_id);
+CREATE INDEX sale_product_fk_idx ON SALE (product_id);
+CREATE INDEX ret_sale_fk_idx ON RETURNED (sale_id);
+)ddl";
+
+class Resolver : public TableResolver {
+ public:
+  Resolver(const std::map<std::string, Table>* t, const catalog::Catalog* c)
+      : t_(t), c_(c) {}
+  Result<const Table*> GetTable(const std::string& name) const override {
+    auto it = t_->find(name);
+    if (it == t_->end()) return Status::NotFound(name);
+    return &it->second;
+  }
+  Result<const catalog::ForeignKey*> GetForeignKey(
+      const std::string& id) const override {
+    return c_->GetForeignKey(id);
+  }
+
+ private:
+  const std::map<std::string, Table>* t_;
+  const catalog::Catalog* c_;
+};
+
+}  // namespace
+
+int main() {
+  catalog::Catalog cat;
+  catalog::ParseDdl(kDdl, &cat).AbortIfNotOK();
+
+  // Synthetic data for the schema.
+  std::map<std::string, Table> tables;
+  Rng rng(7);
+  {
+    Table store("STORE");
+    Column id(TypeId::kInt32), region(TypeId::kInt32), opened(TypeId::kDate);
+    for (int i = 0; i < 200; ++i) {
+      id.AppendInt32(i);
+      region.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 7)));
+      opened.AppendDate(ParseDate("2010-01-01") +
+                        static_cast<int32_t>(rng.Uniform(0, 3650)));
+    }
+    store.AddColumn("store_id", std::move(id)).AbortIfNotOK();
+    store.AddColumn("region", std::move(region)).AbortIfNotOK();
+    store.AddColumn("opened", std::move(opened)).AbortIfNotOK();
+    tables.emplace("STORE", std::move(store));
+  }
+  {
+    Table product("PRODUCT");
+    Column id(TypeId::kInt32), cat_col(TypeId::kInt32);
+    for (int i = 0; i < 5000; ++i) {
+      id.AppendInt32(i);
+      cat_col.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 99)));
+    }
+    product.AddColumn("product_id", std::move(id)).AbortIfNotOK();
+    product.AddColumn("category", std::move(cat_col)).AbortIfNotOK();
+    tables.emplace("PRODUCT", std::move(product));
+  }
+  {
+    Table sale("SALE");
+    Column id(TypeId::kInt32), store(TypeId::kInt32), product(TypeId::kInt32),
+        date(TypeId::kDate), amount(TypeId::kFloat64);
+    for (int i = 0; i < 100000; ++i) {
+      id.AppendInt32(i);
+      store.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 199)));
+      product.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 4999)));
+      date.AppendDate(ParseDate("2018-01-01") +
+                      static_cast<int32_t>(rng.Uniform(0, 2000)));
+      amount.AppendFloat64(rng.NextDouble() * 500);
+    }
+    sale.AddColumn("sale_id", std::move(id)).AbortIfNotOK();
+    sale.AddColumn("store_id", std::move(store)).AbortIfNotOK();
+    sale.AddColumn("product_id", std::move(product)).AbortIfNotOK();
+    sale.AddColumn("sale_date", std::move(date)).AbortIfNotOK();
+    sale.AddColumn("amount", std::move(amount)).AbortIfNotOK();
+    tables.emplace("SALE", std::move(sale));
+  }
+  {
+    Table ret("RETURNED");
+    Column id(TypeId::kInt32), sale(TypeId::kInt32);
+    for (int i = 0; i < 8000; ++i) {
+      id.AppendInt32(i);
+      sale.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 99999)));
+    }
+    ret.AddColumn("return_id", std::move(id)).AbortIfNotOK();
+    ret.AddColumn("sale_id", std::move(sale)).AbortIfNotOK();
+    tables.emplace("RETURNED", std::move(ret));
+  }
+
+  Resolver resolver(&tables, &cat);
+  advisor::AdvisorOptions options;
+  auto design = advisor::DesignSchema(cat, resolver, options).ValueOrDie();
+
+  std::printf("=== Dimensions (from index hints) ===\n%s\n",
+              advisor::RenderDimensionTable(design).c_str());
+  std::printf("=== Dimension uses (inherited over FKs) ===\n%s\n",
+              advisor::RenderDimensionUseTable(
+                  design, interleave::Policy::kRoundRobinPerUse)
+                  .c_str());
+
+  std::map<std::string, Table> sources;
+  for (const auto& [name, t] : tables) sources.emplace(name, t.Clone());
+  auto built = advisor::BuildDesignedTables(design, std::move(sources),
+                                            resolver, options)
+                   .ValueOrDie();
+  std::printf("=== Built tables (Algorithm 1 self-tuned) ===\n%s",
+              advisor::RenderBuiltTables(built).c_str());
+  std::printf(
+      "\nRETURNED ends up co-clustered with SALE on region, category AND\n"
+      "date — three dimensions it never declared itself, all inherited\n"
+      "through FK_RET_SALE, exactly the paper's inductive rule.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: define a schema with classic DDL, let the advisor derive a
+// BDCC design (Algorithm 2), build the clustered tables (Algorithm 1), and
+// run a query that benefits from co-clustering.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "advisor/report.h"
+#include "catalog/ddl_parser.h"
+#include "common/rng.h"
+#include "exec/filter.h"
+#include "exec/hash_agg.h"
+#include "opt/logical_plan.h"
+#include "opt/planner.h"
+#include "tpch/tpch_db.h"
+#include "tpch/tpch_queries.h"
+
+using namespace bdcc;  // NOLINT
+
+int main() {
+  // 1. A TPC-H database at a small scale factor, physically designed three
+  //    ways: Plain (no indexing), PK (primary-key order), and BDCC (the
+  //    advisor's co-clustered design from the paper's DDL hints).
+  tpch::TpchDbOptions options;
+  options.scale_factor = 0.01;
+  auto db = tpch::TpchDb::Create(options).ValueOrDie();
+
+  // 2. What did the advisor decide? (The paper's Section IV tables.)
+  std::printf("=== Dimensions chosen by Algorithm 2 ===\n%s\n",
+              advisor::RenderDimensionTable(db->design()).c_str());
+  std::printf("=== Dimension uses and masks ===\n%s\n",
+              advisor::RenderDimensionUseTable(
+                  db->design(), interleave::Policy::kRoundRobinPerUse)
+                  .c_str());
+
+  // 3. Run TPC-H Q3 against all three designs and compare.
+  for (opt::Scheme scheme :
+       {opt::Scheme::kPlain, opt::Scheme::kPk, opt::Scheme::kBdcc}) {
+    exec::ExecContext exec_ctx(db->pool(scheme));
+    std::vector<std::string> notes;
+    tpch::QueryContext ctx;
+    ctx.db = &db->db(scheme);
+    ctx.exec = &exec_ctx;
+    ctx.notes = &notes;
+    ctx.scale_factor = options.scale_factor;
+    auto result = tpch::RunTpchQuery(3, ctx).ValueOrDie();
+    std::printf("Q3 on %-5s: %llu rows, peak operator memory %llu KB\n",
+                opt::SchemeName(scheme),
+                static_cast<unsigned long long>(result.num_rows),
+                static_cast<unsigned long long>(
+                    exec_ctx.memory()->peak_bytes() / 1024));
+    for (const std::string& n : notes) {
+      std::printf("    plan: %s\n", n.c_str());
+    }
+  }
+  std::printf(
+      "\nThe BDCC plan pushes the date selection into both ORDERS and\n"
+      "LINEITEM scatter scans (co-clustering) and sandwiches the joins —\n"
+      "same answers, less data touched, less memory.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Demonstrates the paper's three claimed benefits on TPC-H Q5:
+//  (i)  selection pushdown    — the region filter prunes scatter-scan
+//                               groups of the NATION-clustered tables,
+//  (ii) selection propagation — the pruning reaches SUPPLIER and LINEITEM
+//                               through the shared D_NATION dimension,
+//  (iii) join acceleration    — co-clustered joins run as sandwich joins.
+//
+//   $ ./build/examples/selection_propagation
+#include <cstdio>
+
+#include "tpch/tpch_db.h"
+#include "tpch/tpch_queries.h"
+
+using namespace bdcc;  // NOLINT
+
+int main() {
+  tpch::TpchDbOptions options;
+  options.scale_factor = 0.02;
+  auto db = tpch::TpchDb::Create(options).ValueOrDie();
+
+  struct Config {
+    const char* label;
+    bool pruning;
+    bool sandwich;
+  };
+  for (const Config& cfg : {Config{"no BDCC features", false, false},
+                            Config{"+ pushdown/propagation", true, false},
+                            Config{"+ sandwich operators", true, true}}) {
+    exec::ExecContext exec_ctx(db->pool(opt::Scheme::kBdcc));
+    db->ResetIo();
+    std::vector<std::string> notes;
+    tpch::QueryContext ctx;
+    ctx.db = &db->bdcc();
+    ctx.exec = &exec_ctx;
+    ctx.notes = &notes;
+    ctx.scale_factor = options.scale_factor;
+    ctx.planner.enable_group_pruning = cfg.pruning;
+    ctx.planner.enable_sandwich = cfg.sandwich;
+    auto result = tpch::RunTpchQuery(5, ctx).ValueOrDie();
+    const exec::ExecStats& stats = *exec_ctx.stats();
+    std::printf(
+        "%-26s rows=%llu scanned=%8llu groups pruned=%5llu "
+        "sandwich parts=%4llu peak-mem=%6lluKB sim-I/O=%.2fms\n",
+        cfg.label, static_cast<unsigned long long>(result.num_rows),
+        static_cast<unsigned long long>(stats.rows_scanned),
+        static_cast<unsigned long long>(stats.groups_pruned),
+        static_cast<unsigned long long>(stats.sandwich_partitions),
+        static_cast<unsigned long long>(exec_ctx.memory()->peak_bytes() /
+                                        1024),
+        db->device(opt::Scheme::kBdcc)->stats().simulated_seconds * 1e3);
+    if (cfg.pruning && !cfg.sandwich) {
+      for (const std::string& n : notes) {
+        std::printf("    %s\n", n.c_str());
+      }
+    }
+  }
+  std::printf(
+      "\nSame result rows every time; the ASIA filter on REGION propagates\n"
+      "to SUPPLIER and LINEITEM because they share D_NATION bits, and the\n"
+      "co-clustered joins drop their memory to one partition at a time.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "advisor/dimension_builder.h"
+#include "catalog/schema_graph.h"
+
+namespace bdcc {
+namespace advisor {
+
+namespace {
+
+// A dimension identified in phase (i), before its bins exist.
+struct ProtoDimension {
+  std::string name;
+  std::string table;
+  std::vector<std::string> key_columns;
+};
+
+// A use referencing a proto-dimension by index.
+struct ProtoUse {
+  size_t proto_index;
+  DimensionPath path;
+};
+
+}  // namespace
+
+std::string DimensionNameFromHint(const catalog::IndexHint& hint) {
+  std::string base = hint.name;
+  for (const char* suffix : {"_idx", "_index", "_IDX", "_INDEX"}) {
+    size_t len = std::string(suffix).size();
+    if (base.size() > len && base.compare(base.size() - len, len, suffix) == 0) {
+      base = base.substr(0, base.size() - len);
+      break;
+    }
+  }
+  if (base.empty()) base = hint.table;
+  std::transform(base.begin(), base.end(), base.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return "D_" + base;
+}
+
+const TableDesign* SchemaDesign::FindTable(const std::string& name) const {
+  for (const TableDesign& t : tables) {
+    if (t.table == name) return &t;
+  }
+  return nullptr;
+}
+
+DimensionPtr SchemaDesign::FindDimension(const std::string& name) const {
+  for (const DimensionPtr& d : dimensions) {
+    if (d->name() == name) return d;
+  }
+  return nullptr;
+}
+
+Result<SchemaDesign> DesignSchema(const catalog::Catalog& catalog,
+                                  const TableResolver& resolver,
+                                  const AdvisorOptions& options) {
+  catalog::SchemaGraph graph(&catalog);
+  BDCC_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                        graph.TopologicalFromLeaves());
+
+  // ---- Phase (i): identify dimensions and dimension uses. ----
+  std::vector<ProtoDimension> protos;
+  std::map<std::string, std::vector<ProtoUse>> uses_by_table;
+
+  auto find_or_add_proto = [&](const std::string& name,
+                               const std::string& table,
+                               const std::vector<std::string>& key) {
+    for (size_t i = 0; i < protos.size(); ++i) {
+      if (protos[i].table == table && protos[i].key_columns == key) return i;
+    }
+    protos.push_back(ProtoDimension{name, table, key});
+    return protos.size() - 1;
+  };
+
+  for (const std::string& table : order) {
+    std::vector<ProtoUse>& uses = uses_by_table[table];
+    for (const catalog::IndexHint* hint : catalog.IndexesOn(table)) {
+      const catalog::ForeignKey* fk = catalog.IndexMatchesForeignKey(*hint);
+      if (fk != nullptr) {
+        // Inherit the referenced table's uses, FK id prepended.
+        for (const ProtoUse& inherited : uses_by_table[fk->to_table]) {
+          ProtoUse u;
+          u.proto_index = inherited.proto_index;
+          u.path = inherited.path.Prepend(fk->id);
+          // Same dimension over the same path would be a duplicate.
+          bool dup = std::any_of(uses.begin(), uses.end(), [&](const ProtoUse& e) {
+            return e.proto_index == u.proto_index && e.path == u.path;
+          });
+          if (!dup) uses.push_back(std::move(u));
+        }
+      } else {
+        // A new dimension hosted by this table.
+        size_t proto =
+            find_or_add_proto(DimensionNameFromHint(*hint), table, hint->columns);
+        ProtoUse u;
+        u.proto_index = proto;
+        bool dup = std::any_of(uses.begin(), uses.end(), [&](const ProtoUse& e) {
+          return e.proto_index == u.proto_index && e.path == u.path;
+        });
+        if (!dup) uses.push_back(std::move(u));
+      }
+    }
+  }
+
+  // ---- Phase (ii): create the dimensions over their usage unions. ----
+  SchemaDesign design;
+  std::vector<DimensionPtr> dims(protos.size());
+  for (size_t p = 0; p < protos.size(); ++p) {
+    std::vector<UsageRef> usages;
+    for (const auto& [table, uses] : uses_by_table) {
+      for (const ProtoUse& u : uses) {
+        if (u.proto_index == p) usages.push_back(UsageRef{table, u.path});
+      }
+    }
+    binning::BinningOptions bin_opts;
+    bin_opts.max_bits = options.max_dimension_bits;
+    // Open-ended single-date keys get headroom (see DESIGN.md §4.7).
+    BDCC_ASSIGN_OR_RETURN(const catalog::TableDef* host_def,
+                          catalog.GetTable(protos[p].table));
+    if (protos[p].key_columns.size() == 1) {
+      BDCC_ASSIGN_OR_RETURN(TypeId t,
+                            host_def->ColumnType(protos[p].key_columns[0]));
+      if (t == TypeId::kDate) bin_opts.headroom_bits = options.date_headroom_bits;
+    }
+    BDCC_ASSIGN_OR_RETURN(
+        DimensionPtr dim,
+        BuildDimensionFromUsages(protos[p].name, protos[p].table,
+                                 protos[p].key_columns, usages, resolver,
+                                 bin_opts));
+    dims[p] = dim;
+    design.dimensions.push_back(dim);
+  }
+
+  // Emit per-table designs in topological order (tables with >= 1 use).
+  for (const std::string& table : order) {
+    const std::vector<ProtoUse>& uses = uses_by_table[table];
+    if (uses.empty()) continue;
+    TableDesign td;
+    td.table = table;
+    for (const ProtoUse& u : uses) {
+      DimensionUse use;
+      use.dimension = dims[u.proto_index];
+      use.path = u.path;
+      td.uses.push_back(std::move(use));
+    }
+    design.tables.push_back(std::move(td));
+  }
+  return design;
+}
+
+Result<std::map<std::string, BdccTable>> BuildDesignedTables(
+    const SchemaDesign& design, std::map<std::string, Table> tables,
+    const TableResolver& resolver, const AdvisorOptions& options) {
+  std::map<std::string, BdccTable> out;
+  for (const TableDesign& td : design.tables) {
+    auto it = tables.find(td.table);
+    if (it == tables.end()) {
+      return Status::NotFound("no source data for designed table " + td.table);
+    }
+    BDCC_ASSIGN_OR_RETURN(
+        BdccTable built,
+        BuildBdccTable(std::move(it->second), td.uses, resolver,
+                       options.build));
+    out.emplace(td.table, std::move(built));
+  }
+  return out;
+}
+
+}  // namespace advisor
+}  // namespace bdcc

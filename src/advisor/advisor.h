@@ -1,0 +1,78 @@
+// Algorithm 2 (Semi-automatic Schema Design).
+//
+// Input: a catalog with declared foreign keys plus CREATE INDEX statements
+// interpreted as BDCC hints. Output: the set of dimensions to create and,
+// per table, the ordered list of dimension uses; then the BDCC tables are
+// built at self-tuned granularity via Algorithm 1.
+//
+// Phases (paper):
+//  (i)   Traverse the schema DAG from the leaves. For each table, walk its
+//        index declarations: an index equal to a foreign key inherits all
+//        dimension uses of the referenced table (FK id prepended to their
+//        paths); any other index identifies a new dimension.
+//  (ii)  Create each dimension with frequency-balanced binning over the
+//        union of all tables that use it, capped at bits(D) <= max_bits.
+//  (iii) BDCC-cluster every table with >= 1 use via Algorithm 1.
+#ifndef BDCC_ADVISOR_ADVISOR_H_
+#define BDCC_ADVISOR_ADVISOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdcc/bdcc_table.h"
+#include "bdcc/binning.h"
+#include "bdcc/dimension_use.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace bdcc {
+namespace advisor {
+
+struct AdvisorOptions {
+  /// Granularity cap (paper: bits(D) <= 13).
+  int max_dimension_bits = 13;
+  /// Headroom bits for open-ended key domains (single DATE-typed keys get
+  /// one extra bit of bin-number space so future days keep fresh numbers).
+  int date_headroom_bits = 1;
+  /// Options forwarded to Algorithm 1 for phase (iii).
+  BdccBuildOptions build;
+};
+
+/// A table's designed clustering: ordered dimension uses (masks assigned
+/// when the table is built).
+struct TableDesign {
+  std::string table;
+  std::vector<DimensionUse> uses;
+};
+
+/// Complete output of Algorithm 2 phases (i)+(ii).
+struct SchemaDesign {
+  std::vector<DimensionPtr> dimensions;
+  std::vector<TableDesign> tables;  // topological (leaves first)
+
+  const TableDesign* FindTable(const std::string& name) const;
+  DimensionPtr FindDimension(const std::string& name) const;
+};
+
+/// \brief Derive the design (phases (i) and (ii); data is consulted only to
+/// histogram dimension keys).
+Result<SchemaDesign> DesignSchema(const catalog::Catalog& catalog,
+                                  const TableResolver& resolver,
+                                  const AdvisorOptions& options = {});
+
+/// \brief Phase (iii): build all BDCC tables of a design. `tables` supplies
+/// the source data by name and is consumed (sources are moved out).
+Result<std::map<std::string, BdccTable>> BuildDesignedTables(
+    const SchemaDesign& design, std::map<std::string, Table> tables,
+    const TableResolver& resolver, const AdvisorOptions& options = {});
+
+/// Derive a dimension name from an index hint: "date_idx" -> "D_DATE";
+/// falls back to "D_<TABLE>".
+std::string DimensionNameFromHint(const catalog::IndexHint& hint);
+
+}  // namespace advisor
+}  // namespace bdcc
+
+#endif  // BDCC_ADVISOR_ADVISOR_H_

@@ -1,0 +1,76 @@
+#include "advisor/dimension_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bdcc {
+namespace advisor {
+
+Result<DimensionPtr> BuildDimensionFromUsages(
+    std::string name, const std::string& host_table,
+    const std::vector<std::string>& key_columns,
+    const std::vector<UsageRef>& usages, const TableResolver& resolver,
+    const binning::BinningOptions& options) {
+  BDCC_ASSIGN_OR_RETURN(const Table* host, resolver.GetTable(host_table));
+  uint64_t host_rows = host->num_rows();
+  if (host_rows == 0) {
+    return Status::InvalidArgument("dimension host table " + host_table +
+                                   " is empty");
+  }
+
+  // Usage counts per *host row*: seed each usage's propagation with row
+  // ordinals so the result maps context rows to host rows.
+  std::vector<uint64_t> counts(host_rows, 0);
+  for (const UsageRef& usage : usages) {
+    BDCC_ASSIGN_OR_RETURN(const Table* context, resolver.GetTable(usage.table));
+    std::vector<uint64_t> ordinals(host_rows);
+    std::iota(ordinals.begin(), ordinals.end(), 0);
+    BDCC_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> host_row_of,
+        PropagateThroughPath(*context, usage.path, host_table, resolver,
+                             std::move(ordinals)));
+    for (uint64_t hr : host_row_of) counts[hr] += 1;
+  }
+
+  // Distinct key values with aggregated frequencies, sorted by value.
+  std::vector<int> key_cols;
+  for (const std::string& k : key_columns) {
+    BDCC_ASSIGN_OR_RETURN(int idx, host->ColumnIndex(k));
+    key_cols.push_back(idx);
+  }
+  std::vector<uint32_t> order(host_rows);
+  std::iota(order.begin(), order.end(), 0);
+  auto key_of = [&](uint32_t row) {
+    CompositeValue v;
+    v.reserve(key_cols.size());
+    for (int idx : key_cols) v.push_back(host->column(idx).GetValue(row));
+    return v;
+  };
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return CompareComposite(key_of(a), key_of(b)) < 0;
+  });
+
+  std::vector<binning::ValueFrequency> values;
+  for (uint64_t i = 0; i < host_rows;) {
+    CompositeValue v = key_of(order[i]);
+    uint64_t freq = 0;
+    uint64_t j = i;
+    while (j < host_rows && CompareComposite(key_of(order[j]), v) == 0) {
+      freq += counts[order[j]];
+      ++j;
+    }
+    // Keys never referenced still deserve a bin (robustness for future
+    // queries); weight them minimally.
+    values.push_back(binning::ValueFrequency{std::move(v), freq + 1});
+    i = j;
+  }
+
+  BDCC_ASSIGN_OR_RETURN(
+      Dimension dim,
+      binning::CreateDimension(std::move(name), host_table, key_columns,
+                               values, options));
+  return std::make_shared<const Dimension>(std::move(dim));
+}
+
+}  // namespace advisor
+}  // namespace bdcc

@@ -1,0 +1,37 @@
+// Algorithm 2 phase (ii): create a dimension from the distribution of its
+// key across ALL tables that use it (tech report [4]'s union histogram).
+#ifndef BDCC_ADVISOR_DIMENSION_BUILDER_H_
+#define BDCC_ADVISOR_DIMENSION_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "bdcc/bdcc_table.h"
+#include "bdcc/binning.h"
+#include "bdcc/dimension.h"
+#include "bdcc/dimension_use.h"
+#include "common/result.h"
+
+namespace bdcc {
+namespace advisor {
+
+/// One usage site of a dimension being created: the using table plus the
+/// path from it to the host.
+struct UsageRef {
+  std::string table;
+  DimensionPath path;
+};
+
+/// \brief Histogram the dimension key over the union of all usage sites
+/// (each usage contributes its joined row count to the key values it
+/// reaches), then bin per `options`.
+Result<DimensionPtr> BuildDimensionFromUsages(
+    std::string name, const std::string& host_table,
+    const std::vector<std::string>& key_columns,
+    const std::vector<UsageRef>& usages, const TableResolver& resolver,
+    const binning::BinningOptions& options);
+
+}  // namespace advisor
+}  // namespace bdcc
+
+#endif  // BDCC_ADVISOR_DIMENSION_BUILDER_H_

@@ -1,0 +1,91 @@
+#include "advisor/report.h"
+
+#include <cstdio>
+
+#include "common/bits.h"
+
+namespace bdcc {
+namespace advisor {
+
+std::string PaperMask(uint64_t mask, int width) {
+  std::string full = bits::FormatMask(mask, width);
+  size_t first = full.find('1');
+  if (first == std::string::npos) return "0";
+  return full.substr(first);
+}
+
+std::string RenderDimensionTable(const SchemaDesign& design) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %8s  %-10s %s\n", "dimension D",
+                "bits(D)", "table T(D)", "key K(D)");
+  out += line;
+  for (const DimensionPtr& d : design.dimensions) {
+    std::string key;
+    for (size_t i = 0; i < d->key_columns().size(); ++i) {
+      if (i) key += ",";
+      key += d->key_columns()[i];
+    }
+    std::snprintf(line, sizeof(line), "%-12s %8d  %-10s %s\n",
+                  d->name().c_str(), d->bits(), d->table().c_str(),
+                  key.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderDimensionUseTable(const SchemaDesign& design,
+                                    interleave::Policy policy) {
+  std::string out;
+  char line[320];
+  std::snprintf(line, sizeof(line), "%-10s %-12s %-28s %s\n", "BDCC Table",
+                "D(Ui)", "P(Ui)", "M(Ui)");
+  out += line;
+  for (const TableDesign& td : design.tables) {
+    std::vector<int> use_bits;
+    for (const DimensionUse& u : td.uses) {
+      use_bits.push_back(u.dimension->bits());
+    }
+    auto spec_result = interleave::BuildMasks(use_bits, policy);
+    if (!spec_result.ok()) continue;
+    const interleave::InterleaveSpec& spec = spec_result.value();
+    for (size_t i = 0; i < td.uses.size(); ++i) {
+      std::snprintf(line, sizeof(line), "%-10s %-12s %-28s %s\n",
+                    i == 0 ? td.table.c_str() : "",
+                    td.uses[i].dimension->name().c_str(),
+                    td.uses[i].path.ToString().c_str(),
+                    PaperMask(spec.masks[i], spec.total_bits).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string RenderBuiltTables(const std::map<std::string, BdccTable>& built) {
+  std::string out;
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%-10s %6s %6s  %-18s %10s  %s\n", "table", "B", "b",
+                "densest column", "bytes/row", "groups");
+  out += line;
+  for (const auto& [name, table] : built) {
+    std::snprintf(line, sizeof(line), "%-10s %6d %6d  %-18s %10.1f  %zu\n",
+                  name.c_str(), table.full_bits(), table.count_bits(),
+                  table.decision().densest_column.c_str(),
+                  table.decision().densest_bytes_per_row,
+                  table.count_table().num_groups());
+    out += line;
+    for (size_t u = 0; u < table.uses().size(); ++u) {
+      const DimensionUse& use = table.uses()[u];
+      std::snprintf(line, sizeof(line), "    %-12s %-28s %s\n",
+                    use.dimension->name().c_str(),
+                    use.path.ToString().c_str(),
+                    PaperMask(use.mask, table.full_bits()).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace advisor
+}  // namespace bdcc

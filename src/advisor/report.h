@@ -1,0 +1,34 @@
+// Renders the advisor's output in the paper's tabular notation
+// (Section IV's dimension table and dimension-use/mask table).
+#ifndef BDCC_ADVISOR_REPORT_H_
+#define BDCC_ADVISOR_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "bdcc/bdcc_table.h"
+
+namespace bdcc {
+namespace advisor {
+
+/// "BDCC dimension D | bits(D) | table T(D) | key K(D)" rows.
+std::string RenderDimensionTable(const SchemaDesign& design);
+
+/// "BDCC Table | D(Ui) | P(Ui) | M(Ui)" rows with masks in the paper's
+/// leading-zero-trimmed binary form, computed at full granularity under
+/// `policy` (optionally reduced per table via `built` granularities).
+std::string RenderDimensionUseTable(const SchemaDesign& design,
+                                    interleave::Policy policy);
+
+/// Same, but for built tables: masks at the count-table granularity chosen
+/// by Algorithm 1, plus the self-tune decision per table.
+std::string RenderBuiltTables(const std::map<std::string, BdccTable>& built);
+
+/// Mask string in the paper's format (leading zeros trimmed).
+std::string PaperMask(uint64_t mask, int width);
+
+}  // namespace advisor
+}  // namespace bdcc
+
+#endif  // BDCC_ADVISOR_REPORT_H_

@@ -1,0 +1,92 @@
+#include "bdcc/append.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bdcc {
+
+Result<AppendStats> AppendToBdccTable(BdccTable* table, const Table& new_rows,
+                                      const TableResolver& resolver) {
+  BDCC_CHECK(table != nullptr);
+  if (new_rows.name() != table->name()) {
+    return Status::InvalidArgument(
+        "appended rows must carry the table's name (dimension paths are "
+        "anchored at it)");
+  }
+  if (table->data().num_rows() != table->logical_rows()) {
+    return Status::InvalidArgument(
+        "append after small-group consolidation is not supported; rebuild");
+  }
+  if (new_rows.num_columns() + 1 != table->data().num_columns()) {
+    return Status::InvalidArgument("appended rows have a different schema");
+  }
+  AppendStats stats;
+  stats.rows_appended = new_rows.num_rows();
+  stats.groups_before = table->count_table().num_groups();
+  if (new_rows.num_rows() == 0) {
+    stats.groups_after = stats.groups_before;
+    return stats;
+  }
+
+  // Keys for the new tuples: per-use bins down the FK paths, composed with
+  // the table's existing masks (Definition 4 — independent of old data).
+  std::vector<std::vector<uint64_t>> bins;
+  std::vector<int> dim_bits;
+  for (const DimensionUse& use : table->uses()) {
+    BDCC_ASSIGN_OR_RETURN(std::vector<uint64_t> b,
+                          ComputeBinColumn(new_rows, use, resolver));
+    bins.push_back(std::move(b));
+    dim_bits.push_back(use.dimension->bits());
+  }
+  uint64_t n_new = new_rows.num_rows();
+  std::vector<uint64_t> new_keys(n_new);
+  {
+    std::vector<uint64_t> row_bins(bins.size());
+    for (uint64_t r = 0; r < n_new; ++r) {
+      for (size_t u = 0; u < bins.size(); ++u) row_bins[u] = bins[u][r];
+      new_keys[r] = interleave::ComposeKey(row_bins.data(), dim_bits.data(),
+                                           table->full_spec());
+    }
+  }
+
+  // Stage the new rows with their key column, then merge-sort everything.
+  Table staged = new_rows.Clone();
+  Column key_col(TypeId::kInt64);
+  key_col.Reserve(n_new);
+  for (uint64_t k : new_keys) key_col.AppendInt64(static_cast<int64_t>(k));
+  BDCC_RETURN_NOT_OK(staged.AddColumn(kBdccColumnName, std::move(key_col)));
+
+  Table combined = table->data().Clone();
+  combined.AppendRowsFrom(staged, 0, staged.num_rows());
+
+  uint64_t total = combined.num_rows();
+  const auto& all_keys =
+      combined.column(table->bdcc_column_index()).i64();
+  std::vector<uint32_t> perm(total);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return static_cast<uint64_t>(all_keys[a]) <
+           static_cast<uint64_t>(all_keys[b]);
+  });
+  Table merged = combined.ApplyPermutation(perm);
+
+  std::vector<uint64_t> sorted_keys(total);
+  {
+    const auto& k = merged.column(table->bdcc_column_index()).i64();
+    for (uint64_t i = 0; i < total; ++i) {
+      sorted_keys[i] = static_cast<uint64_t>(k[i]);
+    }
+  }
+  uint32_t zone_rows =
+      table->data().HasZoneMaps() ? table->data().zone_rows() : 1024;
+  merged.BuildZoneMaps(zone_rows);
+
+  int count_bits = table->count_bits();
+  table->mutable_data() = std::move(merged);
+  table->mutable_count_table() =
+      CountTable::Build(sorted_keys, table->full_bits(), count_bits);
+  stats.groups_after = table->count_table().num_groups();
+  return stats;
+}
+
+}  // namespace bdcc

@@ -1,0 +1,32 @@
+// Maintenance under inserts.
+//
+// The paper's Section III argues for independent (non-hierarchical) bin
+// numbering precisely because it is easy to maintain under updates: a new
+// tuple's `_bdcc_` key only depends on its own dimension bins. This module
+// implements bulk append: compute the new tuples' keys, merge them into the
+// clustered order, and refresh TCOUNT — the count-table granularity chosen
+// by Algorithm 1 is kept (re-tuning is a rebuild-time decision).
+#ifndef BDCC_BDCC_APPEND_H_
+#define BDCC_BDCC_APPEND_H_
+
+#include "bdcc/bdcc_table.h"
+#include "common/result.h"
+
+namespace bdcc {
+
+struct AppendStats {
+  uint64_t rows_appended = 0;
+  uint64_t groups_before = 0;
+  uint64_t groups_after = 0;
+};
+
+/// \brief Merge `new_rows` (same schema as the original source table, same
+/// table name) into `table`, preserving the clustered order and count-table
+/// granularity. Not supported after small-group consolidation (the physical
+/// row order no longer equals the logical order).
+Result<AppendStats> AppendToBdccTable(BdccTable* table, const Table& new_rows,
+                                      const TableResolver& resolver);
+
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_APPEND_H_

@@ -1,0 +1,123 @@
+#include "bdcc/binning.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace bdcc {
+namespace binning {
+
+int ChooseBits(uint64_t num_bins, const BinningOptions& options) {
+  int needed = bits::CeilLog2(num_bins);
+  int chosen = std::min(options.max_bits, needed + options.headroom_bits);
+  // Never fewer bits than required to number the bins actually created;
+  // bin counts themselves are capped at 2^max_bits by the binning paths.
+  return std::max(chosen, std::min(needed, options.max_bits));
+}
+
+namespace {
+
+// Spread m ascending bin ordinals across the 2^bits number space so that
+// granularity reduction (D|g) unites equal-count neighbor runs.
+uint64_t SpreadNumber(uint64_t ordinal, uint64_t m, int bits) {
+  return (ordinal << bits) / m;
+}
+
+}  // namespace
+
+Result<Dimension> CreateDimension(std::string name, std::string table,
+                                  std::vector<std::string> key_columns,
+                                  const std::vector<ValueFrequency>& values,
+                                  const BinningOptions& options) {
+  if (values.empty()) {
+    return Status::InvalidArgument("dimension " + name + ": no values");
+  }
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (CompareComposite(values[i - 1].value, values[i].value) >= 0) {
+      return Status::InvalidArgument(
+          "dimension " + name + ": values must be sorted, distinct");
+    }
+  }
+
+  uint64_t distinct = values.size();
+  uint64_t max_bins = uint64_t{1} << options.max_bits;
+  std::vector<Dimension::Bin> bins;
+
+  if (distinct <= max_bins) {
+    // Unique bins (Definition 1 (iv)).
+    int bits = ChooseBits(distinct, options);
+    bins.reserve(distinct);
+    for (uint64_t i = 0; i < distinct; ++i) {
+      bins.push_back(Dimension::Bin{SpreadNumber(i, distinct, bits),
+                                    values[i].value, true});
+    }
+    return Dimension(std::move(name), std::move(table),
+                     std::move(key_columns), bits, std::move(bins));
+  }
+
+  // Equal-frequency binning: close a bin once its cumulative share of the
+  // total count reaches the proportional target; never split one value.
+  uint64_t total = 0;
+  for (const ValueFrequency& v : values) total += v.count;
+  uint64_t target_bins = max_bins;
+  int bits = options.max_bits;
+
+  uint64_t produced = 0;
+  uint64_t cumulative = 0;
+  size_t i = 0;
+  while (i < values.size()) {
+    uint64_t remaining_bins = target_bins - produced;
+    uint64_t remaining_values = values.size() - i;
+    // Per-bin quota of the remaining mass, keeping at least one value each.
+    uint64_t quota = (total - cumulative + remaining_bins - 1) / remaining_bins;
+    uint64_t in_bin = 0;
+    size_t last = i;
+    while (last < values.size()) {
+      in_bin += values[last].count;
+      ++last;
+      if (in_bin >= quota &&
+          remaining_values - (last - i) >= remaining_bins - 1) {
+        break;
+      }
+      // Leave enough values for the remaining bins.
+      if (remaining_values - (last - i) < remaining_bins) break;
+    }
+    cumulative += in_bin;
+    bins.push_back(Dimension::Bin{SpreadNumber(produced, target_bins, bits),
+                                  values[last - 1].value, last - i == 1});
+    produced += 1;
+    i = last;
+  }
+  BDCC_CHECK(produced <= target_bins);
+  return Dimension(std::move(name), std::move(table), std::move(key_columns),
+                   bits, std::move(bins));
+}
+
+Result<Dimension> CreateRangeDimension(std::string name, std::string table,
+                                       std::string key_column, int64_t lo,
+                                       int64_t hi, int num_bits) {
+  if (hi < lo) return Status::InvalidArgument("range dimension: hi < lo");
+  if (num_bits < 1 || num_bits > 32) {
+    return Status::InvalidArgument("range dimension: bits must be in [1,32]");
+  }
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  uint64_t want = uint64_t{1} << num_bits;
+  uint64_t nbins = std::min(span, want);
+  int bits = (nbins == want) ? num_bits : bits::CeilLog2(nbins);
+  std::vector<Dimension::Bin> bins;
+  bins.reserve(nbins);
+  for (uint64_t b = 0; b < nbins; ++b) {
+    // Upper boundary of bin b: evenly divide the value span.
+    int64_t upper = lo + static_cast<int64_t>(((b + 1) * span) / nbins) - 1;
+    bool unique = (((b + 1) * span) / nbins - (b * span) / nbins) == 1;
+    bins.push_back(Dimension::Bin{SpreadNumber(b, nbins, bits),
+                                  {Value::Int64(upper)},
+                                  unique});
+  }
+  return Dimension(std::move(name), std::move(table),
+                   {std::move(key_column)}, bits, std::move(bins));
+}
+
+}  // namespace binning
+}  // namespace bdcc

@@ -1,0 +1,57 @@
+// Dimension creation (the binning algorithms of tech report [4]).
+//
+// Given the distinct values of a dimension key (with frequencies, gathered
+// over the union of all tables that use the dimension), create balanced
+// bins: unique bins when the domain fits the granularity cap, equal-
+// frequency bins otherwise. Range binning is available for numeric keys.
+#ifndef BDCC_BDCC_BINNING_H_
+#define BDCC_BDCC_BINNING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdcc/dimension.h"
+#include "common/result.h"
+
+namespace bdcc {
+namespace binning {
+
+struct BinningOptions {
+  /// Cap on bits(D); the paper uses bits(D) <= 13 for TPC-H.
+  int max_bits = 13;
+  /// Extra bits of bin-number headroom for open-ended (growing) domains —
+  /// e.g. date keys — so future values keep getting fresh bin numbers.
+  int headroom_bits = 0;
+};
+
+/// A distinct key value with its observed frequency.
+struct ValueFrequency {
+  CompositeValue value;
+  uint64_t count = 1;
+};
+
+/// \brief Create a dimension over sorted distinct `values`.
+///
+/// If the number of distinct values fits within 2^max_bits, every value gets
+/// a unique bin; otherwise equal-frequency binning packs values into
+/// 2^max_bits bins without ever splitting one value across bins.
+Result<Dimension> CreateDimension(std::string name, std::string table,
+                                  std::vector<std::string> key_columns,
+                                  const std::vector<ValueFrequency>& values,
+                                  const BinningOptions& options = {});
+
+/// \brief Equal-width range binning over a numeric domain [lo, hi] with
+/// 2^bits bins (the paper's Figure 1 dimension D3 style).
+Result<Dimension> CreateRangeDimension(std::string name, std::string table,
+                                       std::string key_column, int64_t lo,
+                                       int64_t hi, int num_bits);
+
+/// bits(D) chosen for `m` bins under `options` (exposed for tests):
+/// min(max_bits, ceil(log2 m) + headroom).
+int ChooseBits(uint64_t num_bins, const BinningOptions& options);
+
+}  // namespace binning
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_BINNING_H_

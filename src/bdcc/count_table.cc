@@ -1,0 +1,33 @@
+#include "bdcc/count_table.h"
+
+#include <algorithm>
+
+namespace bdcc {
+
+CountTable CountTable::Build(const std::vector<uint64_t>& sorted_keys,
+                             int full_bits, int count_bits) {
+  BDCC_CHECK(count_bits >= 0 && count_bits <= full_bits);
+  int shift = full_bits - count_bits;
+  CountTable ct;
+  ct.count_bits_ = count_bits;
+  ct.total_ = sorted_keys.size();
+  uint64_t i = 0;
+  uint64_t n = sorted_keys.size();
+  while (i < n) {
+    uint64_t group = sorted_keys[i] >> shift;
+    uint64_t j = i + 1;
+    while (j < n && (sorted_keys[j] >> shift) == group) ++j;
+    ct.entries_.push_back(CountEntry{group, j - i, i});
+    i = j;
+  }
+  return ct;
+}
+
+size_t CountTable::LowerBound(uint64_t key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const CountEntry& e, uint64_t k) { return e.key < k; });
+  return static_cast<size_t>(it - entries_.begin());
+}
+
+}  // namespace bdcc

@@ -1,0 +1,58 @@
+// TCOUNT(_bdcc_, count): metadata table counting each bdcc value's
+// frequency (Definition 4). Kept at a self-tuned reduced granularity so the
+// BDCC scan can read it quickly; entries carry the physical start row so
+// small-group consolidation can redirect groups to their appended copies.
+#ifndef BDCC_BDCC_COUNT_TABLE_H_
+#define BDCC_BDCC_COUNT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace bdcc {
+
+/// One non-empty group at the count-table granularity.
+struct CountEntry {
+  uint64_t key = 0;        // reduced-granularity _bdcc_ value
+  uint64_t count = 0;      // tuples in the group
+  uint64_t row_begin = 0;  // physical start row in the stored table
+};
+
+/// \brief Ordered list of non-empty groups with offsets.
+class CountTable {
+ public:
+  CountTable() = default;
+
+  /// Build from the table's sorted full-granularity keys, reducing from
+  /// `full_bits` to `count_bits` (chop the difference).
+  static CountTable Build(const std::vector<uint64_t>& sorted_keys,
+                          int full_bits, int count_bits);
+
+  int count_bits() const { return count_bits_; }
+  size_t num_groups() const { return entries_.size(); }
+  const CountEntry& entry(size_t i) const { return entries_[i]; }
+  const std::vector<CountEntry>& entries() const { return entries_; }
+
+  /// Total tuples across groups.
+  uint64_t total_count() const { return total_; }
+
+  /// Index of the first entry with key >= `key` (entries are key-ascending).
+  size_t LowerBound(uint64_t key) const;
+
+  /// Redirect group `i` to physical rows starting at `new_row_begin`
+  /// (small-group consolidation).
+  void Redirect(size_t i, uint64_t new_row_begin) {
+    BDCC_CHECK(i < entries_.size());
+    entries_[i].row_begin = new_row_begin;
+  }
+
+ private:
+  int count_bits_ = 0;
+  uint64_t total_ = 0;
+  std::vector<CountEntry> entries_;
+};
+
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_COUNT_TABLE_H_

@@ -1,0 +1,165 @@
+#include "bdcc/dimension.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace bdcc {
+
+int CompareComposite(const CompositeValue& a, const CompositeValue& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+Dimension::Dimension(std::string name, std::string table,
+                     std::vector<std::string> key_columns, int bits,
+                     std::vector<Bin> bins)
+    : name_(std::move(name)),
+      table_(std::move(table)),
+      key_columns_(std::move(key_columns)),
+      bits_(bits),
+      bins_(std::move(bins)) {
+  BDCC_CHECK_MSG(!bins_.empty(), "dimension needs at least one bin");
+  BDCC_CHECK(bits_ >= bits::CeilLog2(bins_.size()));
+  // Validate Definition 1 invariants (i)-(iii).
+  for (size_t i = 1; i < bins_.size(); ++i) {
+    BDCC_CHECK_MSG(bins_[i - 1].number < bins_[i].number,
+                   "bin numbers must ascend");
+    BDCC_CHECK_MSG(
+        CompareComposite(bins_[i - 1].max_incl, bins_[i].max_incl) < 0,
+        "bin boundaries must ascend");
+  }
+  BDCC_CHECK(bins_.back().number < (uint64_t{1} << bits_));
+  // Int fast path when the key is a single integer-backed attribute.
+  if (bins_[0].max_incl.size() == 1) {
+    TypeId t = bins_[0].max_incl[0].type();
+    if (t != TypeId::kString && t != TypeId::kFloat64) {
+      int_maxima_.reserve(bins_.size());
+      for (const Bin& b : bins_) {
+        int_maxima_.push_back(b.max_incl[0].AsInt64());
+      }
+    }
+  }
+}
+
+uint64_t Dimension::BinOf(const CompositeValue& value) const {
+  if (HasIntFastPath() && value.size() == 1) {
+    return BinOfInt(value[0].AsInt64());
+  }
+  // First bin whose max_incl >= value.
+  auto it = std::lower_bound(
+      bins_.begin(), bins_.end(), value,
+      [](const Bin& bin, const CompositeValue& v) {
+        return CompareComposite(bin.max_incl, v) < 0;
+      });
+  if (it == bins_.end()) --it;  // clamp above-domain values into last bin
+  return it->number;
+}
+
+uint64_t Dimension::BinOfInt(int64_t value) const {
+  BDCC_CHECK(!int_maxima_.empty());
+  auto it = std::lower_bound(int_maxima_.begin(), int_maxima_.end(), value);
+  size_t idx = (it == int_maxima_.end())
+                   ? int_maxima_.size() - 1
+                   : static_cast<size_t>(it - int_maxima_.begin());
+  return bins_[idx].number;
+}
+
+size_t Dimension::OrdinalOfBinNumber(uint64_t bin_number) const {
+  auto it = std::lower_bound(
+      bins_.begin(), bins_.end(), bin_number,
+      [](const Bin& bin, uint64_t n) { return bin.number < n; });
+  if (it == bins_.end()) return bins_.size() - 1;
+  return static_cast<size_t>(it - bins_.begin());
+}
+
+void Dimension::BinRange(const CompositeValue* lo_value,
+                         const CompositeValue* hi_value, uint64_t* lo_bin,
+                         uint64_t* hi_bin) const {
+  *lo_bin = lo_value ? BinOf(*lo_value) : bins_.front().number;
+  *hi_bin = hi_value ? BinOf(*hi_value) : bins_.back().number;
+}
+
+bool Dimension::BinRangePrefix(const CompositeValue* lo_prefix,
+                               const CompositeValue* hi_prefix,
+                               uint64_t* lo_bin, uint64_t* hi_bin) const {
+  // Compare only the shared prefix length; a bin whose max equals the hi
+  // prefix on those attributes may still contain matching values.
+  auto prefix_cmp = [](const CompositeValue& a, const CompositeValue& b) {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  size_t lo_idx = 0;
+  if (lo_prefix != nullptr) {
+    // First bin with max >= lo (-inf extension: prefix-equal counts as >=).
+    auto it = std::lower_bound(
+        bins_.begin(), bins_.end(), *lo_prefix,
+        [&](const Bin& bin, const CompositeValue& v) {
+          return prefix_cmp(bin.max_incl, v) < 0;
+        });
+    if (it == bins_.end()) return false;
+    lo_idx = static_cast<size_t>(it - bins_.begin());
+  }
+  size_t hi_idx = bins_.size() - 1;
+  if (hi_prefix != nullptr) {
+    // First bin with max strictly greater than hi (+inf extension: prefix-
+    // equal maxima still satisfy <= hi), then step back... but that bin may
+    // itself contain values <= hi, so include it unless it starts beyond.
+    auto it = std::upper_bound(
+        bins_.begin(), bins_.end(), *hi_prefix,
+        [&](const CompositeValue& v, const Bin& bin) {
+          return prefix_cmp(v, bin.max_incl) < 0;
+        });
+    // `it` = first bin with max > hi-extended; that bin can still overlap
+    // [.., hi] (its min may be <= hi), so include it.
+    hi_idx = (it == bins_.end()) ? bins_.size() - 1
+                                 : static_cast<size_t>(it - bins_.begin());
+  }
+  if (hi_idx < lo_idx) return false;
+  *lo_bin = bins_[lo_idx].number;
+  *hi_bin = bins_[hi_idx].number;
+  return true;
+}
+
+Result<Dimension> Dimension::WithReducedGranularity(int g) const {
+  if (g < 0 || g >= bits_) {
+    return Status::InvalidArgument("reduced granularity must be in [0, bits)");
+  }
+  int chop = bits_ - g;
+  std::vector<Bin> reduced;
+  for (const Bin& b : bins_) {
+    uint64_t number = b.number >> chop;
+    if (!reduced.empty() && reduced.back().number == number) {
+      // Unite: extend boundary; united bin is unique only if it stays single.
+      reduced.back().max_incl = b.max_incl;
+      reduced.back().unique = false;
+    } else {
+      reduced.push_back(Bin{number, b.max_incl, b.unique});
+    }
+  }
+  return Dimension(name_ + "|" + std::to_string(g), table_, key_columns_, g,
+                   std::move(reduced));
+}
+
+std::string Dimension::ToString() const {
+  std::string out = name_ + "(" + table_ + ": ";
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (i) out += ",";
+    out += key_columns_[i];
+  }
+  out += ") bits=" + std::to_string(bits_) +
+         " bins=" + std::to_string(bins_.size());
+  return out;
+}
+
+}  // namespace bdcc

@@ -1,0 +1,106 @@
+// BDCC Dimension (Definition 1 of the paper).
+//
+// A dimension D = <T, K, S> is an order-respecting surjective mapping from
+// the dimension key K of table T onto bin numbers. Properties (paper):
+//   (i)   bin numbers ascend,
+//   (ii)  bins never overlap,
+//   (iii) bins are value-ordered (MAX(V_i) < MIN(V_j) for i<j),
+//   (iv)  a bin is unique if it holds a single value,
+//   (v)   bin_D(v) = n_i for v in V_i,
+//   (vi)  bits(D) = ceil(log2 |S|) is the granularity,
+//   (vii) D|g chops the (bits(D)-g) least significant bits of all bin
+//         numbers and unites bins that collide.
+//
+// Bin numbers are *spread* over the full 2^bits(D) range
+// (n_i = floor(i * 2^bits / m)) so that granularity reduction (vii) unites
+// roughly equal-frequency neighbor bins — the behaviour the paper's
+// frequency-balanced dimension creation [4] relies on.
+#ifndef BDCC_BDCC_DIMENSION_H_
+#define BDCC_BDCC_DIMENSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace bdcc {
+
+/// Multi-attribute dimension key value (lexicographic order).
+using CompositeValue = std::vector<Value>;
+
+/// Three-way lexicographic comparison of composite values.
+int CompareComposite(const CompositeValue& a, const CompositeValue& b);
+
+/// \brief A BDCC dimension: named, hosted by a table, keyed by K(D), with a
+/// finite ordered sequence of bins.
+class Dimension {
+ public:
+  struct Bin {
+    uint64_t number;          // n_i, strictly ascending, < 2^bits
+    CompositeValue max_incl;  // MAX(V_i): inclusive upper boundary
+    bool unique;              // |V_i| == 1
+  };
+
+  Dimension(std::string name, std::string table,
+            std::vector<std::string> key_columns, int bits,
+            std::vector<Bin> bins);
+
+  const std::string& name() const { return name_; }
+  /// T(D): the table hosting the dimension key.
+  const std::string& table() const { return table_; }
+  /// K(D).
+  const std::vector<std::string>& key_columns() const { return key_columns_; }
+  /// bits(D) (vi); may exceed ceil(log2 m) when headroom was requested.
+  int bits() const { return bits_; }
+  /// m(D) = |S|.
+  size_t num_bins() const { return bins_.size(); }
+  const Bin& bin(size_t i) const { return bins_[i]; }
+
+  /// bin_D(v) (v): bin *number* of a composite value. Values above the last
+  /// boundary clamp into the last bin (open-ended domains).
+  uint64_t BinOf(const CompositeValue& value) const;
+
+  /// Fast path for single integer-backed keys.
+  bool HasIntFastPath() const { return !int_maxima_.empty(); }
+  uint64_t BinOfInt(int64_t value) const;
+
+  /// Index (0..m-1) of the bin with number `bin_number`'s prefix; used to
+  /// translate a bin number back to its ordinal position.
+  size_t OrdinalOfBinNumber(uint64_t bin_number) const;
+
+  /// \brief The bin-number range [lo, hi] (inclusive) that covers all values
+  /// in [lo_value, hi_value]; used by selection pushdown. Either side of the
+  /// value range may be unbounded (nullptr).
+  void BinRange(const CompositeValue* lo_value, const CompositeValue* hi_value,
+                uint64_t* lo_bin, uint64_t* hi_bin) const;
+
+  /// \brief Like BinRange, but bounds may be *prefixes* of the composite key
+  /// (fewer attributes): lo extends with -inf, hi with +inf. This is how a
+  /// region equi-selection maps to a consecutive D_NATION bin range (paper,
+  /// Section IV). Returns false when the range is empty.
+  bool BinRangePrefix(const CompositeValue* lo_prefix,
+                      const CompositeValue* hi_prefix, uint64_t* lo_bin,
+                      uint64_t* hi_bin) const;
+
+  /// D|g (vii): reduced-granularity dimension (g < bits()).
+  Result<Dimension> WithReducedGranularity(int g) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::string table_;
+  std::vector<std::string> key_columns_;
+  int bits_;
+  std::vector<Bin> bins_;
+  std::vector<int64_t> int_maxima_;  // fast path boundaries (single int key)
+};
+
+using DimensionPtr = std::shared_ptr<const Dimension>;
+
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_DIMENSION_H_

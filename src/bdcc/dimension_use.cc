@@ -1,0 +1,32 @@
+#include "bdcc/dimension_use.h"
+
+#include "common/bits.h"
+
+namespace bdcc {
+
+std::string DimensionPath::ToString() const {
+  if (fk_ids.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < fk_ids.size(); ++i) {
+    if (i) out += ".";
+    out += fk_ids[i];
+  }
+  return out;
+}
+
+DimensionPath DimensionPath::Prepend(const std::string& fk_id) const {
+  DimensionPath out;
+  out.fk_ids.reserve(fk_ids.size() + 1);
+  out.fk_ids.push_back(fk_id);
+  out.fk_ids.insert(out.fk_ids.end(), fk_ids.begin(), fk_ids.end());
+  return out;
+}
+
+int DimensionUse::bits_used() const { return bits::Ones(mask); }
+
+std::string DimensionUse::ToString(int key_width) const {
+  return dimension->name() + " path=" + path.ToString() +
+         " mask=" + bits::FormatMask(mask, key_width);
+}
+
+}  // namespace bdcc

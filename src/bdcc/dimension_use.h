@@ -1,0 +1,53 @@
+// Dimension paths (Definition 2) and dimension uses (Definition 3).
+#ifndef BDCC_BDCC_DIMENSION_USE_H_
+#define BDCC_BDCC_DIMENSION_USE_H_
+
+#include <string>
+#include <vector>
+
+#include "bdcc/dimension.h"
+
+namespace bdcc {
+
+/// \brief A (possibly empty) chain of foreign-key traversals from a context
+/// table to the table hosting a dimension key (Definition 2). Stored as FK
+/// identifiers, e.g. {"FK_L_O", "FK_O_C", "FK_C_N"}.
+struct DimensionPath {
+  std::vector<std::string> fk_ids;
+
+  bool IsLocal() const { return fk_ids.empty(); }
+  size_t Length() const { return fk_ids.size(); }
+
+  /// Paper notation: "FK_L_O.FK_O_C.FK_C_N"; "-" for a local dimension.
+  std::string ToString() const;
+
+  /// New path with `fk_id` prepended (Algorithm 2's P = FK_T_Tfk . P_fk).
+  DimensionPath Prepend(const std::string& fk_id) const;
+
+  bool operator==(const DimensionPath& other) const {
+    return fk_ids == other.fk_ids;
+  }
+};
+
+/// \brief A dimension use U = <D, P, M> (Definition 3): how a table uses a
+/// dimension for clustering. The mask M positions the dimension's bits
+/// inside the table's `_bdcc_` key; ones(M) <= bits(D).
+struct DimensionUse {
+  DimensionPtr dimension;
+  DimensionPath path;
+  uint64_t mask = 0;  // assigned by interleaving (over the full key width)
+
+  int bits_used() const;
+  std::string ToString(int key_width) const;
+
+  /// Two uses of the *same* dimension over *different* paths are logically
+  /// different dimensions (paper: LINEITEM uses D_NATION twice).
+  bool SameLogicalDimension(const DimensionUse& other) const {
+    return dimension->name() == other.dimension->name() &&
+           path == other.path;
+  }
+};
+
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_DIMENSION_USE_H_

@@ -1,0 +1,84 @@
+#include "bdcc/group_histogram.h"
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace bdcc {
+
+GroupSizeAnalysis GroupSizeAnalysis::Build(
+    const std::vector<uint64_t>& sorted_keys, int full_bits) {
+  GroupSizeAnalysis out;
+  out.full_bits_ = full_bits;
+  out.total_rows_ = sorted_keys.size();
+  out.sizes_.resize(full_bits + 1);
+
+  // Granularity B directly from the sorted keys (one pass).
+  std::vector<uint64_t> keys_at_b;
+  {
+    std::vector<uint64_t>& sizes = out.sizes_[full_bits];
+    uint64_t i = 0, n = sorted_keys.size();
+    while (i < n) {
+      uint64_t k = sorted_keys[i];
+      uint64_t j = i + 1;
+      while (j < n && sorted_keys[j] == k) ++j;
+      sizes.push_back(j - i);
+      keys_at_b.push_back(k);
+      i = j;
+    }
+  }
+  // Each coarser granularity merges neighbor groups sharing the key prefix.
+  std::vector<uint64_t> keys = std::move(keys_at_b);
+  for (int b = full_bits - 1; b >= 0; --b) {
+    const std::vector<uint64_t>& finer = out.sizes_[b + 1];
+    std::vector<uint64_t>& coarser = out.sizes_[b];
+    std::vector<uint64_t> coarse_keys;
+    size_t i = 0;
+    while (i < keys.size()) {
+      uint64_t k = keys[i] >> 1;
+      uint64_t total = finer[i];
+      size_t j = i + 1;
+      while (j < keys.size() && (keys[j] >> 1) == k) {
+        total += finer[j];
+        ++j;
+      }
+      coarser.push_back(total);
+      coarse_keys.push_back(k);
+      i = j;
+    }
+    keys = std::move(coarse_keys);
+  }
+  return out;
+}
+
+std::vector<uint64_t> GroupSizeAnalysis::Histogram(int b) const {
+  BDCC_CHECK(b >= 0 && b <= full_bits_);
+  std::vector<uint64_t> hist(65, 0);
+  int max_bucket = 0;
+  for (uint64_t s : sizes_[b]) {
+    int bucket = (s == 0) ? 0 : bits::FloorLog2(s);
+    hist[bucket]++;
+    if (bucket > max_bucket) max_bucket = bucket;
+  }
+  hist.resize(max_bucket + 1);
+  return hist;
+}
+
+double GroupSizeAnalysis::FractionInGroupsAtLeast(int b,
+                                                  uint64_t min_rows) const {
+  BDCC_CHECK(b >= 0 && b <= full_bits_);
+  if (total_rows_ == 0) return 1.0;
+  uint64_t covered = 0;
+  for (uint64_t s : sizes_[b]) {
+    if (s >= min_rows) covered += s;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_rows_);
+}
+
+double GroupSizeAnalysis::MissingGroupFactor(int b) const {
+  BDCC_CHECK(b >= 0 && b <= full_bits_);
+  double expected = static_cast<double>(uint64_t{1} << b);
+  double observed = static_cast<double>(sizes_[b].size());
+  return observed == 0 ? 0.0 : expected / observed;
+}
+
+}  // namespace bdcc

@@ -1,0 +1,57 @@
+// Per-granularity group-size analysis ("correlated dimensions" handling).
+//
+// During bulk load a piggy-backed aggregation computes, for every possible
+// count-table granularity b <= B, a logarithmic group-size histogram
+// (entry x counts groups of size in [2^x, 2^(x+1))). Correlated or
+// hierarchical dimensions produce fewer/skewed groups ("puff pastry");
+// Algorithm 1 reads these histograms to pick a granularity whose groups
+// stay above the efficient random access size AR regardless.
+#ifndef BDCC_BDCC_GROUP_HISTOGRAM_H_
+#define BDCC_BDCC_GROUP_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bdcc {
+
+/// \brief Group sizes and log2 histograms for every granularity 0..B.
+class GroupSizeAnalysis {
+ public:
+  GroupSizeAnalysis() = default;
+
+  /// Build from keys sorted ascending at full granularity `full_bits`.
+  static GroupSizeAnalysis Build(const std::vector<uint64_t>& sorted_keys,
+                                 int full_bits);
+
+  int full_bits() const { return full_bits_; }
+  uint64_t total_rows() const { return total_rows_; }
+
+  /// Number of non-empty groups at granularity b.
+  uint64_t NumGroups(int b) const { return sizes_[b].size(); }
+
+  /// Group sizes (tuple counts, key-ascending) at granularity b.
+  const std::vector<uint64_t>& Sizes(int b) const { return sizes_[b]; }
+
+  /// Log2 histogram at granularity b: hist[x] = #groups with size in
+  /// [2^x, 2^(x+1)).
+  std::vector<uint64_t> Histogram(int b) const;
+
+  /// Fraction of *tuples* living in groups of at least `min_rows` tuples at
+  /// granularity b (Algorithm 1's "most groups above AR" criterion,
+  /// tuple-weighted so a few tiny groups cannot veto a granularity).
+  double FractionInGroupsAtLeast(int b, uint64_t min_rows) const;
+
+  /// Expected group count at b if dimensions were independent (2^b) vs.
+  /// observed; a large gap signals correlation/hierarchy.
+  double MissingGroupFactor(int b) const;
+
+ private:
+  int full_bits_ = 0;
+  uint64_t total_rows_ = 0;
+  // sizes_[b] = group sizes at granularity b (index 0..full_bits_).
+  std::vector<std::vector<uint64_t>> sizes_;
+};
+
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_GROUP_HISTOGRAM_H_

@@ -1,0 +1,165 @@
+#include "bdcc/interleave.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace bdcc {
+namespace interleave {
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kRoundRobinPerUse:
+      return "round-robin";
+    case Policy::kRoundRobinPerForeignKey:
+      return "round-robin-per-fk";
+    case Policy::kMajorMinor:
+      return "major-minor";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<InterleaveSpec> RoundRobinPerUse(const std::vector<int>& use_bits) {
+  int total = std::accumulate(use_bits.begin(), use_bits.end(), 0);
+  InterleaveSpec spec;
+  spec.total_bits = total;
+  spec.masks.assign(use_bits.size(), 0);
+  std::vector<int> assigned(use_bits.size(), 0);
+  int position = total - 1;  // next (major-most) free position
+  while (position >= 0) {
+    bool progressed = false;
+    for (size_t u = 0; u < use_bits.size() && position >= 0; ++u) {
+      if (assigned[u] < use_bits[u]) {
+        spec.masks[u] |= uint64_t{1} << position;
+        --position;
+        ++assigned[u];
+        progressed = true;
+      }
+    }
+    BDCC_CHECK(progressed);
+  }
+  return spec;
+}
+
+Result<InterleaveSpec> RoundRobinPerFk(const std::vector<int>& use_bits,
+                                       const std::vector<int>& fk_groups) {
+  if (fk_groups.size() != use_bits.size()) {
+    return Status::InvalidArgument(
+        "per-fk interleaving needs one group id per use");
+  }
+  int total = std::accumulate(use_bits.begin(), use_bits.end(), 0);
+  InterleaveSpec spec;
+  spec.total_bits = total;
+  spec.masks.assign(use_bits.size(), 0);
+  std::vector<int> assigned(use_bits.size(), 0);
+
+  // Distinct groups in first-appearance order.
+  std::vector<int> groups;
+  for (int g : fk_groups) {
+    if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+      groups.push_back(g);
+    }
+  }
+  // Per-group rotating cursor over its member uses.
+  std::vector<size_t> cursor(groups.size(), 0);
+
+  int position = total - 1;
+  while (position >= 0) {
+    bool progressed = false;
+    for (size_t gi = 0; gi < groups.size() && position >= 0; ++gi) {
+      // Members of this group with remaining bits.
+      std::vector<size_t> members;
+      for (size_t u = 0; u < use_bits.size(); ++u) {
+        if (fk_groups[u] == groups[gi] && assigned[u] < use_bits[u]) {
+          members.push_back(u);
+        }
+      }
+      if (members.empty()) continue;
+      size_t pick = members[cursor[gi] % members.size()];
+      ++cursor[gi];
+      spec.masks[pick] |= uint64_t{1} << position;
+      --position;
+      ++assigned[pick];
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  BDCC_CHECK(position < 0);
+  return spec;
+}
+
+InterleaveSpec MajorMinor(const std::vector<int>& use_bits) {
+  int total = std::accumulate(use_bits.begin(), use_bits.end(), 0);
+  InterleaveSpec spec;
+  spec.total_bits = total;
+  spec.masks.assign(use_bits.size(), 0);
+  int position = total - 1;
+  for (size_t u = 0; u < use_bits.size(); ++u) {
+    for (int b = 0; b < use_bits[u]; ++b) {
+      spec.masks[u] |= uint64_t{1} << position;
+      --position;
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<InterleaveSpec> BuildMasks(const std::vector<int>& use_bits,
+                                  Policy policy,
+                                  const std::vector<int>& fk_groups) {
+  if (use_bits.empty()) {
+    return Status::InvalidArgument("no dimension uses to interleave");
+  }
+  int total = 0;
+  for (int b : use_bits) {
+    if (b < 1) return Status::InvalidArgument("every use needs >= 1 bit");
+    total += b;
+  }
+  if (total > 63) {
+    return Status::InvalidArgument(
+        "total key width > 63 bits is unsupported");
+  }
+  switch (policy) {
+    case Policy::kRoundRobinPerUse:
+      return RoundRobinPerUse(use_bits);
+    case Policy::kRoundRobinPerForeignKey:
+      return RoundRobinPerFk(use_bits, fk_groups);
+    case Policy::kMajorMinor:
+      return MajorMinor(use_bits);
+  }
+  return Status::InvalidArgument("unknown policy");
+}
+
+InterleaveSpec Reduce(const InterleaveSpec& spec, int new_total_bits) {
+  BDCC_CHECK(new_total_bits >= 0 && new_total_bits <= spec.total_bits);
+  int shift = spec.total_bits - new_total_bits;
+  InterleaveSpec out;
+  out.total_bits = new_total_bits;
+  out.masks.reserve(spec.masks.size());
+  for (uint64_t m : spec.masks) out.masks.push_back(m >> shift);
+  return out;
+}
+
+uint64_t ComposeKey(const uint64_t* bins, const int* dim_bits,
+                    const InterleaveSpec& spec) {
+  uint64_t key = 0;
+  for (size_t u = 0; u < spec.masks.size(); ++u) {
+    int used = bits::Ones(spec.masks[u]);
+    // Major `used` bits of the bin number.
+    uint64_t prefix = bins[u] >> (dim_bits[u] - used);
+    key |= bits::SpreadBits(prefix, spec.masks[u]);
+  }
+  return key;
+}
+
+uint64_t ExtractUseBits(uint64_t key, uint64_t mask) {
+  return bits::ExtractBits(key, mask);
+}
+
+}  // namespace interleave
+}  // namespace bdcc

@@ -1,0 +1,58 @@
+#include "bdcc/self_tune.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bdcc {
+
+double DensestColumnBytesPerRow(const Table& table, std::string* name) {
+  double best = 0.0;
+  std::string best_name;
+  uint64_t rows = table.num_rows();
+  if (rows == 0) return 0.0;
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    double density = static_cast<double>(table.column(i).DiskBytes()) /
+                     static_cast<double>(rows);
+    if (density > best) {
+      best = density;
+      best_name = table.column_name(static_cast<int>(i));
+    }
+  }
+  if (name) *name = best_name;
+  return best;
+}
+
+SelfTuneDecision ChooseCountGranularity(const GroupSizeAnalysis& analysis,
+                                        const Table& table,
+                                        const SelfTuneOptions& options) {
+  SelfTuneDecision out;
+  out.densest_bytes_per_row =
+      DensestColumnBytesPerRow(table, &out.densest_column);
+  // AR in tuples of the densest column (at least one tuple).
+  uint64_t min_rows = 1;
+  if (out.densest_bytes_per_row > 0) {
+    min_rows = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(options.efficient_access_bytes) /
+                  out.densest_bytes_per_row));
+    if (min_rows == 0) min_rows = 1;
+  }
+  out.min_rows_per_group = min_rows;
+
+  int full = analysis.full_bits();
+  out.fraction_by_bits.resize(full + 1, 0.0);
+  for (int b = 0; b <= full; ++b) {
+    out.fraction_by_bits[b] = analysis.FractionInGroupsAtLeast(b, min_rows);
+  }
+  // Largest b still meeting the fraction target; b=0 (single group) always
+  // admissible as a fallback.
+  out.chosen_bits = 0;
+  for (int b = full; b >= 1; --b) {
+    if (out.fraction_by_bits[b] >= options.min_group_fraction) {
+      out.chosen_bits = b;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bdcc

@@ -1,0 +1,45 @@
+// Algorithm 1 (Self-Tuned BDCC Table), step (iii): choose the count-table
+// granularity b <= B so that groups of the densest (widest on disk) column
+// stay above the efficient random access size AR.
+#ifndef BDCC_BDCC_SELF_TUNE_H_
+#define BDCC_BDCC_SELF_TUNE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdcc/group_histogram.h"
+#include "storage/table.h"
+
+namespace bdcc {
+
+struct SelfTuneOptions {
+  /// Efficient random access size AR in bytes (derive from a DeviceModel via
+  /// EfficientRandomAccessSize(); paper: 32KB for flash, MBs for disk).
+  uint64_t efficient_access_bytes = 32 * 1024;
+  /// Minimum fraction of tuples that must live in groups whose densest-
+  /// column size is >= AR ("the vast majority of groups").
+  double min_group_fraction = 0.8;
+};
+
+struct SelfTuneDecision {
+  int chosen_bits = 0;
+  std::string densest_column;
+  double densest_bytes_per_row = 0.0;
+  uint64_t min_rows_per_group = 0;    // AR translated into tuples
+  std::vector<double> fraction_by_bits;  // diagnostics, index = granularity
+};
+
+/// Density (on-disk bytes per row) of the widest column of `table`.
+/// \param[out] name optional: receives the column's name.
+double DensestColumnBytesPerRow(const Table& table, std::string* name);
+
+/// \brief Pick the largest granularity b whose tuple-weighted fraction of
+/// groups >= AR meets `options.min_group_fraction`.
+SelfTuneDecision ChooseCountGranularity(const GroupSizeAnalysis& analysis,
+                                        const Table& table,
+                                        const SelfTuneOptions& options);
+
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_SELF_TUNE_H_

@@ -1,0 +1,57 @@
+#include "bdcc/small_groups.h"
+
+#include <cmath>
+
+namespace bdcc {
+
+Result<ConsolidationStats> ConsolidateSmallGroups(
+    BdccTable* table, const SelfTuneOptions& options) {
+  BDCC_CHECK(table != nullptr);
+  ConsolidationStats stats;
+  double density = table->decision().densest_bytes_per_row;
+  if (density <= 0) {
+    density = DensestColumnBytesPerRow(table->data(), nullptr);
+  }
+  uint64_t min_rows = 1;
+  if (density > 0) {
+    min_rows = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(options.efficient_access_bytes) / density));
+  }
+
+  Table& data = table->mutable_data();
+  CountTable& ct = table->mutable_count_table();
+  uint64_t logical = table->logical_rows();
+  // Snapshot: appended rows must be gathered from the *original* region, so
+  // collect the ranges first, then append.
+  struct Move {
+    size_t entry;
+    uint64_t begin;
+    uint64_t count;
+  };
+  std::vector<Move> moves;
+  for (size_t i = 0; i < ct.num_groups(); ++i) {
+    const CountEntry& e = ct.entry(i);
+    if (e.count < min_rows) {
+      moves.push_back(Move{i, e.row_begin, e.count});
+    }
+  }
+  if (moves.empty()) return stats;
+
+  uint64_t append_at = data.num_rows();
+  for (const Move& m : moves) {
+    data.AppendRowsFrom(data, m.begin, m.begin + m.count);
+    ct.Redirect(m.entry, append_at);
+    append_at += m.count;
+    stats.rows_copied += m.count;
+  }
+  stats.groups_moved = moves.size();
+  stats.data_fraction_moved =
+      logical == 0 ? 0.0
+                   : static_cast<double>(stats.rows_copied) /
+                         static_cast<double>(logical);
+  // Physical layout changed; refresh the MinMax indexes.
+  data.BuildZoneMaps(data.zone_rows() == 0 ? 1024 : data.zone_rows());
+  return stats;
+}
+
+}  // namespace bdcc

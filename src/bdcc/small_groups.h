@@ -1,0 +1,31 @@
+// Small-group consolidation ("puff pastry" fix-up, Section III).
+//
+// After bulk load, the low percentage of data living in groups smaller than
+// AR is copied and appended once more to the table, consecutively; the
+// count table redirects those groups to the appended copies, so frequently
+// re-accessed tiny groups share buffer-pool pages.
+#ifndef BDCC_BDCC_SMALL_GROUPS_H_
+#define BDCC_BDCC_SMALL_GROUPS_H_
+
+#include <cstdint>
+
+#include "bdcc/bdcc_table.h"
+#include "common/result.h"
+
+namespace bdcc {
+
+struct ConsolidationStats {
+  uint64_t groups_moved = 0;
+  uint64_t rows_copied = 0;
+  double data_fraction_moved = 0.0;
+};
+
+/// \brief Copy every group whose densest-column footprint is below
+/// `options.efficient_access_bytes` to a consecutive region appended at the
+/// end of the table, and redirect the count table there.
+Result<ConsolidationStats> ConsolidateSmallGroups(
+    BdccTable* table, const SelfTuneOptions& options);
+
+}  // namespace bdcc
+
+#endif  // BDCC_BDCC_SMALL_GROUPS_H_

@@ -1,0 +1,254 @@
+#include "catalog/ddl_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace bdcc {
+namespace catalog {
+
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kPunct, kEnd } kind = kEnd;
+  std::string text;  // idents verbatim; punct is one of "(),;"
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Token Next() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Token{Token::kEnd, ""};
+    char c = input_[pos_];
+    if (c == '(' || c == ')' || c == ',' || c == ';') {
+      ++pos_;
+      return Token{Token::kPunct, std::string(1, c)};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{Token::kIdent, std::string(input_.substr(start, pos_ - start))};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      return Token{Token::kIdent, std::string(input_.substr(start, pos_ - start))};
+    }
+    // Unknown character: consume to avoid infinite loops.
+    ++pos_;
+    return Token{Token::kPunct, std::string(1, c)};
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '-') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view ddl, Catalog* catalog)
+      : lexer_(ddl), catalog_(catalog) {
+    Advance();
+  }
+
+  Status Run() {
+    while (cur_.kind != Token::kEnd) {
+      BDCC_RETURN_NOT_OK(Statement());
+    }
+    return Status::OK();
+  }
+
+ private:
+  void Advance() { cur_ = lexer_.Next(); }
+
+  bool IsKeyword(const char* kw) const {
+    return cur_.kind == Token::kIdent && Upper(cur_.text) == kw;
+  }
+
+  Status Expect(const char* what) {
+    return Status::ParseError(std::string("expected ") + what + " near '" +
+                              cur_.text + "'");
+  }
+
+  Status ExpectPunct(char c) {
+    if (cur_.kind != Token::kPunct || cur_.text[0] != c) {
+      return Expect(std::string(1, c).c_str());
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return Expect(kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Status Identifier(std::string* out) {
+    if (cur_.kind != Token::kIdent) return Expect("identifier");
+    *out = cur_.text;
+    Advance();
+    return Status::OK();
+  }
+
+  Status ColumnList(std::vector<std::string>* out) {
+    BDCC_RETURN_NOT_OK(ExpectPunct('('));
+    while (true) {
+      std::string col;
+      BDCC_RETURN_NOT_OK(Identifier(&col));
+      out->push_back(col);
+      if (cur_.kind == Token::kPunct && cur_.text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return ExpectPunct(')');
+  }
+
+  // Parse a type name, consuming optional (p[,s]) suffix.
+  Status TypeSpec(TypeId* out) {
+    std::string name;
+    BDCC_RETURN_NOT_OK(Identifier(&name));
+    std::string up = Upper(name);
+    if (up == "INT" || up == "INTEGER") {
+      *out = TypeId::kInt32;
+    } else if (up == "BIGINT") {
+      *out = TypeId::kInt64;
+    } else if (up == "DOUBLE" || up == "FLOAT" || up == "DECIMAL" ||
+               up == "NUMERIC") {
+      *out = TypeId::kFloat64;
+    } else if (up == "VARCHAR" || up == "CHAR" || up == "TEXT") {
+      *out = TypeId::kString;
+    } else if (up == "DATE") {
+      *out = TypeId::kDate;
+    } else if (up == "BOOLEAN" || up == "BOOL") {
+      *out = TypeId::kBool;
+    } else {
+      return Status::ParseError("unknown type: " + name);
+    }
+    // Optional (n) or (p, s).
+    if (cur_.kind == Token::kPunct && cur_.text == "(") {
+      Advance();
+      while (!(cur_.kind == Token::kPunct && cur_.text == ")")) {
+        if (cur_.kind == Token::kEnd) return Expect(")");
+        Advance();
+      }
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status Statement() {
+    BDCC_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+    if (IsKeyword("TABLE")) {
+      Advance();
+      return CreateTable();
+    }
+    if (IsKeyword("INDEX")) {
+      Advance();
+      return CreateIndex();
+    }
+    return Expect("TABLE or INDEX");
+  }
+
+  Status CreateTable() {
+    TableDef def;
+    std::vector<ForeignKey> fks;
+    BDCC_RETURN_NOT_OK(Identifier(&def.name));
+    BDCC_RETURN_NOT_OK(ExpectPunct('('));
+    while (true) {
+      if (IsKeyword("PRIMARY")) {
+        Advance();
+        BDCC_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        BDCC_RETURN_NOT_OK(ColumnList(&def.primary_key));
+      } else if (IsKeyword("FOREIGN")) {
+        Advance();
+        BDCC_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        ForeignKey fk;
+        fk.from_table = def.name;
+        BDCC_RETURN_NOT_OK(Identifier(&fk.id));
+        BDCC_RETURN_NOT_OK(ColumnList(&fk.from_columns));
+        BDCC_RETURN_NOT_OK(ExpectKeyword("REFERENCES"));
+        BDCC_RETURN_NOT_OK(Identifier(&fk.to_table));
+        BDCC_RETURN_NOT_OK(ColumnList(&fk.to_columns));
+        fks.push_back(std::move(fk));
+      } else {
+        ColumnDef col;
+        BDCC_RETURN_NOT_OK(Identifier(&col.name));
+        BDCC_RETURN_NOT_OK(TypeSpec(&col.type));
+        if (IsKeyword("NOT")) {
+          Advance();
+          BDCC_RETURN_NOT_OK(ExpectKeyword("NULL"));
+        }
+        def.columns.push_back(std::move(col));
+      }
+      if (cur_.kind == Token::kPunct && cur_.text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    BDCC_RETURN_NOT_OK(ExpectPunct(')'));
+    BDCC_RETURN_NOT_OK(ExpectPunct(';'));
+    BDCC_RETURN_NOT_OK(catalog_->AddTable(std::move(def)));
+    for (ForeignKey& fk : fks) {
+      BDCC_RETURN_NOT_OK(catalog_->AddForeignKey(std::move(fk)));
+    }
+    return Status::OK();
+  }
+
+  Status CreateIndex() {
+    IndexHint idx;
+    BDCC_RETURN_NOT_OK(Identifier(&idx.name));
+    BDCC_RETURN_NOT_OK(ExpectKeyword("ON"));
+    BDCC_RETURN_NOT_OK(Identifier(&idx.table));
+    BDCC_RETURN_NOT_OK(ColumnList(&idx.columns));
+    BDCC_RETURN_NOT_OK(ExpectPunct(';'));
+    return catalog_->AddIndex(std::move(idx));
+  }
+
+  Lexer lexer_;
+  Catalog* catalog_;
+  Token cur_;
+};
+
+}  // namespace
+
+Status ParseDdl(std::string_view ddl, Catalog* catalog) {
+  Parser parser(ddl, catalog);
+  return parser.Run();
+}
+
+}  // namespace catalog
+}  // namespace bdcc

@@ -1,0 +1,33 @@
+// Minimal DDL parser: the paper's interface to the DBA is "classic DDL"
+// (CREATE TABLE with keys, declared FOREIGN KEYs, CREATE INDEX hints).
+//
+// Supported grammar (case-insensitive keywords, `--` comments):
+//
+//   CREATE TABLE name (
+//     col TYPE [NOT NULL],
+//     ... ,
+//     PRIMARY KEY (a [, b ...]),
+//     FOREIGN KEY fk_id (a [, ...]) REFERENCES other (x [, ...])
+//   );
+//   CREATE INDEX idx_name ON name (a [, b ...]);
+//
+// Types: INT/INTEGER, BIGINT, DOUBLE/FLOAT/DECIMAL[(p,s)]/NUMERIC,
+//        VARCHAR[(n)]/CHAR[(n)]/TEXT, DATE, BOOLEAN/BOOL.
+#ifndef BDCC_CATALOG_DDL_PARSER_H_
+#define BDCC_CATALOG_DDL_PARSER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace bdcc {
+namespace catalog {
+
+/// \brief Parse `ddl` and apply all statements to `catalog`.
+Status ParseDdl(std::string_view ddl, Catalog* catalog);
+
+}  // namespace catalog
+}  // namespace bdcc
+
+#endif  // BDCC_CATALOG_DDL_PARSER_H_

@@ -1,0 +1,48 @@
+#include "catalog/schema_graph.h"
+
+#include <queue>
+#include <unordered_map>
+
+namespace bdcc {
+namespace catalog {
+
+Result<std::vector<std::string>> SchemaGraph::TopologicalFromLeaves() const {
+  // Kahn's algorithm; edge T -> Tfk means "T references Tfk", and we want
+  // referenced-first order, so count outgoing FKs as in-degrees.
+  std::unordered_map<std::string, int> pending;
+  for (const TableDef& t : catalog_->tables()) {
+    pending[t.name] = static_cast<int>(catalog_->ForeignKeysFrom(t.name).size());
+  }
+  std::queue<std::string> ready;
+  // Preserve catalog declaration order among ties for determinism.
+  for (const TableDef& t : catalog_->tables()) {
+    if (pending[t.name] == 0) ready.push(t.name);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    std::string name = ready.front();
+    ready.pop();
+    order.push_back(name);
+    // Every table referencing `name` has one fewer unresolved reference.
+    for (const ForeignKey* fk : catalog_->ForeignKeysTo(name)) {
+      if (--pending[fk->from_table] == 0) ready.push(fk->from_table);
+    }
+  }
+  if (order.size() != catalog_->tables().size()) {
+    return Status::InvalidArgument("foreign-key graph has a cycle");
+  }
+  return order;
+}
+
+bool SchemaGraph::IsDag() const { return TopologicalFromLeaves().ok(); }
+
+std::vector<std::string> SchemaGraph::Leaves() const {
+  std::vector<std::string> out;
+  for (const TableDef& t : catalog_->tables()) {
+    if (catalog_->ForeignKeysFrom(t.name).empty()) out.push_back(t.name);
+  }
+  return out;
+}
+
+}  // namespace catalog
+}  // namespace bdcc

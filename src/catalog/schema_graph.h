@@ -1,0 +1,38 @@
+// Schema DAG over foreign keys; Algorithm 2 traverses it "from the leaves"
+// (referenced tables before referencing tables).
+#ifndef BDCC_CATALOG_SCHEMA_GRAPH_H_
+#define BDCC_CATALOG_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace bdcc {
+namespace catalog {
+
+/// \brief FK graph utility view over a Catalog.
+class SchemaGraph {
+ public:
+  explicit SchemaGraph(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// \brief Tables ordered so every table appears after all tables it
+  /// references (leaves = tables with no outgoing FK come first).
+  /// Errors if the FK graph has a cycle.
+  Result<std::vector<std::string>> TopologicalFromLeaves() const;
+
+  /// True if no FK cycles exist.
+  bool IsDag() const;
+
+  /// Tables with no outgoing foreign keys (pure dimension leaves).
+  std::vector<std::string> Leaves() const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace catalog
+}  // namespace bdcc
+
+#endif  // BDCC_CATALOG_SCHEMA_GRAPH_H_

@@ -1,0 +1,28 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bdcc {
+
+char* Arena::Allocate(size_t n) {
+  if (offset_ + n > current_cap_) {
+    size_t cap = std::max(block_size_, n);
+    blocks_.push_back(std::make_unique<char[]>(cap));
+    current_cap_ = cap;
+    offset_ = 0;
+    bytes_reserved_ += cap;
+  }
+  char* ptr = blocks_.back().get() + offset_;
+  offset_ += n;
+  return ptr;
+}
+
+std::string_view Arena::Intern(std::string_view s) {
+  if (s.empty()) return {};
+  char* dst = Allocate(s.size());
+  std::memcpy(dst, s.data(), s.size());
+  return std::string_view(dst, s.size());
+}
+
+}  // namespace bdcc

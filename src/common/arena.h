@@ -1,0 +1,43 @@
+// Bump-pointer arena for string payloads with stable addresses.
+#ifndef BDCC_COMMON_ARENA_H_
+#define BDCC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace bdcc {
+
+/// \brief Append-only allocator; all memory is released when the arena dies.
+///
+/// Blocks never move once allocated, so returned string_views stay valid for
+/// the arena's lifetime.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+  BDCC_DISALLOW_COPY_AND_ASSIGN(Arena);
+
+  /// Copy `s` into the arena and return a stable view of it.
+  std::string_view Intern(std::string_view s);
+
+  /// Raw allocation of `n` bytes (unaligned).
+  char* Allocate(size_t n);
+
+  /// Total bytes reserved by the arena (capacity, not just used).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  size_t block_size_;
+  size_t offset_ = 0;       // offset into current block
+  size_t current_cap_ = 0;  // capacity of current block
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace bdcc
+
+#endif  // BDCC_COMMON_ARENA_H_

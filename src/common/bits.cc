@@ -1,0 +1,79 @@
+#include "common/bits.h"
+
+#include "common/macros.h"
+
+namespace bdcc {
+namespace bits {
+
+int CeilLog2(uint64_t x) {
+  if (x <= 1) return 0;
+  return 64 - __builtin_clzll(x - 1);
+}
+
+int FloorLog2(uint64_t x) {
+  BDCC_CHECK(x >= 1);
+  return 63 - __builtin_clzll(x);
+}
+
+uint64_t SpreadBits(uint64_t value, uint64_t mask) {
+  // Deposit from least significant mask bit upward; the low Ones(mask) bits
+  // of `value` are consumed in significance order, so relative order of the
+  // value's bits is preserved.
+  uint64_t out = 0;
+  uint64_t m = mask;
+  while (m != 0) {
+    uint64_t lowest = m & (~m + 1);  // lowest set bit
+    if (value & 1) out |= lowest;
+    value >>= 1;
+    m ^= lowest;
+  }
+  return out;
+}
+
+uint64_t ExtractBits(uint64_t key, uint64_t mask) {
+  uint64_t out = 0;
+  int shift = 0;
+  uint64_t m = mask;
+  while (m != 0) {
+    uint64_t lowest = m & (~m + 1);
+    if (key & lowest) out |= (uint64_t{1} << shift);
+    ++shift;
+    m ^= lowest;
+  }
+  return out;
+}
+
+std::string FormatMask(uint64_t mask, int width) {
+  BDCC_CHECK(width >= 1 && width <= 64);
+  std::string out(static_cast<size_t>(width), '0');
+  for (int i = 0; i < width; ++i) {
+    if (mask & (uint64_t{1} << (width - 1 - i))) out[static_cast<size_t>(i)] = '1';
+  }
+  return out;
+}
+
+Result<uint64_t> ParseMask(std::string_view text) {
+  if (text.empty() || text.size() > 64) {
+    return Status::InvalidArgument("mask string must have 1..64 characters");
+  }
+  uint64_t mask = 0;
+  for (char c : text) {
+    mask <<= 1;
+    if (c == '1') {
+      mask |= 1;
+    } else if (c != '0') {
+      return Status::ParseError("mask string may contain only '0'/'1'");
+    }
+  }
+  return mask;
+}
+
+void SetBitPositionsDesc(uint64_t mask, int* out_positions) {
+  int idx = 0;
+  for (int pos = 63; pos >= 0; --pos) {
+    if (mask & (uint64_t{1} << pos)) out_positions[idx++] = pos;
+  }
+}
+
+}  // namespace bits
+}  // namespace bdcc

@@ -1,0 +1,64 @@
+// Bit-manipulation utilities underlying BDCC key construction.
+//
+// Conventions used throughout the library:
+//  * A BDCC key (`_bdcc_`) of a table clustered on b bits is stored in the
+//    low b bits of a uint64_t; bit (b-1) is the *major* (most significant)
+//    clustering bit, bit 0 the minor-most.
+//  * A dimension-use mask M is a uint64_t whose set bits mark the positions
+//    of that dimension's bits inside the key. The paper prints masks as
+//    binary strings of length b, leftmost character = major bit; FormatMask /
+//    ParseMask implement exactly that textual form.
+#ifndef BDCC_COMMON_BITS_H_
+#define BDCC_COMMON_BITS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace bdcc {
+namespace bits {
+
+/// Number of set bits (the paper's ones(M)).
+inline int Ones(uint64_t mask) { return __builtin_popcountll(mask); }
+
+/// ceil(log2(x)) for x >= 1; 0 for x <= 1. The paper's bits(D) = ceil(log2|S|).
+int CeilLog2(uint64_t x);
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x);
+
+/// \brief Deposit the low Ones(mask) bits of `value` into the positions of
+/// the set bits of `mask`, preserving significance order (software PDEP).
+///
+/// The most significant deposited bit of `value` lands on the most
+/// significant set bit of `mask`.
+uint64_t SpreadBits(uint64_t value, uint64_t mask);
+
+/// \brief Gather the bits of `key` selected by `mask` into a compact value
+/// (software PEXT). Inverse of SpreadBits on the masked positions.
+uint64_t ExtractBits(uint64_t key, uint64_t mask);
+
+/// \brief Render `mask` as the paper's binary-string form with `width`
+/// characters (leftmost = most significant). Leading zeros are kept.
+std::string FormatMask(uint64_t mask, int width);
+
+/// \brief Parse a binary mask string ("10101" etc.). Accepts 1..64 chars.
+Result<uint64_t> ParseMask(std::string_view text);
+
+/// Low `n` bits set (n in [0,64]).
+inline uint64_t LowMask(int n) {
+  return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/// \brief Significance rank of each set bit: returns for the i-th most
+/// significant set bit of `mask` its position. Positions are written to
+/// `out_positions` which must hold Ones(mask) ints; out[0] is the most
+/// significant set position.
+void SetBitPositionsDesc(uint64_t mask, int* out_positions);
+
+}  // namespace bits
+}  // namespace bdcc
+
+#endif  // BDCC_COMMON_BITS_H_

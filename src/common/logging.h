@@ -1,0 +1,28 @@
+// Minimal leveled logging to stderr.
+#ifndef BDCC_COMMON_LOGGING_H_
+#define BDCC_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace bdcc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn so
+/// library use is quiet; benches/examples raise verbosity explicitly.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const std::string& msg);
+
+#define BDCC_LOG(level, msg)                                            \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::bdcc::GetLogLevel())) {                      \
+      ::bdcc::LogMessage(level, (msg));                                 \
+    }                                                                   \
+  } while (0)
+
+}  // namespace bdcc
+
+#endif  // BDCC_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+// Core macros shared across the BDCC library.
+//
+// The library follows the Arrow/RocksDB convention of returning Status /
+// Result<T> from fallible operations; exceptions are not used on library
+// paths. BDCC_CHECK is reserved for internal invariants whose violation is a
+// programming error, never for user input.
+#ifndef BDCC_COMMON_MACROS_H_
+#define BDCC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BDCC_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define BDCC_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+#define BDCC_STRINGIFY_IMPL(x) #x
+#define BDCC_STRINGIFY(x) BDCC_STRINGIFY_IMPL(x)
+
+// Internal invariant check; aborts with location info on failure.
+#define BDCC_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (BDCC_UNLIKELY(!(cond))) {                                            \
+      ::std::fprintf(stderr, "BDCC_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                     __LINE__, #cond);                                       \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+#define BDCC_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (BDCC_UNLIKELY(!(cond))) {                                            \
+      ::std::fprintf(stderr, "BDCC_CHECK failed at %s:%d: %s (%s)\n",        \
+                     __FILE__, __LINE__, #cond, (msg));                      \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+// Propagate a non-OK Status from the current function.
+#define BDCC_RETURN_NOT_OK(expr)                                             \
+  do {                                                                       \
+    ::bdcc::Status _st = (expr);                                             \
+    if (BDCC_UNLIKELY(!_st.ok())) return _st;                                \
+  } while (0)
+
+#define BDCC_CONCAT_IMPL(a, b) a##b
+#define BDCC_CONCAT(a, b) BDCC_CONCAT_IMPL(a, b)
+
+// Evaluate an expression returning Result<T>; on success bind the value to
+// `lhs`, otherwise propagate the error status.
+#define BDCC_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  BDCC_ASSIGN_OR_RETURN_IMPL(BDCC_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define BDCC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                           \
+  auto tmp = (expr);                                                         \
+  if (BDCC_UNLIKELY(!tmp.ok())) return tmp.status();                         \
+  lhs = std::move(tmp).value();
+
+#define BDCC_DISALLOW_COPY_AND_ASSIGN(T)                                     \
+  T(const T&) = delete;                                                      \
+  T& operator=(const T&) = delete
+
+#endif  // BDCC_COMMON_MACROS_H_

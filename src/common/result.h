@@ -1,0 +1,60 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+#ifndef BDCC_COMMON_RESULT_H_
+#define BDCC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace bdcc {
+
+/// \brief Holds either a T or an error Status.
+///
+/// Use BDCC_ASSIGN_OR_RETURN to unwrap inside Status-returning functions.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    BDCC_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    BDCC_CHECK_MSG(ok(), "value() on errored Result");
+    return *value_;
+  }
+  T& value() & {
+    BDCC_CHECK_MSG(ok(), "value() on errored Result");
+    return *value_;
+  }
+  T value() && {
+    BDCC_CHECK_MSG(ok(), "value() on errored Result");
+    return std::move(*value_);
+  }
+
+  /// Unwrap, aborting on error (tests/examples only).
+  T ValueOrDie() && {
+    status_.AbortIfNotOK();
+    return std::move(*value_);
+  }
+  const T& ValueOrDie() const& {
+    status_.AbortIfNotOK();
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace bdcc
+
+#endif  // BDCC_COMMON_RESULT_H_

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bdcc {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kParseError:
+      return "ParseError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+void Status::AbortIfNotOK() const {
+  if (!ok()) {
+    std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace bdcc

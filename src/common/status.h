@@ -1,0 +1,94 @@
+// Status: the error model of the BDCC library (Arrow/RocksDB idiom).
+#ifndef BDCC_COMMON_STATUS_H_
+#define BDCC_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bdcc {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kParseError = 8,
+};
+
+/// \brief Lightweight success/error value returned by fallible operations.
+///
+/// An OK status carries no allocation; error states carry a code and message.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+  /// Message text ("" when OK).
+  std::string_view message() const {
+    return state_ == nullptr ? std::string_view() : state_->msg;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Abort the process if not OK (for use in tests and examples).
+  void AbortIfNotOK() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  std::shared_ptr<State> state_;  // nullptr == OK
+};
+
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace bdcc
+
+#endif  // BDCC_COMMON_STATUS_H_

@@ -1,0 +1,292 @@
+#include "exec/aggregate.h"
+
+namespace bdcc {
+namespace exec {
+
+namespace {
+
+double FetchF64(const ColumnVector& v, size_t row) {
+  switch (v.type) {
+    case TypeId::kInt64:
+      return static_cast<double>(v.i64[row]);
+    case TypeId::kFloat64:
+      return v.f64[row];
+    default:
+      return static_cast<double>(v.i32[row]);
+  }
+}
+
+int64_t FetchI64(const ColumnVector& v, size_t row) {
+  switch (v.type) {
+    case TypeId::kInt64:
+      return v.i64[row];
+    case TypeId::kFloat64:
+      return static_cast<int64_t>(v.f64[row]);
+    default:
+      return v.i32[row];
+  }
+}
+
+}  // namespace
+
+Status AggregatorCore::Bind(const Schema& input, std::vector<AggSpec> specs) {
+  specs_ = std::move(specs);
+  arg_types_.clear();
+  output_fields_.clear();
+  states_.assign(specs_.size(), State{});
+  num_groups_ = 0;
+  distinct_entries_ = 0;
+  for (AggSpec& spec : specs_) {
+    TypeId arg_type = TypeId::kInt64;
+    if (spec.arg) {
+      BDCC_RETURN_NOT_OK(spec.arg->Bind(input));
+      arg_type = spec.arg->type();
+    }
+    arg_types_.push_back(arg_type);
+    TypeId out_type = TypeId::kInt64;
+    switch (spec.kind) {
+      case AggKind::kSum:
+        out_type = (arg_type == TypeId::kFloat64) ? TypeId::kFloat64
+                                                  : TypeId::kInt64;
+        break;
+      case AggKind::kAvg:
+        out_type = TypeId::kFloat64;
+        break;
+      case AggKind::kCount:
+      case AggKind::kCountStar:
+      case AggKind::kCountDistinct:
+        out_type = TypeId::kInt64;
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        if (arg_type == TypeId::kString) {
+          return Status::NotImplemented("MIN/MAX over strings");
+        }
+        out_type = (arg_type == TypeId::kFloat64) ? TypeId::kFloat64
+                                                  : arg_type;
+        break;
+    }
+    if (spec.kind == AggKind::kCountDistinct &&
+        (arg_type == TypeId::kString || arg_type == TypeId::kFloat64)) {
+      return Status::NotImplemented("COUNT DISTINCT over non-integer input");
+    }
+    output_fields_.push_back(Field{spec.output_name, out_type});
+  }
+  return Status::OK();
+}
+
+void AggregatorCore::EnsureGroups(size_t n) {
+  if (n <= num_groups_) return;
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    State& st = states_[s];
+    switch (specs_[s].kind) {
+      case AggKind::kSum:
+        if (arg_types_[s] == TypeId::kFloat64) {
+          st.sum_f64.resize(n, 0.0);
+        } else {
+          st.sum_i64.resize(n, 0);
+        }
+        break;
+      case AggKind::kAvg:
+        st.sum_f64.resize(n, 0.0);
+        st.count.resize(n, 0);
+        break;
+      case AggKind::kCount:
+      case AggKind::kCountStar:
+        st.count.resize(n, 0);
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        if (arg_types_[s] == TypeId::kFloat64) {
+          st.minmax_f64.resize(n, 0.0);
+        } else {
+          st.minmax_i64.resize(n, 0);
+        }
+        st.has_value.resize(n, 0);
+        break;
+      case AggKind::kCountDistinct:
+        st.distinct.resize(n);
+        break;
+    }
+  }
+  num_groups_ = n;
+}
+
+Status AggregatorCore::Update(const Batch& batch,
+                              const std::vector<uint32_t>& group_of_row) {
+  BDCC_CHECK(group_of_row.size() == batch.num_rows);
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    State& st = states_[s];
+    if (spec.kind == AggKind::kCountStar) {
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        st.count[group_of_row[i]] += 1;
+      }
+      continue;
+    }
+    BDCC_ASSIGN_OR_RETURN(ColumnVector arg, spec.arg->Eval(batch));
+    switch (spec.kind) {
+      case AggKind::kSum:
+        if (arg_types_[s] == TypeId::kFloat64) {
+          for (size_t i = 0; i < batch.num_rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            st.sum_f64[group_of_row[i]] += arg.f64[i];
+          }
+        } else {
+          for (size_t i = 0; i < batch.num_rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            st.sum_i64[group_of_row[i]] += FetchI64(arg, i);
+          }
+        }
+        break;
+      case AggKind::kAvg:
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          if (arg.IsNull(i)) continue;
+          st.sum_f64[group_of_row[i]] += FetchF64(arg, i);
+          st.count[group_of_row[i]] += 1;
+        }
+        break;
+      case AggKind::kCount:
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          if (arg.IsNull(i)) continue;
+          st.count[group_of_row[i]] += 1;
+        }
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        bool is_min = spec.kind == AggKind::kMin;
+        if (arg_types_[s] == TypeId::kFloat64) {
+          for (size_t i = 0; i < batch.num_rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            uint32_t g = group_of_row[i];
+            double v = arg.f64[i];
+            if (!st.has_value[g] || (is_min ? v < st.minmax_f64[g]
+                                            : v > st.minmax_f64[g])) {
+              st.minmax_f64[g] = v;
+              st.has_value[g] = 1;
+            }
+          }
+        } else {
+          for (size_t i = 0; i < batch.num_rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            uint32_t g = group_of_row[i];
+            int64_t v = FetchI64(arg, i);
+            if (!st.has_value[g] || (is_min ? v < st.minmax_i64[g]
+                                            : v > st.minmax_i64[g])) {
+              st.minmax_i64[g] = v;
+              st.has_value[g] = 1;
+            }
+          }
+        }
+        break;
+      }
+      case AggKind::kCountDistinct:
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          if (arg.IsNull(i)) continue;
+          auto [it, inserted] =
+              st.distinct[group_of_row[i]].insert(FetchI64(arg, i));
+          if (inserted) ++distinct_entries_;
+        }
+        break;
+      case AggKind::kCountStar:
+        break;  // handled above
+    }
+  }
+  return Status::OK();
+}
+
+void AggregatorCore::EmitRange(size_t begin, size_t end,
+                               std::vector<ColumnVector>* out) const {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const AggSpec& spec = specs_[s];
+    const State& st = states_[s];
+    ColumnVector v(output_fields_[s].type);
+    v.Reserve(end - begin);
+    for (size_t g = begin; g < end; ++g) {
+      switch (spec.kind) {
+        case AggKind::kSum:
+          if (arg_types_[s] == TypeId::kFloat64) {
+            v.f64.push_back(st.sum_f64[g]);
+          } else {
+            v.i64.push_back(st.sum_i64[g]);
+          }
+          break;
+        case AggKind::kAvg:
+          v.f64.push_back(st.count[g] == 0
+                              ? 0.0
+                              : st.sum_f64[g] /
+                                    static_cast<double>(st.count[g]));
+          break;
+        case AggKind::kCount:
+        case AggKind::kCountStar:
+          v.i64.push_back(st.count[g]);
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          if (output_fields_[s].type == TypeId::kFloat64) {
+            v.f64.push_back(st.has_value[g] ? st.minmax_f64[g] : 0.0);
+          } else if (output_fields_[s].type == TypeId::kInt64) {
+            v.i64.push_back(st.has_value[g] ? st.minmax_i64[g] : 0);
+          } else {
+            v.i32.push_back(st.has_value[g]
+                                ? static_cast<int32_t>(st.minmax_i64[g])
+                                : 0);
+          }
+          break;
+        case AggKind::kCountDistinct:
+          v.i64.push_back(static_cast<int64_t>(st.distinct[g].size()));
+          break;
+      }
+    }
+    out->push_back(std::move(v));
+  }
+}
+
+uint64_t AggregatorCore::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const State& st : states_) {
+    total += st.sum_f64.capacity() * 8 + st.sum_i64.capacity() * 8 +
+             st.count.capacity() * 8 + st.minmax_f64.capacity() * 8 +
+             st.minmax_i64.capacity() * 8 + st.has_value.capacity() +
+             st.distinct.capacity() * sizeof(std::unordered_set<int64_t>);
+  }
+  total += distinct_entries_ * 24;  // set nodes
+  return total;
+}
+
+void AggregatorCore::Reset() {
+  for (State& st : states_) st = State{};
+  num_groups_ = 0;
+  distinct_entries_ = 0;
+}
+
+void AggregatorCore::KeepOnlyLastGroup() {
+  if (num_groups_ == 0) return;
+  size_t last = num_groups_ - 1;
+  for (State& st : states_) {
+    auto keep = [last](auto& lane) {
+      if (lane.empty()) return;
+      lane[0] = std::move(lane[last]);
+      lane.resize(1);
+    };
+    keep(st.sum_f64);
+    keep(st.sum_i64);
+    keep(st.count);
+    keep(st.minmax_f64);
+    keep(st.minmax_i64);
+    keep(st.has_value);
+    if (!st.distinct.empty()) {
+      distinct_entries_ -= [&] {
+        uint64_t dropped = 0;
+        for (size_t g = 0; g < last; ++g) dropped += st.distinct[g].size();
+        return dropped;
+      }();
+      st.distinct[0] = std::move(st.distinct[last]);
+      st.distinct.resize(1);
+    }
+  }
+  num_groups_ = 1;
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,170 @@
+#include "exec/batch.h"
+
+namespace bdcc {
+namespace exec {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Schema::Require(const std::string& name) const {
+  int idx = IndexOf(name);
+  if (idx < 0) {
+    return Status::NotFound("column '" + name + "' not in schema " +
+                            ToString());
+  }
+  return idx;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Field> fields = a.fields_;
+  fields.insert(fields.end(), b.fields_.begin(), b.fields_.end());
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+  }
+  return out + "]";
+}
+
+Value ColumnVector::GetValue(size_t row) const {
+  if (IsNull(row)) return Value();  // caller must check IsNull for semantics
+  switch (type) {
+    case TypeId::kInt32:
+      return Value::Int32(i32[row]);
+    case TypeId::kInt64:
+      return Value::Int64(i64[row]);
+    case TypeId::kFloat64:
+      return Value::Float64(f64[row]);
+    case TypeId::kDate:
+      return Value::Date(i32[row]);
+    case TypeId::kBool:
+      return Value::Bool(i32[row] != 0);
+    case TypeId::kString:
+      return Value::String(dict->Get(i32[row]));
+  }
+  return Value();
+}
+
+void ColumnVector::AppendFromStorage(const Column& col, uint64_t row) {
+  switch (type) {
+    case TypeId::kInt64:
+      i64.push_back(col.i64()[row]);
+      break;
+    case TypeId::kFloat64:
+      f64.push_back(col.f64()[row]);
+      break;
+    default:
+      i32.push_back(col.i32()[row]);
+      break;
+  }
+  if (!nulls.empty()) nulls.push_back(0);
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
+  BDCC_CHECK(type == other.type);
+  if (other.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type) {
+    case TypeId::kInt64:
+      i64.push_back(other.i64[row]);
+      break;
+    case TypeId::kFloat64:
+      f64.push_back(other.f64[row]);
+      break;
+    case TypeId::kString:
+      if (dict == nullptr) dict = other.dict;
+      if (dict == other.dict) {
+        i32.push_back(other.i32[row]);
+      } else {
+        // Source carries a different dictionary (e.g. expression-generated
+        // strings): fall back to interning by content. GetOrAdd only ever
+        // appends, so existing codes remain valid.
+        i32.push_back(dict->GetOrAdd(other.GetString(row)));
+      }
+      break;
+    default:
+      i32.push_back(other.i32[row]);
+      break;
+  }
+  if (!nulls.empty()) nulls.push_back(0);
+}
+
+void ColumnVector::AppendInterning(const ColumnVector& other, size_t row) {
+  BDCC_CHECK(type == other.type);
+  if (type != TypeId::kString) {
+    AppendFrom(other, row);
+    return;
+  }
+  if (other.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  if (dict == nullptr) dict = std::make_shared<Dictionary>();
+  i32.push_back(dict->GetOrAdd(other.GetString(row)));
+  if (!nulls.empty()) nulls.push_back(0);
+}
+
+void ColumnVector::AppendNull() {
+  if (nulls.empty()) nulls.assign(size(), 0);
+  switch (type) {
+    case TypeId::kInt64:
+      i64.push_back(0);
+      break;
+    case TypeId::kFloat64:
+      f64.push_back(0.0);
+      break;
+    default:
+      i32.push_back(0);
+      break;
+  }
+  nulls.push_back(1);
+}
+
+void ColumnVector::Reserve(size_t rows) {
+  switch (type) {
+    case TypeId::kInt64:
+      i64.reserve(rows);
+      break;
+    case TypeId::kFloat64:
+      f64.reserve(rows);
+      break;
+    default:
+      i32.reserve(rows);
+      break;
+  }
+}
+
+ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
+  ColumnVector out(type);
+  out.dict = dict;
+  out.Reserve(sel.size());
+  switch (type) {
+    case TypeId::kInt64:
+      for (uint32_t r : sel) out.i64.push_back(i64[r]);
+      break;
+    case TypeId::kFloat64:
+      for (uint32_t r : sel) out.f64.push_back(f64[r]);
+      break;
+    default:
+      for (uint32_t r : sel) out.i32.push_back(i32[r]);
+      break;
+  }
+  if (!nulls.empty()) {
+    out.nulls.reserve(sel.size());
+    for (uint32_t r : sel) out.nulls.push_back(nulls[r]);
+  }
+  return out;
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,114 @@
+// Vectorized execution batches (Vectorwise-style batch-at-a-time flow).
+#ifndef BDCC_EXEC_BATCH_H_
+#define BDCC_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/types.h"
+
+namespace bdcc {
+namespace exec {
+
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+};
+
+/// \brief Ordered, named, typed column list describing operator output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of `name` or -1.
+  int IndexOf(const std::string& name) const;
+  /// Index of `name` or error.
+  Result<int> Require(const std::string& name) const;
+
+  void Append(Field f) { fields_.push_back(std::move(f)); }
+  /// Concatenation (for join outputs).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// \brief One column's worth of vectorized values.
+///
+/// Lanes mirror storage::Column; strings carry dictionary codes in the i32
+/// lane plus a shared Dictionary. An optional null mask (1 = NULL) supports
+/// outer-join results.
+struct ColumnVector {
+  TypeId type = TypeId::kInt64;
+  std::vector<int32_t> i32;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::shared_ptr<Dictionary> dict;
+  std::vector<uint8_t> nulls;  // empty = no nulls
+
+  explicit ColumnVector(TypeId t = TypeId::kInt64) : type(t) {}
+
+  size_t size() const {
+    switch (type) {
+      case TypeId::kInt64:
+        return i64.size();
+      case TypeId::kFloat64:
+        return f64.size();
+      default:
+        return i32.size();
+    }
+  }
+  bool HasNulls() const { return !nulls.empty(); }
+  bool IsNull(size_t row) const { return !nulls.empty() && nulls[row]; }
+
+  /// Generic accessor (strings materialized through the dictionary).
+  Value GetValue(size_t row) const;
+  std::string_view GetString(size_t row) const {
+    return dict->Get(i32[row]);
+  }
+
+  /// Append a (non-null) value from a storage column.
+  void AppendFromStorage(const Column& col, uint64_t row);
+  /// Append row `row` of `other` (same type). String vectors must share the
+  /// source dictionary (fast path used inside joins).
+  void AppendFrom(const ColumnVector& other, size_t row);
+  /// Append row `row` of `other`, interning strings into this vector's own
+  /// dictionary. Safe across inputs whose dictionaries differ per batch
+  /// (e.g. expression-generated strings); used by materializing operators.
+  void AppendInterning(const ColumnVector& other, size_t row);
+  /// Append an explicit NULL (lane gets a zero placeholder).
+  void AppendNull();
+
+  void Reserve(size_t rows);
+  /// Rows selected by `sel` (indices into this vector).
+  ColumnVector Gather(const std::vector<uint32_t>& sel) const;
+};
+
+/// \brief A batch of rows flowing between operators.
+struct Batch {
+  std::vector<ColumnVector> columns;
+  size_t num_rows = 0;
+  /// Sandwich group tag: >= 0 when the producing scan emits group-aligned
+  /// batches (a batch never spans two groups); -1 otherwise.
+  int64_t group_id = -1;
+
+  bool empty() const { return num_rows == 0; }
+  static Batch Empty() { return Batch{}; }
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_BATCH_H_

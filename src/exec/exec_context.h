@@ -1,0 +1,48 @@
+// Shared per-query execution state.
+#ifndef BDCC_EXEC_EXEC_CONTEXT_H_
+#define BDCC_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "exec/memory_tracker.h"
+#include "io/buffer_pool.h"
+
+namespace bdcc {
+namespace exec {
+
+/// Counters the planner/benchmarks read after a query finishes.
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t zones_skipped = 0;
+  uint64_t zones_read = 0;
+  uint64_t groups_pruned = 0;
+  uint64_t groups_read = 0;
+  uint64_t sandwich_partitions = 0;
+
+  void Reset() { *this = ExecStats{}; }
+};
+
+/// \brief Holds the memory tracker, optional buffer pool, and stats for one
+/// query execution.
+class ExecContext {
+ public:
+  explicit ExecContext(io::BufferPool* pool = nullptr) : pool_(pool) {}
+
+  MemoryTracker* memory() { return &memory_; }
+  io::BufferPool* buffer_pool() { return pool_; }
+  ExecStats* stats() { return &stats_; }
+
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n; }
+
+ private:
+  io::BufferPool* pool_;
+  MemoryTracker memory_;
+  ExecStats stats_;
+  size_t batch_size_ = 2048;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,35 @@
+#include "exec/filter.h"
+
+namespace bdcc {
+namespace exec {
+
+Status Filter::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(child_->Open(ctx));
+  return predicate_->Bind(child_->schema());
+}
+
+Result<Batch> Filter::Next(ExecContext* ctx) {
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch in, child_->Next(ctx));
+    if (in.empty()) return Batch::Empty();
+    BDCC_ASSIGN_OR_RETURN(ColumnVector verdict, predicate_->Eval(in));
+    std::vector<uint32_t> sel;
+    sel.reserve(in.num_rows);
+    for (size_t i = 0; i < in.num_rows; ++i) {
+      if (verdict.i32[i]) sel.push_back(static_cast<uint32_t>(i));
+    }
+    if (sel.empty()) continue;  // try the next batch
+    if (sel.size() == in.num_rows) return in;
+    Batch out;
+    out.num_rows = sel.size();
+    out.group_id = in.group_id;
+    out.columns.reserve(in.columns.size());
+    for (const ColumnVector& c : in.columns) {
+      out.columns.push_back(c.Gather(sel));
+    }
+    return out;
+  }
+}
+
+}  // namespace exec
+}  // namespace bdcc

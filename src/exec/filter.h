@@ -1,0 +1,31 @@
+// Row-level filtering by a boolean expression.
+#ifndef BDCC_EXEC_FILTER_H_
+#define BDCC_EXEC_FILTER_H_
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+/// \brief Emits the rows of its child for which `predicate` is true,
+/// preserving schema and group tags.
+class Filter : public Operator {
+ public:
+  Filter(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_FILTER_H_

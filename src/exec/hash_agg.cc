@@ -1,0 +1,121 @@
+#include "exec/hash_agg.h"
+
+namespace bdcc {
+namespace exec {
+
+HashAgg::HashAgg(OperatorPtr child, std::vector<std::string> group_cols,
+                 std::vector<AggSpec> specs)
+    : child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      spec_templates_(std::move(specs)) {}
+
+Status HashAgg::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(child_->Open(ctx));
+  const Schema& in = child_->schema();
+  BDCC_RETURN_NOT_OK(core_.Bind(in, spec_templates_));
+
+  std::vector<Field> fields;
+  key_store_.clear();
+  if (!group_cols_.empty()) {
+    BDCC_RETURN_NOT_OK(encoder_.Bind(in, group_cols_));
+    key_map_.SetIntMode(encoder_.int_path());
+    for (const std::string& g : group_cols_) {
+      BDCC_ASSIGN_OR_RETURN(int idx, in.Require(g));
+      fields.push_back(in.field(idx));
+      key_store_.emplace_back(in.field(idx).type);
+    }
+  }
+  for (const Field& f : core_.output_fields()) fields.push_back(f);
+  schema_ = Schema(std::move(fields));
+
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  key_map_.Clear();
+  emit_cursor_ = 0;
+  consumed_ = false;
+  return Status::OK();
+}
+
+Status HashAgg::Consume(const Batch& batch) {
+  std::vector<uint32_t> group_of_row(batch.num_rows);
+  if (group_cols_.empty()) {
+    core_.EnsureGroups(1);
+    std::fill(group_of_row.begin(), group_of_row.end(), 0);
+  } else {
+    const std::vector<int>& key_idx = encoder_.indices();
+    auto assign = [&](size_t row, int64_t gid, bool inserted) {
+      if (inserted) {
+        for (size_t k = 0; k < key_idx.size(); ++k) {
+          key_store_[k].AppendInterning(batch.columns[key_idx[k]], row);
+        }
+      }
+      group_of_row[row] = static_cast<uint32_t>(gid);
+    };
+    if (encoder_.int_path()) {
+      std::vector<int64_t> keys;
+      std::vector<uint8_t> valid;
+      encoder_.EncodeInts(batch, &keys, &valid);
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        bool inserted;
+        int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
+        assign(i, gid, inserted);
+      }
+    } else {
+      std::vector<std::string> keys;
+      std::vector<uint8_t> valid;
+      encoder_.EncodeBytes(batch, &keys, &valid);
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        bool inserted;
+        int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
+        assign(i, gid, inserted);
+      }
+    }
+    core_.EnsureGroups(key_map_.size());
+  }
+  return core_.Update(batch, group_of_row);
+}
+
+Result<Batch> HashAgg::Next(ExecContext* ctx) {
+  if (!consumed_) {
+    while (true) {
+      BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
+      if (b.empty()) break;
+      BDCC_RETURN_NOT_OK(Consume(b));
+      uint64_t store_bytes = 0;
+      for (const ColumnVector& v : key_store_) {
+        store_bytes += ColumnVectorBytes(v);
+      }
+      tracked_->Set(key_map_.MemoryBytes() + store_bytes +
+                    core_.MemoryBytes());
+    }
+    if (group_cols_.empty()) core_.EnsureGroups(1);  // scalar agg: one row
+    consumed_ = true;
+  }
+  size_t total = group_cols_.empty() ? 1 : key_map_.size();
+  if (emit_cursor_ >= total) return Batch::Empty();
+  size_t end = std::min(total, emit_cursor_ + ctx->batch_size());
+
+  Batch out;
+  out.num_rows = end - emit_cursor_;
+  for (size_t k = 0; k < key_store_.size(); ++k) {
+    std::vector<uint32_t> sel;
+    sel.reserve(out.num_rows);
+    for (size_t g = emit_cursor_; g < end; ++g) {
+      sel.push_back(static_cast<uint32_t>(g));
+    }
+    out.columns.push_back(key_store_[k].Gather(sel));
+  }
+  core_.EmitRange(emit_cursor_, end, &out.columns);
+  emit_cursor_ = end;
+  return out;
+}
+
+void HashAgg::Close(ExecContext* ctx) {
+  child_->Close(ctx);
+  key_map_.Clear();
+  key_store_.clear();
+  core_.Reset();
+  if (tracked_) tracked_->Clear();
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,46 @@
+// Hash aggregation (GROUP BY), including the scalar (no-group) case.
+#ifndef BDCC_EXEC_HASH_AGG_H_
+#define BDCC_EXEC_HASH_AGG_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/hash_table.h"
+#include "exec/memory_tracker.h"
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+class HashAgg : public Operator {
+ public:
+  HashAgg(OperatorPtr child, std::vector<std::string> group_cols,
+          std::vector<AggSpec> specs);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  Status Consume(const Batch& batch);
+
+  OperatorPtr child_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggSpec> spec_templates_;
+  Schema schema_;
+
+  KeyEncoder encoder_;
+  DenseKeyMap key_map_;
+  std::vector<ColumnVector> key_store_;  // one row per group
+  AggregatorCore core_;
+  std::unique_ptr<TrackedMemory> tracked_;
+  size_t emit_cursor_ = 0;
+  bool consumed_ = false;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_HASH_AGG_H_

@@ -1,0 +1,156 @@
+#include "exec/hash_join.h"
+
+namespace bdcc {
+namespace exec {
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeftOuter:
+      return "left-outer";
+    case JoinType::kLeftSemi:
+      return "semi";
+    case JoinType::kLeftAnti:
+      return "anti";
+  }
+  return "?";
+}
+
+HashJoin::HashJoin(OperatorPtr left, OperatorPtr right,
+                   std::vector<std::string> left_keys,
+                   std::vector<std::string> right_keys, JoinType type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      type_(type) {}
+
+Status HashJoin::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(left_->Open(ctx));
+  BDCC_RETURN_NOT_OK(right_->Open(ctx));
+  if (left_keys_.size() != right_keys_.size() || left_keys_.empty()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+
+  // Build.
+  BDCC_RETURN_NOT_OK(table_.Init(right_->schema(), right_keys_));
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, right_->Next(ctx));
+    if (b.empty()) break;
+    BDCC_RETURN_NOT_OK(table_.AddBatch(b));
+    tracked_->Set(table_.MemoryBytes());
+  }
+
+  BDCC_RETURN_NOT_OK(probe_encoder_.Bind(left_->schema(), left_keys_));
+  if (probe_encoder_.int_path() != table_.encoder().int_path()) {
+    return Status::InvalidArgument("join key types incompatible across sides");
+  }
+  if (type_ == JoinType::kLeftSemi || type_ == JoinType::kLeftAnti) {
+    schema_ = left_->schema();
+  } else {
+    schema_ = Schema::Concat(left_->schema(), right_->schema());
+  }
+  return Status::OK();
+}
+
+Result<Batch> HashJoin::ProbeBatch(const Batch& in) {
+  size_t left_width = in.columns.size();
+  Batch out;
+  out.group_id = in.group_id;
+  for (const Field& f : schema_.fields()) {
+    out.columns.emplace_back(f.type);
+  }
+  // Pre-wire right-side dictionaries so empty results stay typed.
+  if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
+    for (size_t c = 0; c < table_.columns().size(); ++c) {
+      out.columns[left_width + c].dict = table_.columns()[c].dict;
+    }
+  }
+
+  auto emit_match = [&](size_t left_row, uint32_t build_row) {
+    for (size_t c = 0; c < left_width; ++c) {
+      out.columns[c].AppendFrom(in.columns[c], left_row);
+    }
+    for (size_t c = 0; c < table_.columns().size(); ++c) {
+      out.columns[left_width + c].AppendFrom(table_.columns()[c], build_row);
+    }
+    ++out.num_rows;
+  };
+  auto emit_left_only = [&](size_t left_row, bool null_right) {
+    for (size_t c = 0; c < left_width; ++c) {
+      out.columns[c].AppendFrom(in.columns[c], left_row);
+    }
+    if (null_right) {
+      for (size_t c = left_width; c < out.columns.size(); ++c) {
+        out.columns[c].AppendNull();
+      }
+    }
+    ++out.num_rows;
+  };
+
+  auto probe_row = [&](size_t i, auto&& key, bool valid) {
+    bool matched = false;
+    if (valid) {
+      switch (type_) {
+        case JoinType::kInner:
+        case JoinType::kLeftOuter:
+          table_.ForEachMatch(key, [&](uint32_t row) {
+            emit_match(i, row);
+            matched = true;
+          });
+          break;
+        case JoinType::kLeftSemi:
+        case JoinType::kLeftAnti:
+          matched = table_.HasMatch(key);
+          break;
+      }
+    }
+    switch (type_) {
+      case JoinType::kInner:
+        break;
+      case JoinType::kLeftOuter:
+        if (!matched) emit_left_only(i, /*null_right=*/true);
+        break;
+      case JoinType::kLeftSemi:
+        if (matched) emit_left_only(i, false);
+        break;
+      case JoinType::kLeftAnti:
+        if (!matched) emit_left_only(i, false);
+        break;
+    }
+  };
+
+  if (probe_encoder_.int_path()) {
+    std::vector<int64_t> keys;
+    std::vector<uint8_t> valid;
+    probe_encoder_.EncodeInts(in, &keys, &valid);
+    for (size_t i = 0; i < in.num_rows; ++i) probe_row(i, keys[i], valid[i]);
+  } else {
+    std::vector<std::string> keys;
+    std::vector<uint8_t> valid;
+    probe_encoder_.EncodeBytes(in, &keys, &valid);
+    for (size_t i = 0; i < in.num_rows; ++i) probe_row(i, keys[i], valid[i]);
+  }
+  return out;
+}
+
+Result<Batch> HashJoin::Next(ExecContext* ctx) {
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch in, left_->Next(ctx));
+    if (in.empty()) return Batch::Empty();
+    BDCC_ASSIGN_OR_RETURN(Batch out, ProbeBatch(in));
+    if (out.num_rows > 0) return out;
+  }
+}
+
+void HashJoin::Close(ExecContext* ctx) {
+  left_->Close(ctx);
+  right_->Close(ctx);
+  table_.Clear();
+  if (tracked_) tracked_->Clear();
+}
+
+}  // namespace exec
+}  // namespace bdcc

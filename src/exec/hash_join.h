@@ -1,0 +1,49 @@
+// Hash join (inner / left-outer / left-semi / left-anti).
+//
+// The right child is the build side and is fully materialized — exactly the
+// memory behaviour the paper contrasts against sandwiched execution (e.g.
+// Q13's full materialization of CUSTOMER columns under the PK scheme).
+#ifndef BDCC_EXEC_HASH_JOIN_H_
+#define BDCC_EXEC_HASH_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/hash_table.h"
+#include "exec/memory_tracker.h"
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+enum class JoinType { kInner, kLeftOuter, kLeftSemi, kLeftAnti };
+
+const char* JoinTypeName(JoinType t);
+
+class HashJoin : public Operator {
+ public:
+  HashJoin(OperatorPtr left, OperatorPtr right,
+           std::vector<std::string> left_keys,
+           std::vector<std::string> right_keys, JoinType type);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  Result<Batch> ProbeBatch(const Batch& in);
+
+  OperatorPtr left_, right_;
+  std::vector<std::string> left_keys_, right_keys_;
+  JoinType type_;
+  Schema schema_;
+  JoinHashTable table_;
+  KeyEncoder probe_encoder_;
+  std::unique_ptr<TrackedMemory> tracked_;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_HASH_JOIN_H_

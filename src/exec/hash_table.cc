@@ -1,0 +1,208 @@
+#include "exec/hash_table.h"
+
+#include <cstring>
+
+namespace bdcc {
+namespace exec {
+
+uint64_t ColumnVectorBytes(const ColumnVector& v) {
+  return v.i32.capacity() * 4 + v.i64.capacity() * 8 + v.f64.capacity() * 8 +
+         v.nulls.capacity();
+}
+
+Status KeyEncoder::Bind(const Schema& schema,
+                        const std::vector<std::string>& key_cols) {
+  indices_.clear();
+  types_.clear();
+  for (const std::string& name : key_cols) {
+    BDCC_ASSIGN_OR_RETURN(int idx, schema.Require(name));
+    indices_.push_back(idx);
+    types_.push_back(schema.field(idx).type);
+  }
+  int_path_ = indices_.size() == 1 && types_[0] != TypeId::kString &&
+              types_[0] != TypeId::kFloat64;
+  return Status::OK();
+}
+
+void KeyEncoder::EncodeInts(const Batch& batch, std::vector<int64_t>* keys,
+                            std::vector<uint8_t>* valid) const {
+  BDCC_CHECK(int_path_);
+  const ColumnVector& col = batch.columns[indices_[0]];
+  keys->resize(batch.num_rows);
+  valid->assign(batch.num_rows, 1);
+  if (col.type == TypeId::kInt64) {
+    for (size_t i = 0; i < batch.num_rows; ++i) (*keys)[i] = col.i64[i];
+  } else {
+    for (size_t i = 0; i < batch.num_rows; ++i) (*keys)[i] = col.i32[i];
+  }
+  if (col.HasNulls()) {
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      if (col.nulls[i]) (*valid)[i] = 0;
+    }
+  }
+}
+
+void KeyEncoder::EncodeBytes(const Batch& batch, std::vector<std::string>* keys,
+                             std::vector<uint8_t>* valid) const {
+  keys->assign(batch.num_rows, std::string());
+  valid->assign(batch.num_rows, 1);
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    std::string& key = (*keys)[i];
+    for (size_t k = 0; k < indices_.size(); ++k) {
+      const ColumnVector& col = batch.columns[indices_[k]];
+      if (col.IsNull(i)) {
+        (*valid)[i] = 0;
+        break;
+      }
+      switch (col.type) {
+        case TypeId::kString: {
+          std::string_view s = col.GetString(i);
+          uint32_t len = static_cast<uint32_t>(s.size());
+          key.append(reinterpret_cast<const char*>(&len), 4);
+          key.append(s.data(), s.size());
+          break;
+        }
+        case TypeId::kFloat64: {
+          double d = col.f64[i];
+          key.append(reinterpret_cast<const char*>(&d), 8);
+          break;
+        }
+        case TypeId::kInt64: {
+          int64_t v = col.i64[i];
+          key.append(reinterpret_cast<const char*>(&v), 8);
+          break;
+        }
+        default: {
+          int32_t v = col.i32[i];
+          key.append(reinterpret_cast<const char*>(&v), 4);
+          break;
+        }
+      }
+    }
+  }
+}
+
+int64_t DenseKeyMap::Find(int64_t key) const {
+  auto it = int_map_.find(key);
+  return it == int_map_.end() ? -1 : it->second;
+}
+
+int64_t DenseKeyMap::Find(const std::string& key) const {
+  auto it = bytes_map_.find(key);
+  return it == bytes_map_.end() ? -1 : it->second;
+}
+
+int64_t DenseKeyMap::FindOrInsert(int64_t key, bool* out_inserted) {
+  auto [it, inserted] =
+      int_map_.emplace(key, static_cast<int64_t>(int_map_.size()));
+  *out_inserted = inserted;
+  return it->second;
+}
+
+int64_t DenseKeyMap::FindOrInsert(const std::string& key, bool* out_inserted) {
+  auto [it, inserted] =
+      bytes_map_.emplace(key, static_cast<int64_t>(bytes_map_.size()));
+  *out_inserted = inserted;
+  if (inserted) bytes_key_payload_ += key.size();
+  return it->second;
+}
+
+uint64_t DenseKeyMap::MemoryBytes() const {
+  if (int_mode_) {
+    // buckets + nodes (key, value, next pointer).
+    return int_map_.bucket_count() * 8 + int_map_.size() * 32;
+  }
+  return bytes_map_.bucket_count() * 8 + bytes_map_.size() * 48 +
+         bytes_key_payload_;
+}
+
+void DenseKeyMap::Clear() {
+  int_map_.clear();
+  bytes_map_.clear();
+  bytes_key_payload_ = 0;
+}
+
+Status JoinHashTable::Init(const Schema& build_schema,
+                           const std::vector<std::string>& key_cols) {
+  schema_ = build_schema;
+  BDCC_RETURN_NOT_OK(encoder_.Bind(build_schema, key_cols));
+  key_ids_.SetIntMode(encoder_.int_path());
+  columns_.clear();
+  for (const Field& f : build_schema.fields()) {
+    columns_.emplace_back(f.type);
+  }
+  num_rows_ = 0;
+  heads_.clear();
+  next_.clear();
+  column_bytes_ = 0;
+  return Status::OK();
+}
+
+Status JoinHashTable::AddBatch(const Batch& batch) {
+  // Materialize the batch's rows.
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ColumnVector& src = batch.columns[c];
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      columns_[c].AppendFrom(src, r);
+    }
+  }
+  // Chain rows under their keys.
+  auto link = [&](int64_t id, size_t local_row) {
+    uint32_t row = static_cast<uint32_t>(num_rows_ + local_row);
+    if (static_cast<size_t>(id) >= heads_.size()) {
+      heads_.resize(id + 1, kEnd);
+    }
+    next_.push_back(heads_[id]);
+    heads_[id] = row;
+  };
+  if (encoder_.int_path()) {
+    std::vector<int64_t> keys;
+    std::vector<uint8_t> valid;
+    encoder_.EncodeInts(batch, &keys, &valid);
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      if (!valid[r]) {
+        next_.push_back(kEnd);  // NULL keys never match
+        continue;
+      }
+      bool inserted;
+      link(key_ids_.FindOrInsert(keys[r], &inserted), r);
+    }
+  } else {
+    std::vector<std::string> keys;
+    std::vector<uint8_t> valid;
+    encoder_.EncodeBytes(batch, &keys, &valid);
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      if (!valid[r]) {
+        next_.push_back(kEnd);
+        continue;
+      }
+      bool inserted;
+      link(key_ids_.FindOrInsert(keys[r], &inserted), r);
+    }
+  }
+  num_rows_ += batch.num_rows;
+  column_bytes_ = 0;
+  for (const ColumnVector& c : columns_) column_bytes_ += ColumnVectorBytes(c);
+  return Status::OK();
+}
+
+uint64_t JoinHashTable::MemoryBytes() const {
+  return column_bytes_ + heads_.capacity() * 4 + next_.capacity() * 4 +
+         key_ids_.MemoryBytes();
+}
+
+void JoinHashTable::Clear() {
+  for (ColumnVector& c : columns_) {
+    ColumnVector fresh(c.type);
+    fresh.dict = c.dict;
+    c = std::move(fresh);
+  }
+  num_rows_ = 0;
+  heads_.clear();
+  next_.clear();
+  key_ids_.Clear();
+  column_bytes_ = 0;
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,122 @@
+// Key encoding and chained hash tables shared by hash join and aggregation.
+#ifndef BDCC_EXEC_HASH_TABLE_H_
+#define BDCC_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/batch.h"
+
+namespace bdcc {
+namespace exec {
+
+/// \brief Normalizes one or more key columns per row into either an int64
+/// (single integer-backed key: the TPC-H join fast path) or a byte string
+/// (composite / string / float keys). NULL keys encode distinctly and never
+/// match a non-null key.
+class KeyEncoder {
+ public:
+  Status Bind(const Schema& schema, const std::vector<std::string>& key_cols);
+
+  bool int_path() const { return int_path_; }
+  size_t num_keys() const { return indices_.size(); }
+  const std::vector<int>& indices() const { return indices_; }
+
+  /// Fast path: per-row int64 keys; `valid[i]`=0 marks NULL keys.
+  void EncodeInts(const Batch& batch, std::vector<int64_t>* keys,
+                  std::vector<uint8_t>* valid) const;
+  /// Generic path: per-row byte keys ("" never produced); NULL keys yield
+  /// valid[i]=0.
+  void EncodeBytes(const Batch& batch, std::vector<std::string>* keys,
+                   std::vector<uint8_t>* valid) const;
+
+ private:
+  std::vector<int> indices_;
+  std::vector<TypeId> types_;
+  bool int_path_ = false;
+};
+
+/// \brief Chained hash table mapping keys to dense ids 0..n-1 (insertion
+/// order). Ids index the caller's payload arrays.
+class DenseKeyMap {
+ public:
+  void SetIntMode(bool int_mode) { int_mode_ = int_mode; }
+
+  /// Existing id or -1.
+  int64_t Find(int64_t key) const;
+  int64_t Find(const std::string& key) const;
+  /// Existing id, or insert and return the fresh one (out_inserted flags it).
+  int64_t FindOrInsert(int64_t key, bool* out_inserted);
+  int64_t FindOrInsert(const std::string& key, bool* out_inserted);
+
+  size_t size() const {
+    return int_mode_ ? int_map_.size() : bytes_map_.size();
+  }
+  /// Rough heap footprint for memory accounting.
+  uint64_t MemoryBytes() const;
+  void Clear();
+
+ private:
+  bool int_mode_ = true;
+  std::unordered_map<int64_t, int64_t> int_map_;
+  std::unordered_map<std::string, int64_t> bytes_map_;
+  uint64_t bytes_key_payload_ = 0;
+};
+
+/// \brief Materialized build side of a hash join: all build columns plus a
+/// key -> row-chain index.
+class JoinHashTable {
+ public:
+  Status Init(const Schema& build_schema,
+              const std::vector<std::string>& key_cols);
+
+  Status AddBatch(const Batch& batch);
+
+  size_t num_rows() const { return num_rows_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<ColumnVector>& columns() const { return columns_; }
+  const KeyEncoder& encoder() const { return encoder_; }
+
+  /// Iterate build-row indices matching an int64 key.
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn fn) const {
+    int64_t id = key_ids_.Find(key);
+    if (id < 0) return;
+    for (uint32_t row = heads_[id]; row != kEnd; row = next_[row]) fn(row);
+  }
+  template <typename Fn>
+  void ForEachMatch(const std::string& key, Fn fn) const {
+    int64_t id = key_ids_.Find(key);
+    if (id < 0) return;
+    for (uint32_t row = heads_[id]; row != kEnd; row = next_[row]) fn(row);
+  }
+  bool HasMatch(int64_t key) const { return key_ids_.Find(key) >= 0; }
+  bool HasMatch(const std::string& key) const { return key_ids_.Find(key) >= 0; }
+
+  /// Heap bytes held (columns + chains + key map) for memory accounting.
+  uint64_t MemoryBytes() const;
+  void Clear();
+
+ private:
+  static constexpr uint32_t kEnd = 0xFFFFFFFFu;
+
+  Schema schema_;
+  KeyEncoder encoder_;
+  std::vector<ColumnVector> columns_;
+  size_t num_rows_ = 0;
+  DenseKeyMap key_ids_;
+  std::vector<uint32_t> heads_;  // per key id: first row in chain
+  std::vector<uint32_t> next_;   // per row: next row with same key
+  uint64_t column_bytes_ = 0;
+};
+
+/// Heap bytes of one ColumnVector (accounting helper).
+uint64_t ColumnVectorBytes(const ColumnVector& v);
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_HASH_TABLE_H_

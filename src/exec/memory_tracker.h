@@ -1,0 +1,68 @@
+// Operator memory accounting (reproduces the paper's Figure 3).
+//
+// Operators report the bytes held by their stateful structures (join hash
+// tables, aggregation tables, sort buffers, outer-side materializations);
+// the tracker keeps the running total and the high-water mark per query.
+#ifndef BDCC_EXEC_MEMORY_TRACKER_H_
+#define BDCC_EXEC_MEMORY_TRACKER_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace bdcc {
+namespace exec {
+
+class MemoryTracker {
+ public:
+  void Allocate(uint64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void Release(uint64_t bytes) {
+    BDCC_CHECK(bytes <= current_);
+    current_ -= bytes;
+  }
+
+  uint64_t current_bytes() const { return current_; }
+  uint64_t peak_bytes() const { return peak_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  uint64_t current_ = 0;
+  uint64_t peak_ = 0;
+};
+
+/// \brief RAII registration of a chunk of operator memory.
+class TrackedMemory {
+ public:
+  explicit TrackedMemory(MemoryTracker* tracker) : tracker_(tracker) {}
+  ~TrackedMemory() { Clear(); }
+  BDCC_DISALLOW_COPY_AND_ASSIGN(TrackedMemory);
+
+  /// Adjust the registered size to `bytes`.
+  void Set(uint64_t bytes) {
+    if (tracker_ == nullptr) return;
+    if (bytes > bytes_) {
+      tracker_->Allocate(bytes - bytes_);
+    } else {
+      tracker_->Release(bytes_ - bytes);
+    }
+    bytes_ = bytes;
+  }
+  void Clear() { Set(0); }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_MEMORY_TRACKER_H_

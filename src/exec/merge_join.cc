@@ -1,0 +1,105 @@
+#include "exec/merge_join.h"
+
+namespace bdcc {
+namespace exec {
+
+MergeJoin::MergeJoin(OperatorPtr left, OperatorPtr right, std::string left_key,
+                     std::string right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)) {}
+
+Status MergeJoin::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(left_->Open(ctx));
+  BDCC_RETURN_NOT_OK(right_->Open(ctx));
+  BDCC_ASSIGN_OR_RETURN(left_key_idx_, left_->schema().Require(left_key_));
+  BDCC_ASSIGN_OR_RETURN(right_key_idx_, right_->schema().Require(right_key_));
+  TypeId lt = left_->schema().field(left_key_idx_).type;
+  TypeId rt = right_->schema().field(right_key_idx_).type;
+  if (lt == TypeId::kString || lt == TypeId::kFloat64 ||
+      rt == TypeId::kString || rt == TypeId::kFloat64) {
+    return Status::InvalidArgument("merge join requires integer keys");
+  }
+  schema_ = Schema::Concat(left_->schema(), right_->schema());
+  right_batch_ = Batch::Empty();
+  right_pos_ = 0;
+  right_done_ = false;
+  last_right_key_ = INT64_MIN;
+  return Status::OK();
+}
+
+int64_t MergeJoin::RightKeyAt(size_t row) const {
+  const ColumnVector& c = right_batch_.columns[right_key_idx_];
+  return c.type == TypeId::kInt64 ? c.i64[row] : c.i32[row];
+}
+
+int64_t MergeJoin::LeftKeyAt(const Batch& b, size_t row) const {
+  const ColumnVector& c = b.columns[left_key_idx_];
+  return c.type == TypeId::kInt64 ? c.i64[row] : c.i32[row];
+}
+
+Status MergeJoin::AdvanceRight(ExecContext* ctx) {
+  while (!right_done_ && right_pos_ >= right_batch_.num_rows) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, right_->Next(ctx));
+    if (b.empty()) {
+      right_done_ = true;
+      break;
+    }
+    right_batch_ = std::move(b);
+    right_pos_ = 0;
+  }
+  return Status::OK();
+}
+
+Result<Batch> MergeJoin::Next(ExecContext* ctx) {
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch in, left_->Next(ctx));
+    if (in.empty()) return Batch::Empty();
+
+    Batch out;
+    out.group_id = in.group_id;
+    for (const Field& f : schema_.fields()) out.columns.emplace_back(f.type);
+    size_t left_width = in.columns.size();
+    for (size_t c = 0; c < right_->schema().num_fields(); ++c) {
+      if (!right_batch_.columns.empty()) {
+        out.columns[left_width + c].dict = right_batch_.columns[c].dict;
+      }
+    }
+
+    for (size_t i = 0; i < in.num_rows; ++i) {
+      int64_t lk = LeftKeyAt(in, i);
+      // Advance right cursor to the first key >= lk.
+      while (true) {
+        BDCC_RETURN_NOT_OK(AdvanceRight(ctx));
+        if (right_done_ && right_pos_ >= right_batch_.num_rows) break;
+        int64_t rk = RightKeyAt(right_pos_);
+        if (rk >= lk) {
+          BDCC_CHECK_MSG(rk >= last_right_key_, "right input not sorted");
+          last_right_key_ = rk;
+          break;
+        }
+        ++right_pos_;
+      }
+      if (right_pos_ < right_batch_.num_rows && RightKeyAt(right_pos_) == lk) {
+        for (size_t c = 0; c < left_width; ++c) {
+          out.columns[c].AppendFrom(in.columns[c], i);
+        }
+        for (size_t c = 0; c < right_batch_.columns.size(); ++c) {
+          out.columns[left_width + c].AppendFrom(right_batch_.columns[c],
+                                                 right_pos_);
+        }
+        ++out.num_rows;
+      }
+    }
+    if (out.num_rows > 0) return out;
+  }
+}
+
+void MergeJoin::Close(ExecContext* ctx) {
+  left_->Close(ctx);
+  right_->Close(ctx);
+}
+
+}  // namespace exec
+}  // namespace bdcc

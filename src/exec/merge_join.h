@@ -1,0 +1,44 @@
+// Streaming merge join for inputs sorted on a single integer key, with
+// unique keys on the right side (the PK-scheme joins: LINEITEM⋈ORDERS on
+// orderkey and PARTSUPP⋈PART on partkey). Memory: O(batch).
+#ifndef BDCC_EXEC_MERGE_JOIN_H_
+#define BDCC_EXEC_MERGE_JOIN_H_
+
+#include <string>
+
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+/// \brief Inner merge join; right side must be key-unique and ascending,
+/// left side ascending (duplicates fine).
+class MergeJoin : public Operator {
+ public:
+  MergeJoin(OperatorPtr left, OperatorPtr right, std::string left_key,
+            std::string right_key);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  int64_t RightKeyAt(size_t row) const;
+  int64_t LeftKeyAt(const Batch& b, size_t row) const;
+  Status AdvanceRight(ExecContext* ctx);  // refill right batch when drained
+
+  OperatorPtr left_, right_;
+  std::string left_key_, right_key_;
+  int left_key_idx_ = -1, right_key_idx_ = -1;
+  Schema schema_;
+  Batch right_batch_;
+  size_t right_pos_ = 0;
+  bool right_done_ = false;
+  int64_t last_right_key_ = INT64_MIN;  // uniqueness/sortedness check
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_MERGE_JOIN_H_

@@ -1,0 +1,35 @@
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+Result<Batch> CollectAll(Operator* op, ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(op->Open(ctx));
+  Batch out;
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, op->Next(ctx));
+    if (b.empty()) break;
+    if (out.columns.empty()) {
+      out = std::move(b);
+      continue;
+    }
+    for (size_t c = 0; c < out.columns.size(); ++c) {
+      for (size_t r = 0; r < b.num_rows; ++r) {
+        out.columns[c].AppendInterning(b.columns[c], r);
+      }
+    }
+    out.num_rows += b.num_rows;
+  }
+  op->Close(ctx);
+  if (out.columns.empty()) {
+    // Typed empty result.
+    for (const Field& f : op->schema().fields()) {
+      out.columns.emplace_back(f.type);
+    }
+  }
+  out.group_id = -1;
+  return out;
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,38 @@
+// Pull-based (Volcano-style) operator interface exchanging batches.
+#ifndef BDCC_EXEC_OPERATOR_H_
+#define BDCC_EXEC_OPERATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "exec/batch.h"
+#include "exec/exec_context.h"
+
+namespace bdcc {
+namespace exec {
+
+/// \brief Base class for physical operators.
+///
+/// Protocol: Open() once, then Next() until it returns an empty batch
+/// (num_rows == 0), which signals end-of-stream. Operators never emit empty
+/// non-terminal batches.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual Status Open(ExecContext* ctx) = 0;
+  virtual Result<Batch> Next(ExecContext* ctx) = 0;
+  virtual void Close(ExecContext* ctx) {}
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drain `op` fully, concatenating all batches into one (test/driver
+/// convenience; also runs Open/Close).
+Result<Batch> CollectAll(Operator* op, ExecContext* ctx);
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_OPERATOR_H_

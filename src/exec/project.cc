@@ -1,0 +1,53 @@
+#include "exec/project.h"
+
+namespace bdcc {
+namespace exec {
+
+OperatorPtr Project::Rename(
+    OperatorPtr child,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  std::vector<NamedExpr> exprs;
+  exprs.reserve(renames.size());
+  for (const auto& [from, to] : renames) {
+    exprs.push_back(NamedExpr{to, Col(from)});
+  }
+  return std::make_unique<Project>(std::move(child), std::move(exprs));
+}
+
+OperatorPtr Project::Keep(OperatorPtr child,
+                          const std::vector<std::string>& columns) {
+  std::vector<NamedExpr> exprs;
+  exprs.reserve(columns.size());
+  for (const std::string& c : columns) {
+    exprs.push_back(NamedExpr{c, Col(c)});
+  }
+  return std::make_unique<Project>(std::move(child), std::move(exprs));
+}
+
+Status Project::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(child_->Open(ctx));
+  std::vector<Field> fields;
+  for (NamedExpr& ne : exprs_) {
+    BDCC_RETURN_NOT_OK(ne.expr->Bind(child_->schema()));
+    fields.push_back(Field{ne.name, ne.expr->type()});
+  }
+  schema_ = Schema(std::move(fields));
+  return Status::OK();
+}
+
+Result<Batch> Project::Next(ExecContext* ctx) {
+  BDCC_ASSIGN_OR_RETURN(Batch in, child_->Next(ctx));
+  if (in.empty()) return Batch::Empty();
+  Batch out;
+  out.num_rows = in.num_rows;
+  out.group_id = in.group_id;
+  out.columns.reserve(exprs_.size());
+  for (const NamedExpr& ne : exprs_) {
+    BDCC_ASSIGN_OR_RETURN(ColumnVector v, ne.expr->Eval(in));
+    out.columns.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,49 @@
+// Expression projection (also used for column renaming).
+#ifndef BDCC_EXEC_PROJECT_H_
+#define BDCC_EXEC_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+/// \brief Computes named expressions over its child's batches.
+class Project : public Operator {
+ public:
+  struct NamedExpr {
+    std::string name;
+    ExprPtr expr;
+  };
+
+  Project(OperatorPtr child, std::vector<NamedExpr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+  /// Identity projection that renames columns: (from, to) pairs; columns
+  /// not listed are dropped.
+  static OperatorPtr Rename(
+      OperatorPtr child,
+      const std::vector<std::pair<std::string, std::string>>& renames);
+
+  /// Keep only the listed columns (by name).
+  static OperatorPtr Keep(OperatorPtr child,
+                          const std::vector<std::string>& columns);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<NamedExpr> exprs_;
+  Schema schema_;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_PROJECT_H_

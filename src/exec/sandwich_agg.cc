@@ -1,0 +1,134 @@
+#include "exec/sandwich_agg.h"
+
+namespace bdcc {
+namespace exec {
+
+SandwichAgg::SandwichAgg(OperatorPtr child, std::vector<std::string> group_cols,
+                         std::vector<AggSpec> specs)
+    : child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      spec_templates_(std::move(specs)) {}
+
+Status SandwichAgg::Open(ExecContext* ctx) {
+  if (group_cols_.empty()) {
+    return Status::InvalidArgument("SandwichAgg requires group columns");
+  }
+  BDCC_RETURN_NOT_OK(child_->Open(ctx));
+  const Schema& in = child_->schema();
+  BDCC_RETURN_NOT_OK(core_.Bind(in, spec_templates_));
+  BDCC_RETURN_NOT_OK(encoder_.Bind(in, group_cols_));
+  key_map_.SetIntMode(encoder_.int_path());
+
+  std::vector<Field> fields;
+  key_store_.clear();
+  for (const std::string& g : group_cols_) {
+    BDCC_ASSIGN_OR_RETURN(int idx, in.Require(g));
+    fields.push_back(in.field(idx));
+    key_store_.emplace_back(in.field(idx).type);
+  }
+  for (const Field& f : core_.output_fields()) fields.push_back(f);
+  schema_ = Schema(std::move(fields));
+
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  key_map_.Clear();
+  current_partition_ = -1;
+  input_done_ = false;
+  ready_.clear();
+  return Status::OK();
+}
+
+Status SandwichAgg::Consume(const Batch& batch) {
+  std::vector<uint32_t> group_of_row(batch.num_rows);
+  const std::vector<int>& key_idx = encoder_.indices();
+  auto assign = [&](size_t row, int64_t gid, bool inserted) {
+    if (inserted) {
+      for (size_t k = 0; k < key_idx.size(); ++k) {
+        key_store_[k].AppendInterning(batch.columns[key_idx[k]], row);
+      }
+    }
+    group_of_row[row] = static_cast<uint32_t>(gid);
+  };
+  if (encoder_.int_path()) {
+    std::vector<int64_t> keys;
+    std::vector<uint8_t> valid;
+    encoder_.EncodeInts(batch, &keys, &valid);
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      bool inserted;
+      int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
+      assign(i, gid, inserted);
+    }
+  } else {
+    std::vector<std::string> keys;
+    std::vector<uint8_t> valid;
+    encoder_.EncodeBytes(batch, &keys, &valid);
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      bool inserted;
+      int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
+      assign(i, gid, inserted);
+    }
+  }
+  core_.EnsureGroups(key_map_.size());
+  return core_.Update(batch, group_of_row);
+}
+
+void SandwichAgg::FlushPartition(ExecContext* ctx) {
+  size_t groups = key_map_.size();
+  if (groups > 0) {
+    Batch out;
+    out.num_rows = groups;
+    std::vector<uint32_t> all(groups);
+    for (size_t g = 0; g < groups; ++g) all[g] = static_cast<uint32_t>(g);
+    for (ColumnVector& ks : key_store_) {
+      out.columns.push_back(ks.Gather(all));
+    }
+    core_.EmitRange(0, groups, &out.columns);
+    ready_.push_back(std::move(out));
+  }
+  // Reset partition state.
+  key_map_.Clear();
+  for (ColumnVector& ks : key_store_) {
+    ColumnVector fresh(ks.type);
+    ks = std::move(fresh);
+  }
+  core_.Reset();
+  ctx->stats()->sandwich_partitions += 1;
+}
+
+Result<Batch> SandwichAgg::Next(ExecContext* ctx) {
+  while (ready_.empty() && !input_done_) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
+    if (b.empty()) {
+      input_done_ = true;
+      FlushPartition(ctx);
+      break;
+    }
+    if (b.group_id < 0) {
+      return Status::InvalidArgument(
+          "sandwich aggregation input is not group-tagged");
+    }
+    if (current_partition_ >= 0 && b.group_id != current_partition_) {
+      FlushPartition(ctx);
+    }
+    current_partition_ = b.group_id;
+    BDCC_RETURN_NOT_OK(Consume(b));
+    uint64_t store_bytes = 0;
+    for (const ColumnVector& v : key_store_) {
+      store_bytes += ColumnVectorBytes(v);
+    }
+    tracked_->Set(key_map_.MemoryBytes() + store_bytes + core_.MemoryBytes());
+  }
+  if (ready_.empty()) return Batch::Empty();
+  Batch out = std::move(ready_.front());
+  ready_.pop_front();
+  return out;
+}
+
+void SandwichAgg::Close(ExecContext* ctx) {
+  child_->Close(ctx);
+  key_map_.Clear();
+  core_.Reset();
+  if (tracked_) tracked_->Clear();
+}
+
+}  // namespace exec
+}  // namespace bdcc

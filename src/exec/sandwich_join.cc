@@ -1,0 +1,184 @@
+#include "exec/sandwich_join.h"
+
+namespace bdcc {
+namespace exec {
+
+SandwichHashJoin::SandwichHashJoin(OperatorPtr left, OperatorPtr right,
+                                   std::vector<std::string> left_keys,
+                                   std::vector<std::string> right_keys,
+                                   JoinType type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      type_(type) {}
+
+Status SandwichHashJoin::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(left_->Open(ctx));
+  BDCC_RETURN_NOT_OK(right_->Open(ctx));
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  BDCC_RETURN_NOT_OK(table_.Init(right_->schema(), right_keys_));
+  BDCC_RETURN_NOT_OK(probe_encoder_.Bind(left_->schema(), left_keys_));
+  if (type_ == JoinType::kLeftSemi || type_ == JoinType::kLeftAnti) {
+    schema_ = left_->schema();
+  } else {
+    schema_ = Schema::Concat(left_->schema(), right_->schema());
+  }
+  have_pending_right_ = false;
+  right_done_ = false;
+  current_group_ = -1;
+  last_left_group_ = -1;
+  return Status::OK();
+}
+
+Status SandwichHashJoin::PullRight(ExecContext* ctx) {
+  BDCC_ASSIGN_OR_RETURN(Batch b, right_->Next(ctx));
+  if (b.empty()) {
+    right_done_ = true;
+    have_pending_right_ = false;
+    return Status::OK();
+  }
+  if (b.group_id < 0) {
+    return Status::InvalidArgument(
+        "sandwich join build input is not group-tagged");
+  }
+  pending_right_ = std::move(b);
+  have_pending_right_ = true;
+  return Status::OK();
+}
+
+Status SandwichHashJoin::LoadRightGroupUpTo(int64_t target, ExecContext* ctx) {
+  if (current_group_ >= target) return Status::OK();
+  // Discard the stale group.
+  table_.Clear();
+  tracked_->Set(0);
+  current_group_ = -1;
+
+  // Skip right batches below the target group.
+  while (true) {
+    if (!have_pending_right_ && !right_done_) BDCC_RETURN_NOT_OK(PullRight(ctx));
+    if (!have_pending_right_) return Status::OK();  // right exhausted
+    if (pending_right_.group_id >= target) break;
+    have_pending_right_ = false;
+  }
+  // Build all batches of the chosen group.
+  int64_t group = pending_right_.group_id;
+  while (have_pending_right_ && pending_right_.group_id == group) {
+    BDCC_RETURN_NOT_OK(table_.AddBatch(pending_right_));
+    have_pending_right_ = false;
+    if (!right_done_) BDCC_RETURN_NOT_OK(PullRight(ctx));
+  }
+  current_group_ = group;
+  tracked_->Set(table_.MemoryBytes());
+  ctx->stats()->sandwich_partitions += 1;
+  return Status::OK();
+}
+
+Result<Batch> SandwichHashJoin::ProbeBatch(const Batch& in) {
+  size_t left_width = in.columns.size();
+  Batch out;
+  out.group_id = in.group_id;
+  for (const Field& f : schema_.fields()) out.columns.emplace_back(f.type);
+  if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
+    for (size_t c = 0; c < table_.columns().size(); ++c) {
+      out.columns[left_width + c].dict = table_.columns()[c].dict;
+    }
+  }
+
+  auto emit_match = [&](size_t left_row, uint32_t build_row) {
+    for (size_t c = 0; c < left_width; ++c) {
+      out.columns[c].AppendFrom(in.columns[c], left_row);
+    }
+    for (size_t c = 0; c < table_.columns().size(); ++c) {
+      out.columns[left_width + c].AppendFrom(table_.columns()[c], build_row);
+    }
+    ++out.num_rows;
+  };
+  auto emit_left = [&](size_t left_row, bool null_right) {
+    for (size_t c = 0; c < left_width; ++c) {
+      out.columns[c].AppendFrom(in.columns[c], left_row);
+    }
+    if (null_right) {
+      for (size_t c = left_width; c < out.columns.size(); ++c) {
+        out.columns[c].AppendNull();
+      }
+    }
+    ++out.num_rows;
+  };
+  auto probe_row = [&](size_t i, auto&& key, bool valid) {
+    bool matched = false;
+    if (valid) {
+      if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
+        table_.ForEachMatch(key, [&](uint32_t row) {
+          emit_match(i, row);
+          matched = true;
+        });
+      } else {
+        matched = table_.HasMatch(key);
+      }
+    }
+    if (type_ == JoinType::kLeftOuter && !matched) emit_left(i, true);
+    if (type_ == JoinType::kLeftSemi && matched) emit_left(i, false);
+    if (type_ == JoinType::kLeftAnti && !matched) emit_left(i, false);
+  };
+
+  if (probe_encoder_.int_path()) {
+    std::vector<int64_t> keys;
+    std::vector<uint8_t> valid;
+    probe_encoder_.EncodeInts(in, &keys, &valid);
+    for (size_t i = 0; i < in.num_rows; ++i) probe_row(i, keys[i], valid[i]);
+  } else {
+    std::vector<std::string> keys;
+    std::vector<uint8_t> valid;
+    probe_encoder_.EncodeBytes(in, &keys, &valid);
+    for (size_t i = 0; i < in.num_rows; ++i) probe_row(i, keys[i], valid[i]);
+  }
+  return out;
+}
+
+Result<Batch> SandwichHashJoin::Next(ExecContext* ctx) {
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch in, left_->Next(ctx));
+    if (in.empty()) return Batch::Empty();
+    if (in.group_id < 0) {
+      return Status::InvalidArgument(
+          "sandwich join probe input is not group-tagged");
+    }
+    if (in.group_id < last_left_group_) {
+      return Status::Internal("sandwich join probe groups not ascending");
+    }
+    last_left_group_ = in.group_id;
+    BDCC_RETURN_NOT_OK(LoadRightGroupUpTo(in.group_id, ctx));
+    if (current_group_ == in.group_id) {
+      BDCC_ASSIGN_OR_RETURN(Batch out, ProbeBatch(in));
+      if (out.num_rows > 0) return out;
+      continue;
+    }
+    // No matching right group: anti rows pass through; left-outer rows pass
+    // with NULL right columns.
+    if (type_ == JoinType::kLeftAnti) return in;
+    if (type_ == JoinType::kLeftOuter) {
+      Batch out;
+      out.group_id = in.group_id;
+      out.num_rows = in.num_rows;
+      out.columns = std::move(in.columns);
+      for (size_t c = left_->schema().num_fields();
+           c < schema_.num_fields(); ++c) {
+        ColumnVector v(schema_.field(c).type);
+        for (size_t r = 0; r < out.num_rows; ++r) v.AppendNull();
+        out.columns.push_back(std::move(v));
+      }
+      return out;
+    }
+  }
+}
+
+void SandwichHashJoin::Close(ExecContext* ctx) {
+  left_->Close(ctx);
+  right_->Close(ctx);
+  table_.Clear();
+  if (tracked_) tracked_->Clear();
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,249 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace bdcc {
+namespace exec {
+
+namespace {
+
+// Prepare an empty batch with one typed column per scan output.
+Batch PrepareBatch(const Table& table, const std::vector<int>& col_idx,
+                   const Schema& schema) {
+  Batch out;
+  out.columns.reserve(col_idx.size());
+  for (size_t c = 0; c < col_idx.size(); ++c) {
+    ColumnVector v(schema.field(c).type);
+    if (table.column(col_idx[c]).type() == TypeId::kString) {
+      v.dict = table.column(col_idx[c]).dict();
+    }
+    out.columns.push_back(std::move(v));
+  }
+  return out;
+}
+
+// Append rows [begin, end) of the storage columns to `out`, charging
+// buffer-pool I/O per contiguous chunk.
+void AppendRows(const Table& table, const std::vector<int>& col_idx,
+                uint64_t begin, uint64_t end, ExecContext* ctx, Batch* out) {
+  for (size_t c = 0; c < col_idx.size(); ++c) {
+    const Column& src = table.column(col_idx[c]);
+    ColumnVector& v = out->columns[c];
+    switch (src.type()) {
+      case TypeId::kInt64:
+        v.i64.insert(v.i64.end(), src.i64().begin() + begin,
+                     src.i64().begin() + end);
+        break;
+      case TypeId::kFloat64:
+        v.f64.insert(v.f64.end(), src.f64().begin() + begin,
+                     src.f64().begin() + end);
+        break;
+      default:
+        v.i32.insert(v.i32.end(), src.i32().begin() + begin,
+                     src.i32().begin() + end);
+        break;
+    }
+    // Simulated I/O only when the execution context is wired to a pool
+    // (plan-time mini-evaluations pass a pool-less context).
+    if (table.HasIoHandles() && ctx->buffer_pool() != nullptr) {
+      table.buffer_pool()->ReadRows(table.io_handle(col_idx[c]), begin, end);
+    }
+  }
+  out->num_rows += end - begin;
+  ctx->stats()->rows_scanned += end - begin;
+}
+
+Status ResolveScan(const Table& table, const std::vector<std::string>& names,
+                   const std::vector<ScanPredicate>& preds,
+                   std::vector<int>* col_idx,
+                   std::vector<std::pair<int, ValueRange>>* bound_preds,
+                   Schema* schema) {
+  col_idx->clear();
+  bound_preds->clear();
+  std::vector<Field> fields;
+  for (const std::string& name : names) {
+    BDCC_ASSIGN_OR_RETURN(int idx, table.ColumnIndex(name));
+    col_idx->push_back(idx);
+    fields.push_back(Field{name, table.column(idx).type()});
+  }
+  for (const ScanPredicate& p : preds) {
+    BDCC_ASSIGN_OR_RETURN(int idx, table.ColumnIndex(p.column));
+    bound_preds->push_back({idx, p.range});
+  }
+  *schema = Schema(std::move(fields));
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------- PlainScan ----------------
+
+PlainScan::PlainScan(const Table* table, std::vector<std::string> columns,
+                     std::vector<ScanPredicate> zone_predicates)
+    : table_(table),
+      col_names_(std::move(columns)),
+      preds_(std::move(zone_predicates)) {}
+
+Status PlainScan::Open(ExecContext* ctx) {
+  cursor_ = 0;
+  last_zone_counted_ = ~uint64_t{0};
+  return ResolveScan(*table_, col_names_, preds_, &col_idx_, &bound_preds_,
+                     &schema_);
+}
+
+bool PlainScan::ZoneAllowed(uint64_t zone) const {
+  if (!table_->HasZoneMaps()) return true;
+  for (const auto& [col, range] : bound_preds_) {
+    if (!table_->zone_map(col).MayMatch(zone, range)) return false;
+  }
+  return true;
+}
+
+Result<Batch> PlainScan::Next(ExecContext* ctx) {
+  uint64_t rows = table_->num_rows();
+  uint32_t zone_rows = table_->HasZoneMaps() ? table_->zone_rows() : 0;
+  Batch out = PrepareBatch(*table_, col_idx_, schema_);
+  while (cursor_ < rows && out.num_rows < ctx->batch_size()) {
+    uint64_t end = std::min(rows, cursor_ + (ctx->batch_size() - out.num_rows));
+    if (zone_rows != 0) {
+      uint64_t zone = cursor_ / zone_rows;
+      if (!ZoneAllowed(zone)) {
+        ctx->stats()->zones_skipped += 1;
+        cursor_ = (zone + 1) * zone_rows;
+        continue;
+      }
+      if (zone != last_zone_counted_) {
+        ctx->stats()->zones_read += 1;
+        last_zone_counted_ = zone;
+      }
+      end = std::min<uint64_t>(end, (zone + 1) * zone_rows);
+    }
+    AppendRows(*table_, col_idx_, cursor_, end, ctx, &out);
+    cursor_ = end;
+  }
+  return out;  // empty == end-of-stream
+}
+
+// ---------------- BdccScan ----------------
+
+BdccScan::BdccScan(const BdccTable* table, std::vector<std::string> columns,
+                   std::vector<GroupRange> ranges,
+                   std::vector<ScanPredicate> zone_predicates,
+                   std::vector<GroupSpec> grouping, uint64_t pruned_groups)
+    : table_(table),
+      col_names_(std::move(columns)),
+      ranges_(std::move(ranges)),
+      preds_(std::move(zone_predicates)),
+      grouping_(std::move(grouping)),
+      pruned_groups_(pruned_groups) {}
+
+Status BdccScan::Open(ExecContext* ctx) {
+  range_idx_ = 0;
+  cursor_ = 0;
+  ctx->stats()->groups_pruned += pruned_groups_;
+  BDCC_RETURN_NOT_OK(ResolveScan(table_->data(), col_names_, preds_,
+                                 &col_idx_, &bound_preds_, &schema_));
+  // Grouped emission must present group ids in ascending order (sandwich
+  // operators align on them). Sort by the *emitted* id — the aligned shared
+  // prefix — not the full dimension bits; a stable sort keeps physical
+  // (key) order within each group for better coalescing below.
+  if (!grouping_.empty()) {
+    std::stable_sort(ranges_.begin(), ranges_.end(),
+                     [&](const GroupRange& a, const GroupRange& b) {
+                       return GroupIdOf(a.key) < GroupIdOf(b.key);
+                     });
+  }
+  // Coalesce physically contiguous ranges that share a group id so batches
+  // are not fragmented at count-table group boundaries (for an ungrouped
+  // scan every contiguous run merges into one span).
+  if (!ranges_.empty()) {
+    std::vector<GroupRange> merged;
+    merged.reserve(ranges_.size());
+    int64_t last_gid = 0;
+    for (const GroupRange& r : ranges_) {
+      int64_t gid = GroupIdOf(r.key);
+      if (!merged.empty() && merged.back().row_end == r.row_begin &&
+          last_gid == gid) {
+        merged.back().row_end = r.row_end;
+      } else {
+        merged.push_back(r);
+        last_gid = gid;
+      }
+    }
+    ranges_ = std::move(merged);
+  }
+  return Status::OK();
+}
+
+bool BdccScan::ZoneAllowed(uint64_t zone) const {
+  const Table& data = table_->data();
+  if (!data.HasZoneMaps()) return true;
+  for (const auto& [col, range] : bound_preds_) {
+    if (!data.zone_map(col).MayMatch(zone, range)) return false;
+  }
+  return true;
+}
+
+int64_t BdccScan::GroupIdOf(uint64_t key) const {
+  if (grouping_.empty()) return -1;
+  int64_t gid = 0;
+  for (const GroupSpec& g : grouping_) {
+    uint64_t mask = table_->ReducedMask(g.use_idx);
+    int own_bits = bits::Ones(mask);
+    uint64_t prefix = bits::ExtractBits(key, mask);
+    BDCC_CHECK(g.shared_bits <= own_bits);
+    gid = (gid << g.shared_bits) |
+          static_cast<int64_t>(prefix >> (own_bits - g.shared_bits));
+  }
+  return gid;
+}
+
+Result<Batch> BdccScan::Next(ExecContext* ctx) {
+  const Table& data = table_->data();
+  uint32_t zone_rows = data.HasZoneMaps() ? data.zone_rows() : 0;
+  Batch out = PrepareBatch(data, col_idx_, schema_);
+  int64_t batch_gid = -2;  // unset sentinel
+  while (range_idx_ < ranges_.size() && out.num_rows < ctx->batch_size()) {
+    const GroupRange& range = ranges_[range_idx_];
+    // A batch never mixes group ids (sandwich alignment contract); ranges
+    // are id-sorted, so we only ever cut at id boundaries.
+    int64_t gid = GroupIdOf(range.key);
+    if (batch_gid != -2 && gid != batch_gid) break;
+    if (cursor_ == 0) {
+      cursor_ = range.row_begin;
+      ctx->stats()->groups_read += 1;
+    }
+    if (cursor_ >= range.row_end) {
+      ++range_idx_;
+      cursor_ = 0;
+      continue;
+    }
+    uint64_t end = std::min(range.row_end,
+                            cursor_ + (ctx->batch_size() - out.num_rows));
+    if (zone_rows != 0) {
+      uint64_t zone = cursor_ / zone_rows;
+      uint64_t zone_begin = zone * zone_rows;
+      uint64_t zone_end = (zone + 1) * zone_rows;
+      // Skip zones lying fully inside the range when MinMax excludes them.
+      if (zone_begin >= range.row_begin && zone_end <= range.row_end &&
+          !ZoneAllowed(zone)) {
+        ctx->stats()->zones_skipped += 1;
+        cursor_ = zone_end;
+        continue;
+      }
+      end = std::min(end, zone_end);
+      ctx->stats()->zones_read += 1;
+    }
+    AppendRows(data, col_idx_, cursor_, end, ctx, &out);
+    batch_gid = gid;
+    cursor_ = end;
+  }
+  out.group_id = batch_gid == -2 ? -1 : batch_gid;
+  if (grouping_.empty()) out.group_id = -1;
+  return out;
+}
+
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,89 @@
+// Table scans: plain (zone-map pruned) and BDCC (group-pruned, optionally
+// group-ordered for sandwich consumers). Both charge simulated I/O through
+// the buffer pool when the table is registered with one.
+#ifndef BDCC_EXEC_SCAN_H_
+#define BDCC_EXEC_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "bdcc/bdcc_table.h"
+#include "bdcc/scatter_scan.h"
+#include "exec/operator.h"
+#include "storage/zonemap.h"
+
+namespace bdcc {
+namespace exec {
+
+/// Sargable predicate usable against zone maps (MinMax pushdown).
+struct ScanPredicate {
+  std::string column;
+  ValueRange range;
+};
+
+/// \brief Sequential scan over a plain table with MinMax zone skipping.
+class PlainScan : public Operator {
+ public:
+  PlainScan(const Table* table, std::vector<std::string> columns,
+            std::vector<ScanPredicate> zone_predicates = {});
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+
+ private:
+  bool ZoneAllowed(uint64_t zone) const;
+
+  const Table* table_;
+  std::vector<std::string> col_names_;
+  std::vector<ScanPredicate> preds_;
+  std::vector<int> col_idx_;
+  std::vector<std::pair<int, ValueRange>> bound_preds_;
+  Schema schema_;
+  uint64_t cursor_ = 0;
+  uint64_t last_zone_counted_ = ~uint64_t{0};
+};
+
+/// How a BDCC scan should tag batches for sandwich consumers: group id is
+/// the concatenation of the listed uses' aligned bin prefixes.
+struct GroupSpec {
+  size_t use_idx = 0;
+  int shared_bits = 0;
+};
+
+/// \brief Scan over a BDCC table driven by (pruned, possibly reordered)
+/// group ranges from the scatter-scan planner.
+class BdccScan : public Operator {
+ public:
+  BdccScan(const BdccTable* table, std::vector<std::string> columns,
+           std::vector<GroupRange> ranges,
+           std::vector<ScanPredicate> zone_predicates = {},
+           std::vector<GroupSpec> grouping = {}, uint64_t pruned_groups = 0);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+
+  /// Group id a given reduced key maps to under `grouping`.
+  int64_t GroupIdOf(uint64_t key) const;
+
+ private:
+  bool ZoneAllowed(uint64_t zone) const;
+
+  const BdccTable* table_;
+  std::vector<std::string> col_names_;
+  std::vector<GroupRange> ranges_;
+  std::vector<ScanPredicate> preds_;
+  std::vector<GroupSpec> grouping_;
+  uint64_t pruned_groups_;
+  std::vector<int> col_idx_;
+  std::vector<std::pair<int, ValueRange>> bound_preds_;
+  Schema schema_;
+  size_t range_idx_ = 0;
+  uint64_t cursor_ = 0;  // within current range
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_SCAN_H_

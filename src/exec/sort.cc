@@ -1,0 +1,142 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/hash_table.h"
+
+namespace bdcc {
+namespace exec {
+
+namespace {
+
+int CompareCell(const ColumnVector& a, size_t ra, const ColumnVector& b,
+                size_t rb) {
+  bool na = a.IsNull(ra), nb = b.IsNull(rb);
+  if (na || nb) return (na == nb) ? 0 : (na ? -1 : 1);  // NULLS FIRST
+  switch (a.type) {
+    case TypeId::kString: {
+      int c = a.GetString(ra).compare(b.GetString(rb));
+      return c < 0 ? -1 : (c == 0 ? 0 : 1);
+    }
+    case TypeId::kFloat64: {
+      double x = a.f64[ra], y = b.f64[rb];
+      return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    case TypeId::kInt64: {
+      int64_t x = a.i64[ra], y = b.i64[rb];
+      return x < y ? -1 : (x == y ? 0 : 1);
+    }
+    default: {
+      int32_t x = a.i32[ra], y = b.i32[rb];
+      return x < y ? -1 : (x == y ? 0 : 1);
+    }
+  }
+}
+
+}  // namespace
+
+int CompareRows(const std::vector<ColumnVector>& a, size_t row_a,
+                const std::vector<ColumnVector>& b, size_t row_b,
+                const std::vector<std::pair<int, bool>>& keys) {
+  for (const auto& [col, desc] : keys) {
+    int c = CompareCell(a[col], row_a, b[col], row_b);
+    if (c != 0) return desc ? -c : c;
+  }
+  return 0;
+}
+
+Sort::Sort(OperatorPtr child, std::vector<SortKey> keys, int64_t limit)
+    : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {}
+
+Status Sort::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(child_->Open(ctx));
+  materialized_ = Batch::Empty();
+  order_.clear();
+  cursor_ = 0;
+  done_ = false;
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  return Status::OK();
+}
+
+Result<Batch> Sort::Next(ExecContext* ctx) {
+  if (!done_) {
+    // Materialize the whole input.
+    while (true) {
+      BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
+      if (b.empty()) break;
+      if (materialized_.columns.empty()) {
+        for (const Field& f : child_->schema().fields()) {
+          materialized_.columns.emplace_back(f.type);
+        }
+      }
+      for (size_t c = 0; c < b.columns.size(); ++c) {
+        for (size_t r = 0; r < b.num_rows; ++r) {
+          materialized_.columns[c].AppendInterning(b.columns[c], r);
+        }
+      }
+      materialized_.num_rows += b.num_rows;
+    }
+    uint64_t bytes = 0;
+    for (const ColumnVector& c : materialized_.columns) {
+      bytes += ColumnVectorBytes(c);
+    }
+    tracked_->Set(bytes + materialized_.num_rows * 4);
+
+    std::vector<std::pair<int, bool>> bound;
+    for (const SortKey& k : keys_) {
+      BDCC_ASSIGN_OR_RETURN(int idx, child_->schema().Require(k.column));
+      bound.push_back({idx, k.descending});
+    }
+    order_.resize(materialized_.num_rows);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](uint32_t x, uint32_t y) {
+                       return CompareRows(materialized_.columns, x,
+                                          materialized_.columns, y,
+                                          bound) < 0;
+                     });
+    if (limit_ >= 0 && static_cast<uint64_t>(limit_) < order_.size()) {
+      order_.resize(limit_);
+    }
+    done_ = true;
+  }
+  if (cursor_ >= order_.size()) return Batch::Empty();
+  size_t end = std::min(order_.size(), cursor_ + ctx->batch_size());
+  std::vector<uint32_t> sel(order_.begin() + cursor_, order_.begin() + end);
+  Batch out;
+  out.num_rows = sel.size();
+  for (const ColumnVector& c : materialized_.columns) {
+    out.columns.push_back(c.Gather(sel));
+  }
+  cursor_ = end;
+  return out;
+}
+
+void Sort::Close(ExecContext* ctx) {
+  child_->Close(ctx);
+  materialized_ = Batch::Empty();
+  order_.clear();
+  if (tracked_) tracked_->Clear();
+}
+
+Result<Batch> Limit::Next(ExecContext* ctx) {
+  if (emitted_ >= limit_) return Batch::Empty();
+  BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
+  if (b.empty()) return b;
+  if (emitted_ + b.num_rows > limit_) {
+    size_t keep = static_cast<size_t>(limit_ - emitted_);
+    std::vector<uint32_t> sel(keep);
+    std::iota(sel.begin(), sel.end(), 0);
+    Batch out;
+    out.num_rows = keep;
+    for (const ColumnVector& c : b.columns) out.columns.push_back(c.Gather(sel));
+    emitted_ = limit_;
+    return out;
+  }
+  emitted_ += b.num_rows;
+  return b;
+}
+
+}  // namespace exec
+}  // namespace bdcc

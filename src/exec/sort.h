@@ -1,0 +1,69 @@
+// Materializing sort (and the shared sort-key machinery used by TopN).
+#ifndef BDCC_EXEC_SORT_H_
+#define BDCC_EXEC_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/memory_tracker.h"
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// Three-way comparison of two rows of (possibly different) batches on the
+/// given key column indices.
+int CompareRows(const std::vector<ColumnVector>& a, size_t row_a,
+                const std::vector<ColumnVector>& b, size_t row_b,
+                const std::vector<std::pair<int, bool>>& keys);
+
+/// \brief Full sort: materializes the child, orders rows by the keys.
+class Sort : public Operator {
+ public:
+  Sort(OperatorPtr child, std::vector<SortKey> keys, int64_t limit = -1);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  Batch materialized_;
+  std::vector<uint32_t> order_;
+  size_t cursor_ = 0;
+  std::unique_ptr<TrackedMemory> tracked_;
+  bool done_ = false;
+};
+
+/// \brief LIMIT n passthrough.
+class Limit : public Operator {
+ public:
+  Limit(OperatorPtr child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext* ctx) override {
+    emitted_ = 0;
+    return child_->Open(ctx);
+  }
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+
+ private:
+  OperatorPtr child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_SORT_H_

@@ -1,0 +1,50 @@
+// Streaming (ordered) aggregation: input sorted on the group columns, state
+// for exactly one group at a time (the PK scheme's Q18-style aggregate that
+// "cannot be beaten" per the paper).
+#ifndef BDCC_EXEC_STREAM_AGG_H_
+#define BDCC_EXEC_STREAM_AGG_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/hash_table.h"
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+class StreamAgg : public Operator {
+ public:
+  StreamAgg(OperatorPtr child, std::vector<std::string> group_cols,
+            std::vector<AggSpec> specs);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  void FlushCurrentGroup();
+
+  OperatorPtr child_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggSpec> spec_templates_;
+  Schema schema_;
+
+  KeyEncoder encoder_;
+  AggregatorCore core_;
+  bool have_current_ = false;
+  std::string current_key_;
+  int64_t current_key_i64_ = 0;
+  std::vector<ColumnVector> current_key_row_;  // 1 row
+  // Finished groups waiting to be emitted.
+  std::vector<ColumnVector> pending_;
+  size_t pending_rows_ = 0;
+  bool input_done_ = false;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_STREAM_AGG_H_

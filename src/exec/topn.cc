@@ -1,0 +1,109 @@
+#include "exec/topn.h"
+
+#include <algorithm>
+
+#include "exec/hash_table.h"
+
+namespace bdcc {
+namespace exec {
+
+TopN::TopN(OperatorPtr child, std::vector<SortKey> keys, uint64_t n)
+    : child_(std::move(child)), keys_(std::move(keys)), n_(n) {}
+
+Status TopN::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(child_->Open(ctx));
+  bound_keys_.clear();
+  for (const SortKey& k : keys_) {
+    BDCC_ASSIGN_OR_RETURN(int idx, child_->schema().Require(k.column));
+    bound_keys_.push_back({idx, k.descending});
+  }
+  heap_rows_ = Batch::Empty();
+  for (const Field& f : child_->schema().fields()) {
+    heap_rows_.columns.emplace_back(f.type);
+  }
+  heap_.clear();
+  final_order_.clear();
+  done_ = false;
+  cursor_ = 0;
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  return Status::OK();
+}
+
+Result<Batch> TopN::Next(ExecContext* ctx) {
+  auto worse = [&](uint32_t a, uint32_t b) {
+    // true when row a sorts before row b (max-heap keeps the worst on top).
+    return CompareRows(heap_rows_.columns, a, heap_rows_.columns, b,
+                       bound_keys_) < 0;
+  };
+  if (!done_) {
+    while (true) {
+      BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
+      if (b.empty()) break;
+      for (size_t r = 0; r < b.num_rows; ++r) {
+        // Append candidate row.
+        uint32_t idx = static_cast<uint32_t>(heap_rows_.num_rows);
+        for (size_t c = 0; c < b.columns.size(); ++c) {
+          heap_rows_.columns[c].AppendInterning(b.columns[c], r);
+        }
+        heap_rows_.num_rows += 1;
+        heap_.push_back(idx);
+        std::push_heap(heap_.begin(), heap_.end(), worse);
+        if (heap_.size() > n_) {
+          std::pop_heap(heap_.begin(), heap_.end(), worse);
+          heap_.pop_back();
+        }
+      }
+      // Note: heap_rows_ grows with dropped rows too; compact when 4x over.
+      if (heap_rows_.num_rows > 4 * std::max<uint64_t>(n_, 1024)) {
+        std::vector<uint32_t> keep = heap_;
+        std::sort(keep.begin(), keep.end());
+        Batch compact;
+        compact.num_rows = keep.size();
+        for (const ColumnVector& c : heap_rows_.columns) {
+          compact.columns.push_back(c.Gather(keep));
+        }
+        for (size_t i = 0; i < heap_.size(); ++i) {
+          // New position of old index heap_[i] in `keep`.
+          heap_[i] = static_cast<uint32_t>(
+              std::lower_bound(keep.begin(), keep.end(), heap_[i]) -
+              keep.begin());
+        }
+        heap_rows_ = std::move(compact);
+        std::make_heap(heap_.begin(), heap_.end(), worse);
+      }
+      uint64_t bytes = 0;
+      for (const ColumnVector& c : heap_rows_.columns) {
+        bytes += ColumnVectorBytes(c);
+      }
+      tracked_->Set(bytes);
+    }
+    final_order_ = heap_;
+    std::sort(final_order_.begin(), final_order_.end(),
+              [&](uint32_t a, uint32_t b) {
+                return CompareRows(heap_rows_.columns, a, heap_rows_.columns,
+                                   b, bound_keys_) < 0;
+              });
+    done_ = true;
+  }
+  if (cursor_ >= final_order_.size()) return Batch::Empty();
+  size_t end = std::min(final_order_.size(), cursor_ + ctx->batch_size());
+  std::vector<uint32_t> sel(final_order_.begin() + cursor_,
+                            final_order_.begin() + end);
+  Batch out;
+  out.num_rows = sel.size();
+  for (const ColumnVector& c : heap_rows_.columns) {
+    out.columns.push_back(c.Gather(sel));
+  }
+  cursor_ = end;
+  return out;
+}
+
+void TopN::Close(ExecContext* ctx) {
+  child_->Close(ctx);
+  heap_rows_ = Batch::Empty();
+  heap_.clear();
+  if (tracked_) tracked_->Clear();
+}
+
+}  // namespace exec
+}  // namespace bdcc

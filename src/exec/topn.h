@@ -1,0 +1,41 @@
+// Top-N: bounded-memory ORDER BY ... LIMIT n via a max-heap of n rows.
+#ifndef BDCC_EXEC_TOPN_H_
+#define BDCC_EXEC_TOPN_H_
+
+#include <vector>
+
+#include "exec/memory_tracker.h"
+#include "exec/operator.h"
+#include "exec/sort.h"
+
+namespace bdcc {
+namespace exec {
+
+/// \brief Keeps only the first `n` rows under the sort order while
+/// consuming input; memory is O(n), unlike Sort.
+class TopN : public Operator {
+ public:
+  TopN(OperatorPtr child, std::vector<SortKey> keys, uint64_t n);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  uint64_t n_;
+  Batch heap_rows_;                 // candidate rows (interned copies)
+  std::vector<uint32_t> heap_;      // indices into heap_rows_, max-heap
+  std::vector<std::pair<int, bool>> bound_keys_;
+  std::unique_ptr<TrackedMemory> tracked_;
+  bool done_ = false;
+  size_t cursor_ = 0;
+  std::vector<uint32_t> final_order_;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_TOPN_H_

@@ -1,0 +1,109 @@
+#include "io/buffer_pool.h"
+
+#include <algorithm>
+
+namespace bdcc {
+namespace io {
+
+BufferPool::BufferPool(DeviceModel* device, uint64_t capacity_bytes)
+    : device_(device) {
+  BDCC_CHECK(device != nullptr);
+  uint64_t page = device->profile().page_size_bytes;
+  capacity_pages_ = std::max<uint64_t>(1, capacity_bytes / page);
+}
+
+ColumnHandle BufferPool::RegisterColumn(const std::string& name,
+                                        uint64_t total_bytes,
+                                        uint64_t row_count) {
+  uint64_t page = device_->profile().page_size_bytes;
+  ColumnInfo info;
+  info.name = name;
+  info.total_bytes = total_bytes;
+  info.row_count = row_count;
+  info.pages = (total_bytes + page - 1) / page;
+  if (info.pages == 0) info.pages = 1;
+  columns_.push_back(info);
+  return static_cast<ColumnHandle>(columns_.size() - 1);
+}
+
+uint64_t BufferPool::ColumnPages(ColumnHandle handle) const {
+  BDCC_CHECK(handle < columns_.size());
+  return columns_[handle].pages;
+}
+
+double BufferPool::ColumnBytesPerRow(ColumnHandle handle) const {
+  BDCC_CHECK(handle < columns_.size());
+  const ColumnInfo& c = columns_[handle];
+  if (c.row_count == 0) return 0.0;
+  return static_cast<double>(c.total_bytes) /
+         static_cast<double>(c.row_count);
+}
+
+void BufferPool::Touch(PageKey key) {
+  auto it = resident_.find(key);
+  BDCC_CHECK(it != resident_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void BufferPool::Insert(PageKey key) {
+  while (resident_.size() >= capacity_pages_) {
+    PageKey victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  resident_[key] = lru_.begin();
+}
+
+void BufferPool::ReadRows(ColumnHandle handle, uint64_t row_begin,
+                          uint64_t row_end) {
+  BDCC_CHECK(handle < columns_.size());
+  const ColumnInfo& col = columns_[handle];
+  if (row_end <= row_begin || col.row_count == 0) return;
+  row_end = std::min(row_end, col.row_count);
+  uint64_t page_bytes = device_->profile().page_size_bytes;
+  double bytes_per_row = ColumnBytesPerRow(handle);
+  uint64_t first_page =
+      static_cast<uint64_t>(static_cast<double>(row_begin) * bytes_per_row) /
+      page_bytes;
+  uint64_t last_byte = static_cast<uint64_t>(
+      static_cast<double>(row_end) * bytes_per_row);
+  uint64_t last_page = last_byte == 0 ? 0 : (last_byte - 1) / page_bytes;
+  last_page = std::min(last_page, col.pages - 1);
+  first_page = std::min(first_page, last_page);
+
+  // Walk the page range, coalescing runs of misses.
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  auto flush_run = [&]() {
+    if (run_len == 0) return;
+    // First page of a run pays the seek; the rest stream sequentially.
+    device_->ChargeRandom(page_bytes);
+    if (run_len > 1) device_->ChargeSequential((run_len - 1) * page_bytes);
+    run_len = 0;
+  };
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    PageKey key = MakeKey(handle, p);
+    if (resident_.count(key)) {
+      ++stats_.page_hits;
+      flush_run();
+      Touch(key);
+    } else {
+      ++stats_.page_misses;
+      if (run_len == 0) run_start = p;
+      (void)run_start;
+      ++run_len;
+      Insert(key);
+    }
+  }
+  flush_run();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  resident_.clear();
+}
+
+}  // namespace io
+}  // namespace bdcc

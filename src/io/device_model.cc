@@ -1,0 +1,69 @@
+#include "io/device_model.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bdcc {
+namespace io {
+
+DeviceProfile DeviceProfile::SsdRaid0() {
+  DeviceProfile p;
+  p.name = "ssd-raid0";
+  p.sequential_bandwidth_bytes_per_sec = 1e9;
+  p.seek_latency_sec = 8e-6;
+  p.page_size_bytes = 32 * 1024;
+  return p;
+}
+
+DeviceProfile DeviceProfile::MagneticDisk() {
+  DeviceProfile p;
+  p.name = "magnetic-disk";
+  p.sequential_bandwidth_bytes_per_sec = 150e6;
+  p.seek_latency_sec = 5e-3;
+  p.page_size_bytes = 32 * 1024;
+  return p;
+}
+
+DeviceProfile DeviceProfile::Flash() {
+  DeviceProfile p;
+  p.name = "flash";
+  p.sequential_bandwidth_bytes_per_sec = 250e6;
+  p.seek_latency_sec = 32e-6;
+  p.page_size_bytes = 32 * 1024;
+  return p;
+}
+
+size_t DeviceModel::EfficientRandomAccessSize(double efficiency) const {
+  BDCC_CHECK(efficiency > 0.0 && efficiency < 1.0);
+  double bytes = profile_.sequential_bandwidth_bytes_per_sec *
+                 profile_.seek_latency_sec * efficiency / (1.0 - efficiency);
+  size_t pages = static_cast<size_t>(
+      std::ceil(bytes / static_cast<double>(profile_.page_size_bytes)));
+  if (pages == 0) pages = 1;
+  return pages * profile_.page_size_bytes;
+}
+
+double DeviceModel::SequentialCost(uint64_t bytes) const {
+  return static_cast<double>(bytes) /
+         profile_.sequential_bandwidth_bytes_per_sec;
+}
+
+double DeviceModel::RandomCost(uint64_t bytes) const {
+  return profile_.seek_latency_sec + SequentialCost(bytes);
+}
+
+void DeviceModel::ChargeSequential(uint64_t bytes) {
+  stats_.sequential_requests += 1;
+  stats_.bytes_read += bytes;
+  stats_.simulated_seconds += SequentialCost(bytes);
+}
+
+void DeviceModel::ChargeRandom(uint64_t bytes) {
+  stats_.random_requests += 1;
+  stats_.bytes_read += bytes;
+  stats_.simulated_seconds += RandomCost(bytes);
+}
+
+}  // namespace io
+}  // namespace bdcc

@@ -1,0 +1,103 @@
+#include "opt/explain.h"
+
+namespace bdcc {
+namespace opt {
+
+namespace {
+
+void Render(const NodePtr& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node->kind) {
+    case NodeKind::kScan: {
+      out->append("Scan " + node->scan.table + " cols=" +
+                  std::to_string(node->scan.columns.size()));
+      if (!node->scan.sargs.empty()) {
+        out->append(" sargs=[");
+        for (size_t i = 0; i < node->scan.sargs.size(); ++i) {
+          if (i) out->append(", ");
+          out->append(node->scan.sargs[i].column);
+        }
+        out->append("]");
+      }
+      if (node->scan.residual) {
+        out->append(" filter=" + node->scan.residual->ToString());
+      }
+      break;
+    }
+    case NodeKind::kFilter:
+      out->append("Filter " + node->filter.predicate->ToString());
+      break;
+    case NodeKind::kProject: {
+      out->append("Project [");
+      for (size_t i = 0; i < node->project.exprs.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(node->project.exprs[i].name);
+      }
+      out->append("]");
+      break;
+    }
+    case NodeKind::kJoin: {
+      out->append(std::string("Join ") +
+                  exec::JoinTypeName(node->join.type) + " on (");
+      for (size_t i = 0; i < node->join.left_keys.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(node->join.left_keys[i]);
+      }
+      out->append(")=(");
+      for (size_t i = 0; i < node->join.right_keys.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(node->join.right_keys[i]);
+      }
+      out->append(")");
+      if (!node->join.fk_id.empty()) {
+        out->append(" fk=" + node->join.fk_id);
+      }
+      break;
+    }
+    case NodeKind::kAggregate: {
+      out->append("Aggregate group=[");
+      for (size_t i = 0; i < node->agg.group_cols.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(node->agg.group_cols[i]);
+      }
+      out->append("] aggs=[");
+      for (size_t i = 0; i < node->agg.specs.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(node->agg.specs[i].output_name);
+      }
+      out->append("]");
+      break;
+    }
+    case NodeKind::kSort: {
+      out->append("Sort [");
+      for (size_t i = 0; i < node->sort.keys.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(node->sort.keys[i].column);
+        if (node->sort.keys[i].descending) out->append(" desc");
+      }
+      out->append("]");
+      if (node->sort.limit >= 0) {
+        out->append(" limit " + std::to_string(node->sort.limit));
+      }
+      break;
+    }
+    case NodeKind::kLimit:
+      out->append("Limit " + std::to_string(node->limit.n));
+      break;
+  }
+  out->append("\n");
+  for (const NodePtr& child : node->children) {
+    Render(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const NodePtr& plan) {
+  std::string out;
+  Render(plan, 0, &out);
+  return out;
+}
+
+}  // namespace opt
+}  // namespace bdcc

@@ -1,0 +1,26 @@
+// Logical-plan pretty printer (EXPLAIN), used by examples and debugging.
+#ifndef BDCC_OPT_EXPLAIN_H_
+#define BDCC_OPT_EXPLAIN_H_
+
+#include <string>
+
+#include "opt/logical_plan.h"
+
+namespace bdcc {
+namespace opt {
+
+/// \brief Render a logical plan tree as an indented outline, e.g.
+///
+///   Sort [revenue desc] limit 10
+///     Aggregate group=[l_orderkey, o_orderdate] aggs=[revenue]
+///       Join inner on (o_custkey)=(c_custkey) fk=FK_O_C
+///         Join inner on (l_orderkey)=(o_orderkey) fk=FK_L_O
+///           Scan LINEITEM cols=4 sargs=[l_shipdate]
+///           Scan ORDERS cols=4 sargs=[o_orderdate]
+///         Scan CUSTOMER cols=2 sargs=[c_mktsegment]
+std::string ExplainPlan(const NodePtr& plan);
+
+}  // namespace opt
+}  // namespace bdcc
+
+#endif  // BDCC_OPT_EXPLAIN_H_

@@ -1,0 +1,122 @@
+#include "opt/logical_plan.h"
+
+namespace bdcc {
+namespace opt {
+
+NodePtr LScan(std::string table, std::vector<std::string> columns,
+              std::vector<Sarg> sargs, exec::ExprPtr residual) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = NodeKind::kScan;
+  node->scan =
+      ScanNode{std::move(table), std::move(columns), std::move(sargs),
+               std::move(residual)};
+  return node;
+}
+
+NodePtr LFilter(NodePtr child, exec::ExprPtr predicate) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = NodeKind::kFilter;
+  node->children.push_back(std::move(child));
+  node->filter = FilterNode{std::move(predicate)};
+  return node;
+}
+
+NodePtr LProject(NodePtr child, std::vector<exec::Project::NamedExpr> exprs) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = NodeKind::kProject;
+  node->children.push_back(std::move(child));
+  node->project = ProjectNode{std::move(exprs)};
+  return node;
+}
+
+NodePtr LJoin(NodePtr left, NodePtr right, exec::JoinType type,
+              std::vector<std::string> left_keys,
+              std::vector<std::string> right_keys, std::string fk_id) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = NodeKind::kJoin;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  node->join = JoinNode{type, std::move(left_keys), std::move(right_keys),
+                        std::move(fk_id)};
+  return node;
+}
+
+NodePtr LAgg(NodePtr child, std::vector<std::string> group_cols,
+             std::vector<exec::AggSpec> specs) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = NodeKind::kAggregate;
+  node->children.push_back(std::move(child));
+  node->agg = AggregateNode{std::move(group_cols), std::move(specs)};
+  return node;
+}
+
+NodePtr LSort(NodePtr child, std::vector<exec::SortKey> keys, int64_t limit) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = NodeKind::kSort;
+  node->children.push_back(std::move(child));
+  node->sort = SortNode{std::move(keys), limit};
+  return node;
+}
+
+NodePtr LLimit(NodePtr child, uint64_t n) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = NodeKind::kLimit;
+  node->children.push_back(std::move(child));
+  node->limit = LimitNode{n};
+  return node;
+}
+
+Sarg SargEq(std::string column, Value v) {
+  Sarg s;
+  s.column = std::move(column);
+  s.range.lo = v;
+  s.range.hi = v;
+  return s;
+}
+
+Sarg SargRange(std::string column, std::optional<Value> lo,
+               std::optional<Value> hi) {
+  Sarg s;
+  s.column = std::move(column);
+  s.range.lo = std::move(lo);
+  s.range.hi = std::move(hi);
+  return s;
+}
+
+Sarg SargPrefixLike(std::string column, std::string prefix_pattern) {
+  size_t wild = prefix_pattern.find_first_of("%_");
+  std::string prefix = prefix_pattern.substr(0, wild);
+  Sarg s;
+  s.column = column;
+  if (!prefix.empty()) {
+    s.range.lo = Value::String(prefix);
+    std::string upper = prefix;
+    upper.push_back('\xfe');
+    upper.push_back('\xfe');
+    s.range.hi = Value::String(upper);
+  }
+  s.row_expr = exec::Like(exec::Col(column), std::move(prefix_pattern));
+  return s;
+}
+
+exec::ExprPtr SargRowExpr(const Sarg& sarg) {
+  if (sarg.row_expr) return sarg.row_expr;
+  exec::ExprPtr out;
+  if (sarg.range.lo && sarg.range.hi &&
+      sarg.range.lo->Compare(*sarg.range.hi) == 0) {
+    return exec::Eq(exec::Col(sarg.column), exec::Lit(*sarg.range.lo));
+  }
+  if (sarg.range.lo) {
+    out = exec::Ge(exec::Col(sarg.column), exec::Lit(*sarg.range.lo));
+  }
+  if (sarg.range.hi) {
+    exec::ExprPtr hi =
+        exec::Le(exec::Col(sarg.column), exec::Lit(*sarg.range.hi));
+    out = out ? exec::And(out, hi) : hi;
+  }
+  BDCC_CHECK_MSG(out != nullptr, "sarg with empty range");
+  return out;
+}
+
+}  // namespace opt
+}  // namespace bdcc

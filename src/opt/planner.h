@@ -1,0 +1,48 @@
+// Scheme-aware physical planner.
+//
+// Compiles one logical plan against one PhysicalDb:
+//   Plain : full scans (zone maps rarely selective), hash joins everywhere.
+//   PK    : tables sorted on primary keys; FK joins whose keys align with
+//           the sort become merge joins (LINEITEM⋈ORDERS, PARTSUPP⋈PART);
+//           single-column aggregates over the sort key stream (Q18).
+//   BDCC  : dimension-selection pushdown & propagation prune scatter-scan
+//           groups; FK joins between co-clustered tables become sandwich
+//           joins (cascading via group retagging); aggregates whose keys
+//           determine the clustering become sandwich aggregates.
+#ifndef BDCC_OPT_PLANNER_H_
+#define BDCC_OPT_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "opt/logical_plan.h"
+#include "opt/physical_db.h"
+#include "opt/pushdown.h"
+
+namespace bdcc {
+namespace opt {
+
+struct PlannerOptions {
+  bool enable_sandwich = true;      // BDCC: sandwich joins/aggregates
+  bool enable_group_pruning = true; // BDCC: bin-range group pruning
+  bool enable_zonemaps = true;      // all schemes: MinMax zone skipping
+  bool enable_merge_join = true;    // PK: merge joins on sorted keys
+  bool enable_stream_agg = true;    // PK: ordered aggregation
+};
+
+struct CompiledQuery {
+  exec::OperatorPtr root;
+  /// Plan decisions for EXPLAIN-style reporting (mechanism attribution in
+  /// the paper's "Detailed Analysis").
+  std::vector<std::string> notes;
+};
+
+/// Compile `plan` for `db`.
+Result<CompiledQuery> Compile(const NodePtr& plan, const PhysicalDb& db,
+                              const PlannerOptions& options = {});
+
+}  // namespace opt
+}  // namespace bdcc
+
+#endif  // BDCC_OPT_PLANNER_H_

@@ -1,0 +1,53 @@
+// Dimension-selection pushdown and propagation (the BDCC query rewrites).
+//
+// The analysis pass walks a logical plan and derives, per BDCC scan and per
+// dimension use, a bin-number restriction:
+//
+//  1. Host restrictions: a scan of a dimension's host table whose sargs /
+//     residual filters restrict it is evaluated *at plan time* over the
+//     (small) host table; qualifying rows map to bins -> [min_bin, max_bin].
+//     This implements the paper's rewrite where e.g. a NATION selection (or
+//     a REGION equi-selection one FK hop below the host) determines a
+//     consecutive D_NATION bin range.
+//  2. Propagation: the restriction applies to every scan whose FK-edge
+//     chain in the join tree (edges = joins annotated with fk ids) equals a
+//     dimension use's path ending at that host scan. A selection on ORDERS'
+//     o_orderdate therefore prunes LINEITEM via FK_L_O (co-clustering), and
+//     the host's own scan via the empty path (plain pushdown).
+#ifndef BDCC_OPT_PUSHDOWN_H_
+#define BDCC_OPT_PUSHDOWN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "opt/logical_plan.h"
+#include "opt/physical_db.h"
+
+namespace bdcc {
+namespace opt {
+
+/// A resolved restriction on one dimension use of one scan node.
+struct UseRestriction {
+  const LogicalNode* scan = nullptr;  // the restricted scan
+  size_t use_idx = 0;                 // index into its BdccTable's uses
+  uint64_t lo_bin = 0;                // inclusive full-granularity bin range
+  uint64_t hi_bin = 0;
+  std::string source;                 // human-readable provenance (explain)
+};
+
+struct PushdownAnalysis {
+  std::vector<const LogicalNode*> scans;
+  std::vector<UseRestriction> restrictions;
+};
+
+/// Run the analysis over `root` for `db`. Plan-time evaluation only touches
+/// tables up to `max_host_rows` rows (dimension hosts are small).
+Result<PushdownAnalysis> AnalyzePushdown(const NodePtr& root,
+                                         const PhysicalDb& db,
+                                         uint64_t max_host_rows = 65536);
+
+}  // namespace opt
+}  // namespace bdcc
+
+#endif  // BDCC_OPT_PUSHDOWN_H_

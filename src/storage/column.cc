@@ -1,0 +1,164 @@
+#include "storage/column.h"
+
+namespace bdcc {
+
+Column::Column(TypeId type) : type_(type) {
+  if (type == TypeId::kString) dict_ = std::make_shared<Dictionary>();
+}
+
+Column::Column(TypeId type, std::shared_ptr<Dictionary> dict)
+    : type_(type), dict_(std::move(dict)) {
+  BDCC_CHECK(type == TypeId::kString);
+  BDCC_CHECK(dict_ != nullptr);
+}
+
+uint64_t Column::size() const {
+  switch (type_) {
+    case TypeId::kInt64:
+      return i64_.size();
+    case TypeId::kFloat64:
+      return f64_.size();
+    default:
+      return i32_.size();
+  }
+}
+
+void Column::Reserve(uint64_t rows) {
+  switch (type_) {
+    case TypeId::kInt64:
+      i64_.reserve(rows);
+      break;
+    case TypeId::kFloat64:
+      f64_.reserve(rows);
+      break;
+    default:
+      i32_.reserve(rows);
+      break;
+  }
+}
+
+void Column::AppendInt32(int32_t v) {
+  BDCC_CHECK(type_ == TypeId::kInt32);
+  i32_.push_back(v);
+}
+
+void Column::AppendInt64(int64_t v) {
+  BDCC_CHECK(type_ == TypeId::kInt64);
+  i64_.push_back(v);
+}
+
+void Column::AppendFloat64(double v) {
+  BDCC_CHECK(type_ == TypeId::kFloat64);
+  f64_.push_back(v);
+}
+
+void Column::AppendDate(int32_t days) {
+  BDCC_CHECK(type_ == TypeId::kDate);
+  i32_.push_back(days);
+}
+
+void Column::AppendBool(bool v) {
+  BDCC_CHECK(type_ == TypeId::kBool);
+  i32_.push_back(v ? 1 : 0);
+}
+
+void Column::AppendString(std::string_view s) {
+  BDCC_CHECK(type_ == TypeId::kString);
+  i32_.push_back(dict_->GetOrAdd(s));
+}
+
+void Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case TypeId::kInt32:
+      AppendInt32(static_cast<int32_t>(v.AsInt64()));
+      break;
+    case TypeId::kInt64:
+      AppendInt64(v.AsInt64());
+      break;
+    case TypeId::kFloat64:
+      AppendFloat64(v.AsDouble());
+      break;
+    case TypeId::kDate:
+      AppendDate(static_cast<int32_t>(v.AsInt64()));
+      break;
+    case TypeId::kBool:
+      AppendBool(v.AsInt64() != 0);
+      break;
+    case TypeId::kString:
+      AppendString(v.AsString());
+      break;
+  }
+}
+
+Value Column::GetValue(uint64_t row) const {
+  switch (type_) {
+    case TypeId::kInt32:
+      return Value::Int32(i32_[row]);
+    case TypeId::kInt64:
+      return Value::Int64(i64_[row]);
+    case TypeId::kFloat64:
+      return Value::Float64(f64_[row]);
+    case TypeId::kDate:
+      return Value::Date(i32_[row]);
+    case TypeId::kBool:
+      return Value::Bool(i32_[row] != 0);
+    case TypeId::kString:
+      return Value::String(dict_->Get(i32_[row]));
+  }
+  return Value();
+}
+
+uint64_t Column::DiskBytes() const {
+  uint64_t fixed = size() * static_cast<uint64_t>(FixedWidth(type_));
+  if (type_ == TypeId::kString) fixed += dict_->payload_bytes();
+  return fixed;
+}
+
+Column Column::Gather(const std::vector<uint32_t>& perm) const {
+  Column out(type_);
+  out.Reserve(perm.size());
+  switch (type_) {
+    case TypeId::kInt64:
+      for (uint32_t idx : perm) out.i64_.push_back(i64_[idx]);
+      break;
+    case TypeId::kFloat64:
+      for (uint32_t idx : perm) out.f64_.push_back(f64_[idx]);
+      break;
+    case TypeId::kString:
+      // Re-intern in gathered order: string payloads end up laid out in the
+      // new row order (first occurrence), as a real column store stores
+      // them — scans of a reordered table stay sequential over the heap.
+      for (uint32_t idx : perm) {
+        out.i32_.push_back(out.dict_->GetOrAdd(dict_->Get(i32_[idx])));
+      }
+      break;
+    default:
+      for (uint32_t idx : perm) out.i32_.push_back(i32_[idx]);
+      break;
+  }
+  return out;
+}
+
+void Column::AppendFrom(const Column& other, uint64_t row) {
+  BDCC_CHECK(type_ == other.type_);
+  switch (type_) {
+    case TypeId::kInt64:
+      i64_.push_back(other.i64_[row]);
+      break;
+    case TypeId::kFloat64:
+      f64_.push_back(other.f64_[row]);
+      break;
+    case TypeId::kString:
+      if (dict_ == other.dict_) {
+        i32_.push_back(other.i32_[row]);
+      } else {
+        i32_.push_back(dict_->GetOrAdd(other.GetString(row)));
+      }
+      break;
+    default:
+      i32_.push_back(other.i32_[row]);
+      break;
+  }
+}
+
+}  // namespace bdcc

@@ -1,0 +1,66 @@
+#include "storage/compression/bitpack.h"
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace bdcc {
+namespace compression {
+
+int RequiredBitWidth(const uint32_t* input, size_t count) {
+  uint32_t max = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (input[i] > max) max = input[i];
+  }
+  int width = bits::CeilLog2(static_cast<uint64_t>(max) + 1);
+  return width == 0 ? 1 : width;
+}
+
+size_t BitPackedSize(size_t count, int bit_width) {
+  return (count * static_cast<size_t>(bit_width) + 7) / 8;
+}
+
+std::vector<uint8_t> BitPack(const uint32_t* input, size_t count,
+                             int bit_width) {
+  BDCC_CHECK(bit_width >= 1 && bit_width <= 32);
+  std::vector<uint8_t> out(BitPackedSize(count, bit_width), 0);
+  size_t bitpos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = input[i] & bits::LowMask(bit_width);
+    size_t byte = bitpos >> 3;
+    int shift = static_cast<int>(bitpos & 7);
+    // Value may straddle up to 5 bytes.
+    uint64_t cur = 0;
+    for (int b = 0; b < 5 && byte + b < out.size(); ++b) {
+      cur |= static_cast<uint64_t>(out[byte + b]) << (8 * b);
+    }
+    cur |= v << shift;
+    for (int b = 0; b < 5 && byte + b < out.size(); ++b) {
+      out[byte + b] = static_cast<uint8_t>(cur >> (8 * b));
+    }
+    bitpos += static_cast<size_t>(bit_width);
+  }
+  return out;
+}
+
+std::vector<uint32_t> BitUnpack(const uint8_t* data, size_t size,
+                                size_t count, int bit_width) {
+  BDCC_CHECK(bit_width >= 1 && bit_width <= 32);
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  size_t bitpos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    size_t byte = bitpos >> 3;
+    int shift = static_cast<int>(bitpos & 7);
+    uint64_t cur = 0;
+    for (int b = 0; b < 5 && byte + b < size; ++b) {
+      cur |= static_cast<uint64_t>(data[byte + b]) << (8 * b);
+    }
+    out.push_back(
+        static_cast<uint32_t>((cur >> shift) & bits::LowMask(bit_width)));
+    bitpos += static_cast<size_t>(bit_width);
+  }
+  return out;
+}
+
+}  // namespace compression
+}  // namespace bdcc

@@ -1,0 +1,29 @@
+// Fixed-width bit packing for non-negative int32 values.
+#ifndef BDCC_STORAGE_COMPRESSION_BITPACK_H_
+#define BDCC_STORAGE_COMPRESSION_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bdcc {
+namespace compression {
+
+/// Bits needed to represent the maximum of `input` (>= 1).
+int RequiredBitWidth(const uint32_t* input, size_t count);
+
+/// Pack `input` at `bit_width` bits per value.
+std::vector<uint8_t> BitPack(const uint32_t* input, size_t count,
+                             int bit_width);
+
+/// Unpack `count` values of `bit_width` bits.
+std::vector<uint32_t> BitUnpack(const uint8_t* data, size_t size,
+                                size_t count, int bit_width);
+
+/// Bytes BitPack would produce.
+size_t BitPackedSize(size_t count, int bit_width);
+
+}  // namespace compression
+}  // namespace bdcc
+
+#endif  // BDCC_STORAGE_COMPRESSION_BITPACK_H_

@@ -1,0 +1,113 @@
+#include "storage/compression/codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/compression/bitpack.h"
+#include "storage/compression/delta.h"
+#include "storage/compression/rle.h"
+
+namespace bdcc {
+namespace compression {
+
+const char* CodecName(Codec codec) {
+  switch (codec) {
+    case Codec::kRaw:
+      return "raw";
+    case Codec::kRle:
+      return "rle";
+    case Codec::kDeltaVarint:
+      return "delta";
+    case Codec::kBitPack:
+      return "bitpack";
+  }
+  return "?";
+}
+
+namespace {
+
+// Best codec size for a block of int32-lane values.
+std::pair<Codec, size_t> BestI32(const int32_t* data, size_t count) {
+  size_t raw = count * 4;
+  size_t best = raw;
+  Codec codec = Codec::kRaw;
+
+  size_t rle = RleEncodedSize(data, count);
+  if (rle < best) {
+    best = rle;
+    codec = Codec::kRle;
+  }
+
+  std::vector<int64_t> wide(data, data + count);
+  size_t delta = DeltaEncodedSize(wide.data(), count);
+  if (delta < best) {
+    best = delta;
+    codec = Codec::kDeltaVarint;
+  }
+
+  int32_t lo = *std::min_element(data, data + count);
+  if (lo >= 0) {
+    std::vector<uint32_t> u(data, data + count);
+    int width = RequiredBitWidth(u.data(), count);
+    size_t packed = BitPackedSize(count, width);
+    if (packed < best) {
+      best = packed;
+      codec = Codec::kBitPack;
+    }
+  }
+  return {codec, best};
+}
+
+std::pair<Codec, size_t> BestI64(const int64_t* data, size_t count) {
+  size_t raw = count * 8;
+  size_t delta = DeltaEncodedSize(data, count);
+  if (delta < raw) return {Codec::kDeltaVarint, delta};
+  return {Codec::kRaw, raw};
+}
+
+}  // namespace
+
+ColumnCompression EstimateCompression(const Column& column,
+                                      uint32_t block_rows) {
+  ColumnCompression out;
+  out.raw_bytes = column.DiskBytes();
+  uint64_t rows = column.size();
+  if (rows == 0) return out;
+
+  switch (column.type()) {
+    case TypeId::kInt64: {
+      const auto& lane = column.i64();
+      for (uint64_t at = 0; at < rows; at += block_rows) {
+        size_t n = std::min<uint64_t>(block_rows, rows - at);
+        auto [codec, sz] = BestI64(lane.data() + at, n);
+        out.compressed_bytes += sz;
+        out.blocks_by_codec[static_cast<int>(codec)]++;
+      }
+      break;
+    }
+    case TypeId::kFloat64: {
+      // No float codec implemented: account raw.
+      out.compressed_bytes = rows * 8;
+      out.blocks_by_codec[static_cast<int>(Codec::kRaw)] +=
+          (rows + block_rows - 1) / block_rows;
+      break;
+    }
+    default: {
+      const auto& lane = column.i32();
+      for (uint64_t at = 0; at < rows; at += block_rows) {
+        size_t n = std::min<uint64_t>(block_rows, rows - at);
+        auto [codec, sz] = BestI32(lane.data() + at, n);
+        out.compressed_bytes += sz;
+        out.blocks_by_codec[static_cast<int>(codec)]++;
+      }
+      if (column.type() == TypeId::kString) {
+        out.compressed_bytes += column.dict()->payload_bytes();
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace compression
+}  // namespace bdcc

@@ -1,0 +1,46 @@
+// Per-block codec selection ("automatic compression" in the paper's setup).
+//
+// Used for footprint accounting and for the clustering-vs-compression
+// ablation: BDCC reordering makes columns locally homogeneous, which RLE and
+// delta exploit. Tables remain uncompressed in memory for execution; this
+// module answers "what would this column cost on disk".
+#ifndef BDCC_STORAGE_COMPRESSION_CODEC_H_
+#define BDCC_STORAGE_COMPRESSION_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/column.h"
+
+namespace bdcc {
+namespace compression {
+
+enum class Codec : uint8_t { kRaw = 0, kRle = 1, kDeltaVarint = 2, kBitPack = 3 };
+
+const char* CodecName(Codec codec);
+
+struct ColumnCompression {
+  uint64_t raw_bytes = 0;
+  uint64_t compressed_bytes = 0;
+  // Histogram of per-block codec choices, indexed by Codec.
+  uint64_t blocks_by_codec[4] = {0, 0, 0, 0};
+
+  double ratio() const {
+    return compressed_bytes == 0
+               ? 1.0
+               : static_cast<double>(raw_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
+/// \brief Estimate the compressed footprint of `column`, choosing the
+/// cheapest codec independently per block of `block_rows` values.
+/// String columns are estimated over their dictionary codes; dictionary
+/// payload is added once.
+ColumnCompression EstimateCompression(const Column& column,
+                                      uint32_t block_rows = 8192);
+
+}  // namespace compression
+}  // namespace bdcc
+
+#endif  // BDCC_STORAGE_COMPRESSION_CODEC_H_

@@ -1,0 +1,75 @@
+#include "storage/compression/delta.h"
+
+#include "common/macros.h"
+
+namespace bdcc {
+namespace compression {
+
+namespace {
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+std::vector<uint8_t> DeltaEncode(const int64_t* input, size_t count) {
+  std::vector<uint8_t> out;
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    PutVarint(&out, ZigZag(input[i] - prev));
+    prev = input[i];
+  }
+  return out;
+}
+
+std::vector<int64_t> DeltaDecode(const uint8_t* data, size_t size,
+                                 size_t expected_count) {
+  std::vector<int64_t> out;
+  out.reserve(expected_count);
+  size_t off = 0;
+  int64_t prev = 0;
+  while (out.size() < expected_count) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      BDCC_CHECK(off < size);
+      uint8_t byte = data[off++];
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    prev += UnZigZag(v);
+    out.push_back(prev);
+  }
+  return out;
+}
+
+size_t DeltaEncodedSize(const int64_t* input, size_t count) {
+  size_t total = 0;
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += VarintSize(ZigZag(input[i] - prev));
+    prev = input[i];
+  }
+  return total;
+}
+
+}  // namespace compression
+}  // namespace bdcc

@@ -1,0 +1,21 @@
+// Delta + zigzag + varint encoding for integer sequences; excels on sorted
+// or clustered data — which is exactly what BDCC reordering produces.
+#ifndef BDCC_STORAGE_COMPRESSION_DELTA_H_
+#define BDCC_STORAGE_COMPRESSION_DELTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bdcc {
+namespace compression {
+
+std::vector<uint8_t> DeltaEncode(const int64_t* input, size_t count);
+std::vector<int64_t> DeltaDecode(const uint8_t* data, size_t size,
+                                 size_t expected_count);
+size_t DeltaEncodedSize(const int64_t* input, size_t count);
+
+}  // namespace compression
+}  // namespace bdcc
+
+#endif  // BDCC_STORAGE_COMPRESSION_DELTA_H_

@@ -1,0 +1,60 @@
+#include "storage/compression/rle.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace bdcc {
+namespace compression {
+
+namespace {
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  size_t at = out->size();
+  out->resize(at + 4);
+  std::memcpy(out->data() + at, &v, 4);
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+}  // namespace
+
+std::vector<uint8_t> RleEncode(const int32_t* input, size_t count) {
+  std::vector<uint8_t> out;
+  size_t i = 0;
+  while (i < count) {
+    size_t j = i + 1;
+    while (j < count && input[j] == input[i]) ++j;
+    PutU32(&out, static_cast<uint32_t>(input[i]));
+    PutU32(&out, static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<int32_t> RleDecode(const uint8_t* data, size_t size) {
+  BDCC_CHECK(size % 8 == 0);
+  std::vector<int32_t> out;
+  for (size_t off = 0; off < size; off += 8) {
+    int32_t value = static_cast<int32_t>(GetU32(data + off));
+    uint32_t run = GetU32(data + off + 4);
+    out.insert(out.end(), run, value);
+  }
+  return out;
+}
+
+size_t RleEncodedSize(const int32_t* input, size_t count) {
+  size_t runs = 0;
+  size_t i = 0;
+  while (i < count) {
+    size_t j = i + 1;
+    while (j < count && input[j] == input[i]) ++j;
+    ++runs;
+    i = j;
+  }
+  return runs * 8;
+}
+
+}  // namespace compression
+}  // namespace bdcc

@@ -1,0 +1,24 @@
+// Run-length encoding for int32 sequences.
+#ifndef BDCC_STORAGE_COMPRESSION_RLE_H_
+#define BDCC_STORAGE_COMPRESSION_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bdcc {
+namespace compression {
+
+/// \brief RLE-encode `input` as (value, run_length) pairs.
+std::vector<uint8_t> RleEncode(const int32_t* input, size_t count);
+
+/// \brief Decode a buffer produced by RleEncode; returns decoded values.
+std::vector<int32_t> RleDecode(const uint8_t* data, size_t size);
+
+/// Size in bytes RleEncode would produce, without materializing it.
+size_t RleEncodedSize(const int32_t* input, size_t count);
+
+}  // namespace compression
+}  // namespace bdcc
+
+#endif  // BDCC_STORAGE_COMPRESSION_RLE_H_

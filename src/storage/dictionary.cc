@@ -1,0 +1,42 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bdcc {
+
+int32_t Dictionary::GetOrAdd(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  std::string_view stored = arena_.Intern(s);
+  int32_t code = static_cast<int32_t>(entries_.size());
+  entries_.push_back(stored);
+  index_.emplace(stored, code);
+  payload_bytes_ += stored.size();
+  return code;
+}
+
+int32_t Dictionary::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::vector<int32_t>& Dictionary::LexRanks() const {
+  if (ranks_valid_for_ != entries_.size()) {
+    std::vector<int32_t> order(entries_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      return entries_[static_cast<size_t>(a)] <
+             entries_[static_cast<size_t>(b)];
+    });
+    lex_ranks_.assign(entries_.size(), 0);
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      lex_ranks_[static_cast<size_t>(order[rank])] =
+          static_cast<int32_t>(rank);
+    }
+    ranks_valid_for_ = entries_.size();
+  }
+  return lex_ranks_;
+}
+
+}  // namespace bdcc

@@ -1,0 +1,101 @@
+// Type system for the columnar storage and execution layers.
+#ifndef BDCC_STORAGE_TYPES_H_
+#define BDCC_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/macros.h"
+
+namespace bdcc {
+
+enum class TypeId : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kString = 3,
+  kDate = 4,  // int32 days since 1970-01-01
+  kBool = 5,
+};
+
+const char* TypeName(TypeId type);
+
+/// Width in bytes of a value as stored on "disk" for density accounting.
+/// Strings report their dictionary-code width; payload is accounted at the
+/// dictionary. See Column::DiskBytes for the full accounting.
+int FixedWidth(TypeId type);
+
+/// True for the integer-backed types (stored in the i32 lane).
+inline bool IsI32Backed(TypeId t) {
+  return t == TypeId::kInt32 || t == TypeId::kDate || t == TypeId::kBool;
+}
+
+/// \brief A self-contained scalar used by zone maps, dimension bins, and
+/// expression constants. Cheap to copy for numeric payloads.
+class Value {
+ public:
+  Value() : type_(TypeId::kInt64), i_(0) {}
+  static Value Int32(int32_t v) { return Value(TypeId::kInt32, v); }
+  static Value Int64(int64_t v) { return Value(TypeId::kInt64, v); }
+  static Value Float64(double v) {
+    Value out;
+    out.type_ = TypeId::kFloat64;
+    out.d_ = v;
+    return out;
+  }
+  static Value Date(int32_t days) { return Value(TypeId::kDate, days); }
+  static Value Bool(bool v) { return Value(TypeId::kBool, v ? 1 : 0); }
+  static Value String(std::string_view s) {
+    Value out;
+    out.type_ = TypeId::kString;
+    out.s_ = std::string(s);
+    return out;
+  }
+
+  TypeId type() const { return type_; }
+  int64_t AsInt64() const {
+    BDCC_CHECK(type_ != TypeId::kString && type_ != TypeId::kFloat64);
+    return i_;
+  }
+  double AsDouble() const {
+    if (type_ == TypeId::kFloat64) return d_;
+    BDCC_CHECK(type_ != TypeId::kString);
+    return static_cast<double>(i_);
+  }
+  const std::string& AsString() const {
+    BDCC_CHECK(type_ == TypeId::kString);
+    return s_;
+  }
+
+  /// Three-way comparison; both values must have compatible types
+  /// (numeric types compare numerically; strings lexicographically).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+
+  std::string ToString() const;
+
+ private:
+  Value(TypeId type, int64_t i) : type_(type), i_(i) {}
+
+  TypeId type_;
+  int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+};
+
+/// Days since 1970-01-01 for a proleptic Gregorian date (civil algorithm).
+int32_t DaysFromCivil(int year, int month, int day);
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int32_t days, int* year, int* month, int* day);
+/// Render a date value as YYYY-MM-DD.
+std::string DateToString(int32_t days);
+/// Parse "YYYY-MM-DD".
+int32_t ParseDate(std::string_view text);
+
+}  // namespace bdcc
+
+#endif  // BDCC_STORAGE_TYPES_H_

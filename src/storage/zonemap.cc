@@ -1,0 +1,31 @@
+#include "storage/zonemap.h"
+
+#include <algorithm>
+
+namespace bdcc {
+
+ZoneMap ZoneMap::Build(const Column& column, uint32_t zone_rows) {
+  BDCC_CHECK(zone_rows > 0);
+  ZoneMap zm;
+  zm.zone_rows_ = zone_rows;
+  uint64_t rows = column.size();
+  uint64_t zones = (rows + zone_rows - 1) / zone_rows;
+  zm.mins_.reserve(zones);
+  zm.maxs_.reserve(zones);
+  for (uint64_t z = 0; z < zones; ++z) {
+    uint64_t begin = z * zone_rows;
+    uint64_t end = std::min<uint64_t>(begin + zone_rows, rows);
+    Value zmin = column.GetValue(begin);
+    Value zmax = zmin;
+    for (uint64_t r = begin + 1; r < end; ++r) {
+      Value v = column.GetValue(r);
+      if (v.Compare(zmin) < 0) zmin = v;
+      if (v.Compare(zmax) > 0) zmax = v;
+    }
+    zm.mins_.push_back(std::move(zmin));
+    zm.maxs_.push_back(std::move(zmax));
+  }
+  return zm;
+}
+
+}  // namespace bdcc

@@ -1,0 +1,65 @@
+// MinMax (zone map) indexes.
+//
+// Vectorwise "automatically creates MinMax indices on each table" [8]; the
+// paper relies on them for pushdown of predicates on attributes *correlated*
+// with a clustered dimension (e.g. l_shipdate via o_orderdate locality).
+// Zone maps exist identically in all three physical schemes; clustering is
+// what makes them selective.
+#ifndef BDCC_STORAGE_ZONEMAP_H_
+#define BDCC_STORAGE_ZONEMAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace bdcc {
+
+/// Inclusive value range; unset bounds mean unbounded.
+struct ValueRange {
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+
+  bool Contains(const Value& v) const {
+    if (lo && v.Compare(*lo) < 0) return false;
+    if (hi && v.Compare(*hi) > 0) return false;
+    return true;
+  }
+  /// Whether [zmin, zmax] intersects this range.
+  bool Overlaps(const Value& zmin, const Value& zmax) const {
+    if (lo && zmax.Compare(*lo) < 0) return false;
+    if (hi && zmin.Compare(*hi) > 0) return false;
+    return true;
+  }
+};
+
+/// \brief Per-column MinMax summaries over fixed-size row zones.
+class ZoneMap {
+ public:
+  ZoneMap() = default;
+
+  /// Build from a column with `zone_rows` rows per zone.
+  static ZoneMap Build(const Column& column, uint32_t zone_rows);
+
+  uint32_t zone_rows() const { return zone_rows_; }
+  uint64_t num_zones() const { return mins_.size(); }
+
+  const Value& ZoneMin(uint64_t zone) const { return mins_[zone]; }
+  const Value& ZoneMax(uint64_t zone) const { return maxs_[zone]; }
+
+  /// Whether zone `zone` may contain values in `range`.
+  bool MayMatch(uint64_t zone, const ValueRange& range) const {
+    return range.Overlaps(mins_[zone], maxs_[zone]);
+  }
+
+ private:
+  uint32_t zone_rows_ = 0;
+  std::vector<Value> mins_;
+  std::vector<Value> maxs_;
+};
+
+}  // namespace bdcc
+
+#endif  // BDCC_STORAGE_ZONEMAP_H_

@@ -1,0 +1,423 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace bdcc {
+namespace tpch {
+
+namespace {
+
+const char* kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                               "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+// TPC-H nation list: nationkey -> (name, regionkey).
+const NationDef kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECIFIED", "5-LOW"};
+const char* kInstructions[4] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                                "TAKE BACK RETURN"};
+const char* kModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                         "FOB"};
+const char* kTypeSyl1[6] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                            "PROMO"};
+const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                            "BRUSHED"};
+const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyl1[5] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerSyl2[8] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                                 "CAN", "DRUM"};
+// P_NAME color words (subset of the spec's 92; includes the query-sensitive
+// "green" and "forest").
+const char* kColors[40] = {
+    "almond",   "antique",  "aquamarine", "azure",   "beige",   "bisque",
+    "black",    "blanched", "blue",       "blush",   "brown",   "burlywood",
+    "burnished", "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+    "cream",    "cyan",     "dark",       "deep",    "dim",     "dodger",
+    "drab",     "firebrick", "floral",    "forest",  "frosted", "gainsboro",
+    "ghost",    "goldenrod", "green",     "grey",    "honeydew", "hot",
+    "indian",   "ivory",    "khaki",      "lace"};
+// Comment vocabulary; "special"/"requests" (Q13) and "Customer"/"Complaints"
+// (Q16) are injected explicitly, never produced by the base vocabulary.
+const char* kWords[36] = {
+    "furiously", "quickly", "carefully", "blithely",  "slyly",    "ideas",
+    "packages",  "deposits", "accounts", "theodolites", "dependencies",
+    "instructions", "foxes", "pinto",    "beans",     "sauternes", "asymptotes",
+    "courts",    "dolphins", "multipliers", "sleep",  "wake",     "cajole",
+    "nag",       "haggle",   "boost",    "detect",    "engage",   "integrate",
+    "print",     "above",    "against",  "along",     "among",    "around",
+    "beneath"};
+
+std::string RandomWords(Rng* rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i) out += " ";
+    out += kWords[rng->Uniform(0, 35)];
+  }
+  return out;
+}
+
+std::string Numbered(const char* prefix, int64_t n, int width) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s#%0*lld", prefix, width,
+                static_cast<long long>(n));
+  return buf;
+}
+
+std::string Phone(int nationkey, Rng* rng) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d-%03d-%03d-%04d", 10 + nationkey,
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+double Money(Rng* rng, double lo, double hi) {
+  double cents = std::floor(rng->NextDouble() * (hi - lo) * 100.0);
+  return lo + cents / 100.0;
+}
+
+}  // namespace
+
+TpchCardinalities TpchCardinalities::At(double sf) {
+  TpchCardinalities c;
+  auto scale = [&](double base) {
+    return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(base * sf)));
+  };
+  c.supplier = scale(10000);
+  c.customer = scale(150000);
+  c.part = scale(200000);
+  c.partsupp = c.part * 4;
+  c.orders = c.customer * 10;
+  return c;
+}
+
+int32_t PartSuppSupplier(int32_t partkey, int j, int32_t num_suppliers) {
+  // TPC-H spec 4.2.3: s = (p + (j * (S/4 + (p-1)/S))) % S + 1.
+  int64_t p = partkey, s = num_suppliers;
+  return static_cast<int32_t>((p + (j * (s / 4 + (p - 1) / s))) % s + 1);
+}
+
+Result<std::map<std::string, Table>> GenerateTpch(const DbgenOptions& options) {
+  if (options.scale_factor <= 0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  TpchCardinalities card = TpchCardinalities::At(options.scale_factor);
+  Rng rng(options.seed);
+  std::map<std::string, Table> out;
+
+  const int32_t kStartDate = ParseDate("1992-01-01");
+  const int32_t kEndDate = ParseDate("1998-12-31");
+  const int32_t kCurrentDate = ParseDate("1995-06-17");
+  const int32_t kMaxOrderDate = kEndDate - 151;
+
+  // ---- REGION ----
+  {
+    Table t("REGION");
+    Column key(TypeId::kInt32), name(TypeId::kString), comment(TypeId::kString);
+    for (int r = 0; r < 5; ++r) {
+      key.AppendInt32(r);
+      name.AppendString(kRegionNames[r]);
+      comment.AppendString(RandomWords(&rng, 4, 10));
+    }
+    BDCC_RETURN_NOT_OK(t.AddColumn("r_regionkey", std::move(key)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("r_name", std::move(name)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("r_comment", std::move(comment)));
+    out.emplace("REGION", std::move(t));
+  }
+
+  // ---- NATION ----
+  {
+    Table t("NATION");
+    Column key(TypeId::kInt32), name(TypeId::kString), region(TypeId::kInt32),
+        comment(TypeId::kString);
+    for (int n = 0; n < 25; ++n) {
+      key.AppendInt32(n);
+      name.AppendString(kNations[n].name);
+      region.AppendInt32(kNations[n].region);
+      comment.AppendString(RandomWords(&rng, 4, 10));
+    }
+    BDCC_RETURN_NOT_OK(t.AddColumn("n_nationkey", std::move(key)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("n_name", std::move(name)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("n_regionkey", std::move(region)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("n_comment", std::move(comment)));
+    out.emplace("NATION", std::move(t));
+  }
+
+  // ---- SUPPLIER ----
+  {
+    Table t("SUPPLIER");
+    Column key(TypeId::kInt32), name(TypeId::kString), addr(TypeId::kString),
+        nation(TypeId::kInt32), phone(TypeId::kString),
+        acctbal(TypeId::kFloat64), comment(TypeId::kString);
+    for (int64_t s = 1; s <= static_cast<int64_t>(card.supplier); ++s) {
+      int nk = static_cast<int>(rng.Uniform(0, 24));
+      key.AppendInt32(static_cast<int32_t>(s));
+      name.AppendString(Numbered("Supplier", s, 9));
+      addr.AppendString(RandomWords(&rng, 2, 4));
+      nation.AppendInt32(nk);
+      phone.AppendString(Phone(nk, &rng));
+      acctbal.AppendFloat64(Money(&rng, -999.99, 9999.99));
+      // Q16: ~5 per 10000 suppliers carry the complaints pattern.
+      if (s % 1999 == 17) {
+        comment.AppendString("take Customer slow Complaints " +
+                             RandomWords(&rng, 2, 5));
+      } else {
+        comment.AppendString(RandomWords(&rng, 5, 12));
+      }
+    }
+    BDCC_RETURN_NOT_OK(t.AddColumn("s_suppkey", std::move(key)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("s_name", std::move(name)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("s_address", std::move(addr)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("s_nationkey", std::move(nation)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("s_phone", std::move(phone)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("s_acctbal", std::move(acctbal)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("s_comment", std::move(comment)));
+    out.emplace("SUPPLIER", std::move(t));
+  }
+
+  // ---- PART ----
+  {
+    Table t("PART");
+    Column key(TypeId::kInt32), name(TypeId::kString), mfgr(TypeId::kString),
+        brand(TypeId::kString), type(TypeId::kString), size(TypeId::kInt32),
+        container(TypeId::kString), retail(TypeId::kFloat64),
+        comment(TypeId::kString);
+    for (int64_t p = 1; p <= static_cast<int64_t>(card.part); ++p) {
+      key.AppendInt32(static_cast<int32_t>(p));
+      // p_name: five distinct color words.
+      std::string pname;
+      for (int w = 0; w < 5; ++w) {
+        if (w) pname += " ";
+        pname += kColors[rng.Uniform(0, 39)];
+      }
+      name.AppendString(pname);
+      int m = static_cast<int>(rng.Uniform(1, 5));
+      int b = static_cast<int>(rng.Uniform(1, 5));
+      mfgr.AppendString(Numbered("Manufacturer", m, 1));
+      char bb[16];
+      std::snprintf(bb, sizeof(bb), "Brand#%d%d", m, b);
+      brand.AppendString(bb);
+      std::string ptype = std::string(kTypeSyl1[rng.Uniform(0, 5)]) + " " +
+                          kTypeSyl2[rng.Uniform(0, 4)] + " " +
+                          kTypeSyl3[rng.Uniform(0, 4)];
+      type.AppendString(ptype);
+      size.AppendInt32(static_cast<int32_t>(rng.Uniform(1, 50)));
+      container.AppendString(std::string(kContainerSyl1[rng.Uniform(0, 4)]) +
+                             " " + kContainerSyl2[rng.Uniform(0, 7)]);
+      // Spec formula, in dollars.
+      retail.AppendFloat64(
+          (90000.0 + ((p / 10) % 20001) + 100.0 * (p % 1000)) / 100.0);
+      comment.AppendString(RandomWords(&rng, 2, 6));
+    }
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_partkey", std::move(key)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_name", std::move(name)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_mfgr", std::move(mfgr)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_brand", std::move(brand)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_type", std::move(type)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_size", std::move(size)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_container", std::move(container)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_retailprice", std::move(retail)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("p_comment", std::move(comment)));
+    out.emplace("PART", std::move(t));
+  }
+
+  // ---- PARTSUPP ----
+  {
+    Table t("PARTSUPP");
+    Column pk(TypeId::kInt32), sk(TypeId::kInt32), avail(TypeId::kInt32),
+        cost(TypeId::kFloat64), comment(TypeId::kString);
+    int32_t S = static_cast<int32_t>(card.supplier);
+    for (int64_t p = 1; p <= static_cast<int64_t>(card.part); ++p) {
+      for (int j = 0; j < 4; ++j) {
+        pk.AppendInt32(static_cast<int32_t>(p));
+        sk.AppendInt32(PartSuppSupplier(static_cast<int32_t>(p), j, S));
+        avail.AppendInt32(static_cast<int32_t>(rng.Uniform(1, 9999)));
+        cost.AppendFloat64(Money(&rng, 1.0, 1000.0));
+        comment.AppendString(RandomWords(&rng, 4, 10));
+      }
+    }
+    BDCC_RETURN_NOT_OK(t.AddColumn("ps_partkey", std::move(pk)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("ps_suppkey", std::move(sk)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("ps_availqty", std::move(avail)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("ps_supplycost", std::move(cost)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("ps_comment", std::move(comment)));
+    out.emplace("PARTSUPP", std::move(t));
+  }
+
+  // ---- CUSTOMER ----
+  {
+    Table t("CUSTOMER");
+    Column key(TypeId::kInt32), name(TypeId::kString), addr(TypeId::kString),
+        nation(TypeId::kInt32), phone(TypeId::kString),
+        acctbal(TypeId::kFloat64), segment(TypeId::kString),
+        comment(TypeId::kString);
+    for (int64_t c = 1; c <= static_cast<int64_t>(card.customer); ++c) {
+      int nk = static_cast<int>(rng.Uniform(0, 24));
+      key.AppendInt32(static_cast<int32_t>(c));
+      name.AppendString(Numbered("Customer", c, 9));
+      addr.AppendString(RandomWords(&rng, 2, 4));
+      nation.AppendInt32(nk);
+      phone.AppendString(Phone(nk, &rng));
+      acctbal.AppendFloat64(Money(&rng, -999.99, 9999.99));
+      segment.AppendString(kSegments[rng.Uniform(0, 4)]);
+      comment.AppendString(RandomWords(&rng, 6, 14));
+    }
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_custkey", std::move(key)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_name", std::move(name)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_address", std::move(addr)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_nationkey", std::move(nation)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_phone", std::move(phone)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_acctbal", std::move(acctbal)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_mktsegment", std::move(segment)));
+    BDCC_RETURN_NOT_OK(t.AddColumn("c_comment", std::move(comment)));
+    out.emplace("CUSTOMER", std::move(t));
+  }
+
+  // ---- ORDERS + LINEITEM ----
+  {
+    Table to("ORDERS");
+    Column o_key(TypeId::kInt32), o_cust(TypeId::kInt32),
+        o_status(TypeId::kString), o_total(TypeId::kFloat64),
+        o_date(TypeId::kDate), o_prio(TypeId::kString),
+        o_clerk(TypeId::kString), o_ship(TypeId::kInt32),
+        o_comment(TypeId::kString);
+    Table tl("LINEITEM");
+    Column l_okey(TypeId::kInt32), l_part(TypeId::kInt32),
+        l_supp(TypeId::kInt32), l_line(TypeId::kInt32),
+        l_qty(TypeId::kFloat64), l_ext(TypeId::kFloat64),
+        l_disc(TypeId::kFloat64), l_tax(TypeId::kFloat64),
+        l_rflag(TypeId::kString), l_status(TypeId::kString),
+        l_sdate(TypeId::kDate), l_cdate(TypeId::kDate),
+        l_rdate(TypeId::kDate), l_instr(TypeId::kString),
+        l_mode(TypeId::kString), l_comment(TypeId::kString);
+
+    int32_t S = static_cast<int32_t>(card.supplier);
+    int64_t P = static_cast<int64_t>(card.part);
+    int64_t C = static_cast<int64_t>(card.customer);
+    int clerks = std::max<int>(1, static_cast<int>(card.orders / 1000));
+
+    for (int64_t o = 1; o <= static_cast<int64_t>(card.orders); ++o) {
+      // Customers with custkey % 3 == 0 never order (spec; enables Q22).
+      int64_t cust;
+      do {
+        cust = rng.Uniform(1, static_cast<int64_t>(C));
+      } while (C > 3 && cust % 3 == 0);
+      int32_t odate = static_cast<int32_t>(
+          rng.Uniform(kStartDate, kMaxOrderDate));
+      int nlines = static_cast<int>(rng.Uniform(1, 7));
+      double total = 0.0;
+      int all_f = 1, all_o = 1;
+      for (int line = 1; line <= nlines; ++line) {
+        int64_t partkey = rng.Uniform(1, P);
+        int j = static_cast<int>(rng.Uniform(0, 3));
+        int32_t suppkey =
+            PartSuppSupplier(static_cast<int32_t>(partkey), j, S);
+        double qty = static_cast<double>(rng.Uniform(1, 50));
+        double retail =
+            (90000.0 + ((partkey / 10) % 20001) + 100.0 * (partkey % 1000)) /
+            100.0;
+        double ext = qty * retail;
+        double disc = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+        double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+        int32_t sdate = odate + static_cast<int32_t>(rng.Uniform(1, 121));
+        int32_t cdate = odate + static_cast<int32_t>(rng.Uniform(30, 90));
+        int32_t rdate = sdate + static_cast<int32_t>(rng.Uniform(1, 30));
+        const char* status = sdate > kCurrentDate ? "O" : "F";
+        if (*status == 'O') {
+          all_f = 0;
+        } else {
+          all_o = 0;
+        }
+        const char* rflag =
+            rdate <= kCurrentDate ? (rng.Chance(0.5) ? "R" : "A") : "N";
+        l_okey.AppendInt32(static_cast<int32_t>(o));
+        l_part.AppendInt32(static_cast<int32_t>(partkey));
+        l_supp.AppendInt32(suppkey);
+        l_line.AppendInt32(line);
+        l_qty.AppendFloat64(qty);
+        l_ext.AppendFloat64(ext);
+        l_disc.AppendFloat64(disc);
+        l_tax.AppendFloat64(tax);
+        l_rflag.AppendString(rflag);
+        l_status.AppendString(status);
+        l_sdate.AppendDate(sdate);
+        l_cdate.AppendDate(cdate);
+        l_rdate.AppendDate(rdate);
+        l_instr.AppendString(kInstructions[rng.Uniform(0, 3)]);
+        l_mode.AppendString(kModes[rng.Uniform(0, 6)]);
+        l_comment.AppendString(RandomWords(&rng, 3, 8));
+        total += ext * (1.0 + tax) * (1.0 - disc);
+      }
+      o_key.AppendInt32(static_cast<int32_t>(o));
+      o_cust.AppendInt32(static_cast<int32_t>(cust));
+      o_status.AppendString(all_f ? "F" : (all_o ? "O" : "P"));
+      o_total.AppendFloat64(total);
+      o_date.AppendDate(odate);
+      o_prio.AppendString(kPriorities[rng.Uniform(0, 4)]);
+      o_clerk.AppendString(
+          Numbered("Clerk", rng.Uniform(1, clerks), 9));
+      o_ship.AppendInt32(0);
+      // Q13: ~2% of orders carry the "special ... requests" pattern.
+      if (rng.Chance(0.02)) {
+        o_comment.AppendString("the special packages wake requests " +
+                               RandomWords(&rng, 2, 4));
+      } else {
+        o_comment.AppendString(RandomWords(&rng, 5, 12));
+      }
+    }
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_orderkey", std::move(o_key)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_custkey", std::move(o_cust)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_orderstatus", std::move(o_status)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_totalprice", std::move(o_total)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_orderdate", std::move(o_date)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_orderpriority", std::move(o_prio)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_clerk", std::move(o_clerk)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_shippriority", std::move(o_ship)));
+    BDCC_RETURN_NOT_OK(to.AddColumn("o_comment", std::move(o_comment)));
+    out.emplace("ORDERS", std::move(to));
+
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_orderkey", std::move(l_okey)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_partkey", std::move(l_part)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_suppkey", std::move(l_supp)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_linenumber", std::move(l_line)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_quantity", std::move(l_qty)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_extendedprice", std::move(l_ext)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_discount", std::move(l_disc)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_tax", std::move(l_tax)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_returnflag", std::move(l_rflag)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_linestatus", std::move(l_status)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_shipdate", std::move(l_sdate)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_commitdate", std::move(l_cdate)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_receiptdate", std::move(l_rdate)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_shipinstruct", std::move(l_instr)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_shipmode", std::move(l_mode)));
+    BDCC_RETURN_NOT_OK(tl.AddColumn("l_comment", std::move(l_comment)));
+    out.emplace("LINEITEM", std::move(tl));
+  }
+  return out;
+}
+
+}  // namespace tpch
+}  // namespace bdcc

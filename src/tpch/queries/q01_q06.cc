@@ -1,0 +1,204 @@
+// TPC-H queries 1-6 as logical plans (validation parameters).
+#include "tpch/queries/queries_internal.h"
+
+#include "opt/logical_plan.h"
+
+namespace bdcc {
+namespace tpch {
+namespace queries {
+
+using exec::AggAvg;
+using exec::AggCountStar;
+using exec::AggMin;
+using exec::AggSum;
+using exec::Col;
+using exec::JoinType;
+using exec::Like;
+using exec::LitF64;
+using exec::LitStr;
+using exec::Project;
+using exec::SortKey;
+using opt::LAgg;
+using opt::LFilter;
+using opt::LJoin;
+using opt::LProject;
+using opt::LScan;
+using opt::LSort;
+using opt::NodePtr;
+using opt::Sarg;
+using opt::SargEq;
+using opt::SargRange;
+
+namespace {
+
+Value D(const char* iso) { return Value::Date(ParseDate(iso)); }
+
+exec::ExprPtr DiscPrice() {
+  return exec::Mul(Col("l_extendedprice"),
+                   exec::Sub(LitF64(1.0), Col("l_discount")));
+}
+
+}  // namespace
+
+// Q1: pricing summary report.
+Result<exec::Batch> RunQ1(QueryContext& ctx) {
+  NodePtr scan = LScan(
+      "LINEITEM",
+      {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+       "l_discount", "l_tax", "l_shipdate"},
+      {SargRange("l_shipdate", std::nullopt, D("1998-09-02"))});
+  NodePtr agg = LAgg(
+      scan, {"l_returnflag", "l_linestatus"},
+      {AggSum(Col("l_quantity"), "sum_qty"),
+       AggSum(Col("l_extendedprice"), "sum_base_price"),
+       AggSum(DiscPrice(), "sum_disc_price"),
+       AggSum(exec::Mul(DiscPrice(), exec::Add(LitF64(1.0), Col("l_tax"))),
+              "sum_charge"),
+       AggAvg(Col("l_quantity"), "avg_qty"),
+       AggAvg(Col("l_extendedprice"), "avg_price"),
+       AggAvg(Col("l_discount"), "avg_disc"),
+       AggCountStar("count_order")});
+  return RunPlan(LSort(agg, {SortKey{"l_returnflag"}, SortKey{"l_linestatus"}}),
+                 ctx);
+}
+
+// Q2: minimum cost supplier (EUROPE, size 15, %BRASS).
+Result<exec::Batch> RunQ2(QueryContext& ctx) {
+  auto region = []() {
+    return LScan("REGION", {"r_regionkey", "r_name"},
+                 {SargEq("r_name", Value::String("EUROPE"))});
+  };
+  // Subquery: min supply cost per part among European suppliers.
+  NodePtr sub = LScan("PARTSUPP", {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+  sub = LJoin(sub, LScan("SUPPLIER", {"s_suppkey", "s_nationkey"}),
+              JoinType::kInner, {"ps_suppkey"}, {"s_suppkey"}, "FK_PS_S");
+  sub = LJoin(sub, LScan("NATION", {"n_nationkey", "n_regionkey"}),
+              JoinType::kInner, {"s_nationkey"}, {"n_nationkey"}, "FK_S_N");
+  sub = LJoin(sub, region(), JoinType::kInner, {"n_regionkey"},
+              {"r_regionkey"}, "FK_N_R");
+  sub = LAgg(sub, {"ps_partkey"}, {AggMin(Col("ps_supplycost"), "mc_cost")});
+  sub = LProject(sub, {{"mc_partkey", Col("ps_partkey")},
+                       {"mc_cost", Col("mc_cost")}});
+
+  NodePtr part =
+      LScan("PART", {"p_partkey", "p_mfgr", "p_type", "p_size"},
+            {SargEq("p_size", Value::Int32(15))},
+            Like(Col("p_type"), "%BRASS"));
+  NodePtr main = LScan("PARTSUPP", {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+  main = LJoin(main, part, JoinType::kInner, {"ps_partkey"}, {"p_partkey"},
+               "FK_PS_P");
+  main = LJoin(main,
+               LScan("SUPPLIER", {"s_suppkey", "s_name", "s_address",
+                                  "s_nationkey", "s_phone", "s_acctbal",
+                                  "s_comment"}),
+               JoinType::kInner, {"ps_suppkey"}, {"s_suppkey"}, "FK_PS_S");
+  main = LJoin(main, LScan("NATION", {"n_nationkey", "n_name", "n_regionkey"}),
+               JoinType::kInner, {"s_nationkey"}, {"n_nationkey"}, "FK_S_N");
+  main = LJoin(main, region(), JoinType::kInner, {"n_regionkey"},
+               {"r_regionkey"}, "FK_N_R");
+  main = LJoin(main, sub, JoinType::kInner,
+               {"ps_partkey", "ps_supplycost"}, {"mc_partkey", "mc_cost"}, "");
+  NodePtr out = LProject(
+      main, {{"s_acctbal", Col("s_acctbal")},
+             {"s_name", Col("s_name")},
+             {"n_name", Col("n_name")},
+             {"p_partkey", Col("p_partkey")},
+             {"p_mfgr", Col("p_mfgr")},
+             {"s_address", Col("s_address")},
+             {"s_phone", Col("s_phone")},
+             {"s_comment", Col("s_comment")}});
+  return RunPlan(LSort(out,
+                       {SortKey{"s_acctbal", true}, SortKey{"n_name"},
+                        SortKey{"s_name"}, SortKey{"p_partkey"}},
+                       100),
+                 ctx);
+}
+
+// Q3: shipping priority (BUILDING, 1995-03-15).
+Result<exec::Batch> RunQ3(QueryContext& ctx) {
+  NodePtr li = LScan(
+      "LINEITEM",
+      {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"},
+      {SargRange("l_shipdate", Value::Date(ParseDate("1995-03-15") + 1),
+                 std::nullopt)});
+  NodePtr orders = LScan(
+      "ORDERS", {"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
+      {SargRange("o_orderdate", std::nullopt,
+                 Value::Date(ParseDate("1995-03-15") - 1))});
+  NodePtr cust = LScan("CUSTOMER", {"c_custkey", "c_mktsegment"},
+                       {SargEq("c_mktsegment", Value::String("BUILDING"))});
+  NodePtr j = LJoin(li, orders, JoinType::kInner, {"l_orderkey"},
+                    {"o_orderkey"}, "FK_L_O");
+  j = LJoin(j, cust, JoinType::kInner, {"o_custkey"}, {"c_custkey"},
+            "FK_O_C");
+  NodePtr agg = LAgg(j, {"l_orderkey", "o_orderdate", "o_shippriority"},
+                     {AggSum(DiscPrice(), "revenue")});
+  return RunPlan(
+      LSort(agg, {SortKey{"revenue", true}, SortKey{"o_orderdate"}}, 10), ctx);
+}
+
+// Q4: order priority checking (1993-07 quarter).
+Result<exec::Batch> RunQ4(QueryContext& ctx) {
+  NodePtr orders =
+      LScan("ORDERS", {"o_orderkey", "o_orderdate", "o_orderpriority"},
+            {SargRange("o_orderdate", D("1993-07-01"), D("1993-09-30"))});
+  NodePtr li = LScan("LINEITEM",
+                     {"l_orderkey", "l_commitdate", "l_receiptdate"}, {},
+                     exec::Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  NodePtr j = LJoin(orders, li, JoinType::kLeftSemi, {"o_orderkey"},
+                    {"l_orderkey"}, "FK_L_O");
+  NodePtr agg =
+      LAgg(j, {"o_orderpriority"}, {AggCountStar("order_count")});
+  return RunPlan(LSort(agg, {SortKey{"o_orderpriority"}}), ctx);
+}
+
+// Q5: local supplier volume (ASIA, 1994).
+Result<exec::Batch> RunQ5(QueryContext& ctx) {
+  NodePtr li = LScan("LINEITEM",
+                     {"l_orderkey", "l_suppkey", "l_extendedprice",
+                      "l_discount"});
+  NodePtr orders =
+      LScan("ORDERS", {"o_orderkey", "o_custkey", "o_orderdate"},
+            {SargRange("o_orderdate", D("1994-01-01"), D("1994-12-31"))});
+  NodePtr cust = LScan("CUSTOMER", {"c_custkey", "c_nationkey"});
+  NodePtr a = LJoin(li, orders, JoinType::kInner, {"l_orderkey"},
+                    {"o_orderkey"}, "FK_L_O");
+  a = LJoin(a, cust, JoinType::kInner, {"o_custkey"}, {"c_custkey"},
+            "FK_O_C");
+  NodePtr supp = LScan("SUPPLIER", {"s_suppkey", "s_nationkey"});
+  NodePtr nation = LScan("NATION", {"n_nationkey", "n_name", "n_regionkey"});
+  NodePtr region = LScan("REGION", {"r_regionkey", "r_name"},
+                         {SargEq("r_name", Value::String("ASIA"))});
+  NodePtr b = LJoin(supp, nation, JoinType::kInner, {"s_nationkey"},
+                    {"n_nationkey"}, "FK_S_N");
+  b = LJoin(b, region, JoinType::kInner, {"n_regionkey"}, {"r_regionkey"},
+            "FK_N_R");
+  NodePtr c = LJoin(a, b, JoinType::kInner, {"l_suppkey"}, {"s_suppkey"},
+                    "FK_L_S");
+  c = LFilter(c, exec::Eq(Col("c_nationkey"), Col("s_nationkey")));
+  NodePtr agg = LAgg(c, {"n_name"}, {AggSum(DiscPrice(), "revenue")});
+  return RunPlan(LSort(agg, {SortKey{"revenue", true}}), ctx);
+}
+
+// Q6: forecasting revenue change.
+Result<exec::Batch> RunQ6(QueryContext& ctx) {
+  Sarg qty;
+  qty.column = "l_quantity";
+  qty.range.hi = Value::Float64(24.0);
+  qty.row_expr = exec::Lt(Col("l_quantity"), LitF64(24.0));
+  NodePtr scan = LScan(
+      "LINEITEM",
+      {"l_extendedprice", "l_discount", "l_shipdate", "l_quantity"},
+      {SargRange("l_shipdate", D("1994-01-01"), D("1994-12-31")),
+       SargRange("l_discount", Value::Float64(0.05), Value::Float64(0.07)),
+       qty});
+  NodePtr agg =
+      LAgg(scan, {},
+           {AggSum(exec::Mul(Col("l_extendedprice"), Col("l_discount")),
+                   "revenue")});
+  return RunPlan(agg, ctx);
+}
+
+}  // namespace queries
+}  // namespace tpch
+}  // namespace bdcc

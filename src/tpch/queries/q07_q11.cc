@@ -1,0 +1,210 @@
+// TPC-H queries 7-11.
+#include "opt/logical_plan.h"
+#include "tpch/queries/queries_internal.h"
+
+namespace bdcc {
+namespace tpch {
+namespace queries {
+
+using exec::AggCountStar;
+using exec::AggSum;
+using exec::Col;
+using exec::JoinType;
+using exec::LitF64;
+using exec::LitStr;
+using exec::SortKey;
+using opt::LAgg;
+using opt::LFilter;
+using opt::LJoin;
+using opt::LProject;
+using opt::LScan;
+using opt::LSort;
+using opt::NodePtr;
+using opt::SargEq;
+using opt::SargRange;
+
+namespace {
+
+Value D(const char* iso) { return Value::Date(ParseDate(iso)); }
+
+exec::ExprPtr DiscPrice() {
+  return exec::Mul(Col("l_extendedprice"),
+                   exec::Sub(LitF64(1.0), Col("l_discount")));
+}
+
+}  // namespace
+
+// Q7: volume shipping (FRANCE <-> GERMANY, 1995-1996).
+Result<exec::Batch> RunQ7(QueryContext& ctx) {
+  auto nation_alias = [](const char* key_name, const char* name_name) {
+    NodePtr scan = LScan(
+        "NATION", {"n_nationkey", "n_name"}, {},
+        exec::InStrings(Col("n_name"), {"FRANCE", "GERMANY"}));
+    return LProject(scan, {{key_name, Col("n_nationkey")},
+                           {name_name, Col("n_name")}});
+  };
+  NodePtr li = LScan(
+      "LINEITEM",
+      {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount",
+       "l_shipdate"},
+      {SargRange("l_shipdate", D("1995-01-01"), D("1996-12-31"))});
+  NodePtr j = LJoin(li, LScan("ORDERS", {"o_orderkey", "o_custkey"}),
+                    JoinType::kInner, {"l_orderkey"}, {"o_orderkey"},
+                    "FK_L_O");
+  j = LJoin(j, LScan("CUSTOMER", {"c_custkey", "c_nationkey"}),
+            JoinType::kInner, {"o_custkey"}, {"c_custkey"}, "FK_O_C");
+  j = LJoin(j, nation_alias("cust_nkey", "cust_nation"), JoinType::kInner,
+            {"c_nationkey"}, {"cust_nkey"}, "FK_C_N");
+  j = LJoin(j, LScan("SUPPLIER", {"s_suppkey", "s_nationkey"}),
+            JoinType::kInner, {"l_suppkey"}, {"s_suppkey"}, "FK_L_S");
+  j = LJoin(j, nation_alias("supp_nkey", "supp_nation"), JoinType::kInner,
+            {"s_nationkey"}, {"supp_nkey"}, "FK_S_N");
+  j = LFilter(
+      j, exec::Or(exec::And(exec::Eq(Col("supp_nation"), LitStr("FRANCE")),
+                            exec::Eq(Col("cust_nation"), LitStr("GERMANY"))),
+                  exec::And(exec::Eq(Col("supp_nation"), LitStr("GERMANY")),
+                            exec::Eq(Col("cust_nation"), LitStr("FRANCE")))));
+  NodePtr proj = LProject(j, {{"supp_nation", Col("supp_nation")},
+                              {"cust_nation", Col("cust_nation")},
+                              {"l_year", exec::Year(Col("l_shipdate"))},
+                              {"volume", DiscPrice()}});
+  NodePtr agg = LAgg(proj, {"supp_nation", "cust_nation", "l_year"},
+                     {AggSum(Col("volume"), "revenue")});
+  return RunPlan(LSort(agg, {SortKey{"supp_nation"}, SortKey{"cust_nation"},
+                             SortKey{"l_year"}}),
+                 ctx);
+}
+
+// Q8: national market share (BRAZIL in AMERICA, ECONOMY ANODIZED STEEL).
+Result<exec::Batch> RunQ8(QueryContext& ctx) {
+  NodePtr li = LScan("LINEITEM", {"l_orderkey", "l_partkey", "l_suppkey",
+                                  "l_extendedprice", "l_discount"});
+  NodePtr orders =
+      LScan("ORDERS", {"o_orderkey", "o_custkey", "o_orderdate"},
+            {SargRange("o_orderdate", D("1995-01-01"), D("1996-12-31"))});
+  NodePtr j = LJoin(li, orders, JoinType::kInner, {"l_orderkey"},
+                    {"o_orderkey"}, "FK_L_O");
+  NodePtr part =
+      LScan("PART", {"p_partkey", "p_type"},
+            {SargEq("p_type", Value::String("ECONOMY ANODIZED STEEL"))});
+  j = LJoin(j, part, JoinType::kInner, {"l_partkey"}, {"p_partkey"},
+            "FK_L_P");
+  j = LJoin(j, LScan("CUSTOMER", {"c_custkey", "c_nationkey"}),
+            JoinType::kInner, {"o_custkey"}, {"c_custkey"}, "FK_O_C");
+  j = LJoin(j, LScan("NATION", {"n_nationkey", "n_regionkey"}),
+            JoinType::kInner, {"c_nationkey"}, {"n_nationkey"}, "FK_C_N");
+  j = LJoin(j,
+            LScan("REGION", {"r_regionkey", "r_name"},
+                  {SargEq("r_name", Value::String("AMERICA"))}),
+            JoinType::kInner, {"n_regionkey"}, {"r_regionkey"}, "FK_N_R");
+  j = LJoin(j, LScan("SUPPLIER", {"s_suppkey", "s_nationkey"}),
+            JoinType::kInner, {"l_suppkey"}, {"s_suppkey"}, "FK_L_S");
+  NodePtr n2 = LProject(LScan("NATION", {"n_nationkey", "n_name"}),
+                        {{"supp_nkey", Col("n_nationkey")},
+                         {"supp_nation", Col("n_name")}});
+  j = LJoin(j, n2, JoinType::kInner, {"s_nationkey"}, {"supp_nkey"},
+            "FK_S_N");
+  NodePtr proj = LProject(j, {{"o_year", exec::Year(Col("o_orderdate"))},
+                              {"volume", DiscPrice()},
+                              {"supp_nation", Col("supp_nation")}});
+  NodePtr agg = LAgg(
+      proj, {"o_year"},
+      {AggSum(exec::CaseWhen(exec::Eq(Col("supp_nation"), LitStr("BRAZIL")),
+                             Col("volume"), LitF64(0.0)),
+              "brazil_volume"),
+       AggSum(Col("volume"), "total_volume")});
+  NodePtr share =
+      LProject(agg, {{"o_year", Col("o_year")},
+                     {"mkt_share",
+                      exec::Div(Col("brazil_volume"), Col("total_volume"))}});
+  return RunPlan(LSort(share, {SortKey{"o_year"}}), ctx);
+}
+
+// Q9: product type profit measure (%green%).
+Result<exec::Batch> RunQ9(QueryContext& ctx) {
+  NodePtr li =
+      LScan("LINEITEM", {"l_orderkey", "l_partkey", "l_suppkey",
+                         "l_quantity", "l_extendedprice", "l_discount"});
+  NodePtr j = LJoin(li, LScan("ORDERS", {"o_orderkey", "o_orderdate"}),
+                    JoinType::kInner, {"l_orderkey"}, {"o_orderkey"},
+                    "FK_L_O");
+  NodePtr part = LScan("PART", {"p_partkey", "p_name"}, {},
+                       exec::Like(Col("p_name"), "%green%"));
+  j = LJoin(j, part, JoinType::kInner, {"l_partkey"}, {"p_partkey"},
+            "FK_L_P");
+  j = LJoin(j, LScan("SUPPLIER", {"s_suppkey", "s_nationkey"}),
+            JoinType::kInner, {"l_suppkey"}, {"s_suppkey"}, "FK_L_S");
+  j = LJoin(j, LScan("NATION", {"n_nationkey", "n_name"}), JoinType::kInner,
+            {"s_nationkey"}, {"n_nationkey"}, "FK_S_N");
+  j = LJoin(j,
+            LScan("PARTSUPP", {"ps_partkey", "ps_suppkey", "ps_supplycost"}),
+            JoinType::kInner, {"l_partkey", "l_suppkey"},
+            {"ps_partkey", "ps_suppkey"}, "FK_L_PS");
+  NodePtr proj = LProject(
+      j, {{"nation", Col("n_name")},
+          {"o_year", exec::Year(Col("o_orderdate"))},
+          {"amount",
+           exec::Sub(DiscPrice(),
+                     exec::Mul(Col("ps_supplycost"), Col("l_quantity")))}});
+  NodePtr agg =
+      LAgg(proj, {"nation", "o_year"}, {AggSum(Col("amount"), "sum_profit")});
+  return RunPlan(LSort(agg, {SortKey{"nation"}, SortKey{"o_year", true}}),
+                 ctx);
+}
+
+// Q10: returned item reporting (1993-10 quarter).
+Result<exec::Batch> RunQ10(QueryContext& ctx) {
+  NodePtr li = LScan(
+      "LINEITEM",
+      {"l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"},
+      {SargEq("l_returnflag", Value::String("R"))});
+  NodePtr orders =
+      LScan("ORDERS", {"o_orderkey", "o_custkey", "o_orderdate"},
+            {SargRange("o_orderdate", D("1993-10-01"), D("1993-12-31"))});
+  NodePtr j = LJoin(li, orders, JoinType::kInner, {"l_orderkey"},
+                    {"o_orderkey"}, "FK_L_O");
+  j = LJoin(j,
+            LScan("CUSTOMER",
+                  {"c_custkey", "c_name", "c_acctbal", "c_address", "c_phone",
+                   "c_comment", "c_nationkey"}),
+            JoinType::kInner, {"o_custkey"}, {"c_custkey"}, "FK_O_C");
+  j = LJoin(j, LScan("NATION", {"n_nationkey", "n_name"}), JoinType::kInner,
+            {"c_nationkey"}, {"n_nationkey"}, "FK_C_N");
+  NodePtr agg = LAgg(j,
+                     {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+                      "c_address", "c_comment"},
+                     {AggSum(DiscPrice(), "revenue")});
+  return RunPlan(LSort(agg, {SortKey{"revenue", true}}, 20), ctx);
+}
+
+// Q11: important stock identification (GERMANY).
+Result<exec::Batch> RunQ11(QueryContext& ctx) {
+  auto base = []() {
+    NodePtr ps = LScan("PARTSUPP",
+                       {"ps_partkey", "ps_suppkey", "ps_availqty",
+                        "ps_supplycost"});
+    ps = LJoin(ps, LScan("SUPPLIER", {"s_suppkey", "s_nationkey"}),
+               JoinType::kInner, {"ps_suppkey"}, {"s_suppkey"}, "FK_PS_S");
+    return LJoin(ps,
+                 LScan("NATION", {"n_nationkey", "n_name"},
+                       {SargEq("n_name", Value::String("GERMANY"))}),
+                 JoinType::kInner, {"s_nationkey"}, {"n_nationkey"},
+                 "FK_S_N");
+  };
+  auto value = []() {
+    return exec::Mul(Col("ps_supplycost"), Col("ps_availqty"));
+  };
+  BDCC_ASSIGN_OR_RETURN(
+      exec::Batch total_batch,
+      RunPlan(LAgg(base(), {}, {AggSum(value(), "total")}), ctx));
+  BDCC_ASSIGN_OR_RETURN(double total, ScalarOf(total_batch));
+  double threshold = total * (0.0001 / std::max(ctx.scale_factor, 1e-9));
+
+  NodePtr agg = LAgg(base(), {"ps_partkey"}, {AggSum(value(), "value")});
+  NodePtr filtered = LFilter(agg, exec::Gt(Col("value"), LitF64(threshold)));
+  return RunPlan(LSort(filtered, {SortKey{"value", true}}), ctx);
+}
+
+}  // namespace queries
+}  // namespace tpch
+}  // namespace bdcc

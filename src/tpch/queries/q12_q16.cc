@@ -1,0 +1,157 @@
+// TPC-H queries 12-16.
+#include "opt/logical_plan.h"
+#include "tpch/queries/queries_internal.h"
+
+namespace bdcc {
+namespace tpch {
+namespace queries {
+
+using exec::AggCount;
+using exec::AggCountDistinct;
+using exec::AggCountStar;
+using exec::AggMax;
+using exec::AggSum;
+using exec::Col;
+using exec::JoinType;
+using exec::LitF64;
+using exec::LitI64;
+using exec::LitStr;
+using exec::SortKey;
+using opt::LAgg;
+using opt::LFilter;
+using opt::LJoin;
+using opt::LProject;
+using opt::LScan;
+using opt::LSort;
+using opt::NodePtr;
+using opt::SargEq;
+using opt::SargRange;
+
+namespace {
+
+Value D(const char* iso) { return Value::Date(ParseDate(iso)); }
+
+exec::ExprPtr DiscPrice() {
+  return exec::Mul(Col("l_extendedprice"),
+                   exec::Sub(LitF64(1.0), Col("l_discount")));
+}
+
+}  // namespace
+
+// Q12: shipping modes and order priority (MAIL/SHIP, 1994).
+Result<exec::Batch> RunQ12(QueryContext& ctx) {
+  NodePtr li = LScan(
+      "LINEITEM",
+      {"l_orderkey", "l_shipmode", "l_receiptdate", "l_commitdate",
+       "l_shipdate"},
+      {SargRange("l_receiptdate", D("1994-01-01"), D("1994-12-31"))},
+      exec::AndAll({exec::InStrings(Col("l_shipmode"), {"MAIL", "SHIP"}),
+                    exec::Lt(Col("l_commitdate"), Col("l_receiptdate")),
+                    exec::Lt(Col("l_shipdate"), Col("l_commitdate"))}));
+  NodePtr j = LJoin(li, LScan("ORDERS", {"o_orderkey", "o_orderpriority"}),
+                    JoinType::kInner, {"l_orderkey"}, {"o_orderkey"},
+                    "FK_L_O");
+  exec::ExprPtr is_high =
+      exec::Or(exec::Eq(Col("o_orderpriority"), LitStr("1-URGENT")),
+               exec::Eq(Col("o_orderpriority"), LitStr("2-HIGH")));
+  exec::ExprPtr is_high2 =
+      exec::Or(exec::Eq(Col("o_orderpriority"), LitStr("1-URGENT")),
+               exec::Eq(Col("o_orderpriority"), LitStr("2-HIGH")));
+  NodePtr agg = LAgg(
+      j, {"l_shipmode"},
+      {AggSum(exec::CaseWhen(is_high, LitI64(1), LitI64(0)),
+              "high_line_count"),
+       AggSum(exec::CaseWhen(exec::Not(is_high2), LitI64(1), LitI64(0)),
+              "low_line_count")});
+  return RunPlan(LSort(agg, {SortKey{"l_shipmode"}}), ctx);
+}
+
+// Q13: customer distribution (orders without "special requests").
+Result<exec::Batch> RunQ13(QueryContext& ctx) {
+  NodePtr cust = LScan("CUSTOMER", {"c_custkey"});
+  NodePtr orders =
+      LScan("ORDERS", {"o_orderkey", "o_custkey", "o_comment"}, {},
+            exec::NotLike(Col("o_comment"), "%special%requests%"));
+  NodePtr j = LJoin(cust, orders, JoinType::kLeftOuter, {"c_custkey"},
+                    {"o_custkey"}, "FK_O_C");
+  NodePtr per_customer =
+      LAgg(j, {"c_custkey"}, {AggCount(Col("o_orderkey"), "c_count")});
+  NodePtr dist =
+      LAgg(per_customer, {"c_count"}, {AggCountStar("custdist")});
+  return RunPlan(
+      LSort(dist, {SortKey{"custdist", true}, SortKey{"c_count", true}}),
+      ctx);
+}
+
+// Q14: promotion effect (1995-09).
+Result<exec::Batch> RunQ14(QueryContext& ctx) {
+  NodePtr li = LScan(
+      "LINEITEM",
+      {"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"},
+      {SargRange("l_shipdate", D("1995-09-01"), D("1995-09-30"))});
+  NodePtr j = LJoin(li, LScan("PART", {"p_partkey", "p_type"}),
+                    JoinType::kInner, {"l_partkey"}, {"p_partkey"},
+                    "FK_L_P");
+  NodePtr agg = LAgg(
+      j, {},
+      {AggSum(exec::CaseWhen(exec::Like(Col("p_type"), "PROMO%"),
+                             DiscPrice(), LitF64(0.0)),
+              "promo"),
+       AggSum(DiscPrice(), "total")});
+  NodePtr out = LProject(
+      agg, {{"promo_revenue",
+             exec::Div(exec::Mul(LitF64(100.0), Col("promo")),
+                       Col("total"))}});
+  return RunPlan(out, ctx);
+}
+
+// Q15: top supplier (revenue view over 1996Q1).
+Result<exec::Batch> RunQ15(QueryContext& ctx) {
+  auto view = []() {
+    NodePtr li = LScan(
+        "LINEITEM",
+        {"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
+        {SargRange("l_shipdate", D("1996-01-01"), D("1996-03-31"))});
+    return LAgg(li, {"l_suppkey"}, {AggSum(DiscPrice(), "total_revenue")});
+  };
+  BDCC_ASSIGN_OR_RETURN(
+      exec::Batch max_batch,
+      RunPlan(LAgg(view(), {}, {AggMax(Col("total_revenue"), "m")}), ctx));
+  BDCC_ASSIGN_OR_RETURN(double max_revenue, ScalarOf(max_batch));
+
+  NodePtr best = LFilter(
+      view(), exec::Eq(Col("total_revenue"), LitF64(max_revenue)));
+  NodePtr j = LJoin(
+      LScan("SUPPLIER", {"s_suppkey", "s_name", "s_address", "s_phone"}),
+      best, JoinType::kInner, {"s_suppkey"}, {"l_suppkey"}, "");
+  return RunPlan(LSort(j, {SortKey{"s_suppkey"}}), ctx);
+}
+
+// Q16: parts/supplier relationship (excluding complaints suppliers).
+Result<exec::Batch> RunQ16(QueryContext& ctx) {
+  NodePtr ps = LScan("PARTSUPP", {"ps_partkey", "ps_suppkey"});
+  NodePtr part = LScan(
+      "PART", {"p_partkey", "p_brand", "p_type", "p_size"}, {},
+      exec::AndAll(
+          {exec::Ne(Col("p_brand"), LitStr("Brand#45")),
+           exec::NotLike(Col("p_type"), "MEDIUM POLISHED%"),
+           exec::InInts(Col("p_size"), {49, 14, 23, 45, 19, 3, 36, 9})}));
+  NodePtr j = LJoin(ps, part, JoinType::kInner, {"ps_partkey"},
+                    {"p_partkey"}, "FK_PS_P");
+  NodePtr complainers =
+      LScan("SUPPLIER", {"s_suppkey", "s_comment"}, {},
+            exec::Like(Col("s_comment"), "%Customer%Complaints%"));
+  j = LJoin(j, complainers, JoinType::kLeftAnti, {"ps_suppkey"},
+            {"s_suppkey"}, "FK_PS_S");
+  NodePtr agg =
+      LAgg(j, {"p_brand", "p_type", "p_size"},
+           {AggCountDistinct(Col("ps_suppkey"), "supplier_cnt")});
+  return RunPlan(LSort(agg, {SortKey{"supplier_cnt", true},
+                             SortKey{"p_brand"}, SortKey{"p_type"},
+                             SortKey{"p_size"}}),
+                 ctx);
+}
+
+}  // namespace queries
+}  // namespace tpch
+}  // namespace bdcc

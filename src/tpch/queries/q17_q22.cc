@@ -1,0 +1,230 @@
+// TPC-H queries 17-22.
+#include "opt/logical_plan.h"
+#include "tpch/queries/queries_internal.h"
+
+namespace bdcc {
+namespace tpch {
+namespace queries {
+
+using exec::AggAvg;
+using exec::AggCountDistinct;
+using exec::AggCountStar;
+using exec::AggSum;
+using exec::Col;
+using exec::JoinType;
+using exec::LitF64;
+using exec::LitI64;
+using exec::LitStr;
+using exec::SortKey;
+using opt::LAgg;
+using opt::LFilter;
+using opt::LJoin;
+using opt::LProject;
+using opt::LScan;
+using opt::LSort;
+using opt::NodePtr;
+using opt::SargEq;
+using opt::SargPrefixLike;
+using opt::SargRange;
+
+namespace {
+
+Value D(const char* iso) { return Value::Date(ParseDate(iso)); }
+
+exec::ExprPtr DiscPrice() {
+  return exec::Mul(Col("l_extendedprice"),
+                   exec::Sub(LitF64(1.0), Col("l_discount")));
+}
+
+const std::vector<std::string> kQ22Codes = {"13", "31", "23", "29",
+                                            "30", "18", "17"};
+
+}  // namespace
+
+// Q17: small-quantity-order revenue (Brand#23, MED BOX).
+Result<exec::Batch> RunQ17(QueryContext& ctx) {
+  auto part = []() {
+    return LScan("PART", {"p_partkey", "p_brand", "p_container"},
+                 {SargEq("p_brand", Value::String("Brand#23")),
+                  SargEq("p_container", Value::String("MED BOX"))});
+  };
+  NodePtr sub = LJoin(LScan("LINEITEM", {"l_partkey", "l_quantity"}), part(),
+                      JoinType::kInner, {"l_partkey"}, {"p_partkey"},
+                      "FK_L_P");
+  sub = LAgg(sub, {"l_partkey"}, {AggAvg(Col("l_quantity"), "avg_qty")});
+  sub = LProject(sub, {{"ap_partkey", Col("l_partkey")},
+                       {"avg_qty", Col("avg_qty")}});
+
+  NodePtr main = LJoin(
+      LScan("LINEITEM", {"l_partkey", "l_quantity", "l_extendedprice"}),
+      part(), JoinType::kInner, {"l_partkey"}, {"p_partkey"}, "FK_L_P");
+  main = LJoin(main, sub, JoinType::kInner, {"l_partkey"}, {"ap_partkey"},
+               "");
+  main = LFilter(main, exec::Lt(Col("l_quantity"),
+                                exec::Mul(LitF64(0.2), Col("avg_qty"))));
+  NodePtr agg = LAgg(main, {}, {AggSum(Col("l_extendedprice"), "s")});
+  return RunPlan(
+      LProject(agg, {{"avg_yearly", exec::Div(Col("s"), LitF64(7.0))}}), ctx);
+}
+
+// Q18: large volume customers (sum qty > 300).
+Result<exec::Batch> RunQ18(QueryContext& ctx) {
+  NodePtr inner = LAgg(LScan("LINEITEM", {"l_orderkey", "l_quantity"}),
+                       {"l_orderkey"},
+                       {AggSum(Col("l_quantity"), "sum_qty_all")});
+  NodePtr big = LProject(
+      LFilter(inner, exec::Gt(Col("sum_qty_all"), LitF64(300.0))),
+      {{"big_orderkey", Col("l_orderkey")}});
+  NodePtr orders = LScan(
+      "ORDERS", {"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"});
+  NodePtr o2 = LJoin(orders, big, JoinType::kLeftSemi, {"o_orderkey"},
+                     {"big_orderkey"}, "");
+  NodePtr o3 = LJoin(o2, LScan("CUSTOMER", {"c_custkey", "c_name"}),
+                     JoinType::kInner, {"o_custkey"}, {"c_custkey"},
+                     "FK_O_C");
+  NodePtr j = LJoin(LScan("LINEITEM", {"l_orderkey", "l_quantity"}), o3,
+                    JoinType::kInner, {"l_orderkey"}, {"o_orderkey"},
+                    "FK_L_O");
+  NodePtr agg = LAgg(
+      j, {"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+      {AggSum(Col("l_quantity"), "sum_qty")});
+  return RunPlan(
+      LSort(agg, {SortKey{"o_totalprice", true}, SortKey{"o_orderdate"}},
+            100),
+      ctx);
+}
+
+// Q19: discounted revenue (three brand/container/quantity classes).
+Result<exec::Batch> RunQ19(QueryContext& ctx) {
+  NodePtr li = LScan(
+      "LINEITEM",
+      {"l_partkey", "l_quantity", "l_extendedprice", "l_discount",
+       "l_shipinstruct", "l_shipmode"},
+      {}, exec::And(exec::InStrings(Col("l_shipmode"), {"AIR", "AIR REG"}),
+                    exec::Eq(Col("l_shipinstruct"),
+                             LitStr("DELIVER IN PERSON"))));
+  NodePtr j = LJoin(
+      li, LScan("PART", {"p_partkey", "p_brand", "p_container", "p_size"}),
+      JoinType::kInner, {"l_partkey"}, {"p_partkey"}, "FK_L_P");
+  auto clause = [](const char* brand, std::vector<std::string> containers,
+                   double qlo, double qhi, int64_t smax) {
+    return exec::AndAll(
+        {exec::Eq(Col("p_brand"), LitStr(brand)),
+         exec::InStrings(Col("p_container"), std::move(containers)),
+         exec::Between(Col("l_quantity"), LitF64(qlo), LitF64(qhi)),
+         exec::Between(Col("p_size"), LitI64(1), LitI64(smax))});
+  };
+  j = LFilter(
+      j, exec::Or(
+             clause("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"},
+                    1, 11, 5),
+             exec::Or(clause("Brand#23",
+                             {"MED BAG", "MED BOX", "MED PKG", "MED PACK"},
+                             10, 20, 10),
+                      clause("Brand#34",
+                             {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20,
+                             30, 15))));
+  return RunPlan(LAgg(j, {}, {AggSum(DiscPrice(), "revenue")}), ctx);
+}
+
+// Q20: potential part promotion (forest%, CANADA, 1994).
+Result<exec::Batch> RunQ20(QueryContext& ctx) {
+  NodePtr sub = LAgg(
+      LScan("LINEITEM", {"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
+            {SargRange("l_shipdate", D("1994-01-01"), D("1994-12-31"))}),
+      {"l_partkey", "l_suppkey"}, {AggSum(Col("l_quantity"), "sq")});
+  sub = LProject(sub, {{"lp", Col("l_partkey")},
+                       {"ls", Col("l_suppkey")},
+                       {"sq", Col("sq")}});
+  NodePtr ps =
+      LScan("PARTSUPP", {"ps_partkey", "ps_suppkey", "ps_availqty"});
+  NodePtr j = LJoin(ps, sub, JoinType::kInner,
+                    {"ps_partkey", "ps_suppkey"}, {"lp", "ls"}, "");
+  j = LFilter(j, exec::Gt(Col("ps_availqty"),
+                          exec::Mul(LitF64(0.5), Col("sq"))));
+  j = LJoin(j,
+            LScan("PART", {"p_partkey", "p_name"},
+                  {SargPrefixLike("p_name", "forest%")}),
+            JoinType::kLeftSemi, {"ps_partkey"}, {"p_partkey"}, "FK_PS_P");
+
+  NodePtr supp = LScan("SUPPLIER",
+                       {"s_suppkey", "s_name", "s_address", "s_nationkey"});
+  supp = LJoin(supp,
+               LScan("NATION", {"n_nationkey", "n_name"},
+                     {SargEq("n_name", Value::String("CANADA"))}),
+               JoinType::kLeftSemi, {"s_nationkey"}, {"n_nationkey"},
+               "FK_S_N");
+  NodePtr out = LJoin(supp, j, JoinType::kLeftSemi, {"s_suppkey"},
+                      {"ps_suppkey"}, "FK_PS_S");
+  out = LProject(out, {{"s_name", Col("s_name")},
+                       {"s_address", Col("s_address")}});
+  return RunPlan(LSort(out, {SortKey{"s_name"}}), ctx);
+}
+
+// Q21: suppliers who kept orders waiting (SAUDI ARABIA).
+Result<exec::Batch> RunQ21(QueryContext& ctx) {
+  NodePtr a1 = LAgg(LScan("LINEITEM", {"l_orderkey", "l_suppkey"}),
+                    {"l_orderkey"},
+                    {AggCountDistinct(Col("l_suppkey"), "nsupp")});
+  a1 = LProject(a1, {{"ok1", Col("l_orderkey")}, {"nsupp", Col("nsupp")}});
+  NodePtr a2 = LAgg(
+      LScan("LINEITEM",
+            {"l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"}, {},
+            exec::Gt(Col("l_receiptdate"), Col("l_commitdate"))),
+      {"l_orderkey"}, {AggCountDistinct(Col("l_suppkey"), "nlate")});
+  a2 = LProject(a2, {{"ok2", Col("l_orderkey")}, {"nlate", Col("nlate")}});
+
+  NodePtr l1 = LScan(
+      "LINEITEM",
+      {"l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"}, {},
+      exec::Gt(Col("l_receiptdate"), Col("l_commitdate")));
+  NodePtr j = LJoin(l1,
+                    LScan("ORDERS", {"o_orderkey", "o_orderstatus"},
+                          {SargEq("o_orderstatus", Value::String("F"))}),
+                    JoinType::kInner, {"l_orderkey"}, {"o_orderkey"},
+                    "FK_L_O");
+  j = LJoin(j, LScan("SUPPLIER", {"s_suppkey", "s_name", "s_nationkey"}),
+            JoinType::kInner, {"l_suppkey"}, {"s_suppkey"}, "FK_L_S");
+  j = LJoin(j,
+            LScan("NATION", {"n_nationkey", "n_name"},
+                  {SargEq("n_name", Value::String("SAUDI ARABIA"))}),
+            JoinType::kInner, {"s_nationkey"}, {"n_nationkey"}, "FK_S_N");
+  j = LJoin(j, a1, JoinType::kInner, {"l_orderkey"}, {"ok1"}, "");
+  j = LJoin(j, a2, JoinType::kInner, {"l_orderkey"}, {"ok2"}, "");
+  j = LFilter(j, exec::And(exec::Ge(Col("nsupp"), LitI64(2)),
+                           exec::Eq(Col("nlate"), LitI64(1))));
+  NodePtr agg = LAgg(j, {"s_name"}, {AggCountStar("numwait")});
+  return RunPlan(
+      LSort(agg, {SortKey{"numwait", true}, SortKey{"s_name"}}, 100), ctx);
+}
+
+// Q22: global sales opportunity (country codes, idle customers).
+Result<exec::Batch> RunQ22(QueryContext& ctx) {
+  auto in_codes = []() {
+    return exec::InStrings(exec::StrPrefix(Col("c_phone"), 2), kQ22Codes);
+  };
+  NodePtr avg_scan = LScan(
+      "CUSTOMER", {"c_custkey", "c_phone", "c_acctbal"}, {},
+      exec::And(in_codes(), exec::Gt(Col("c_acctbal"), LitF64(0.0))));
+  BDCC_ASSIGN_OR_RETURN(
+      exec::Batch avg_batch,
+      RunPlan(LAgg(avg_scan, {}, {AggAvg(Col("c_acctbal"), "a")}), ctx));
+  BDCC_ASSIGN_OR_RETURN(double avg_bal, ScalarOf(avg_batch));
+
+  NodePtr cust = LScan(
+      "CUSTOMER", {"c_custkey", "c_phone", "c_acctbal"}, {},
+      exec::And(in_codes(), exec::Gt(Col("c_acctbal"), LitF64(avg_bal))));
+  NodePtr j = LJoin(cust, LScan("ORDERS", {"o_orderkey", "o_custkey"}),
+                    JoinType::kLeftAnti, {"c_custkey"}, {"o_custkey"},
+                    "FK_O_C");
+  NodePtr proj = LProject(j, {{"cntrycode", exec::StrPrefix(Col("c_phone"), 2)},
+                              {"c_acctbal", Col("c_acctbal")}});
+  NodePtr agg = LAgg(proj, {"cntrycode"},
+                     {AggCountStar("numcust"),
+                      AggSum(Col("c_acctbal"), "totacctbal")});
+  return RunPlan(LSort(agg, {SortKey{"cntrycode"}}), ctx);
+}
+
+}  // namespace queries
+}  // namespace tpch
+}  // namespace bdcc

@@ -1,0 +1,41 @@
+// Internal: per-query entry points (implemented across q*.cc files).
+#ifndef BDCC_TPCH_QUERIES_QUERIES_INTERNAL_H_
+#define BDCC_TPCH_QUERIES_QUERIES_INTERNAL_H_
+
+#include "tpch/tpch_queries.h"
+
+namespace bdcc {
+namespace tpch {
+namespace queries {
+
+Result<exec::Batch> RunQ1(QueryContext& ctx);
+Result<exec::Batch> RunQ2(QueryContext& ctx);
+Result<exec::Batch> RunQ3(QueryContext& ctx);
+Result<exec::Batch> RunQ4(QueryContext& ctx);
+Result<exec::Batch> RunQ5(QueryContext& ctx);
+Result<exec::Batch> RunQ6(QueryContext& ctx);
+Result<exec::Batch> RunQ7(QueryContext& ctx);
+Result<exec::Batch> RunQ8(QueryContext& ctx);
+Result<exec::Batch> RunQ9(QueryContext& ctx);
+Result<exec::Batch> RunQ10(QueryContext& ctx);
+Result<exec::Batch> RunQ11(QueryContext& ctx);
+Result<exec::Batch> RunQ12(QueryContext& ctx);
+Result<exec::Batch> RunQ13(QueryContext& ctx);
+Result<exec::Batch> RunQ14(QueryContext& ctx);
+Result<exec::Batch> RunQ15(QueryContext& ctx);
+Result<exec::Batch> RunQ16(QueryContext& ctx);
+Result<exec::Batch> RunQ17(QueryContext& ctx);
+Result<exec::Batch> RunQ18(QueryContext& ctx);
+Result<exec::Batch> RunQ19(QueryContext& ctx);
+Result<exec::Batch> RunQ20(QueryContext& ctx);
+Result<exec::Batch> RunQ21(QueryContext& ctx);
+Result<exec::Batch> RunQ22(QueryContext& ctx);
+
+/// First cell of a single-row result as double (scalar-subquery stages).
+Result<double> ScalarOf(const exec::Batch& batch);
+
+}  // namespace queries
+}  // namespace tpch
+}  // namespace bdcc
+
+#endif  // BDCC_TPCH_QUERIES_QUERIES_INTERNAL_H_

@@ -1,0 +1,147 @@
+#include "tpch/tpch_schema.h"
+
+#include "catalog/ddl_parser.h"
+
+namespace bdcc {
+namespace tpch {
+
+const char* TpchTableDdl() {
+  return R"ddl(
+CREATE TABLE REGION (
+  r_regionkey INT NOT NULL,
+  r_name      VARCHAR(25) NOT NULL,
+  r_comment   VARCHAR(152),
+  PRIMARY KEY (r_regionkey)
+);
+
+CREATE TABLE NATION (
+  n_nationkey INT NOT NULL,
+  n_name      VARCHAR(25) NOT NULL,
+  n_regionkey INT NOT NULL,
+  n_comment   VARCHAR(152),
+  PRIMARY KEY (n_nationkey),
+  FOREIGN KEY FK_N_R (n_regionkey) REFERENCES REGION (r_regionkey)
+);
+
+CREATE TABLE SUPPLIER (
+  s_suppkey   INT NOT NULL,
+  s_name      CHAR(25) NOT NULL,
+  s_address   VARCHAR(40) NOT NULL,
+  s_nationkey INT NOT NULL,
+  s_phone     CHAR(15) NOT NULL,
+  s_acctbal   DECIMAL(15,2) NOT NULL,
+  s_comment   VARCHAR(101) NOT NULL,
+  PRIMARY KEY (s_suppkey),
+  FOREIGN KEY FK_S_N (s_nationkey) REFERENCES NATION (n_nationkey)
+);
+
+CREATE TABLE CUSTOMER (
+  c_custkey    INT NOT NULL,
+  c_name       VARCHAR(25) NOT NULL,
+  c_address    VARCHAR(40) NOT NULL,
+  c_nationkey  INT NOT NULL,
+  c_phone      CHAR(15) NOT NULL,
+  c_acctbal    DECIMAL(15,2) NOT NULL,
+  c_mktsegment CHAR(10) NOT NULL,
+  c_comment    VARCHAR(117) NOT NULL,
+  PRIMARY KEY (c_custkey),
+  FOREIGN KEY FK_C_N (c_nationkey) REFERENCES NATION (n_nationkey)
+);
+
+CREATE TABLE PART (
+  p_partkey     INT NOT NULL,
+  p_name        VARCHAR(55) NOT NULL,
+  p_mfgr        CHAR(25) NOT NULL,
+  p_brand       CHAR(10) NOT NULL,
+  p_type        VARCHAR(25) NOT NULL,
+  p_size        INT NOT NULL,
+  p_container   CHAR(10) NOT NULL,
+  p_retailprice DECIMAL(15,2) NOT NULL,
+  p_comment     VARCHAR(23) NOT NULL,
+  PRIMARY KEY (p_partkey)
+);
+
+CREATE TABLE PARTSUPP (
+  ps_partkey    INT NOT NULL,
+  ps_suppkey    INT NOT NULL,
+  ps_availqty   INT NOT NULL,
+  ps_supplycost DECIMAL(15,2) NOT NULL,
+  ps_comment    VARCHAR(199) NOT NULL,
+  PRIMARY KEY (ps_partkey, ps_suppkey),
+  FOREIGN KEY FK_PS_P (ps_partkey) REFERENCES PART (p_partkey),
+  FOREIGN KEY FK_PS_S (ps_suppkey) REFERENCES SUPPLIER (s_suppkey)
+);
+
+CREATE TABLE ORDERS (
+  o_orderkey      INT NOT NULL,
+  o_custkey       INT NOT NULL,
+  o_orderstatus   CHAR(1) NOT NULL,
+  o_totalprice    DECIMAL(15,2) NOT NULL,
+  o_orderdate     DATE NOT NULL,
+  o_orderpriority CHAR(15) NOT NULL,
+  o_clerk         CHAR(15) NOT NULL,
+  o_shippriority  INT NOT NULL,
+  o_comment       VARCHAR(79) NOT NULL,
+  PRIMARY KEY (o_orderkey),
+  FOREIGN KEY FK_O_C (o_custkey) REFERENCES CUSTOMER (c_custkey)
+);
+
+CREATE TABLE LINEITEM (
+  l_orderkey      INT NOT NULL,
+  l_partkey       INT NOT NULL,
+  l_suppkey       INT NOT NULL,
+  l_linenumber    INT NOT NULL,
+  l_quantity      DECIMAL(15,2) NOT NULL,
+  l_extendedprice DECIMAL(15,2) NOT NULL,
+  l_discount      DECIMAL(15,2) NOT NULL,
+  l_tax           DECIMAL(15,2) NOT NULL,
+  l_returnflag    CHAR(1) NOT NULL,
+  l_linestatus    CHAR(1) NOT NULL,
+  l_shipdate      DATE NOT NULL,
+  l_commitdate    DATE NOT NULL,
+  l_receiptdate   DATE NOT NULL,
+  l_shipinstruct  CHAR(25) NOT NULL,
+  l_shipmode      CHAR(10) NOT NULL,
+  l_comment       VARCHAR(44) NOT NULL,
+  PRIMARY KEY (l_orderkey, l_linenumber),
+  FOREIGN KEY FK_L_O (l_orderkey) REFERENCES ORDERS (o_orderkey),
+  FOREIGN KEY FK_L_P (l_partkey) REFERENCES PART (p_partkey),
+  FOREIGN KEY FK_L_S (l_suppkey) REFERENCES SUPPLIER (s_suppkey),
+  FOREIGN KEY FK_L_PS (l_partkey, l_suppkey)
+      REFERENCES PARTSUPP (ps_partkey, ps_suppkey)
+);
+)ddl";
+}
+
+const char* TpchHintDdl() {
+  // Section IV of the paper, verbatim semantics. Declaration order matters:
+  // Algorithm 2 inherits dimension uses in index order, and the published
+  // mask table lists LINEITEM's uses as (D_DATE, D_NATION via customer,
+  // D_NATION via supplier, D_PART) — hence l_suppkey before l_partkey.
+  return R"ddl(
+CREATE INDEX date_idx   ON ORDERS (o_orderdate);
+CREATE INDEX part_idx   ON PART (p_partkey);
+CREATE INDEX nation_idx ON NATION (n_regionkey, n_nationkey);
+
+CREATE INDEX s_nation_fk_idx ON SUPPLIER (s_nationkey);
+CREATE INDEX c_nation_fk_idx ON CUSTOMER (c_nationkey);
+CREATE INDEX o_cust_fk_idx   ON ORDERS (o_custkey);
+CREATE INDEX ps_part_fk_idx  ON PARTSUPP (ps_partkey);
+CREATE INDEX ps_supp_fk_idx  ON PARTSUPP (ps_suppkey);
+CREATE INDEX l_order_fk_idx  ON LINEITEM (l_orderkey);
+CREATE INDEX l_supp_fk_idx   ON LINEITEM (l_suppkey);
+CREATE INDEX l_part_fk_idx   ON LINEITEM (l_partkey);
+)ddl";
+}
+
+Result<catalog::Catalog> MakeTpchCatalog(bool with_hints) {
+  catalog::Catalog cat;
+  BDCC_RETURN_NOT_OK(catalog::ParseDdl(TpchTableDdl(), &cat));
+  if (with_hints) {
+    BDCC_RETURN_NOT_OK(catalog::ParseDdl(TpchHintDdl(), &cat));
+  }
+  return cat;
+}
+
+}  // namespace tpch
+}  // namespace bdcc

@@ -1,0 +1,29 @@
+// TPC-H logical schema (DDL text) plus the paper's Section IV BDCC hints.
+#ifndef BDCC_TPCH_TPCH_SCHEMA_H_
+#define BDCC_TPCH_TPCH_SCHEMA_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace bdcc {
+namespace tpch {
+
+/// CREATE TABLE statements with primary keys and the named foreign keys
+/// used in dimension paths (FK_N_R, FK_S_N, FK_C_N, FK_PS_P, FK_PS_S,
+/// FK_O_C, FK_L_O, FK_L_P, FK_L_S, FK_L_PS).
+const char* TpchTableDdl();
+
+/// The paper's BDCC hints: date_idx, part_idx, nation_idx plus the foreign-
+/// key reference indexes (o_custkey, s_nationkey, c_nationkey, l_orderkey,
+/// l_suppkey, l_partkey, ps_partkey, ps_suppkey). Index declaration order
+/// on LINEITEM (orderkey, suppkey, partkey) reproduces the published
+/// dimension-use table's mask assignment.
+const char* TpchHintDdl();
+
+/// Parse the DDL into a catalog. `with_hints` adds the CREATE INDEX hints.
+Result<catalog::Catalog> MakeTpchCatalog(bool with_hints = true);
+
+}  // namespace tpch
+}  // namespace bdcc
+
+#endif  // BDCC_TPCH_TPCH_SCHEMA_H_

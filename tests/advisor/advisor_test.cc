@@ -1,0 +1,174 @@
+// Algorithm 2 on the TPC-H catalog: dimension identification, use
+// inheritance over FKs, and the published design tables.
+#include "advisor/advisor.h"
+
+#include "advisor/report.h"
+#include "gtest/gtest.h"
+#include "tpch/dbgen.h"
+#include "tpch/tpch_schema.h"
+
+namespace bdcc {
+namespace advisor {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new catalog::Catalog(
+        tpch::MakeTpchCatalog(true).ValueOrDie());
+    tpch::DbgenOptions gen;
+    gen.scale_factor = 0.01;
+    tables_ = new std::map<std::string, Table>(
+        tpch::GenerateTpch(gen).ValueOrDie());
+    resolver_ = new Resolver(tables_, catalog_);
+    design_ = new SchemaDesign(
+        DesignSchema(*catalog_, *resolver_, {}).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete resolver_;
+    delete tables_;
+    delete catalog_;
+  }
+
+  class Resolver : public TableResolver {
+   public:
+    Resolver(const std::map<std::string, Table>* t,
+             const catalog::Catalog* c)
+        : t_(t), c_(c) {}
+    Result<const Table*> GetTable(const std::string& name) const override {
+      auto it = t_->find(name);
+      if (it == t_->end()) return Status::NotFound(name);
+      return &it->second;
+    }
+    Result<const catalog::ForeignKey*> GetForeignKey(
+        const std::string& id) const override {
+      return c_->GetForeignKey(id);
+    }
+
+   private:
+    const std::map<std::string, Table>* t_;
+    const catalog::Catalog* c_;
+  };
+
+  static catalog::Catalog* catalog_;
+  static std::map<std::string, Table>* tables_;
+  static Resolver* resolver_;
+  static SchemaDesign* design_;
+};
+
+catalog::Catalog* AdvisorTest::catalog_ = nullptr;
+std::map<std::string, Table>* AdvisorTest::tables_ = nullptr;
+AdvisorTest::Resolver* AdvisorTest::resolver_ = nullptr;
+SchemaDesign* AdvisorTest::design_ = nullptr;
+
+TEST_F(AdvisorTest, IdentifiesThreeDimensions) {
+  ASSERT_EQ(design_->dimensions.size(), 3u);
+  DimensionPtr nation = design_->FindDimension("D_NATION");
+  ASSERT_NE(nation, nullptr);
+  EXPECT_EQ(nation->table(), "NATION");
+  EXPECT_EQ(nation->key_columns(),
+            (std::vector<std::string>{"n_regionkey", "n_nationkey"}));
+  // Paper: 25 nations -> 5 bits.
+  EXPECT_EQ(nation->bits(), 5);
+
+  DimensionPtr date = design_->FindDimension("D_DATE");
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(date->table(), "ORDERS");
+  // Paper: 13 bits (2406 distinct days + headroom for the growing domain).
+  EXPECT_EQ(date->bits(), 13);
+
+  DimensionPtr part = design_->FindDimension("D_PART");
+  ASSERT_NE(part, nullptr);
+  EXPECT_EQ(part->table(), "PART");
+}
+
+TEST_F(AdvisorTest, TableUsesMatchPaper) {
+  // REGION gets no uses; the other seven tables are clustered.
+  EXPECT_EQ(design_->FindTable("REGION"), nullptr);
+  ASSERT_EQ(design_->tables.size(), 7u);
+
+  auto paths = [&](const char* table) {
+    std::vector<std::string> out;
+    for (const DimensionUse& u : design_->FindTable(table)->uses) {
+      out.push_back(u.dimension->name() + ":" + u.path.ToString());
+    }
+    return out;
+  };
+  EXPECT_EQ(paths("NATION"), (std::vector<std::string>{"D_NATION:-"}));
+  EXPECT_EQ(paths("SUPPLIER"),
+            (std::vector<std::string>{"D_NATION:FK_S_N"}));
+  EXPECT_EQ(paths("CUSTOMER"),
+            (std::vector<std::string>{"D_NATION:FK_C_N"}));
+  EXPECT_EQ(paths("PART"), (std::vector<std::string>{"D_PART:-"}));
+  EXPECT_EQ(paths("PARTSUPP"),
+            (std::vector<std::string>{"D_PART:FK_PS_P",
+                                      "D_NATION:FK_PS_S.FK_S_N"}));
+  EXPECT_EQ(paths("ORDERS"),
+            (std::vector<std::string>{"D_DATE:-",
+                                      "D_NATION:FK_O_C.FK_C_N"}));
+  // LINEITEM clustered on everything; D_NATION twice over distinct paths
+  // (the paper's "logically different dimensions").
+  EXPECT_EQ(paths("LINEITEM"),
+            (std::vector<std::string>{
+                "D_DATE:FK_L_O", "D_NATION:FK_L_O.FK_O_C.FK_C_N",
+                "D_NATION:FK_L_S.FK_S_N", "D_PART:FK_L_P"}));
+}
+
+TEST_F(AdvisorTest, DimensionNameFromHint) {
+  EXPECT_EQ(DimensionNameFromHint({"date_idx", "ORDERS", {"o_orderdate"}}),
+            "D_DATE");
+  EXPECT_EQ(DimensionNameFromHint({"nation_idx", "NATION", {}}), "D_NATION");
+  EXPECT_EQ(DimensionNameFromHint({"foo_index", "T", {}}), "D_FOO");
+  EXPECT_EQ(DimensionNameFromHint({"plain", "T", {}}), "D_PLAIN");
+}
+
+TEST_F(AdvisorTest, NoHintsMeansNoDesign) {
+  catalog::Catalog bare = tpch::MakeTpchCatalog(false).ValueOrDie();
+  Resolver resolver(tables_, &bare);
+  SchemaDesign design = DesignSchema(bare, resolver, {}).ValueOrDie();
+  EXPECT_TRUE(design.dimensions.empty());
+  EXPECT_TRUE(design.tables.empty());
+}
+
+TEST_F(AdvisorTest, ReportRendersPaperTables) {
+  std::string dims = RenderDimensionTable(*design_);
+  EXPECT_NE(dims.find("D_NATION"), std::string::npos);
+  EXPECT_NE(dims.find("n_regionkey,n_nationkey"), std::string::npos);
+  std::string uses =
+      RenderDimensionUseTable(*design_, interleave::Policy::kRoundRobinPerUse);
+  // ORDERS' mask strings straight from the paper.
+  EXPECT_NE(uses.find("101010101011111111"), std::string::npos);
+  EXPECT_NE(uses.find("10101010100000000"), std::string::npos);
+}
+
+TEST_F(AdvisorTest, PaperMaskTrimsLeadingZeros) {
+  EXPECT_EQ(PaperMask(0b00101, 5), "101");
+  EXPECT_EQ(PaperMask(0b10101, 5), "10101");
+  EXPECT_EQ(PaperMask(0, 5), "0");
+}
+
+TEST_F(AdvisorTest, BuildDesignedTablesEndToEnd) {
+  std::map<std::string, Table> sources;
+  for (const auto& [name, table] : *tables_) {
+    sources.emplace(name, table.Clone());
+  }
+  auto built =
+      BuildDesignedTables(*design_, std::move(sources), *resolver_, {})
+          .ValueOrDie();
+  EXPECT_EQ(built.size(), 7u);
+  const BdccTable& li = built.at("LINEITEM");
+  EXPECT_EQ(li.uses().size(), 4u);
+  // Full granularity = sum of dimension bits.
+  int expect_bits = 0;
+  for (const DimensionUse& u : li.uses()) {
+    expect_bits += u.dimension->bits();
+  }
+  EXPECT_EQ(li.full_bits(), expect_bits);
+  EXPECT_LE(li.count_bits(), li.full_bits());
+  EXPECT_EQ(li.logical_rows(), tables_->at("LINEITEM").num_rows());
+}
+
+}  // namespace
+}  // namespace advisor
+}  // namespace bdcc

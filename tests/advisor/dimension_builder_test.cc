@@ -1,0 +1,143 @@
+// Dimension creation over the union of usage sites (tech report [4]):
+// frequencies are gathered across every using table joined over its path.
+#include "advisor/dimension_builder.h"
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace advisor {
+namespace {
+
+class DimensionBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.AddTable({"D", {{"k", TypeId::kInt32}}, {"k"}}).AbortIfNotOK();
+    catalog_
+        .AddTable({"F1", {{"fk", TypeId::kInt32}}, {}})
+        .AbortIfNotOK();
+    catalog_
+        .AddTable({"F2", {{"fk2", TypeId::kInt32}}, {}})
+        .AbortIfNotOK();
+    catalog_.AddForeignKey({"FK_F1_D", "F1", {"fk"}, "D", {"k"}})
+        .AbortIfNotOK();
+    catalog_.AddForeignKey({"FK_F2_D", "F2", {"fk2"}, "D", {"k"}})
+        .AbortIfNotOK();
+
+    // Host: 100 distinct keys.
+    Table host("D");
+    Column k(TypeId::kInt32);
+    for (int i = 0; i < 100; ++i) k.AppendInt32(i);
+    host.AddColumn("k", std::move(k)).AbortIfNotOK();
+    tables_.emplace("D", std::move(host));
+
+    // F1 references keys 0..9 heavily; F2 references 90..99 heavily.
+    Table f1("F1");
+    Column fk(TypeId::kInt32);
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+      fk.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 9)));
+    }
+    f1.AddColumn("fk", std::move(fk)).AbortIfNotOK();
+    tables_.emplace("F1", std::move(f1));
+
+    Table f2("F2");
+    Column fk2(TypeId::kInt32);
+    for (int i = 0; i < 5000; ++i) {
+      fk2.AppendInt32(static_cast<int32_t>(rng.Uniform(90, 99)));
+    }
+    f2.AddColumn("fk2", std::move(fk2)).AbortIfNotOK();
+    tables_.emplace("F2", std::move(f2));
+  }
+
+  class Resolver : public TableResolver {
+   public:
+    Resolver(const std::map<std::string, Table>* t,
+             const catalog::Catalog* c)
+        : t_(t), c_(c) {}
+    Result<const Table*> GetTable(const std::string& name) const override {
+      auto it = t_->find(name);
+      if (it == t_->end()) return Status::NotFound(name);
+      return &it->second;
+    }
+    Result<const catalog::ForeignKey*> GetForeignKey(
+        const std::string& id) const override {
+      return c_->GetForeignKey(id);
+    }
+
+   private:
+    const std::map<std::string, Table>* t_;
+    const catalog::Catalog* c_;
+  };
+
+  catalog::Catalog catalog_;
+  std::map<std::string, Table> tables_;
+};
+
+TEST_F(DimensionBuilderTest, UnionWeightedBinning) {
+  // With a 3-bit cap, equal-frequency binning over the union must dedicate
+  // most bins to the hot ranges [0,9] and [90,99] (each carries ~half the
+  // mass) instead of splitting the key domain uniformly.
+  Resolver resolver(&tables_, &catalog_);
+  binning::BinningOptions options;
+  options.max_bits = 3;
+  auto dim = BuildDimensionFromUsages(
+                 "D_K", "D", {"k"},
+                 {UsageRef{"F1", DimensionPath{{"FK_F1_D"}}},
+                  UsageRef{"F2", DimensionPath{{"FK_F2_D"}}}},
+                 resolver, options)
+                 .ValueOrDie();
+  EXPECT_EQ(dim->bits(), 3);
+  EXPECT_EQ(dim->num_bins(), 8u);
+  // The hot low range spans several bins; the cold middle collapses.
+  uint64_t bin_of_0 = dim->BinOfInt(0);
+  uint64_t bin_of_9 = dim->BinOfInt(9);
+  uint64_t bin_of_50 = dim->BinOfInt(50);
+  uint64_t bin_of_89 = dim->BinOfInt(89);
+  EXPECT_GT(bin_of_9 - bin_of_0, 1u) << "hot range should span bins";
+  EXPECT_EQ(dim->OrdinalOfBinNumber(dim->BinOfInt(89)),
+            dim->OrdinalOfBinNumber(bin_of_50))
+      << "cold range 10..89 should share a bin";
+  (void)bin_of_89;
+}
+
+TEST_F(DimensionBuilderTest, UnreferencedKeysStillGetBins) {
+  Resolver resolver(&tables_, &catalog_);
+  binning::BinningOptions options;
+  options.max_bits = 13;  // plenty: unique bins
+  auto dim = BuildDimensionFromUsages(
+                 "D_K", "D", {"k"},
+                 {UsageRef{"F1", DimensionPath{{"FK_F1_D"}}}}, resolver,
+                 options)
+                 .ValueOrDie();
+  // All 100 host keys binned even though F1 touches only 0..9.
+  EXPECT_EQ(dim->num_bins(), 100u);
+}
+
+TEST_F(DimensionBuilderTest, HostOnlyUsage) {
+  Resolver resolver(&tables_, &catalog_);
+  auto dim = BuildDimensionFromUsages("D_K", "D", {"k"},
+                                      {UsageRef{"D", DimensionPath{}}},
+                                      resolver, {})
+                 .ValueOrDie();
+  EXPECT_EQ(dim->table(), "D");
+  EXPECT_EQ(dim->num_bins(), 100u);
+}
+
+TEST_F(DimensionBuilderTest, EmptyHostRejected) {
+  Table empty("E");
+  Column c(TypeId::kInt32);
+  empty.AddColumn("k", std::move(c)).AbortIfNotOK();
+  tables_.emplace("E", std::move(empty));
+  catalog_.AddTable({"E", {{"k", TypeId::kInt32}}, {"k"}}).AbortIfNotOK();
+  Resolver resolver(&tables_, &catalog_);
+  EXPECT_FALSE(BuildDimensionFromUsages("D_E", "E", {"k"},
+                                        {UsageRef{"E", DimensionPath{}}},
+                                        resolver, {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace advisor
+}  // namespace bdcc

@@ -1,0 +1,347 @@
+// End-to-end BDCC table construction on the paper's Figure 1 schema:
+// dimensions D1 (geography), D2 (years), D3 (range bins); tables A (D1,D2),
+// C (D1,D3), B co-clustered with A and C over FKs.
+#include "bdcc/bdcc_table.h"
+
+#include "bdcc/binning.h"
+#include "bdcc/scatter_scan.h"
+#include "bdcc/self_tune.h"
+#include "bdcc/small_groups.h"
+#include "catalog/catalog.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace {
+
+class Figure1Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Dimension host tables.
+    {
+      Table dim1("DIM1");
+      Column k(TypeId::kInt32), name(TypeId::kString);
+      const char* continents[] = {"Africa", "America", "Asia", "Europe"};
+      for (int i = 0; i < 4; ++i) {
+        k.AppendInt32(i);
+        name.AppendString(continents[i]);
+      }
+      ASSERT_TRUE(dim1.AddColumn("d1_key", std::move(k)).ok());
+      ASSERT_TRUE(dim1.AddColumn("d1_name", std::move(name)).ok());
+      tables_.emplace("DIM1", std::move(dim1));
+    }
+    {
+      Table dim2("DIM2");
+      Column k(TypeId::kInt32), year(TypeId::kInt32);
+      for (int i = 0; i < 4; ++i) {
+        k.AppendInt32(i);
+        year.AppendInt32(1997 + i);
+      }
+      ASSERT_TRUE(dim2.AddColumn("d2_key", std::move(k)).ok());
+      ASSERT_TRUE(dim2.AddColumn("d2_year", std::move(year)).ok());
+      tables_.emplace("DIM2", std::move(dim2));
+    }
+    // Fact table A(d1 FK, d2 FK, payload).
+    {
+      Rng rng(21);
+      Table a("A");
+      Column a_key(TypeId::kInt32), fk1(TypeId::kInt32), fk2(TypeId::kInt32),
+          payload(TypeId::kFloat64);
+      for (int i = 0; i < 4000; ++i) {
+        a_key.AppendInt32(i);
+        fk1.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 3)));
+        fk2.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 3)));
+        payload.AppendFloat64(rng.NextDouble());
+      }
+      ASSERT_TRUE(a.AddColumn("a_key", std::move(a_key)).ok());
+      ASSERT_TRUE(a.AddColumn("a_d1", std::move(fk1)).ok());
+      ASSERT_TRUE(a.AddColumn("a_d2", std::move(fk2)).ok());
+      ASSERT_TRUE(a.AddColumn("a_payload", std::move(payload)).ok());
+      tables_.emplace("A", std::move(a));
+    }
+    // Fact table B -> A (co-clustered transitively on D1, D2).
+    {
+      Rng rng(22);
+      Table b("B");
+      Column fk(TypeId::kInt32), payload(TypeId::kInt64);
+      for (int i = 0; i < 16000; ++i) {
+        fk.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 3999)));
+        payload.AppendInt64(i);
+      }
+      ASSERT_TRUE(b.AddColumn("b_a", std::move(fk)).ok());
+      ASSERT_TRUE(b.AddColumn("b_payload", std::move(payload)).ok());
+      tables_.emplace("B", std::move(b));
+    }
+
+    ASSERT_TRUE(catalog_
+                    .AddTable({"DIM1",
+                               {{"d1_key", TypeId::kInt32},
+                                {"d1_name", TypeId::kString}},
+                               {"d1_key"}})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable({"DIM2",
+                               {{"d2_key", TypeId::kInt32},
+                                {"d2_year", TypeId::kInt32}},
+                               {"d2_key"}})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable({"A",
+                               {{"a_key", TypeId::kInt32},
+                                {"a_d1", TypeId::kInt32},
+                                {"a_d2", TypeId::kInt32},
+                                {"a_payload", TypeId::kFloat64}},
+                               {"a_key"}})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable({"B",
+                               {{"b_a", TypeId::kInt32},
+                                {"b_payload", TypeId::kInt64}},
+                               {}})
+                    .ok());
+    ASSERT_TRUE(
+        catalog_.AddForeignKey({"FK_A_D1", "A", {"a_d1"}, "DIM1", {"d1_key"}})
+            .ok());
+    ASSERT_TRUE(
+        catalog_.AddForeignKey({"FK_A_D2", "A", {"a_d2"}, "DIM2", {"d2_key"}})
+            .ok());
+    ASSERT_TRUE(
+        catalog_.AddForeignKey({"FK_B_A", "B", {"b_a"}, "A", {"a_key"}}).ok());
+
+    d1_ = std::make_shared<const Dimension>(
+        binning::CreateRangeDimension("D1", "DIM1", "d1_key", 0, 3, 2)
+            .ValueOrDie());
+    d2_ = std::make_shared<const Dimension>(
+        binning::CreateRangeDimension("D2", "DIM2", "d2_key", 0, 3, 2)
+            .ValueOrDie());
+  }
+
+  class Resolver : public TableResolver {
+   public:
+    Resolver(const std::map<std::string, Table>* t,
+             const catalog::Catalog* c)
+        : t_(t), c_(c) {}
+    Result<const Table*> GetTable(const std::string& name) const override {
+      auto it = t_->find(name);
+      if (it == t_->end()) return Status::NotFound(name);
+      return &it->second;
+    }
+    Result<const catalog::ForeignKey*> GetForeignKey(
+        const std::string& id) const override {
+      return c_->GetForeignKey(id);
+    }
+
+   private:
+    const std::map<std::string, Table>* t_;
+    const catalog::Catalog* c_;
+  };
+
+  Result<BdccTable> BuildA() {
+    std::vector<DimensionUse> uses(2);
+    uses[0].dimension = d1_;
+    uses[0].path.fk_ids = {"FK_A_D1"};
+    uses[1].dimension = d2_;
+    uses[1].path.fk_ids = {"FK_A_D2"};
+    Resolver resolver(&tables_, &catalog_);
+    return BuildBdccTable(tables_.at("A").Clone(), uses, resolver, options_);
+  }
+
+  Result<BdccTable> BuildB() {
+    std::vector<DimensionUse> uses(2);
+    uses[0].dimension = d1_;
+    uses[0].path.fk_ids = {"FK_B_A", "FK_A_D1"};
+    uses[1].dimension = d2_;
+    uses[1].path.fk_ids = {"FK_B_A", "FK_A_D2"};
+    Resolver resolver(&tables_, &catalog_);
+    return BuildBdccTable(tables_.at("B").Clone(), uses, resolver, options_);
+  }
+
+  std::map<std::string, Table> tables_;
+  catalog::Catalog catalog_;
+  DimensionPtr d1_, d2_;
+  BdccBuildOptions options_ = [] {
+    BdccBuildOptions o;
+    // Small AR so the toy tables keep a meaningful count granularity.
+    o.tuning.efficient_access_bytes = 512;
+    return o;
+  }();
+};
+
+TEST_F(Figure1Fixture, ComputeBinColumnLocalFk) {
+  DimensionUse use;
+  use.dimension = d1_;
+  use.path.fk_ids = {"FK_A_D1"};
+  Resolver resolver(&tables_, &catalog_);
+  auto bins = ComputeBinColumn(tables_.at("A"), use, resolver).ValueOrDie();
+  const Table& a = tables_.at("A");
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(bins[r],
+              static_cast<uint64_t>(a.ColumnByName("a_d1").i32()[r]));
+  }
+}
+
+TEST_F(Figure1Fixture, ComputeBinColumnTwoHopPath) {
+  DimensionUse use;
+  use.dimension = d1_;
+  use.path.fk_ids = {"FK_B_A", "FK_A_D1"};
+  Resolver resolver(&tables_, &catalog_);
+  auto bins = ComputeBinColumn(tables_.at("B"), use, resolver).ValueOrDie();
+  const Table& a = tables_.at("A");
+  const Table& b = tables_.at("B");
+  for (size_t r = 0; r < 200; ++r) {
+    int32_t a_row = b.ColumnByName("b_a").i32()[r];
+    EXPECT_EQ(bins[r],
+              static_cast<uint64_t>(a.ColumnByName("a_d1").i32()[a_row]));
+  }
+}
+
+TEST_F(Figure1Fixture, BrokenPathIsRejected) {
+  DimensionUse use;
+  use.dimension = d1_;
+  use.path.fk_ids = {"FK_A_D2"};  // leads to DIM2, not DIM1
+  Resolver resolver(&tables_, &catalog_);
+  EXPECT_FALSE(ComputeBinColumn(tables_.at("A"), use, resolver).ok());
+}
+
+TEST_F(Figure1Fixture, TableIsSortedOnBdccKey) {
+  BdccTable a = BuildA().ValueOrDie();
+  EXPECT_EQ(a.full_bits(), 4);
+  int key_col = a.bdcc_column_index();
+  const auto& keys = a.data().column(key_col).i64();
+  for (size_t r = 1; r < keys.size(); ++r) {
+    EXPECT_LE(keys[r - 1], keys[r]);
+  }
+  // Keys recompute from the dimension columns (Definition 4).
+  const auto& fk1 = a.data().ColumnByName("a_d1").i32();
+  const auto& fk2 = a.data().ColumnByName("a_d2").i32();
+  for (size_t r = 0; r < keys.size(); ++r) {
+    uint64_t expect = bits::SpreadBits(static_cast<uint64_t>(fk1[r]),
+                                       a.uses()[0].mask) |
+                      bits::SpreadBits(static_cast<uint64_t>(fk2[r]),
+                                       a.uses()[1].mask);
+    EXPECT_EQ(static_cast<uint64_t>(keys[r]), expect);
+  }
+}
+
+TEST_F(Figure1Fixture, CountTableMatchesData) {
+  BdccTable a = BuildA().ValueOrDie();
+  const CountTable& ct = a.count_table();
+  EXPECT_EQ(ct.total_count(), 4000u);
+  // Every group's rows share the reduced key.
+  int shift = a.full_bits() - a.count_bits();
+  const auto& keys = a.data().column(a.bdcc_column_index()).i64();
+  for (size_t g = 0; g < ct.num_groups(); ++g) {
+    const CountEntry& e = ct.entry(g);
+    for (uint64_t r = e.row_begin; r < e.row_begin + e.count; ++r) {
+      EXPECT_EQ(static_cast<uint64_t>(keys[r]) >> shift, e.key);
+    }
+  }
+}
+
+TEST_F(Figure1Fixture, CoClusteredTablesShareBinSemantics) {
+  BdccTable a = BuildA().ValueOrDie();
+  BdccTable b = BuildB().ValueOrDie();
+  // Tuples of B joined to A must land in groups with the same D1/D2 prefix
+  // (this is what sandwich joins rely on).
+  const auto& b_keys = b.data().column(b.bdcc_column_index()).i64();
+  const auto& b_fk = b.data().ColumnByName("b_a").i32();
+  const Table& a_src = tables_.at("A");
+  for (size_t r = 0; r < 500; ++r) {
+    int32_t a_row = b_fk[r];
+    uint64_t d1_bin =
+        static_cast<uint64_t>(a_src.ColumnByName("a_d1").i32()[a_row]);
+    uint64_t extracted = bits::ExtractBits(
+        static_cast<uint64_t>(b_keys[r]), b.uses()[0].mask);
+    EXPECT_EQ(extracted, d1_bin);
+  }
+}
+
+TEST_F(Figure1Fixture, ScatterScanSupportsAllDimensionOrders) {
+  BdccTable a = BuildA().ValueOrDie();
+  // (D1), (D2), (D1,D2), (D2,D1) — the four orders of the paper's example.
+  for (std::vector<size_t> order :
+       {std::vector<size_t>{0}, {1}, {0, 1}, {1, 0}}) {
+    auto ranges = PlanScatterScan(a, order).ValueOrDie();
+    // All rows covered exactly once.
+    uint64_t total = 0;
+    for (const GroupRange& r : ranges) total += r.row_end - r.row_begin;
+    EXPECT_EQ(total, 4000u);
+    // Major dimension values must be non-decreasing over the plan.
+    uint64_t prev = 0;
+    bool first = true;
+    for (const GroupRange& r : ranges) {
+      uint64_t v = GroupValueOfUse(a, order[0], r.key);
+      if (!first) {
+        EXPECT_GE(v, prev);
+      }
+      prev = v;
+      first = false;
+    }
+  }
+}
+
+TEST_F(Figure1Fixture, FilterGroupsByPrefix) {
+  BdccTable a = BuildA().ValueOrDie();
+  auto all = PlanNaturalScan(a);
+  // Restrict D1 to bin 2 (Asia).
+  auto filtered = FilterGroupsByPrefix(a, all, 0, 2, 2);
+  uint64_t rows = 0;
+  for (const GroupRange& r : filtered) rows += r.row_end - r.row_begin;
+  // Count directly.
+  uint64_t expect = 0;
+  const auto& fk1 = a.data().ColumnByName("a_d1").i32();
+  for (int32_t v : fk1) {
+    if (v == 2) ++expect;
+  }
+  EXPECT_EQ(rows, expect);
+}
+
+TEST_F(Figure1Fixture, SelfTuneRespectsAr) {
+  // Huge AR -> coarse granularity; tiny AR -> full granularity.
+  options_.tuning.efficient_access_bytes = 1;
+  BdccTable fine = BuildA().ValueOrDie();
+  EXPECT_EQ(fine.count_bits(), fine.full_bits());
+  options_.tuning.efficient_access_bytes = 100ull << 20;
+  BdccTable coarse = BuildA().ValueOrDie();
+  EXPECT_EQ(coarse.count_bits(), 0);
+}
+
+TEST_F(Figure1Fixture, SmallGroupConsolidation) {
+  options_.tuning.efficient_access_bytes = 1024;
+  BdccTable a = BuildA().ValueOrDie();
+  uint64_t logical = a.logical_rows();
+  uint64_t physical_before = a.data().num_rows();
+  auto stats = ConsolidateSmallGroups(&a, a.decision().densest_bytes_per_row > 0
+                                              ? SelfTuneOptions{4096, 0.8}
+                                              : SelfTuneOptions{})
+                   .ValueOrDie();
+  EXPECT_EQ(a.logical_rows(), logical);
+  EXPECT_EQ(a.data().num_rows(), physical_before + stats.rows_copied);
+  // Scanning via the count table still yields every logical row once.
+  auto ranges = PlanNaturalScan(a);
+  uint64_t rows = 0;
+  for (const GroupRange& r : ranges) rows += r.row_end - r.row_begin;
+  EXPECT_EQ(rows, logical);
+  // Redirected groups point at the appended region.
+  if (stats.groups_moved > 0) {
+    bool any_redirected = false;
+    for (const GroupRange& r : ranges) {
+      if (r.row_begin >= physical_before) any_redirected = true;
+    }
+    EXPECT_TRUE(any_redirected);
+  }
+}
+
+TEST_F(Figure1Fixture, BinRangeToGroupPrefix) {
+  BdccTable a = BuildA().ValueOrDie();
+  uint64_t lo, hi;
+  ASSERT_TRUE(a.BinRangeToGroupPrefix(0, 1, 2, &lo, &hi));
+  int used = bits::Ones(a.ReducedMask(0));
+  EXPECT_EQ(lo, uint64_t{1} >> (2 - used));
+  EXPECT_EQ(hi, uint64_t{2} >> (2 - used));
+  EXPECT_LE(lo, hi);
+}
+
+}  // namespace
+}  // namespace bdcc

@@ -1,0 +1,162 @@
+#include "bdcc/binning.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace binning {
+namespace {
+
+std::vector<ValueFrequency> IntValues(std::vector<std::pair<int64_t, uint64_t>> v) {
+  std::vector<ValueFrequency> out;
+  for (auto [val, count] : v) {
+    out.push_back(ValueFrequency{{Value::Int64(val)}, count});
+  }
+  return out;
+}
+
+TEST(BinningTest, ChooseBits) {
+  BinningOptions opts;
+  opts.max_bits = 13;
+  EXPECT_EQ(ChooseBits(1, opts), 0);
+  EXPECT_EQ(ChooseBits(2, opts), 1);
+  EXPECT_EQ(ChooseBits(25, opts), 5);    // D_NATION: 25 nations -> 5 bits
+  EXPECT_EQ(ChooseBits(100000, opts), 13);  // capped
+  opts.headroom_bits = 1;
+  EXPECT_EQ(ChooseBits(2406, opts), 13);  // D_DATE: 2406 days + headroom
+  EXPECT_EQ(ChooseBits(25, opts), 6);
+}
+
+TEST(BinningTest, UniqueBinsWhenDomainFits) {
+  auto dim = CreateDimension("D", "T", {"k"},
+                             IntValues({{1, 5}, {7, 1}, {9, 3}}), {})
+                 .ValueOrDie();
+  EXPECT_EQ(dim.num_bins(), 3u);
+  EXPECT_EQ(dim.bits(), 2);
+  for (size_t i = 0; i < dim.num_bins(); ++i) {
+    EXPECT_TRUE(dim.bin(i).unique);
+  }
+  EXPECT_EQ(dim.BinOf({Value::Int64(7)}), dim.bin(1).number);
+}
+
+TEST(BinningTest, RejectsUnsortedValues) {
+  EXPECT_FALSE(
+      CreateDimension("D", "T", {"k"}, IntValues({{9, 1}, {1, 1}}), {}).ok());
+  EXPECT_FALSE(
+      CreateDimension("D", "T", {"k"}, IntValues({{1, 1}, {1, 1}}), {}).ok());
+  EXPECT_FALSE(CreateDimension("D", "T", {"k"}, {}, {}).ok());
+}
+
+TEST(BinningTest, EqualFrequencyBinning) {
+  // 1000 distinct values, cap at 4 bits -> 16 bins of ~equal mass.
+  std::vector<ValueFrequency> values;
+  Rng rng(5);
+  uint64_t total = 0;
+  for (int64_t v = 0; v < 1000; ++v) {
+    uint64_t c = static_cast<uint64_t>(rng.Uniform(1, 20));
+    values.push_back(ValueFrequency{{Value::Int64(v)}, c});
+    total += c;
+  }
+  BinningOptions opts;
+  opts.max_bits = 4;
+  auto dim = CreateDimension("D", "T", {"k"}, values, opts).ValueOrDie();
+  EXPECT_EQ(dim.num_bins(), 16u);
+  EXPECT_EQ(dim.bits(), 4);
+
+  // Bin masses within 2x of the ideal share (allowing value granularity).
+  std::vector<uint64_t> mass(16, 0);
+  for (const ValueFrequency& v : values) {
+    mass[dim.OrdinalOfBinNumber(dim.BinOf(v.value))] += v.count;
+  }
+  double ideal = static_cast<double>(total) / 16.0;
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_GT(mass[b], 0u) << "empty bin " << b;
+    EXPECT_LT(static_cast<double>(mass[b]), 2.0 * ideal) << "bin " << b;
+  }
+}
+
+TEST(BinningTest, EqualFrequencyHandlesHeavySkew) {
+  // One value holds 90% of the mass: it must own a bin without starving
+  // the others.
+  std::vector<ValueFrequency> values;
+  for (int64_t v = 0; v < 100; ++v) {
+    values.push_back(ValueFrequency{{Value::Int64(v)}, v == 50 ? 9000u : 10u});
+  }
+  BinningOptions opts;
+  opts.max_bits = 3;
+  auto dim = CreateDimension("D", "T", {"k"}, values, opts).ValueOrDie();
+  EXPECT_EQ(dim.num_bins(), 8u);
+  // Every value still maps to a bin; bins ascend.
+  uint64_t prev = 0;
+  for (int64_t v = 0; v < 100; ++v) {
+    uint64_t b = dim.BinOf({Value::Int64(v)});
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(BinningTest, SpreadNumbersCoverFullRangeProperty) {
+  // Bin numbers spread across 2^bits so D|g reduction stays balanced.
+  std::vector<ValueFrequency> values;
+  for (int64_t v = 0; v < 173; ++v) {
+    values.push_back(ValueFrequency{{Value::Int64(v)}, 1});
+  }
+  auto dim = CreateDimension("D", "T", {"k"}, values, {}).ValueOrDie();
+  EXPECT_EQ(dim.bits(), 8);
+  // First bin number 0; last close to 2^8.
+  EXPECT_EQ(dim.bin(0).number, 0u);
+  EXPECT_GE(dim.bin(dim.num_bins() - 1).number, 250u);
+}
+
+TEST(BinningTest, RangeDimension) {
+  auto dim = CreateRangeDimension("D", "T", "v", 0, 99, 2).ValueOrDie();
+  EXPECT_EQ(dim.num_bins(), 4u);
+  EXPECT_EQ(dim.BinOfInt(0), 0u);
+  EXPECT_EQ(dim.BinOfInt(24), 0u);
+  EXPECT_EQ(dim.BinOfInt(25), 1u);
+  EXPECT_EQ(dim.BinOfInt(99), 3u);
+}
+
+TEST(BinningTest, RangeDimensionSmallDomain) {
+  // Domain smaller than 2^bits: one bin per value.
+  auto dim = CreateRangeDimension("D", "T", "v", 0, 2, 4).ValueOrDie();
+  EXPECT_EQ(dim.num_bins(), 3u);
+  EXPECT_FALSE(CreateRangeDimension("D", "T", "v", 5, 4, 2).ok());
+  EXPECT_FALSE(CreateRangeDimension("D", "T", "v", 0, 9, 0).ok());
+}
+
+// Parameterized: binning invariants hold across widths and skews.
+class BinningPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BinningPropertyTest, DefinitionOneInvariants) {
+  auto [max_bits, skew] = GetParam();
+  Rng rng(42 + max_bits * 10 + skew);
+  std::vector<ValueFrequency> values;
+  for (int64_t v = 0; v < 500; ++v) {
+    uint64_t c = 1 + static_cast<uint64_t>(rng.NextDouble() *
+                                           (skew == 0 ? 10 : 1000 * skew));
+    values.push_back(ValueFrequency{{Value::Int64(v * 3)}, c});
+  }
+  BinningOptions opts;
+  opts.max_bits = max_bits;
+  auto dim = CreateDimension("D", "T", {"k"}, values, opts).ValueOrDie();
+  // (i) numbers ascend, (iii) boundaries ascend (checked in ctor), and
+  // every input value maps into a bin whose boundary is >= the value.
+  for (const ValueFrequency& v : values) {
+    uint64_t bin = dim.BinOf(v.value);
+    size_t ord = dim.OrdinalOfBinNumber(bin);
+    EXPECT_LE(CompareComposite(v.value, dim.bin(ord).max_incl), 0);
+    if (ord > 0) {
+      EXPECT_GT(CompareComposite(v.value, dim.bin(ord - 1).max_incl), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinningPropertyTest,
+                         ::testing::Combine(::testing::Values(3, 6, 9, 13),
+                                            ::testing::Values(0, 1, 5)));
+
+}  // namespace
+}  // namespace binning
+}  // namespace bdcc

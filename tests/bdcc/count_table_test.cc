@@ -1,0 +1,122 @@
+#include "bdcc/count_table.h"
+
+#include "bdcc/group_histogram.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace {
+
+TEST(CountTableTest, BuildAtFullGranularity) {
+  std::vector<uint64_t> keys = {0, 0, 1, 3, 3, 3, 7};
+  CountTable ct = CountTable::Build(keys, 3, 3);
+  ASSERT_EQ(ct.num_groups(), 4u);
+  EXPECT_EQ(ct.entry(0).key, 0u);
+  EXPECT_EQ(ct.entry(0).count, 2u);
+  EXPECT_EQ(ct.entry(0).row_begin, 0u);
+  EXPECT_EQ(ct.entry(2).key, 3u);
+  EXPECT_EQ(ct.entry(2).count, 3u);
+  EXPECT_EQ(ct.entry(2).row_begin, 3u);
+  EXPECT_EQ(ct.entry(3).row_begin, 6u);
+  EXPECT_EQ(ct.total_count(), 7u);
+}
+
+TEST(CountTableTest, ReducedGranularityUnitesGroups) {
+  std::vector<uint64_t> keys = {0, 1, 2, 3, 4, 5, 6, 7};
+  CountTable ct = CountTable::Build(keys, 3, 1);
+  ASSERT_EQ(ct.num_groups(), 2u);
+  EXPECT_EQ(ct.entry(0).count, 4u);
+  EXPECT_EQ(ct.entry(1).count, 4u);
+  EXPECT_EQ(ct.entry(1).row_begin, 4u);
+}
+
+TEST(CountTableTest, ZeroGranularityIsOneGroup) {
+  std::vector<uint64_t> keys = {5, 9, 200};
+  CountTable ct = CountTable::Build(keys, 10, 0);
+  ASSERT_EQ(ct.num_groups(), 1u);
+  EXPECT_EQ(ct.entry(0).count, 3u);
+}
+
+TEST(CountTableTest, LowerBound) {
+  std::vector<uint64_t> keys = {2, 2, 5, 9};
+  CountTable ct = CountTable::Build(keys, 4, 4);
+  EXPECT_EQ(ct.LowerBound(0), 0u);
+  EXPECT_EQ(ct.LowerBound(2), 0u);
+  EXPECT_EQ(ct.LowerBound(3), 1u);
+  EXPECT_EQ(ct.LowerBound(10), 3u);
+}
+
+TEST(CountTableTest, OffsetsAreConsecutiveProperty) {
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Next64() & 0x3FF);
+  std::sort(keys.begin(), keys.end());
+  for (int b : {10, 7, 4, 1}) {
+    CountTable ct = CountTable::Build(keys, 10, b);
+    uint64_t at = 0;
+    uint64_t prev_key = 0;
+    for (size_t i = 0; i < ct.num_groups(); ++i) {
+      EXPECT_EQ(ct.entry(i).row_begin, at);
+      if (i > 0) {
+        EXPECT_GT(ct.entry(i).key, prev_key);
+      }
+      prev_key = ct.entry(i).key;
+      at += ct.entry(i).count;
+    }
+    EXPECT_EQ(at, keys.size());
+  }
+}
+
+TEST(GroupSizeAnalysisTest, SizesAcrossGranularities) {
+  std::vector<uint64_t> keys = {0, 0, 1, 2, 3, 3, 3, 3};
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 2);
+  EXPECT_EQ(an.NumGroups(2), 4u);
+  EXPECT_EQ(an.NumGroups(1), 2u);  // {0,1} and {2,3}
+  EXPECT_EQ(an.NumGroups(0), 1u);
+  EXPECT_EQ(an.Sizes(1)[0], 3u);
+  EXPECT_EQ(an.Sizes(1)[1], 5u);
+  EXPECT_EQ(an.Sizes(0)[0], 8u);
+  EXPECT_EQ(an.total_rows(), 8u);
+}
+
+TEST(GroupSizeAnalysisTest, Histogram) {
+  // Sizes at full granularity: 2,1,1,4 -> hist[0]=2, hist[1]=1, hist[2]=1.
+  std::vector<uint64_t> keys = {0, 0, 1, 2, 3, 3, 3, 3};
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 2);
+  std::vector<uint64_t> h = an.Histogram(2);
+  ASSERT_GE(h.size(), 3u);
+  EXPECT_EQ(h[0], 2u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 1u);
+}
+
+TEST(GroupSizeAnalysisTest, FractionInGroupsAtLeast) {
+  std::vector<uint64_t> keys = {0, 0, 0, 0, 1, 2};  // sizes 4,1,1
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 2);
+  EXPECT_DOUBLE_EQ(an.FractionInGroupsAtLeast(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(an.FractionInGroupsAtLeast(2, 2), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(an.FractionInGroupsAtLeast(2, 5), 0.0);
+}
+
+TEST(GroupSizeAnalysisTest, MissingGroupFactorSignalsCorrelation) {
+  // Only 2 of 16 groups exist.
+  std::vector<uint64_t> keys = {0, 0, 0, 15, 15};
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 4);
+  EXPECT_DOUBLE_EQ(an.MissingGroupFactor(4), 8.0);
+}
+
+TEST(GroupSizeAnalysisTest, CoarseningConservesRowsProperty) {
+  Rng rng(17);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) keys.push_back(rng.Next64() & 0xFFF);
+  std::sort(keys.begin(), keys.end());
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 12);
+  for (int b = 0; b <= 12; ++b) {
+    uint64_t total = 0;
+    for (uint64_t s : an.Sizes(b)) total += s;
+    EXPECT_EQ(total, keys.size()) << "granularity " << b;
+  }
+}
+
+}  // namespace
+}  // namespace bdcc

@@ -1,0 +1,158 @@
+#include "bdcc/dimension.h"
+
+#include "bdcc/binning.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace {
+
+Dimension MakeGeoDimension() {
+  // The paper's Figure 1 dimension D1: four continents, 2 bits.
+  std::vector<Dimension::Bin> bins = {
+      {0b00, {Value::String("Africa")}, true},
+      {0b01, {Value::String("America")}, true},
+      {0b10, {Value::String("Asia")}, true},
+      {0b11, {Value::String("Europe")}, true},
+  };
+  return Dimension("D1", "DIM1", {"continent"}, 2, std::move(bins));
+}
+
+TEST(DimensionTest, Figure1GeoDimension) {
+  Dimension d = MakeGeoDimension();
+  EXPECT_EQ(d.bits(), 2);
+  EXPECT_EQ(d.num_bins(), 4u);
+  EXPECT_EQ(d.BinOf({Value::String("Africa")}), 0u);
+  EXPECT_EQ(d.BinOf({Value::String("Asia")}), 2u);
+  EXPECT_EQ(d.BinOf({Value::String("Europe")}), 3u);
+  // Values beyond the last boundary clamp into the last bin.
+  EXPECT_EQ(d.BinOf({Value::String("Zanzibar")}), 3u);
+  // Values between boundaries land in the next bin up
+  // ("America" < "Antarctica" < "Asia").
+  EXPECT_EQ(d.BinOf({Value::String("Antarctica")}), 2u);
+}
+
+TEST(DimensionTest, IntFastPathMatchesGenericPath) {
+  auto dim = binning::CreateRangeDimension("D3", "T", "v", 0, 1999, 4)
+                 .ValueOrDie();
+  ASSERT_TRUE(dim.HasIntFastPath());
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.Uniform(0, 1999);
+    EXPECT_EQ(dim.BinOfInt(v), dim.BinOf({Value::Int64(v)}));
+  }
+}
+
+TEST(DimensionTest, BinNumbersAscendInvariant) {
+  auto dim = binning::CreateRangeDimension("D", "T", "v", 0, 255, 4)
+                 .ValueOrDie();
+  for (size_t i = 1; i < dim.num_bins(); ++i) {
+    EXPECT_LT(dim.bin(i - 1).number, dim.bin(i).number);
+    EXPECT_LT(CompareComposite(dim.bin(i - 1).max_incl, dim.bin(i).max_incl),
+              0);
+  }
+}
+
+TEST(DimensionTest, BinOfIsMonotoneProperty) {
+  auto dim = binning::CreateRangeDimension("D", "T", "v", -1000, 1000, 5)
+                 .ValueOrDie();
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    int64_t a = rng.Uniform(-1200, 1200);
+    int64_t b = rng.Uniform(-1200, 1200);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(dim.BinOfInt(a), dim.BinOfInt(b)) << a << " vs " << b;
+  }
+}
+
+TEST(DimensionTest, ReducedGranularityUnitesBins) {
+  auto dim = binning::CreateRangeDimension("D", "T", "v", 0, 1023, 4)
+                 .ValueOrDie();
+  ASSERT_EQ(dim.num_bins(), 16u);
+  auto reduced = dim.WithReducedGranularity(2).ValueOrDie();
+  EXPECT_EQ(reduced.bits(), 2);
+  EXPECT_EQ(reduced.num_bins(), 4u);
+  // D|g: reduced bin number = original >> (bits - g).
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.Uniform(0, 1023);
+    EXPECT_EQ(reduced.BinOfInt(v), dim.BinOfInt(v) >> 2);
+  }
+}
+
+TEST(DimensionTest, ReducedGranularityRejectsBadArgs) {
+  auto dim = binning::CreateRangeDimension("D", "T", "v", 0, 7, 3)
+                 .ValueOrDie();
+  EXPECT_FALSE(dim.WithReducedGranularity(3).ok());
+  EXPECT_FALSE(dim.WithReducedGranularity(-1).ok());
+  EXPECT_TRUE(dim.WithReducedGranularity(0).ok());
+}
+
+TEST(DimensionTest, BinRange) {
+  auto dim = binning::CreateRangeDimension("D", "T", "v", 0, 159, 4)
+                 .ValueOrDie();
+  uint64_t lo, hi;
+  CompositeValue a{Value::Int64(0)}, b{Value::Int64(9)};
+  dim.BinRange(&a, &b, &lo, &hi);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 0u);
+  CompositeValue c{Value::Int64(150)};
+  dim.BinRange(&c, nullptr, &lo, &hi);
+  EXPECT_EQ(hi, dim.bin(dim.num_bins() - 1).number);
+}
+
+TEST(DimensionTest, CompositeKeyOrdering) {
+  // D_NATION-style composite (regionkey, nationkey).
+  std::vector<Dimension::Bin> bins;
+  uint64_t n = 0;
+  for (int r = 0; r < 3; ++r) {
+    for (int k = 0; k < 2; ++k) {
+      bins.push_back(
+          {n++, {Value::Int32(r), Value::Int32(k * 10)}, true});
+    }
+  }
+  Dimension d("D_N", "NATION", {"rk", "nk"}, 3, std::move(bins));
+  EXPECT_EQ(d.BinOf({Value::Int32(0), Value::Int32(0)}), 0u);
+  EXPECT_EQ(d.BinOf({Value::Int32(1), Value::Int32(10)}), 3u);
+  EXPECT_EQ(d.BinOf({Value::Int32(2), Value::Int32(10)}), 5u);
+}
+
+TEST(DimensionTest, BinRangePrefixRegionStyle) {
+  // A region equi-selection determines a consecutive bin range (paper IV).
+  std::vector<Dimension::Bin> bins;
+  uint64_t n = 0;
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      bins.push_back({n++, {Value::Int32(r), Value::Int32(k)}, true});
+    }
+  }
+  Dimension d("D_N", "NATION", {"rk", "nk"}, 4, std::move(bins));
+  uint64_t lo, hi;
+  CompositeValue r1{Value::Int32(1)};
+  ASSERT_TRUE(d.BinRangePrefix(&r1, &r1, &lo, &hi));
+  // Region 1's nations occupy bins 3..5; the conservative hi may include
+  // the first bin of region 2.
+  EXPECT_LE(lo, 3u);
+  EXPECT_GE(hi, 5u);
+  EXPECT_LE(hi, 6u);
+  // All region-1 bins are inside [lo, hi].
+  for (uint64_t b = 3; b <= 5; ++b) {
+    EXPECT_GE(b, lo);
+    EXPECT_LE(b, hi);
+  }
+}
+
+TEST(DimensionTest, BinRangePrefixEmpty) {
+  std::vector<Dimension::Bin> bins = {
+      {0, {Value::Int32(5)}, true},
+      {1, {Value::Int32(9)}, true},
+  };
+  Dimension d("D", "T", {"v"}, 1, std::move(bins));
+  uint64_t lo, hi;
+  CompositeValue big{Value::Int32(100)};
+  // lo above the whole domain -> empty.
+  EXPECT_FALSE(d.BinRangePrefix(&big, nullptr, &lo, &hi));
+}
+
+}  // namespace
+}  // namespace bdcc

@@ -1,0 +1,138 @@
+#include "bdcc/interleave.h"
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace interleave {
+namespace {
+
+std::string Mask(const InterleaveSpec& spec, size_t i) {
+  return bits::FormatMask(spec.masks[i], spec.total_bits);
+}
+
+TEST(InterleaveTest, SingleUse) {
+  auto spec = BuildMasks({5}, Policy::kRoundRobinPerUse).ValueOrDie();
+  EXPECT_EQ(spec.total_bits, 5);
+  EXPECT_EQ(Mask(spec, 0), "11111");
+}
+
+TEST(InterleaveTest, PaperOrdersMasks) {
+  // ORDERS: D_DATE (13 bits) + D_NATION (5 bits) -> the paper's strings.
+  auto spec = BuildMasks({13, 5}, Policy::kRoundRobinPerUse).ValueOrDie();
+  EXPECT_EQ(spec.total_bits, 18);
+  EXPECT_EQ(Mask(spec, 0), "101010101011111111");
+  EXPECT_EQ(Mask(spec, 1), "010101010100000000");
+}
+
+TEST(InterleaveTest, PaperLineitemMasksAfterReduction) {
+  // LINEITEM: D_DATE(13), D_NATION_cust(5), D_NATION_supp(5), D_PART(13);
+  // full B=36 reduced to the paper's 20-bit granularity -> 5 bits each,
+  // perfectly interleaved.
+  auto spec =
+      BuildMasks({13, 5, 5, 13}, Policy::kRoundRobinPerUse).ValueOrDie();
+  EXPECT_EQ(spec.total_bits, 36);
+  auto reduced = Reduce(spec, 20);
+  EXPECT_EQ(Mask(reduced, 0), "10001000100010001000");
+  EXPECT_EQ(Mask(reduced, 1), "01000100010001000100");
+  EXPECT_EQ(Mask(reduced, 2), "00100010001000100010");
+  EXPECT_EQ(Mask(reduced, 3), "00010001000100010001");
+}
+
+TEST(InterleaveTest, MasksAreDisjointAndComplete) {
+  for (auto policy : {Policy::kRoundRobinPerUse, Policy::kMajorMinor}) {
+    auto spec = BuildMasks({13, 5, 5, 13}, policy).ValueOrDie();
+    uint64_t all = 0;
+    for (uint64_t m : spec.masks) {
+      EXPECT_EQ(all & m, 0u) << PolicyName(policy);  // (ii) no overlap
+      all |= m;
+    }
+    EXPECT_EQ(all, bits::LowMask(spec.total_bits));  // (i) all bits set
+  }
+}
+
+TEST(InterleaveTest, MajorMinor) {
+  auto spec = BuildMasks({3, 2}, Policy::kMajorMinor).ValueOrDie();
+  EXPECT_EQ(Mask(spec, 0), "11100");
+  EXPECT_EQ(Mask(spec, 1), "00011");
+}
+
+TEST(InterleaveTest, PerForeignKeyPolicy) {
+  // Uses 0 and 1 share FK group 0 (like D_DATE/D_NATION via FK_L_O);
+  // use 2 is its own group. The shared group's bit stream alternates
+  // between its members.
+  auto spec = BuildMasks({4, 4, 4}, Policy::kRoundRobinPerForeignKey,
+                         {0, 0, 1})
+                  .ValueOrDie();
+  EXPECT_EQ(spec.total_bits, 12);
+  // Each round gives one bit per FK group; the shared group alternates its
+  // members, so use2 (alone in its group) exhausts first, then uses 0/1
+  // keep alternating: use0 bits at 11,7,3,1; use1 at 9,5,2,0; use2 at
+  // 10,8,6,4.
+  EXPECT_EQ(Mask(spec, 0), "100010001010");
+  EXPECT_EQ(Mask(spec, 1), "001000100101");
+  EXPECT_EQ(Mask(spec, 2), "010101010000");
+}
+
+TEST(InterleaveTest, PerFkRequiresGroups) {
+  EXPECT_FALSE(BuildMasks({4, 4}, Policy::kRoundRobinPerForeignKey, {}).ok());
+}
+
+TEST(InterleaveTest, RejectsBadInputs) {
+  EXPECT_FALSE(BuildMasks({}, Policy::kRoundRobinPerUse).ok());
+  EXPECT_FALSE(BuildMasks({0}, Policy::kRoundRobinPerUse).ok());
+  EXPECT_FALSE(BuildMasks({40, 30}, Policy::kRoundRobinPerUse).ok());
+}
+
+TEST(InterleaveTest, ComposeKeyFigure1Example) {
+  // Figure 1 table C: D1 (2 bits) at positions 3,1; D3 (2 bits) at 2,0.
+  InterleaveSpec spec;
+  spec.total_bits = 4;
+  spec.masks = {0b1010, 0b0101};
+  int dim_bits[2] = {2, 2};
+  // D1 bin 0b10 (Asia), D3 bin 0b01 -> key 1001? D1 major bit=1 at pos 3,
+  // minor=0 at pos 1; D3 major=0 at pos 2, minor=1 at pos 0 -> 1001.
+  uint64_t bins[2] = {0b10, 0b01};
+  EXPECT_EQ(ComposeKey(bins, dim_bits, spec), 0b1001u);
+}
+
+TEST(InterleaveTest, ComposeExtractRoundTripProperty) {
+  Rng rng(77);
+  std::vector<int> use_bits = {13, 5, 5, 13};
+  auto spec = BuildMasks(use_bits, Policy::kRoundRobinPerUse).ValueOrDie();
+  for (int trial = 0; trial < 300; ++trial) {
+    uint64_t bins[4];
+    for (int u = 0; u < 4; ++u) {
+      bins[u] = rng.Next64() & bits::LowMask(use_bits[u]);
+    }
+    uint64_t key = ComposeKey(bins, use_bits.data(), spec);
+    for (int u = 0; u < 4; ++u) {
+      // Extracting a use's bits returns the bin number's full prefix (all
+      // bits were assigned at full granularity).
+      EXPECT_EQ(ExtractUseBits(key, spec.masks[u]), bins[u]);
+    }
+  }
+}
+
+TEST(InterleaveTest, ReducedKeyKeepsTopBitsProperty) {
+  Rng rng(78);
+  std::vector<int> use_bits = {8, 8};
+  auto spec = BuildMasks(use_bits, Policy::kRoundRobinPerUse).ValueOrDie();
+  auto reduced = Reduce(spec, 6);
+  for (int trial = 0; trial < 300; ++trial) {
+    uint64_t bins[2] = {rng.Next64() & 0xFF, rng.Next64() & 0xFF};
+    uint64_t key = ComposeKey(bins, use_bits.data(), spec);
+    // The reduced key is the top bits of the full key.
+    uint64_t reduced_key = key >> (spec.total_bits - reduced.total_bits);
+    for (int u = 0; u < 2; ++u) {
+      uint64_t prefix = ExtractUseBits(reduced_key, reduced.masks[u]);
+      int kept = bits::Ones(reduced.masks[u]);
+      EXPECT_EQ(prefix, bins[u] >> (use_bits[u] - kept));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace interleave
+}  // namespace bdcc

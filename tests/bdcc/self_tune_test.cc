@@ -1,0 +1,109 @@
+// Algorithm 1 step (iii): granularity choice against AR.
+#include "bdcc/self_tune.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace {
+
+Table MakeTable(uint64_t rows, int payload_width) {
+  Table t("T");
+  Column id(TypeId::kInt64), payload(TypeId::kString);
+  Rng rng(1);
+  std::string wide(payload_width, 'x');
+  for (uint64_t i = 0; i < rows; ++i) {
+    id.AppendInt64(static_cast<int64_t>(i));
+    // Distinct payloads so dictionary bytes scale with rows.
+    payload.AppendString(wide + std::to_string(i));
+  }
+  t.AddColumn("id", std::move(id)).AbortIfNotOK();
+  t.AddColumn("payload", std::move(payload)).AbortIfNotOK();
+  return t;
+}
+
+TEST(SelfTuneTest, DensestColumnFound) {
+  Table t = MakeTable(1000, 50);
+  std::string name;
+  double density = DensestColumnBytesPerRow(t, &name);
+  EXPECT_EQ(name, "payload");
+  EXPECT_GT(density, 50.0);
+}
+
+TEST(SelfTuneTest, UniformGroupsChooseLog2Pages) {
+  // 2^14 rows uniformly over 14 bits of key; density d bytes/row; with
+  // AR = d * 2^4 bytes, groups of >= 16 rows qualify -> b = 10.
+  uint64_t rows = 1 << 14;
+  std::vector<uint64_t> keys(rows);
+  for (uint64_t i = 0; i < rows; ++i) keys[i] = i;  // every group size 1@14
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 14);
+  Table t = MakeTable(rows, 48);
+  double density = DensestColumnBytesPerRow(t, nullptr);
+  SelfTuneOptions options;
+  options.efficient_access_bytes =
+      static_cast<uint64_t>(density * 16);
+  SelfTuneDecision d = ChooseCountGranularity(an, t, options);
+  EXPECT_EQ(d.chosen_bits, 10);
+  EXPECT_EQ(d.min_rows_per_group, 16u);
+}
+
+TEST(SelfTuneTest, TinyArKeepsFullGranularity) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 256; ++i) {
+    keys.push_back(i);
+    keys.push_back(i);
+  }
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 8);
+  Table t = MakeTable(512, 10);
+  SelfTuneOptions options;
+  options.efficient_access_bytes = 1;
+  SelfTuneDecision d = ChooseCountGranularity(an, t, options);
+  EXPECT_EQ(d.chosen_bits, 8);
+}
+
+TEST(SelfTuneTest, HugeArFallsBackToZero) {
+  std::vector<uint64_t> keys = {0, 1, 2, 3};
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 2);
+  Table t = MakeTable(4, 10);
+  SelfTuneOptions options;
+  options.efficient_access_bytes = 1ull << 30;
+  SelfTuneDecision d = ChooseCountGranularity(an, t, options);
+  EXPECT_EQ(d.chosen_bits, 0);
+}
+
+TEST(SelfTuneTest, SkewToleratedByTupleWeighting) {
+  // One giant group plus dust: the fraction is tuple-weighted, so the dust
+  // cannot veto a fine granularity as long as most *data* is in large
+  // groups.
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back(0);  // giant group
+  for (uint64_t g = 1; g < 64; ++g) keys.push_back(g);  // 63 singletons
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 6);
+  Table t = MakeTable(keys.size(), 48);
+  double density = DensestColumnBytesPerRow(t, nullptr);
+  SelfTuneOptions options;
+  options.efficient_access_bytes = static_cast<uint64_t>(density * 100);
+  options.min_group_fraction = 0.8;
+  SelfTuneDecision d = ChooseCountGranularity(an, t, options);
+  // >99% of tuples live in the giant group at any granularity.
+  EXPECT_EQ(d.chosen_bits, 6);
+}
+
+TEST(SelfTuneTest, FractionDiagnosticsMonotone) {
+  Rng rng(2);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Next64() & 0xFF);
+  std::sort(keys.begin(), keys.end());
+  GroupSizeAnalysis an = GroupSizeAnalysis::Build(keys, 8);
+  Table t = MakeTable(5000, 20);
+  SelfTuneOptions options;
+  options.efficient_access_bytes = 512;
+  SelfTuneDecision d = ChooseCountGranularity(an, t, options);
+  // Coarser granularities can only increase the qualifying fraction.
+  for (size_t b = 1; b < d.fraction_by_bits.size(); ++b) {
+    EXPECT_GE(d.fraction_by_bits[b - 1] + 1e-9, d.fraction_by_bits[b]);
+  }
+}
+
+}  // namespace
+}  // namespace bdcc

@@ -1,0 +1,128 @@
+#include "catalog/catalog.h"
+
+#include "catalog/ddl_parser.h"
+#include "catalog/schema_graph.h"
+#include "gtest/gtest.h"
+#include "tpch/tpch_schema.h"
+
+namespace bdcc {
+namespace catalog {
+namespace {
+
+TEST(CatalogTest, TableAndFkValidation) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable({"A", {{"a", TypeId::kInt32}}, {"a"}}).ok());
+  ASSERT_TRUE(cat.AddTable({"B", {{"b", TypeId::kInt32}}, {}}).ok());
+  EXPECT_FALSE(cat.AddTable({"A", {}, {}}).ok());  // duplicate
+  EXPECT_TRUE(cat.AddForeignKey({"FK", "B", {"b"}, "A", {"a"}}).ok());
+  EXPECT_FALSE(cat.AddForeignKey({"FK", "B", {"b"}, "A", {"a"}}).ok());
+  EXPECT_FALSE(cat.AddForeignKey({"F2", "B", {"zz"}, "A", {"a"}}).ok());
+  EXPECT_FALSE(cat.AddForeignKey({"F3", "B", {"b"}, "A", {"a", "a"}}).ok());
+  EXPECT_TRUE(cat.GetForeignKey("FK").ok());
+  EXPECT_FALSE(cat.GetForeignKey("NOPE").ok());
+  EXPECT_EQ(cat.ForeignKeysFrom("B").size(), 1u);
+  EXPECT_EQ(cat.ForeignKeysTo("A").size(), 1u);
+}
+
+TEST(CatalogTest, IndexHintsAndFkMatching) {
+  Catalog cat;
+  ASSERT_TRUE(
+      cat.AddTable({"A", {{"a", TypeId::kInt32}, {"x", TypeId::kDate}}, {"a"}})
+          .ok());
+  ASSERT_TRUE(cat.AddTable({"B", {{"b", TypeId::kInt32}}, {}}).ok());
+  ASSERT_TRUE(cat.AddForeignKey({"FK", "B", {"b"}, "A", {"a"}}).ok());
+  ASSERT_TRUE(cat.AddIndex({"x_idx", "A", {"x"}}).ok());
+  ASSERT_TRUE(cat.AddIndex({"b_idx", "B", {"b"}}).ok());
+  EXPECT_FALSE(cat.AddIndex({"bad", "A", {"zzz"}}).ok());
+
+  const IndexHint* x_idx = cat.IndexesOn("A")[0];
+  EXPECT_EQ(cat.IndexMatchesForeignKey(*x_idx), nullptr);
+  const IndexHint* b_idx = cat.IndexesOn("B")[0];
+  const ForeignKey* fk = cat.IndexMatchesForeignKey(*b_idx);
+  ASSERT_NE(fk, nullptr);
+  EXPECT_EQ(fk->id, "FK");
+}
+
+TEST(DdlParserTest, ParsesTpchSchema) {
+  Catalog cat = tpch::MakeTpchCatalog(true).ValueOrDie();
+  EXPECT_EQ(cat.tables().size(), 8u);
+  EXPECT_EQ(cat.foreign_keys().size(), 10u);
+  EXPECT_EQ(cat.indexes().size(), 11u);
+
+  const TableDef* li = cat.GetTable("LINEITEM").ValueOrDie();
+  EXPECT_EQ(li->columns.size(), 16u);
+  EXPECT_EQ(li->primary_key,
+            (std::vector<std::string>{"l_orderkey", "l_linenumber"}));
+  EXPECT_EQ(li->ColumnType("l_shipdate").ValueOrDie(), TypeId::kDate);
+  EXPECT_EQ(li->ColumnType("l_quantity").ValueOrDie(), TypeId::kFloat64);
+  EXPECT_EQ(li->ColumnType("l_comment").ValueOrDie(), TypeId::kString);
+
+  const ForeignKey* fk = cat.GetForeignKey("FK_L_PS").ValueOrDie();
+  EXPECT_EQ(fk->from_columns,
+            (std::vector<std::string>{"l_partkey", "l_suppkey"}));
+  EXPECT_EQ(fk->to_table, "PARTSUPP");
+}
+
+TEST(DdlParserTest, SyntaxErrors) {
+  Catalog cat;
+  EXPECT_FALSE(ParseDdl("CREATE TABLE t (a INT;", &cat).ok());
+  EXPECT_FALSE(ParseDdl("CREATE VIEW v AS SELECT 1;", &cat).ok());
+  EXPECT_FALSE(ParseDdl("CREATE TABLE t (a WIBBLE);", &cat).ok());
+  Catalog cat2;
+  EXPECT_FALSE(
+      ParseDdl("CREATE INDEX i ON missing (a);", &cat2).ok());
+}
+
+TEST(DdlParserTest, CommentsAndCase) {
+  Catalog cat;
+  ASSERT_TRUE(ParseDdl(R"(
+    -- a comment
+    create table T (
+      a int not null,  -- trailing comment
+      b decimal(15,2),
+      primary key (a)
+    );
+  )",
+                       &cat)
+                  .ok());
+  EXPECT_EQ(cat.GetTable("T").ValueOrDie()->columns.size(), 2u);
+  EXPECT_EQ(cat.GetTable("T").ValueOrDie()->ColumnType("b").ValueOrDie(),
+            TypeId::kFloat64);
+}
+
+TEST(SchemaGraphTest, TpchTopologicalOrder) {
+  Catalog cat = tpch::MakeTpchCatalog(false).ValueOrDie();
+  SchemaGraph graph(&cat);
+  EXPECT_TRUE(graph.IsDag());
+  auto order = graph.TopologicalFromLeaves().ValueOrDie();
+  ASSERT_EQ(order.size(), 8u);
+  auto pos = [&](const std::string& t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  // Referenced tables come before referencing tables.
+  EXPECT_LT(pos("REGION"), pos("NATION"));
+  EXPECT_LT(pos("NATION"), pos("SUPPLIER"));
+  EXPECT_LT(pos("NATION"), pos("CUSTOMER"));
+  EXPECT_LT(pos("CUSTOMER"), pos("ORDERS"));
+  EXPECT_LT(pos("ORDERS"), pos("LINEITEM"));
+  EXPECT_LT(pos("PART"), pos("PARTSUPP"));
+  EXPECT_LT(pos("PARTSUPP"), pos("LINEITEM"));
+  // Leaves: tables with no outgoing FK.
+  auto leaves = graph.Leaves();
+  EXPECT_EQ(leaves.size(), 2u);  // REGION, PART
+}
+
+TEST(SchemaGraphTest, DetectsCycles) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable({"A", {{"a", TypeId::kInt32}}, {}}).ok());
+  ASSERT_TRUE(cat.AddTable({"B", {{"b", TypeId::kInt32}}, {}}).ok());
+  ASSERT_TRUE(cat.AddForeignKey({"F1", "A", {"a"}, "B", {"b"}}).ok());
+  ASSERT_TRUE(cat.AddForeignKey({"F2", "B", {"b"}, "A", {"a"}}).ok());
+  SchemaGraph graph(&cat);
+  EXPECT_FALSE(graph.IsDag());
+  EXPECT_FALSE(graph.TopologicalFromLeaves().ok());
+}
+
+}  // namespace
+}  // namespace catalog
+}  // namespace bdcc

@@ -1,0 +1,110 @@
+#include "common/bits.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace bits {
+namespace {
+
+TEST(BitsTest, Ones) {
+  EXPECT_EQ(Ones(0), 0);
+  EXPECT_EQ(Ones(0b1011), 3);
+  EXPECT_EQ(Ones(~uint64_t{0}), 64);
+}
+
+TEST(BitsTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(0), 0);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+  // The paper's LINEITEM anecdote: ceil(log2(550000)) = 20.
+  EXPECT_EQ(CeilLog2(550000), 20);
+}
+
+TEST(BitsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+}
+
+TEST(BitsTest, SpreadBitsBasic) {
+  // Deposit 0b101 into mask 0b10101 -> bits land at positions 0,2,4.
+  EXPECT_EQ(SpreadBits(0b101, 0b10101), 0b10001u);
+  EXPECT_EQ(SpreadBits(0b111, 0b10101), 0b10101u);
+  EXPECT_EQ(SpreadBits(0, 0b10101), 0u);
+  // Significance order preserved: high value bit -> high mask bit.
+  EXPECT_EQ(SpreadBits(0b10, 0b1100), 0b1000u);
+}
+
+TEST(BitsTest, ExtractBitsBasic) {
+  EXPECT_EQ(ExtractBits(0b10001, 0b10101), 0b101u);
+  EXPECT_EQ(ExtractBits(0b11111, 0b10101), 0b111u);
+  EXPECT_EQ(ExtractBits(0, 0b10101), 0u);
+}
+
+TEST(BitsTest, SpreadExtractRoundTripProperty) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 1000; ++trial) {
+    uint64_t mask = rng.Next64() & rng.Next64();  // sparse-ish mask
+    int n = Ones(mask);
+    uint64_t value = rng.Next64() & LowMask(n);
+    EXPECT_EQ(ExtractBits(SpreadBits(value, mask), mask), value);
+    // Spread never sets bits outside the mask.
+    EXPECT_EQ(SpreadBits(value, mask) & ~mask, 0u);
+  }
+}
+
+TEST(BitsTest, SpreadIsMonotonicProperty) {
+  // For a fixed mask, spreading preserves order (key composition relies on
+  // this for Z-order range pushdown).
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint64_t mask = rng.Next64() & rng.Next64();
+    int n = Ones(mask);
+    if (n == 0) continue;
+    uint64_t a = rng.Next64() & LowMask(n);
+    uint64_t b = rng.Next64() & LowMask(n);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(SpreadBits(a, mask), SpreadBits(b, mask));
+  }
+}
+
+TEST(BitsTest, FormatMask) {
+  EXPECT_EQ(FormatMask(0b10101, 5), "10101");
+  EXPECT_EQ(FormatMask(0b00101, 5), "00101");
+  EXPECT_EQ(FormatMask(0, 3), "000");
+}
+
+TEST(BitsTest, ParseMask) {
+  EXPECT_EQ(ParseMask("10101").ValueOrDie(), 0b10101u);
+  EXPECT_EQ(ParseMask("0001").ValueOrDie(), 1u);
+  EXPECT_FALSE(ParseMask("").ok());
+  EXPECT_FALSE(ParseMask("10x01").ok());
+  // Paper mask strings survive a round trip.
+  const char* paper = "101010101011111111";
+  EXPECT_EQ(FormatMask(ParseMask(paper).ValueOrDie(), 18), paper);
+}
+
+TEST(BitsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(3), 0b111u);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+}
+
+TEST(BitsTest, SetBitPositionsDesc) {
+  int pos[3];
+  SetBitPositionsDesc(0b10101, pos);
+  EXPECT_EQ(pos[0], 4);
+  EXPECT_EQ(pos[1], 2);
+  EXPECT_EQ(pos[2], 0);
+}
+
+}  // namespace
+}  // namespace bits
+}  // namespace bdcc

@@ -1,0 +1,71 @@
+#include "common/status.h"
+
+#include "common/result.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st.message(), "");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad bits");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad bits");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad bits");
+}
+
+TEST(StatusTest, AllCodesNamed) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotImplemented), "NotImplemented");
+}
+
+TEST(StatusTest, CopyShares) {
+  Status a = Status::Internal("x");
+  Status b = a;
+  EXPECT_EQ(b.ToString(), "Internal: x");
+}
+
+TEST(ResultTest, Value) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, Error) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status Helper(bool fail) {
+  Result<int> r = fail ? Result<int>(Status::OutOfRange("x")) : Result<int>(1);
+  BDCC_ASSIGN_OR_RETURN(int v, r);
+  (void)v;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_TRUE(Helper(false).ok());
+  EXPECT_TRUE(Helper(true).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace bdcc

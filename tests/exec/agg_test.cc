@@ -1,0 +1,225 @@
+// Aggregation tests: every aggregate kind, plus the equivalence property
+// that hash, streaming (sorted input), and sandwich (grouped input)
+// aggregation agree.
+#include <numeric>
+
+#include "common/rng.h"
+#include "exec/hash_agg.h"
+#include "exec/sandwich_agg.h"
+#include "exec/stream_agg.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace bdcc {
+namespace exec {
+namespace {
+
+class VectorSource : public Operator {
+ public:
+  VectorSource(Schema schema, std::vector<Batch> batches)
+      : schema_(std::move(schema)), batches_(std::move(batches)) {}
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext*) override {
+    at_ = 0;
+    return Status::OK();
+  }
+  Result<Batch> Next(ExecContext*) override {
+    if (at_ >= batches_.size()) return Batch::Empty();
+    Batch out;
+    const Batch& src = batches_[at_++];
+    out.num_rows = src.num_rows;
+    out.group_id = src.group_id;
+    out.columns = src.columns;
+    return out;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Batch> batches_;
+  size_t at_ = 0;
+};
+
+Schema S() {
+  return Schema({{"k", TypeId::kInt32}, {"v", TypeId::kFloat64}});
+}
+
+Batch B(std::vector<int32_t> keys, std::vector<double> vals,
+        int64_t gid = -1) {
+  Batch b;
+  ColumnVector k(TypeId::kInt32), v(TypeId::kFloat64);
+  k.i32 = std::move(keys);
+  v.f64 = std::move(vals);
+  b.num_rows = k.i32.size();
+  b.columns = {std::move(k), std::move(v)};
+  b.group_id = gid;
+  return b;
+}
+
+OperatorPtr Src(std::vector<Batch> b) {
+  return std::make_unique<VectorSource>(S(), std::move(b));
+}
+
+std::vector<AggSpec> AllSpecs() {
+  return {AggSum(Col("v"), "s"),       AggCount(Col("v"), "c"),
+          AggCountStar("cs"),          AggAvg(Col("v"), "a"),
+          AggMin(Col("v"), "mn"),      AggMax(Col("v"), "mx"),
+          AggCountDistinct(Col("k"), "cd")};
+}
+
+TEST(HashAggTest, AllKindsSingleGroup) {
+  ExecContext ctx(nullptr);
+  HashAgg agg(Src({B({1, 1, 1}, {2.0, 4.0, 6.0})}), {"k"}, AllSpecs());
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  ASSERT_EQ(out.num_rows, 1u);
+  EXPECT_DOUBLE_EQ(out.columns[1].f64[0], 12.0);  // sum
+  EXPECT_EQ(out.columns[2].i64[0], 3);            // count
+  EXPECT_EQ(out.columns[3].i64[0], 3);            // count(*)
+  EXPECT_DOUBLE_EQ(out.columns[4].f64[0], 4.0);   // avg
+  EXPECT_DOUBLE_EQ(out.columns[5].f64[0], 2.0);   // min
+  EXPECT_DOUBLE_EQ(out.columns[6].f64[0], 6.0);   // max
+  EXPECT_EQ(out.columns[7].i64[0], 1);            // distinct k
+}
+
+TEST(HashAggTest, ScalarAggregateOnEmptyInputEmitsOneRow) {
+  ExecContext ctx(nullptr);
+  HashAgg agg(Src({}), {}, {AggSum(Col("v"), "s"), AggCountStar("c")});
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  ASSERT_EQ(out.num_rows, 1u);
+  EXPECT_DOUBLE_EQ(out.columns[0].f64[0], 0.0);
+  EXPECT_EQ(out.columns[1].i64[0], 0);
+}
+
+TEST(HashAggTest, GroupedAggregateOnEmptyInputEmitsNoRows) {
+  ExecContext ctx(nullptr);
+  HashAgg agg(Src({}), {"k"}, {AggCountStar("c")});
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  EXPECT_EQ(out.num_rows, 0u);
+}
+
+TEST(HashAggTest, NullsSkipped) {
+  Batch b = B({1, 1, 1}, {1.0, 2.0, 3.0});
+  b.columns[1].nulls = {0, 1, 0};
+  ExecContext ctx(nullptr);
+  HashAgg agg(Src({b}), {"k"},
+              {AggSum(Col("v"), "s"), AggCount(Col("v"), "c"),
+               AggCountStar("cs"), AggAvg(Col("v"), "a")});
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.columns[1].f64[0], 4.0);
+  EXPECT_EQ(out.columns[2].i64[0], 2);
+  EXPECT_EQ(out.columns[3].i64[0], 3);
+  EXPECT_DOUBLE_EQ(out.columns[4].f64[0], 2.0);
+}
+
+TEST(HashAggTest, CountDistinct) {
+  ExecContext ctx(nullptr);
+  HashAgg agg(Src({B({1, 1, 2, 2, 2}, {5, 5, 7, 8, 7})}), {},
+              {AggCountDistinct(Col("k"), "cd")});
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  EXPECT_EQ(out.columns[0].i64[0], 2);
+}
+
+TEST(StreamAggTest, SortedRunsAcrossBatches) {
+  ExecContext ctx(nullptr);
+  StreamAgg agg(Src({B({1, 1, 2}, {1, 2, 3}), B({2, 2}, {4, 5}),
+                     B({3}, {6})}),
+                {"k"}, {AggSum(Col("v"), "s"), AggCountStar("c")});
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  ASSERT_EQ(out.num_rows, 3u);
+  EXPECT_EQ(out.columns[0].i32[0], 1);
+  EXPECT_DOUBLE_EQ(out.columns[1].f64[0], 3.0);
+  EXPECT_EQ(out.columns[2].i64[1], 3);  // key 2 spans batches: 3 rows
+  EXPECT_DOUBLE_EQ(out.columns[1].f64[2], 6.0);
+}
+
+TEST(StreamAggTest, SingleRowGroups) {
+  ExecContext ctx(nullptr);
+  StreamAgg agg(Src({B({1, 2, 3, 4}, {1, 2, 3, 4})}), {"k"},
+                {AggSum(Col("v"), "s")});
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  ASSERT_EQ(out.num_rows, 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out.columns[0].i32[i], i + 1);
+    EXPECT_DOUBLE_EQ(out.columns[1].f64[i], i + 1.0);
+  }
+}
+
+TEST(SandwichAggTest, FlushesPerPartition) {
+  ExecContext ctx(nullptr);
+  SandwichAgg agg(Src({B({1, 2}, {1, 2}, 0), B({1}, {5}, 0),
+                       B({1, 3}, {7, 9}, 4)}),
+                  {"k"}, {AggSum(Col("v"), "s")});
+  Batch out = CollectAll(&agg, &ctx).ValueOrDie();
+  // Partition 0: keys 1 (sum 6), 2 (sum 2); partition 4: keys 1 (7), 3 (9).
+  ASSERT_EQ(out.num_rows, 4u);
+  EXPECT_EQ(ctx.stats()->sandwich_partitions, 2u);
+  double total = 0;
+  for (size_t r = 0; r < out.num_rows; ++r) total += out.columns[1].f64[r];
+  EXPECT_DOUBLE_EQ(total, 24.0);
+}
+
+TEST(SandwichAggTest, RejectsUntaggedInput) {
+  ExecContext ctx(nullptr);
+  SandwichAgg agg(Src({B({1}, {1})}), {"k"}, {AggSum(Col("v"), "s")});
+  ASSERT_TRUE(agg.Open(&ctx).ok());
+  EXPECT_FALSE(agg.Next(&ctx).ok());
+}
+
+TEST(AggEquivalenceTest, StrategiesAgreeProperty) {
+  Rng rng(55);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Keys ascending (valid for StreamAgg), grouped by key/8 (valid for
+    // SandwichAgg since a key never spans partitions).
+    std::vector<Batch> sorted_batches, grouped_batches, shuffled_batches;
+    std::vector<std::pair<int32_t, double>> rows;
+    int n = 50 + static_cast<int>(rng.Uniform(0, 200));
+    for (int i = 0; i < n; ++i) {
+      rows.push_back({static_cast<int32_t>(rng.Uniform(0, 63)),
+                      static_cast<double>(rng.Uniform(-50, 50))});
+    }
+    std::sort(rows.begin(), rows.end());
+    // Sorted batches (random cut points).
+    for (size_t at = 0; at < rows.size();) {
+      size_t end = std::min(rows.size(), at + 1 + rng.Next64() % 40);
+      std::vector<int32_t> k;
+      std::vector<double> v;
+      for (size_t i = at; i < end; ++i) {
+        k.push_back(rows[i].first);
+        v.push_back(rows[i].second);
+      }
+      sorted_batches.push_back(B(k, v));
+      at = end;
+    }
+    // Grouped batches: partition = key >> 3, cut at partition boundaries.
+    for (size_t at = 0; at < rows.size();) {
+      int64_t part = rows[at].first >> 3;
+      size_t end = at;
+      while (end < rows.size() && (rows[end].first >> 3) == part) ++end;
+      std::vector<int32_t> k;
+      std::vector<double> v;
+      for (size_t i = at; i < end; ++i) {
+        k.push_back(rows[i].first);
+        v.push_back(rows[i].second);
+      }
+      grouped_batches.push_back(B(k, v, part));
+      at = end;
+    }
+    shuffled_batches = sorted_batches;  // hash agg order-insensitive anyway
+
+    std::vector<AggSpec> specs = AllSpecs();
+    ExecContext ctx(nullptr);
+    HashAgg hash(Src(shuffled_batches), {"k"}, specs);
+    Batch a = CollectAll(&hash, &ctx).ValueOrDie();
+    StreamAgg stream(Src(sorted_batches), {"k"}, AllSpecs());
+    Batch b = CollectAll(&stream, &ctx).ValueOrDie();
+    SandwichAgg sandwich(Src(grouped_batches), {"k"}, AllSpecs());
+    Batch c = CollectAll(&sandwich, &ctx).ValueOrDie();
+    testutil::ExpectBatchesEqual(a, b, "hash-vs-stream t" +
+                                           std::to_string(trial));
+    testutil::ExpectBatchesEqual(a, c, "hash-vs-sandwich t" +
+                                           std::to_string(trial));
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace bdcc

@@ -1,0 +1,198 @@
+#include "exec/expr.h"
+
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace exec {
+namespace {
+
+Batch MakeBatch() {
+  Batch b;
+  ColumnVector i(TypeId::kInt32);
+  i.i32 = {1, 2, 3, 4};
+  ColumnVector f(TypeId::kFloat64);
+  f.f64 = {1.5, -2.0, 0.0, 8.0};
+  ColumnVector s(TypeId::kString);
+  s.dict = std::make_shared<Dictionary>();
+  for (const char* v : {"PROMO BRUSHED TIN", "STANDARD PLATED BRASS",
+                        "PROMO ANODIZED STEEL", "SMALL BURNISHED COPPER"}) {
+    s.i32.push_back(s.dict->GetOrAdd(v));
+  }
+  ColumnVector d(TypeId::kDate);
+  d.i32 = {ParseDate("1994-01-01"), ParseDate("1994-06-15"),
+           ParseDate("1995-12-31"), ParseDate("1998-08-02")};
+  b.columns = {std::move(i), std::move(f), std::move(s), std::move(d)};
+  b.num_rows = 4;
+  return b;
+}
+
+Schema MakeSchema() {
+  return Schema({{"i", TypeId::kInt32},
+                 {"f", TypeId::kFloat64},
+                 {"s", TypeId::kString},
+                 {"d", TypeId::kDate}});
+}
+
+ColumnVector Eval(ExprPtr e) {
+  Batch b = MakeBatch();
+  Schema s = MakeSchema();
+  EXPECT_TRUE(e->Bind(s).ok());
+  return e->Eval(b).ValueOrDie();
+}
+
+TEST(ExprTest, ColRef) {
+  ColumnVector v = Eval(Col("i"));
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.i32[2], 3);
+}
+
+TEST(ExprTest, UnknownColumnFailsBind) {
+  ExprPtr e = Col("nope");
+  EXPECT_FALSE(e->Bind(MakeSchema()).ok());
+}
+
+TEST(ExprTest, Arithmetic) {
+  ColumnVector v = Eval(Add(Col("i"), Col("i")));
+  EXPECT_EQ(v.type, TypeId::kInt64);
+  EXPECT_EQ(v.i64[3], 8);
+  ColumnVector m = Eval(Mul(Col("f"), LitF64(2.0)));
+  EXPECT_EQ(m.type, TypeId::kFloat64);
+  EXPECT_DOUBLE_EQ(m.f64[0], 3.0);
+  // Int/float promotion.
+  ColumnVector p = Eval(Sub(Col("i"), Col("f")));
+  EXPECT_EQ(p.type, TypeId::kFloat64);
+  EXPECT_DOUBLE_EQ(p.f64[1], 4.0);
+  // Division by zero yields 0 (documented).
+  ColumnVector dz = Eval(Div(Col("i"), Col("f")));
+  EXPECT_DOUBLE_EQ(dz.f64[2], 0.0);
+}
+
+TEST(ExprTest, Comparisons) {
+  ColumnVector v = Eval(Ge(Col("i"), LitI64(3)));
+  EXPECT_EQ(v.i32[0], 0);
+  EXPECT_EQ(v.i32[2], 1);
+  ColumnVector s = Eval(Eq(Col("s"), LitStr("PROMO ANODIZED STEEL")));
+  EXPECT_EQ(s.i32[2], 1);
+  EXPECT_EQ(s.i32[0], 0);
+  ColumnVector d =
+      Eval(Lt(Col("d"), LitDate("1995-01-01")));
+  EXPECT_EQ(d.i32[1], 1);
+  EXPECT_EQ(d.i32[2], 0);
+}
+
+TEST(ExprTest, MixedStringNumericComparisonFailsBind) {
+  ExprPtr e = Eq(Col("s"), LitI64(3));
+  EXPECT_FALSE(e->Bind(MakeSchema()).ok());
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  ColumnVector v = Eval(
+      And(Gt(Col("i"), LitI64(1)), Lt(Col("i"), LitI64(4))));
+  EXPECT_EQ(v.i32[0], 0);
+  EXPECT_EQ(v.i32[1], 1);
+  EXPECT_EQ(v.i32[3], 0);
+  ColumnVector n = Eval(Not(Gt(Col("i"), LitI64(2))));
+  EXPECT_EQ(n.i32[0], 1);
+  EXPECT_EQ(n.i32[3], 0);
+  ColumnVector o = Eval(
+      Or(Eq(Col("i"), LitI64(1)), Eq(Col("i"), LitI64(4))));
+  EXPECT_EQ(o.i32[0], 1);
+  EXPECT_EQ(o.i32[2], 0);
+}
+
+TEST(ExprTest, Between) {
+  ColumnVector v = Eval(Between(Col("i"), LitI64(2), LitI64(3)));
+  EXPECT_EQ(v.i32[0], 0);
+  EXPECT_EQ(v.i32[1], 1);
+  EXPECT_EQ(v.i32[2], 1);
+  EXPECT_EQ(v.i32[3], 0);
+}
+
+TEST(ExprTest, LikeAndPrefix) {
+  ColumnVector v = Eval(Like(Col("s"), "PROMO%"));
+  EXPECT_EQ(v.i32[0], 1);
+  EXPECT_EQ(v.i32[1], 0);
+  EXPECT_EQ(v.i32[2], 1);
+  ColumnVector n = Eval(NotLike(Col("s"), "%BRASS"));
+  EXPECT_EQ(n.i32[1], 0);
+  EXPECT_EQ(n.i32[0], 1);
+  ColumnVector p = Eval(StrPrefix(Col("s"), 5));
+  EXPECT_EQ(p.GetString(0), "PROMO");
+  EXPECT_EQ(p.GetString(3), "SMALL");
+}
+
+TEST(ExprTest, LikeMatchSemantics) {
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "%o w%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_llo!"));
+  EXPECT_TRUE(LikeMatch("special packages wake requests",
+                        "%special%requests%"));
+  EXPECT_FALSE(LikeMatch("requests then special", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  // Backtracking: % must be able to re-expand.
+  EXPECT_TRUE(LikeMatch("aabab", "a%ab"));
+}
+
+TEST(ExprTest, InLists) {
+  ColumnVector v = Eval(InInts(Col("i"), {2, 4, 99}));
+  EXPECT_EQ(v.i32[0], 0);
+  EXPECT_EQ(v.i32[1], 1);
+  EXPECT_EQ(v.i32[3], 1);
+  ColumnVector s = Eval(InStrings(
+      Col("s"), {"PROMO BRUSHED TIN", "SMALL BURNISHED COPPER"}));
+  EXPECT_EQ(s.i32[0], 1);
+  EXPECT_EQ(s.i32[1], 0);
+  EXPECT_EQ(s.i32[3], 1);
+}
+
+TEST(ExprTest, CaseWhen) {
+  ColumnVector v = Eval(CaseWhen(Gt(Col("i"), LitI64(2)),
+                                 Mul(Col("f"), LitF64(10.0)), LitF64(-1.0)));
+  EXPECT_EQ(v.type, TypeId::kFloat64);
+  EXPECT_DOUBLE_EQ(v.f64[0], -1.0);
+  EXPECT_DOUBLE_EQ(v.f64[3], 80.0);
+}
+
+TEST(ExprTest, Year) {
+  ColumnVector v = Eval(Year(Col("d")));
+  EXPECT_EQ(v.i32[0], 1994);
+  EXPECT_EQ(v.i32[2], 1995);
+  EXPECT_EQ(v.i32[3], 1998);
+}
+
+TEST(ExprTest, NullHandling) {
+  Batch b = MakeBatch();
+  b.columns[0].nulls = {0, 1, 0, 0};  // i: row 1 NULL
+  Schema schema = MakeSchema();
+  ExprPtr isnull = IsNull(Col("i"));
+  ASSERT_TRUE(isnull->Bind(schema).ok());
+  ColumnVector v = isnull->Eval(b).ValueOrDie();
+  EXPECT_EQ(v.i32[0], 0);
+  EXPECT_EQ(v.i32[1], 1);
+  // Comparisons with NULL are false.
+  ExprPtr cmp = Eq(Col("i"), LitI64(2));
+  ASSERT_TRUE(cmp->Bind(schema).ok());
+  ColumnVector c = cmp->Eval(b).ValueOrDie();
+  EXPECT_EQ(c.i32[1], 0);
+  // Coalesce replaces nulls (fallback must match the primary's type).
+  ExprPtr co = Coalesce(Col("i"), Lit(Value::Int32(42)));
+  ASSERT_TRUE(co->Bind(schema).ok());
+  ColumnVector cv = co->Eval(b).ValueOrDie();
+  EXPECT_EQ(cv.i32[1], 42);
+  EXPECT_EQ(cv.i32[0], 1);
+}
+
+TEST(ExprTest, ToStringSmoke) {
+  ExprPtr e = And(Ge(Col("i"), LitI64(3)), Like(Col("s"), "PROMO%"));
+  EXPECT_NE(e->ToString().find("i>="), std::string::npos);
+  EXPECT_NE(e->ToString().find("LIKE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace bdcc

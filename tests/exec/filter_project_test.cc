@@ -1,0 +1,125 @@
+#include "exec/filter.h"
+#include "exec/project.h"
+
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace exec {
+namespace {
+
+class VectorSource : public Operator {
+ public:
+  VectorSource(Schema schema, std::vector<Batch> batches)
+      : schema_(std::move(schema)), batches_(std::move(batches)) {}
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext*) override {
+    at_ = 0;
+    return Status::OK();
+  }
+  Result<Batch> Next(ExecContext*) override {
+    if (at_ >= batches_.size()) return Batch::Empty();
+    Batch out;
+    const Batch& src = batches_[at_++];
+    out.num_rows = src.num_rows;
+    out.group_id = src.group_id;
+    out.columns = src.columns;
+    return out;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Batch> batches_;
+  size_t at_ = 0;
+};
+
+Schema S() {
+  return Schema({{"a", TypeId::kInt32}, {"b", TypeId::kFloat64}});
+}
+
+Batch B(std::vector<int32_t> a, std::vector<double> b, int64_t gid = -1) {
+  Batch out;
+  ColumnVector ca(TypeId::kInt32), cb(TypeId::kFloat64);
+  ca.i32 = std::move(a);
+  cb.f64 = std::move(b);
+  out.num_rows = ca.i32.size();
+  out.columns = {std::move(ca), std::move(cb)};
+  out.group_id = gid;
+  return out;
+}
+
+TEST(FilterTest, DropsNonMatchingRowsAndEmptyBatches) {
+  ExecContext ctx(nullptr);
+  Filter filter(std::make_unique<VectorSource>(
+                    S(), std::vector<Batch>{B({1, 2, 3}, {1, 2, 3}),
+                                            B({0, 0}, {0, 0}),  // all filtered
+                                            B({9}, {9})}),
+                Gt(Col("a"), LitI64(0)));
+  Batch out = CollectAll(&filter, &ctx).ValueOrDie();
+  EXPECT_EQ(out.num_rows, 4u);
+}
+
+TEST(FilterTest, PreservesGroupTags) {
+  ExecContext ctx(nullptr);
+  Filter filter(std::make_unique<VectorSource>(
+                    S(), std::vector<Batch>{B({1, 2}, {1, 2}, 5)}),
+                Gt(Col("a"), LitI64(1)));
+  ASSERT_TRUE(filter.Open(&ctx).ok());
+  Batch b = filter.Next(&ctx).ValueOrDie();
+  EXPECT_EQ(b.group_id, 5);
+  EXPECT_EQ(b.num_rows, 1u);
+}
+
+TEST(FilterTest, UnboundColumnFailsOpen) {
+  ExecContext ctx(nullptr);
+  Filter filter(std::make_unique<VectorSource>(S(), std::vector<Batch>{}),
+                Gt(Col("zz"), LitI64(0)));
+  EXPECT_FALSE(filter.Open(&ctx).ok());
+}
+
+TEST(ProjectTest, ComputesAndRenames) {
+  ExecContext ctx(nullptr);
+  Project project(std::make_unique<VectorSource>(
+                      S(), std::vector<Batch>{B({1, 2}, {0.5, 1.5})}),
+                  {{"sum", Add(Col("a"), Col("b"))},
+                   {"a_renamed", Col("a")}});
+  ASSERT_TRUE(project.Open(&ctx).ok());
+  EXPECT_EQ(project.schema().IndexOf("sum"), 0);
+  EXPECT_EQ(project.schema().IndexOf("a_renamed"), 1);
+  Batch out = CollectAll(&project, &ctx).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out.columns[0].f64[1], 3.5);
+  EXPECT_EQ(out.columns[1].i32[0], 1);
+}
+
+TEST(ProjectTest, RenameAndKeepHelpers) {
+  ExecContext ctx(nullptr);
+  OperatorPtr renamed = Project::Rename(
+      std::make_unique<VectorSource>(S(),
+                                     std::vector<Batch>{B({7}, {0.0})}),
+      {{"a", "x"}});
+  ASSERT_TRUE(renamed->Open(&ctx).ok());
+  EXPECT_EQ(renamed->schema().num_fields(), 1u);
+  EXPECT_EQ(renamed->schema().field(0).name, "x");
+
+  OperatorPtr kept = Project::Keep(
+      std::make_unique<VectorSource>(S(),
+                                     std::vector<Batch>{B({7}, {0.0})}),
+      {"b"});
+  ASSERT_TRUE(kept->Open(&ctx).ok());
+  EXPECT_EQ(kept->schema().num_fields(), 1u);
+  EXPECT_EQ(kept->schema().field(0).type, TypeId::kFloat64);
+}
+
+TEST(SchemaTest, ConcatAndLookup) {
+  Schema a({{"x", TypeId::kInt32}});
+  Schema b({{"y", TypeId::kString}});
+  Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.num_fields(), 2u);
+  EXPECT_EQ(c.IndexOf("y"), 1);
+  EXPECT_EQ(c.IndexOf("zz"), -1);
+  EXPECT_FALSE(c.Require("zz").ok());
+  EXPECT_EQ(c.ToString(), "[x, y]");
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace bdcc

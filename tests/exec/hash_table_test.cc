@@ -1,0 +1,149 @@
+#include "exec/hash_table.h"
+
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace exec {
+namespace {
+
+Batch MakeBatch() {
+  Batch b;
+  ColumnVector i(TypeId::kInt32);
+  i.i32 = {7, 7, 9};
+  ColumnVector l(TypeId::kInt64);
+  l.i64 = {100, 200, 100};
+  ColumnVector s(TypeId::kString);
+  s.dict = std::make_shared<Dictionary>();
+  for (const char* v : {"x", "y", "x"}) s.i32.push_back(s.dict->GetOrAdd(v));
+  ColumnVector f(TypeId::kFloat64);
+  f.f64 = {1.0, 2.0, 1.0};
+  b.columns = {std::move(i), std::move(l), std::move(s), std::move(f)};
+  b.num_rows = 3;
+  return b;
+}
+
+Schema MakeSchema() {
+  return Schema({{"i", TypeId::kInt32},
+                 {"l", TypeId::kInt64},
+                 {"s", TypeId::kString},
+                 {"f", TypeId::kFloat64}});
+}
+
+TEST(KeyEncoderTest, IntFastPath) {
+  KeyEncoder enc;
+  ASSERT_TRUE(enc.Bind(MakeSchema(), {"i"}).ok());
+  EXPECT_TRUE(enc.int_path());
+  std::vector<int64_t> keys;
+  std::vector<uint8_t> valid;
+  Batch b = MakeBatch();
+  enc.EncodeInts(b, &keys, &valid);
+  EXPECT_EQ(keys, (std::vector<int64_t>{7, 7, 9}));
+  EXPECT_EQ(valid, (std::vector<uint8_t>{1, 1, 1}));
+}
+
+TEST(KeyEncoderTest, BytesPathForStringsFloatsComposite) {
+  KeyEncoder enc;
+  ASSERT_TRUE(enc.Bind(MakeSchema(), {"s"}).ok());
+  EXPECT_FALSE(enc.int_path());
+  KeyEncoder enc2;
+  ASSERT_TRUE(enc2.Bind(MakeSchema(), {"f"}).ok());
+  EXPECT_FALSE(enc2.int_path());
+  KeyEncoder enc3;
+  ASSERT_TRUE(enc3.Bind(MakeSchema(), {"i", "l"}).ok());
+  EXPECT_FALSE(enc3.int_path());
+
+  std::vector<std::string> keys;
+  std::vector<uint8_t> valid;
+  Batch b = MakeBatch();
+  enc3.EncodeBytes(b, &keys, &valid);
+  EXPECT_EQ(keys[0].size(), 12u);  // 4 + 8 bytes
+  EXPECT_NE(keys[0], keys[1]);     // (7,100) vs (7,200)
+  EXPECT_NE(keys[0], keys[2]);     // (7,100) vs (9,100)
+
+  // String keys compare by content, not code.
+  enc.EncodeBytes(b, &keys, &valid);
+  EXPECT_EQ(keys[0], keys[2]);  // both "x"
+  EXPECT_NE(keys[0], keys[1]);
+}
+
+TEST(KeyEncoderTest, NullKeysFlaggedInvalid) {
+  Batch b = MakeBatch();
+  b.columns[0].nulls = {0, 1, 0};
+  KeyEncoder enc;
+  ASSERT_TRUE(enc.Bind(MakeSchema(), {"i"}).ok());
+  std::vector<int64_t> keys;
+  std::vector<uint8_t> valid;
+  enc.EncodeInts(b, &keys, &valid);
+  EXPECT_EQ(valid, (std::vector<uint8_t>{1, 0, 1}));
+  KeyEncoder enc2;
+  ASSERT_TRUE(enc2.Bind(MakeSchema(), {"i", "l"}).ok());
+  std::vector<std::string> bkeys;
+  enc2.EncodeBytes(b, &bkeys, &valid);
+  EXPECT_EQ(valid[1], 0);
+}
+
+TEST(KeyEncoderTest, MissingColumnFailsBind) {
+  KeyEncoder enc;
+  EXPECT_FALSE(enc.Bind(MakeSchema(), {"nope"}).ok());
+}
+
+TEST(DenseKeyMapTest, DenseIdsInsertionOrder) {
+  DenseKeyMap map;
+  map.SetIntMode(true);
+  bool inserted;
+  EXPECT_EQ(map.FindOrInsert(100, &inserted), 0);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(map.FindOrInsert(-5, &inserted), 1);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(map.FindOrInsert(100, &inserted), 0);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(map.Find(-5), 1);
+  EXPECT_EQ(map.Find(42), -1);
+  EXPECT_EQ(map.size(), 2u);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(DenseKeyMapTest, BytesMode) {
+  DenseKeyMap map;
+  map.SetIntMode(false);
+  bool inserted;
+  EXPECT_EQ(map.FindOrInsert(std::string("abc"), &inserted), 0);
+  EXPECT_EQ(map.FindOrInsert(std::string("def"), &inserted), 1);
+  EXPECT_EQ(map.Find(std::string("abc")), 0);
+  EXPECT_GT(map.MemoryBytes(), 0u);
+}
+
+TEST(JoinHashTableTest, ChainsDuplicates) {
+  JoinHashTable table;
+  ASSERT_TRUE(table.Init(MakeSchema(), {"i"}).ok());
+  ASSERT_TRUE(table.AddBatch(MakeBatch()).ok());
+  ASSERT_TRUE(table.AddBatch(MakeBatch()).ok());
+  EXPECT_EQ(table.num_rows(), 6u);
+  int matches_7 = 0, matches_9 = 0;
+  table.ForEachMatch(int64_t{7}, [&](uint32_t) { ++matches_7; });
+  table.ForEachMatch(int64_t{9}, [&](uint32_t) { ++matches_9; });
+  EXPECT_EQ(matches_7, 4);
+  EXPECT_EQ(matches_9, 2);
+  EXPECT_TRUE(table.HasMatch(int64_t{7}));
+  EXPECT_FALSE(table.HasMatch(int64_t{8}));
+  EXPECT_GT(table.MemoryBytes(), 0u);
+  table.Clear();
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_FALSE(table.HasMatch(int64_t{7}));
+}
+
+TEST(JoinHashTableTest, MaterializedColumnsPreserveValues) {
+  JoinHashTable table;
+  ASSERT_TRUE(table.Init(MakeSchema(), {"i"}).ok());
+  ASSERT_TRUE(table.AddBatch(MakeBatch()).ok());
+  table.ForEachMatch(int64_t{9}, [&](uint32_t row) {
+    EXPECT_EQ(table.columns()[1].i64[row], 100);
+    EXPECT_EQ(table.columns()[2].GetString(row), "x");
+    EXPECT_DOUBLE_EQ(table.columns()[3].f64[row], 1.0);
+  });
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace bdcc

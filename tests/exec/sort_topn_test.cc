@@ -1,0 +1,163 @@
+#include <numeric>
+
+#include "common/rng.h"
+#include "exec/sort.h"
+#include "exec/topn.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace bdcc {
+namespace exec {
+namespace {
+
+class VectorSource : public Operator {
+ public:
+  VectorSource(Schema schema, std::vector<Batch> batches)
+      : schema_(std::move(schema)), batches_(std::move(batches)) {}
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext*) override {
+    at_ = 0;
+    return Status::OK();
+  }
+  Result<Batch> Next(ExecContext*) override {
+    if (at_ >= batches_.size()) return Batch::Empty();
+    Batch out;
+    const Batch& src = batches_[at_++];
+    out.num_rows = src.num_rows;
+    out.columns = src.columns;
+    return out;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Batch> batches_;
+  size_t at_ = 0;
+};
+
+Schema S() {
+  return Schema({{"k", TypeId::kInt32}, {"v", TypeId::kFloat64}});
+}
+
+Batch B(std::vector<int32_t> keys, std::vector<double> vals) {
+  Batch b;
+  ColumnVector k(TypeId::kInt32), v(TypeId::kFloat64);
+  k.i32 = std::move(keys);
+  v.f64 = std::move(vals);
+  b.num_rows = k.i32.size();
+  b.columns = {std::move(k), std::move(v)};
+  return b;
+}
+
+TEST(SortTest, AscendingAndDescending) {
+  ExecContext ctx(nullptr);
+  Sort sort(std::make_unique<VectorSource>(
+                S(), std::vector<Batch>{B({3, 1, 2}, {0.3, 0.1, 0.2})}),
+            {SortKey{"k", false}});
+  Batch out = CollectAll(&sort, &ctx).ValueOrDie();
+  EXPECT_EQ(out.columns[0].i32[0], 1);
+  EXPECT_EQ(out.columns[0].i32[2], 3);
+
+  Sort desc(std::make_unique<VectorSource>(
+                S(), std::vector<Batch>{B({3, 1, 2}, {0.3, 0.1, 0.2})}),
+            {SortKey{"v", true}});
+  Batch out2 = CollectAll(&desc, &ctx).ValueOrDie();
+  EXPECT_DOUBLE_EQ(out2.columns[1].f64[0], 0.3);
+}
+
+TEST(SortTest, MultiKeyWithTies) {
+  ExecContext ctx(nullptr);
+  Sort sort(std::make_unique<VectorSource>(
+                S(), std::vector<Batch>{B({2, 1, 2, 1}, {5, 6, 3, 4})}),
+            {SortKey{"k", false}, SortKey{"v", true}});
+  Batch out = CollectAll(&sort, &ctx).ValueOrDie();
+  EXPECT_EQ(out.columns[0].i32[0], 1);
+  EXPECT_DOUBLE_EQ(out.columns[1].f64[0], 6.0);
+  EXPECT_DOUBLE_EQ(out.columns[1].f64[1], 4.0);
+  EXPECT_DOUBLE_EQ(out.columns[1].f64[2], 5.0);
+}
+
+TEST(SortTest, LimitTruncates) {
+  ExecContext ctx(nullptr);
+  Sort sort(std::make_unique<VectorSource>(
+                S(), std::vector<Batch>{B({5, 4, 3, 2, 1}, {5, 4, 3, 2, 1})}),
+            {SortKey{"k", false}}, 2);
+  Batch out = CollectAll(&sort, &ctx).ValueOrDie();
+  ASSERT_EQ(out.num_rows, 2u);
+  EXPECT_EQ(out.columns[0].i32[1], 2);
+}
+
+TEST(LimitTest, CutsMidBatch) {
+  ExecContext ctx(nullptr);
+  Limit limit(std::make_unique<VectorSource>(
+                  S(), std::vector<Batch>{B({1, 2, 3}, {1, 2, 3}),
+                                          B({4, 5}, {4, 5})}),
+              4);
+  Batch out = CollectAll(&limit, &ctx).ValueOrDie();
+  EXPECT_EQ(out.num_rows, 4u);
+}
+
+TEST(TopNTest, MatchesSortPlusLimitProperty) {
+  Rng rng(91);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Batch> batches;
+    int n = 100 + static_cast<int>(rng.Uniform(0, 8000));
+    std::vector<int32_t> k;
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) {
+      k.push_back(static_cast<int32_t>(rng.Uniform(0, 1 << 20)));
+      v.push_back(rng.NextDouble());
+      if (k.size() == 777 || i == n - 1) {
+        batches.push_back(B(k, v));
+        k.clear();
+        v.clear();
+      }
+    }
+    uint64_t limit = 1 + rng.Next64() % 50;
+    ExecContext ctx(nullptr);
+    TopN topn(std::make_unique<VectorSource>(S(), batches),
+              {SortKey{"k", trial % 2 == 0}}, limit);
+    Batch a = CollectAll(&topn, &ctx).ValueOrDie();
+    Sort sort(std::make_unique<VectorSource>(S(), batches),
+              {SortKey{"k", trial % 2 == 0}}, static_cast<int64_t>(limit));
+    Batch b = CollectAll(&sort, &ctx).ValueOrDie();
+    ASSERT_EQ(a.num_rows, b.num_rows);
+    for (size_t r = 0; r < a.num_rows; ++r) {
+      EXPECT_EQ(a.columns[0].i32[r], b.columns[0].i32[r]) << "row " << r;
+    }
+  }
+}
+
+TEST(TopNTest, BoundedMemory) {
+  // TopN over many rows keeps memory near the limit, far below Sort.
+  std::vector<Batch> batches;
+  Rng rng(92);
+  for (int chunk = 0; chunk < 40; ++chunk) {
+    std::vector<int32_t> k(2048);
+    std::vector<double> v(2048);
+    for (int i = 0; i < 2048; ++i) {
+      k[i] = static_cast<int32_t>(rng.Next64());
+      v[i] = rng.NextDouble();
+    }
+    batches.push_back(B(k, v));
+  }
+  uint64_t topn_peak, sort_peak;
+  {
+    ExecContext ctx(nullptr);
+    TopN topn(std::make_unique<VectorSource>(S(), batches),
+              {SortKey{"k", false}}, 10);
+    (void)CollectAll(&topn, &ctx).ValueOrDie();
+    topn_peak = ctx.memory()->peak_bytes();
+  }
+  {
+    ExecContext ctx(nullptr);
+    Sort sort(std::make_unique<VectorSource>(S(), batches),
+              {SortKey{"k", false}}, 10);
+    (void)CollectAll(&sort, &ctx).ValueOrDie();
+    sort_peak = ctx.memory()->peak_bytes();
+  }
+  EXPECT_LT(topn_peak * 4, sort_peak);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace bdcc

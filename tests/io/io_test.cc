@@ -1,0 +1,105 @@
+#include "gtest/gtest.h"
+#include "io/buffer_pool.h"
+#include "io/device_model.h"
+
+namespace bdcc {
+namespace io {
+namespace {
+
+TEST(DeviceModelTest, EfficientRandomAccessSize) {
+  // Paper Section III: AR such that random reads reach ~80% of sequential.
+  DeviceModel ssd{DeviceProfile::SsdRaid0()};
+  // bw=1GB/s, seek=8us, e=0.8 -> 32KB.
+  EXPECT_EQ(ssd.EfficientRandomAccessSize(0.8), 32u * 1024);
+
+  DeviceModel disk{DeviceProfile::MagneticDisk()};
+  // "a few MB for magnetic disks".
+  size_t ar = disk.EfficientRandomAccessSize(0.8);
+  EXPECT_GE(ar, 1u << 21);
+  EXPECT_LE(ar, 8u << 20);
+
+  DeviceModel flash{DeviceProfile::Flash()};
+  // [5]: flash ~32KB.
+  EXPECT_NEAR(static_cast<double>(flash.EfficientRandomAccessSize(0.8)),
+              32.0 * 1024, 16.0 * 1024);
+}
+
+TEST(DeviceModelTest, CostAccounting) {
+  DeviceModel dev{DeviceProfile::SsdRaid0()};
+  dev.ChargeSequential(1'000'000);
+  EXPECT_DOUBLE_EQ(dev.stats().simulated_seconds, 0.001);
+  dev.ChargeRandom(0);
+  EXPECT_DOUBLE_EQ(dev.stats().simulated_seconds, 0.001 + 8e-6);
+  EXPECT_EQ(dev.stats().sequential_requests, 1u);
+  EXPECT_EQ(dev.stats().random_requests, 1u);
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().bytes_read, 0u);
+}
+
+TEST(DeviceModelTest, RandomApproachesSequentialAtAr) {
+  DeviceModel dev{DeviceProfile::SsdRaid0()};
+  size_t ar = dev.EfficientRandomAccessSize(0.8);
+  double seq = dev.SequentialCost(ar);
+  double rnd = dev.RandomCost(ar);
+  EXPECT_NEAR(seq / rnd, 0.8, 0.02);
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  DeviceModel dev{DeviceProfile::SsdRaid0()};
+  BufferPool pool(&dev, 1ull << 30);
+  ColumnHandle col = pool.RegisterColumn("t.c", 320 * 1024, 81920);
+  // 4 bytes/row, 32KB pages -> 8192 rows per page, 10 pages.
+  EXPECT_EQ(pool.ColumnPages(col), 10u);
+  pool.ReadRows(col, 0, 8192);
+  EXPECT_EQ(pool.stats().page_misses, 1u);
+  pool.ReadRows(col, 0, 8192);  // cached
+  EXPECT_EQ(pool.stats().page_hits, 1u);
+  pool.ReadRows(col, 0, 81920);  // rest of the column
+  EXPECT_EQ(pool.stats().page_misses, 10u);
+  pool.Clear();
+  pool.ReadRows(col, 0, 8192);
+  EXPECT_EQ(pool.stats().page_misses, 11u);
+}
+
+TEST(BufferPoolTest, CoalescesMissRuns) {
+  DeviceModel dev{DeviceProfile::SsdRaid0()};
+  BufferPool pool(&dev, 1ull << 30);
+  ColumnHandle col = pool.RegisterColumn("t.c", 10 * 32 * 1024, 81920);
+  pool.ReadRows(col, 0, 81920);  // all 10 pages in one request
+  // One seek for the run head + sequential continuation.
+  EXPECT_EQ(dev.stats().random_requests, 1u);
+  EXPECT_EQ(dev.stats().sequential_requests, 1u);
+  EXPECT_EQ(dev.stats().bytes_read, 10u * 32 * 1024);
+}
+
+TEST(BufferPoolTest, ScatteredReadsPaySeeks) {
+  DeviceModel dev{DeviceProfile::SsdRaid0()};
+  BufferPool pool(&dev, 1ull << 30);
+  ColumnHandle col = pool.RegisterColumn("t.c", 100 * 32 * 1024, 819200);
+  // Touch every 10th page: 10 separate random requests.
+  for (int p = 0; p < 100; p += 10) {
+    pool.ReadRows(col, static_cast<uint64_t>(p) * 8192,
+                  static_cast<uint64_t>(p) * 8192 + 1);
+  }
+  EXPECT_EQ(dev.stats().random_requests, 10u);
+  // Scattered I/O costs more time than one sequential sweep of same bytes.
+  DeviceModel dev2{DeviceProfile::SsdRaid0()};
+  double sweep = dev2.RandomCost(10 * 32 * 1024);
+  EXPECT_GT(dev.stats().simulated_seconds, sweep);
+}
+
+TEST(BufferPoolTest, EvictsLru) {
+  DeviceModel dev{DeviceProfile::SsdRaid0()};
+  BufferPool pool(&dev, 2 * 32 * 1024);  // 2 pages
+  ColumnHandle col = pool.RegisterColumn("t.c", 4 * 32 * 1024, 32768);
+  pool.ReadRows(col, 0, 8192);       // page 0
+  pool.ReadRows(col, 8192, 16384);   // page 1
+  pool.ReadRows(col, 16384, 24576);  // page 2 -> evicts page 0
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  pool.ReadRows(col, 0, 8192);  // page 0 again: miss
+  EXPECT_EQ(pool.stats().page_misses, 4u);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace bdcc

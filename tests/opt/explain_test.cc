@@ -1,0 +1,53 @@
+#include "opt/explain.h"
+
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace opt {
+namespace {
+
+using exec::Col;
+using exec::JoinType;
+
+TEST(ExplainTest, RendersQ3Shape) {
+  NodePtr li = LScan("LINEITEM", {"l_orderkey", "l_shipdate"},
+                     {SargRange("l_shipdate",
+                                Value::Date(ParseDate("1995-03-16")),
+                                std::nullopt)});
+  NodePtr orders = LScan("ORDERS", {"o_orderkey", "o_custkey"});
+  NodePtr j = LJoin(li, orders, JoinType::kInner, {"l_orderkey"},
+                    {"o_orderkey"}, "FK_L_O");
+  NodePtr agg = LAgg(j, {"l_orderkey"},
+                     {exec::AggSum(Col("l_orderkey"), "revenue")});
+  NodePtr plan = LSort(agg, {exec::SortKey{"revenue", true}}, 10);
+
+  std::string text = ExplainPlan(plan);
+  EXPECT_NE(text.find("Sort [revenue desc] limit 10"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate group=[l_orderkey] aggs=[revenue]"),
+            std::string::npos);
+  EXPECT_NE(text.find("Join inner on (l_orderkey)=(o_orderkey) fk=FK_L_O"),
+            std::string::npos);
+  EXPECT_NE(text.find("Scan LINEITEM cols=2 sargs=[l_shipdate]"),
+            std::string::npos);
+  // Children are indented under parents.
+  size_t sort_at = text.find("Sort");
+  size_t scan_at = text.find("    ");
+  EXPECT_LT(sort_at, scan_at);
+}
+
+TEST(ExplainTest, RendersFilterProjectLimit) {
+  NodePtr plan = LLimit(
+      LProject(LFilter(LScan("NATION", {"n_name"}),
+                       exec::Eq(Col("n_name"), exec::LitStr("PERU"))),
+               {{"name", Col("n_name")}}),
+      5);
+  std::string text = ExplainPlan(plan);
+  EXPECT_NE(text.find("Limit 5"), std::string::npos);
+  EXPECT_NE(text.find("Project [name]"), std::string::npos);
+  EXPECT_NE(text.find("Filter n_name='PERU'"), std::string::npos);
+  EXPECT_NE(text.find("Scan NATION cols=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace bdcc

@@ -1,0 +1,178 @@
+// Unit tests for the dimension-restriction analysis (pushdown/propagation):
+// sarg-derived bin ranges, the snowflake (REGION->D_NATION) rule, exact
+// path matching, and self-join disambiguation.
+#include "opt/pushdown.h"
+
+#include "gtest/gtest.h"
+#include "opt/logical_plan.h"
+#include "tpch/tpch_db.h"
+
+namespace bdcc {
+namespace opt {
+namespace {
+
+using exec::Col;
+using exec::JoinType;
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::TpchDbOptions options;
+    options.scale_factor = 0.004;
+    options.seed = 5;
+    options.build_plain = false;
+    options.build_pk = false;
+    options.advisor.build.tuning.efficient_access_bytes = 1024;
+    db_ = tpch::TpchDb::Create(options).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static std::vector<UseRestriction> Analyze(const NodePtr& plan) {
+    return AnalyzePushdown(plan, db_->bdcc()).ValueOrDie().restrictions;
+  }
+
+  static int CountFor(const std::vector<UseRestriction>& rs,
+                      const std::string& table) {
+    int n = 0;
+    for (const UseRestriction& r : rs) {
+      if (r.scan->scan.table == table) ++n;
+    }
+    return n;
+  }
+
+  static tpch::TpchDb* db_;
+};
+
+tpch::TpchDb* PushdownTest::db_ = nullptr;
+
+TEST_F(PushdownTest, LocalSargRestrictsOwnScan) {
+  NodePtr orders = LScan(
+      "ORDERS", {"o_orderkey", "o_orderdate"},
+      {SargRange("o_orderdate", Value::Date(ParseDate("1997-01-01")),
+                 std::nullopt)});
+  auto rs = Analyze(orders);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].scan->scan.table, "ORDERS");
+  EXPECT_GT(rs[0].lo_bin, 0u);  // late dates -> high bins
+  EXPECT_NE(rs[0].source.find("o_orderdate"), std::string::npos);
+}
+
+TEST_F(PushdownTest, RestrictionFollowsExactFkChain) {
+  NodePtr orders = LScan(
+      "ORDERS", {"o_orderkey", "o_orderdate"},
+      {SargRange("o_orderdate", Value::Date(ParseDate("1997-01-01")),
+                 std::nullopt)});
+  NodePtr li = LScan("LINEITEM", {"l_orderkey"});
+  NodePtr j = LJoin(li, orders, JoinType::kInner, {"l_orderkey"},
+                    {"o_orderkey"}, "FK_L_O");
+  auto rs = Analyze(j);
+  EXPECT_EQ(CountFor(rs, "ORDERS"), 1);
+  EXPECT_EQ(CountFor(rs, "LINEITEM"), 1);
+  // Without the FK annotation there is no edge -> no propagation.
+  NodePtr li2 = LScan("LINEITEM", {"l_orderkey"});
+  NodePtr orders2 = LScan(
+      "ORDERS", {"o_orderkey", "o_orderdate"},
+      {SargRange("o_orderdate", Value::Date(ParseDate("1997-01-01")),
+                 std::nullopt)});
+  NodePtr j2 = LJoin(li2, orders2, JoinType::kInner, {"l_orderkey"},
+                     {"o_orderkey"}, "");
+  auto rs2 = Analyze(j2);
+  EXPECT_EQ(CountFor(rs2, "LINEITEM"), 0);
+  EXPECT_EQ(CountFor(rs2, "ORDERS"), 1);  // local pushdown still applies
+}
+
+TEST_F(PushdownTest, NationResidualResolvedAtPlanTime) {
+  // n_name is not a dimension key column; the restriction comes from
+  // plan-time evaluation of the (small) host table.
+  NodePtr nation = LScan("NATION", {"n_nationkey", "n_name"},
+                         {SargEq("n_name", Value::String("GERMANY"))});
+  NodePtr supp = LScan("SUPPLIER", {"s_suppkey", "s_nationkey"});
+  NodePtr j = LJoin(supp, nation, JoinType::kInner, {"s_nationkey"},
+                    {"n_nationkey"}, "FK_S_N");
+  auto rs = Analyze(j);
+  ASSERT_EQ(CountFor(rs, "SUPPLIER"), 1);
+  // A single nation maps to a single bin.
+  for (const UseRestriction& r : rs) {
+    if (r.scan->scan.table == "SUPPLIER") {
+      EXPECT_EQ(r.lo_bin, r.hi_bin);
+    }
+  }
+}
+
+TEST_F(PushdownTest, RegionSnowflakeRule) {
+  // The paper's example: a region equi-selection determines a consecutive
+  // D_NATION bin range, one FK hop below the dimension host.
+  NodePtr region = LScan("REGION", {"r_regionkey", "r_name"},
+                         {SargEq("r_name", Value::String("ASIA"))});
+  NodePtr nation = LScan("NATION", {"n_nationkey", "n_regionkey"});
+  NodePtr cust = LScan("CUSTOMER", {"c_custkey", "c_nationkey"});
+  NodePtr j = LJoin(nation, region, JoinType::kInner, {"n_regionkey"},
+                    {"r_regionkey"}, "FK_N_R");
+  j = LJoin(cust, j, JoinType::kInner, {"c_nationkey"}, {"n_nationkey"},
+            "FK_C_N");
+  auto rs = Analyze(j);
+  ASSERT_GE(CountFor(rs, "CUSTOMER"), 1);
+  for (const UseRestriction& r : rs) {
+    if (r.scan->scan.table == "CUSTOMER") {
+      EXPECT_LT(r.lo_bin, r.hi_bin);  // a range of nations, not one
+      EXPECT_NE(r.source.find("REGION"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(PushdownTest, SelfJoinScansRestrictedIndependently) {
+  // Q21 shape: one LINEITEM instance joins the SAUDI-filtered supplier
+  // chain; a second instance (for the aggregate) must stay unrestricted.
+  NodePtr l1 = LScan("LINEITEM", {"l_orderkey", "l_suppkey"});
+  NodePtr supp = LScan("SUPPLIER", {"s_suppkey", "s_nationkey"});
+  NodePtr nation = LScan("NATION", {"n_nationkey", "n_name"},
+                         {SargEq("n_name", Value::String("CANADA"))});
+  NodePtr chain = LJoin(l1, supp, JoinType::kInner, {"l_suppkey"},
+                        {"s_suppkey"}, "FK_L_S");
+  chain = LJoin(chain, nation, JoinType::kInner, {"s_nationkey"},
+                {"n_nationkey"}, "FK_S_N");
+  NodePtr l2 = LScan("LINEITEM", {"l_orderkey", "l_suppkey"});
+  NodePtr all = LJoin(chain, l2, JoinType::kInner, {"l_orderkey"},
+                      {"l_orderkey"}, "");
+  auto rs = Analyze(all);
+  const LogicalNode* restricted = nullptr;
+  int lineitem_restrictions = 0;
+  for (const UseRestriction& r : rs) {
+    if (r.scan->scan.table == "LINEITEM") {
+      ++lineitem_restrictions;
+      restricted = r.scan;
+    }
+  }
+  EXPECT_EQ(lineitem_restrictions, 1);
+  EXPECT_EQ(restricted, l1.get());
+}
+
+TEST_F(PushdownTest, UnselectiveFilterYieldsNoRestriction) {
+  // A filter keeping every row must not produce a (useless) restriction.
+  NodePtr nation = LScan("NATION", {"n_nationkey", "n_name"}, {},
+                         exec::Ne(Col("n_name"), exec::LitStr("ATLANTIS")));
+  NodePtr supp = LScan("SUPPLIER", {"s_suppkey", "s_nationkey"});
+  NodePtr j = LJoin(supp, nation, JoinType::kInner, {"s_nationkey"},
+                    {"n_nationkey"}, "FK_S_N");
+  auto rs = Analyze(j);
+  EXPECT_EQ(CountFor(rs, "SUPPLIER"), 0);
+}
+
+TEST_F(PushdownTest, NonBdccSchemeProducesNothing) {
+  tpch::TpchDbOptions options;
+  options.scale_factor = 0.002;
+  options.build_bdcc = false;
+  options.build_pk = false;
+  auto plain_db = tpch::TpchDb::Create(options).ValueOrDie();
+  NodePtr orders = LScan(
+      "ORDERS", {"o_orderkey", "o_orderdate"},
+      {SargRange("o_orderdate", Value::Date(ParseDate("1997-01-01")),
+                 std::nullopt)});
+  auto analysis = AnalyzePushdown(orders, plain_db->plain()).ValueOrDie();
+  EXPECT_TRUE(analysis.restrictions.empty());
+  EXPECT_EQ(analysis.scans.size(), 1u);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace bdcc

@@ -1,0 +1,120 @@
+#include <numeric>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/compression/bitpack.h"
+#include "storage/compression/codec.h"
+#include "storage/compression/delta.h"
+#include "storage/compression/rle.h"
+
+namespace bdcc {
+namespace compression {
+namespace {
+
+TEST(RleTest, RoundTrip) {
+  std::vector<int32_t> input = {5, 5, 5, 7, 7, -1, -1, -1, -1, 0};
+  auto encoded = RleEncode(input.data(), input.size());
+  EXPECT_EQ(encoded.size(), RleEncodedSize(input.data(), input.size()));
+  auto decoded = RleDecode(encoded.data(), encoded.size());
+  EXPECT_EQ(decoded, input);
+}
+
+TEST(RleTest, CompressesRuns) {
+  std::vector<int32_t> runs(10000, 42);
+  EXPECT_EQ(RleEncodedSize(runs.data(), runs.size()), 8u);
+  std::vector<int32_t> distinct(100);
+  std::iota(distinct.begin(), distinct.end(), 0);
+  EXPECT_EQ(RleEncodedSize(distinct.data(), distinct.size()), 800u);
+}
+
+TEST(DeltaTest, RoundTripSortedAndRandom) {
+  Rng rng(3);
+  std::vector<int64_t> sorted;
+  int64_t at = -500;
+  for (int i = 0; i < 5000; ++i) {
+    at += rng.Uniform(0, 20);
+    sorted.push_back(at);
+  }
+  auto enc = DeltaEncode(sorted.data(), sorted.size());
+  EXPECT_EQ(enc.size(), DeltaEncodedSize(sorted.data(), sorted.size()));
+  auto dec = DeltaDecode(enc.data(), enc.size(), sorted.size());
+  EXPECT_EQ(dec, sorted);
+  // Sorted data encodes near 1 byte per value.
+  EXPECT_LT(enc.size(), sorted.size() * 2);
+
+  std::vector<int64_t> random(1000);
+  for (auto& v : random) v = static_cast<int64_t>(rng.Next64());
+  auto enc2 = DeltaEncode(random.data(), random.size());
+  auto dec2 = DeltaDecode(enc2.data(), enc2.size(), random.size());
+  EXPECT_EQ(dec2, random);
+}
+
+TEST(BitPackTest, RoundTripAcrossWidths) {
+  Rng rng(4);
+  for (int width = 1; width <= 32; width += 3) {
+    std::vector<uint32_t> input(500);
+    for (auto& v : input) {
+      v = static_cast<uint32_t>(rng.Next64() &
+                                ((width == 32) ? 0xFFFFFFFFull
+                                               : ((1ull << width) - 1)));
+    }
+    auto packed = BitPack(input.data(), input.size(), width);
+    EXPECT_EQ(packed.size(), BitPackedSize(input.size(), width));
+    auto unpacked = BitUnpack(packed.data(), packed.size(), input.size(),
+                              width);
+    EXPECT_EQ(unpacked, input) << "width " << width;
+  }
+}
+
+TEST(BitPackTest, RequiredBitWidth) {
+  std::vector<uint32_t> v = {0, 1, 7};
+  EXPECT_EQ(RequiredBitWidth(v.data(), v.size()), 3);
+  std::vector<uint32_t> zeros = {0, 0};
+  EXPECT_EQ(RequiredBitWidth(zeros.data(), zeros.size()), 1);
+}
+
+TEST(CodecTest, PicksBestPerBlock) {
+  // Runs -> RLE beats raw; sorted -> delta/bitpack beat raw.
+  Column runs(TypeId::kInt32);
+  for (int i = 0; i < 20000; ++i) runs.AppendInt32(i / 1000);
+  auto est = EstimateCompression(runs);
+  EXPECT_LT(est.compressed_bytes, est.raw_bytes / 10);
+  EXPECT_GT(est.ratio(), 10.0);
+
+  Column noise(TypeId::kFloat64);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) noise.AppendFloat64(rng.NextDouble());
+  auto est2 = EstimateCompression(noise);
+  EXPECT_EQ(est2.compressed_bytes, est2.raw_bytes);  // no float codec
+}
+
+TEST(CodecTest, StringColumnsAddDictionaryPayload) {
+  Column s(TypeId::kString);
+  for (int i = 0; i < 1000; ++i) s.AppendString(i % 2 ? "yes" : "no");
+  auto est = EstimateCompression(s);
+  // Codes are a 2-value alternation: RLE won't help, bitpack will (1 bit).
+  EXPECT_LT(est.compressed_bytes, est.raw_bytes);
+  EXPECT_GE(est.compressed_bytes, 5u);  // at least the dict payload
+}
+
+TEST(CodecTest, ClusteringImprovesCompressionProperty) {
+  // The evaluation's storage argument: BDCC reordering keeps (or improves)
+  // compressed size because clustered columns become locally homogeneous.
+  Rng rng(6);
+  Column random_col(TypeId::kInt32);
+  std::vector<int32_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    values.push_back(static_cast<int32_t>(rng.Uniform(0, 31)));
+  }
+  for (int32_t v : values) random_col.AppendInt32(v);
+  std::sort(values.begin(), values.end());
+  Column clustered_col(TypeId::kInt32);
+  for (int32_t v : values) clustered_col.AppendInt32(v);
+  auto random_est = EstimateCompression(random_col);
+  auto clustered_est = EstimateCompression(clustered_col);
+  EXPECT_LT(clustered_est.compressed_bytes, random_est.compressed_bytes / 5);
+}
+
+}  // namespace
+}  // namespace compression
+}  // namespace bdcc

@@ -1,0 +1,73 @@
+// Shared test helpers: canonical batch comparison across physical schemes.
+#ifndef BDCC_TESTS_TEST_UTIL_H_
+#define BDCC_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace testutil {
+
+// One result row: a sort key built from the non-float columns plus the raw
+// float values for tolerant comparison.
+struct CanonRow {
+  std::string key;
+  std::vector<double> floats;
+};
+
+inline std::vector<CanonRow> Canonicalize(const exec::Batch& batch) {
+  std::vector<CanonRow> rows(batch.num_rows);
+  for (size_t r = 0; r < batch.num_rows; ++r) {
+    CanonRow& row = rows[r];
+    for (const exec::ColumnVector& c : batch.columns) {
+      if (c.type == TypeId::kFloat64) {
+        row.floats.push_back(c.IsNull(r) ? -1e300 : c.f64[r]);
+        continue;
+      }
+      if (c.IsNull(r)) {
+        row.key += "|<null>";
+        continue;
+      }
+      row.key += "|" + c.GetValue(r).ToString();
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const CanonRow& a, const CanonRow& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.floats < b.floats;
+  });
+  return rows;
+}
+
+// EXPECT rows of `a` and `b` to be the same multiset, with relative
+// tolerance on float columns.
+inline void ExpectBatchesEqual(const exec::Batch& a, const exec::Batch& b,
+                               const std::string& label,
+                               double rel_tol = 1e-6) {
+  ASSERT_EQ(a.num_rows, b.num_rows) << label << ": row count differs";
+  ASSERT_EQ(a.columns.size(), b.columns.size()) << label;
+  std::vector<CanonRow> ra = Canonicalize(a);
+  std::vector<CanonRow> rb = Canonicalize(b);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].key, rb[i].key) << label << ": row " << i << " differs";
+    ASSERT_EQ(ra[i].floats.size(), rb[i].floats.size()) << label;
+    for (size_t f = 0; f < ra[i].floats.size(); ++f) {
+      double x = ra[i].floats[f], y = rb[i].floats[f];
+      double tol = rel_tol * std::max({1.0, std::fabs(x), std::fabs(y)});
+      EXPECT_NEAR(x, y, tol)
+          << label << ": row " << i << " (key " << ra[i].key
+          << ") float column " << f;
+    }
+  }
+}
+
+}  // namespace testutil
+}  // namespace bdcc
+
+#endif  // BDCC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,109 @@
+// The three-scheme TPC-H database: physical properties per scheme, I/O
+// plumbing, and storage accounting.
+#include "tpch/tpch_db.h"
+
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace tpch {
+namespace {
+
+class TpchDbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchDbOptions options;
+    options.scale_factor = 0.003;
+    options.seed = 3;
+    db_ = TpchDb::Create(options).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static TpchDb* db_;
+};
+
+TpchDb* TpchDbTest::db_ = nullptr;
+
+TEST_F(TpchDbTest, SchemesExposeSameTables) {
+  for (const char* table :
+       {"REGION", "NATION", "SUPPLIER", "CUSTOMER", "PART", "PARTSUPP",
+        "ORDERS", "LINEITEM"}) {
+    const Table* p = db_->plain().storage(table);
+    const Table* k = db_->pk().storage(table);
+    const Table* b = db_->bdcc().storage(table);
+    ASSERT_NE(p, nullptr) << table;
+    ASSERT_NE(k, nullptr) << table;
+    ASSERT_NE(b, nullptr) << table;
+    EXPECT_EQ(p->num_rows(), k->num_rows()) << table;
+    EXPECT_EQ(p->num_rows(), b->num_rows()) << table;
+  }
+  EXPECT_EQ(db_->plain().storage("NOPE"), nullptr);
+}
+
+TEST_F(TpchDbTest, SchemeProperties) {
+  EXPECT_EQ(db_->plain().scheme(), opt::Scheme::kPlain);
+  EXPECT_EQ(db_->pk().scheme(), opt::Scheme::kPk);
+  EXPECT_EQ(db_->bdcc().scheme(), opt::Scheme::kBdcc);
+  // Sortedness is a PK-scheme property only.
+  EXPECT_EQ(db_->plain().sorted_on("LINEITEM"), "");
+  EXPECT_EQ(db_->pk().sorted_on("LINEITEM"), "l_orderkey");
+  EXPECT_EQ(db_->pk().sorted_on("ORDERS"), "o_orderkey");
+  EXPECT_EQ(db_->bdcc().sorted_on("ORDERS"), "");
+  // Unique keys: single-column PKs only.
+  EXPECT_TRUE(db_->pk().unique_key("ORDERS", "o_orderkey"));
+  EXPECT_FALSE(db_->pk().unique_key("LINEITEM", "l_orderkey"));
+  EXPECT_FALSE(db_->pk().unique_key("ORDERS", "o_custkey"));
+}
+
+TEST_F(TpchDbTest, PkTablesAreSorted) {
+  const Table* orders = db_->pk().storage("ORDERS");
+  const auto& keys = orders->ColumnByName("o_orderkey").i32();
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+TEST_F(TpchDbTest, BdccTablesOnlyWhereDesigned) {
+  EXPECT_EQ(db_->bdcc().bdcc("REGION"), nullptr);  // unclustered leaf
+  EXPECT_NE(db_->bdcc().bdcc("LINEITEM"), nullptr);
+  EXPECT_NE(db_->bdcc().bdcc("NATION"), nullptr);
+  EXPECT_EQ(db_->plain().bdcc("LINEITEM"), nullptr);  // wrong scheme
+  // The BDCC storage view includes the artificial key column.
+  EXPECT_TRUE(db_->bdcc().storage("LINEITEM")->HasColumn(kBdccColumnName));
+  EXPECT_FALSE(db_->plain().storage("LINEITEM")->HasColumn(kBdccColumnName));
+}
+
+TEST_F(TpchDbTest, SchemesHaveIndependentIoAccounting) {
+  db_->ResetIo();
+  io::BufferPool* plain_pool = db_->pool(opt::Scheme::kPlain);
+  const Table* t = db_->plain().storage("ORDERS");
+  plain_pool->ReadRows(t->io_handle(0), 0, t->num_rows());
+  EXPECT_GT(db_->device(opt::Scheme::kPlain)->stats().bytes_read, 0u);
+  EXPECT_EQ(db_->device(opt::Scheme::kBdcc)->stats().bytes_read, 0u);
+  db_->ResetIo();
+  EXPECT_EQ(db_->device(opt::Scheme::kPlain)->stats().bytes_read, 0u);
+}
+
+TEST_F(TpchDbTest, DiskBytesComparableAcrossSchemes) {
+  uint64_t plain = db_->DiskBytes(opt::Scheme::kPlain);
+  uint64_t pk = db_->DiskBytes(opt::Scheme::kPk);
+  uint64_t bdcc = db_->DiskBytes(opt::Scheme::kBdcc);
+  EXPECT_GT(plain, 0u);
+  EXPECT_EQ(plain, pk);  // same columns, different order
+  // BDCC adds the _bdcc_ key columns (~8 bytes/row on clustered tables).
+  EXPECT_GT(bdcc, plain);
+  EXPECT_LT(static_cast<double>(bdcc) / static_cast<double>(plain), 1.25);
+}
+
+TEST_F(TpchDbTest, PartialBuilds) {
+  TpchDbOptions options;
+  options.scale_factor = 0.002;
+  options.build_plain = false;
+  options.build_pk = false;
+  auto db = TpchDb::Create(options).ValueOrDie();
+  EXPECT_EQ(db->plain().storage("ORDERS"), nullptr);
+  EXPECT_NE(db->bdcc().storage("ORDERS"), nullptr);
+  EXPECT_EQ(db->design().tables.size(), 7u);
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace bdcc
