@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,38 @@ inline double BenchScaleFactor(double fallback = 0.05) {
     if (sf > 0) return sf;
   }
   return fallback;
+}
+
+/// \brief Strip a `--threads=N` flag from argv before google-benchmark sees
+/// it (it rejects unknown flags) and return N. Falls back to the
+/// BDCC_BENCH_THREADS env var, then to `fallback`. N caps the thread-count
+/// sweep of the parallel benchmarks.
+inline int StripThreadsFlag(int* argc, char** argv, int fallback = 4) {
+  int threads = fallback;
+  const char* env = std::getenv("BDCC_BENCH_THREADS");
+  if (env != nullptr && std::atoi(env) > 0) threads = std::atoi(env);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      int n = std::atoi(arg + 10);
+      if (n > 0) threads = n;
+      continue;  // swallow the flag
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return threads;
+}
+
+/// Thread counts to sweep: 1, 2, 4, ... doubling up to and always including
+/// `max_threads` — one benchmark row per count lands in the JSON output, so
+/// the speedup curve is directly plottable.
+inline std::vector<int> ThreadCounts(int max_threads) {
+  std::vector<int> out;
+  for (int t = 1; t < max_threads; t *= 2) out.push_back(t);
+  out.push_back(max_threads);
+  return out;
 }
 
 struct QueryRun {

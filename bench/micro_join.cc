@@ -1,16 +1,24 @@
 // google-benchmark microbenchmarks for the paper's benefit (iii): join
 // acceleration and memory reduction via sandwich operators. Joins two
 // co-clustered tables with a plain hash join vs. a sandwich hash join and
-// reports time plus peak build memory.
+// reports time plus peak build memory. The parallel variants sweep
+// --threads=N (one JSON row per thread count: the join speedup curve) using
+// group-id-chunked sandwich joins and shared-table parallel probes.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "bdcc/bdcc_table.h"
 #include "bdcc/binning.h"
 #include "bdcc/scatter_scan.h"
+#include "bench/bench_util.h"
 #include "catalog/catalog.h"
 #include "common/bits.h"
 #include "common/rng.h"
+#include "common/task_scheduler.h"
 #include "exec/hash_join.h"
+#include "exec/morsel.h"
+#include "exec/parallel.h"
 #include "exec/sandwich_join.h"
 #include "exec/scan.h"
 
@@ -172,6 +180,111 @@ void BM_SandwichJoin(benchmark::State& state) {
 // Partition counts 2^2 .. 2^8: more shared bits -> smaller per-group build.
 BENCHMARK(BM_SandwichJoin)->Arg(2)->Arg(5)->Arg(8);
 
+// Scan over only the ranges whose group id lies in [gid_lo, gid_hi] — the
+// same chunking the planner uses for parallel sandwich pipelines.
+exec::OperatorPtr GroupedScanChunk(const BdccTable& bt,
+                                   std::vector<std::string> cols, int shared,
+                                   int64_t gid_lo, int64_t gid_hi) {
+  std::vector<exec::GroupSpec> grouping{{0, shared}};
+  auto all = PlanScatterScan(bt, {0}).ValueOrDie();
+  std::vector<GroupRange> subset;
+  for (const GroupRange& r : all) {
+    int64_t g = exec::GroupIdForKey(bt, grouping, r.key);
+    if (g >= gid_lo && g <= gid_hi) subset.push_back(r);
+  }
+  return std::make_unique<exec::BdccScan>(
+      &bt, std::move(cols), std::move(subset),
+      std::vector<exec::ScanPredicate>{}, grouping);
+}
+
+// Group-id-chunked parallel sandwich join: each clone joins one contiguous
+// span of the shared-dimension group ids end to end.
+void RunSandwichJoinParallel(benchmark::State& state, int threads) {
+  Fixture& f = F();
+  int shared = ClampShared(f, 8);
+  std::vector<exec::GroupSpec> grouping{{0, shared}};
+  std::vector<int64_t> gids;
+  for (const GroupRange& r : PlanScatterScan(*f.fact, {0}).ValueOrDie()) {
+    gids.push_back(exec::GroupIdForKey(*f.fact, grouping, r.key));
+  }
+  std::sort(gids.begin(), gids.end());
+  gids.erase(std::unique(gids.begin(), gids.end()), gids.end());
+  size_t chunks = std::min<size_t>(threads, gids.size());
+  size_t per = (gids.size() + chunks - 1) / chunks;
+
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    exec::ExecContext ctx(nullptr);
+    exec::ChainFactory factory =
+        [&](size_t i, size_t n) -> Result<exec::OperatorPtr> {
+      (void)n;
+      size_t b = i * per, e = std::min(gids.size(), b + per);
+      return exec::OperatorPtr(std::make_unique<exec::SandwichHashJoin>(
+          GroupedScanChunk(*f.fact, {"fk", "payload"}, shared, gids[b],
+                           gids[e - 1]),
+          GroupedScanChunk(*f.dim, {"dk", "dval"}, shared, gids[b],
+                           gids[e - 1]),
+          std::vector<std::string>{"fk"}, std::vector<std::string>{"dk"},
+          exec::JoinType::kInner));
+    };
+    exec::ParallelUnion join(factory, chunks,
+                             common::TaskScheduler::Shared());
+    auto out = exec::CollectAll(&join, &ctx).ValueOrDie();
+    benchmark::DoNotOptimize(out.num_rows);
+    peak = std::max(peak, ctx.memory()->peak_bytes());
+  }
+  state.counters["peak_mem_kb"] = static_cast<double>(peak) / 1024.0;
+  state.counters["threads"] = threads;
+}
+
+// Shared-build-table hash join with morsel-parallel probe clones.
+void RunHashJoinParallelProbe(benchmark::State& state, int threads) {
+  Fixture& f = F();
+  auto probe_ranges = std::make_shared<const std::vector<GroupRange>>(
+      PlanNaturalScan(*f.fact));
+  auto morsels = std::make_shared<const std::vector<exec::Morsel>>(
+      exec::MakeRangeMorsels(*probe_ranges, 16384));
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    exec::ExecContext ctx(nullptr);
+    exec::ChainFactory probe_factory =
+        [&](size_t i, size_t n) -> Result<exec::OperatorPtr> {
+      auto scan = std::make_unique<exec::BdccScan>(
+          f.fact.get(), std::vector<std::string>{"fk", "payload"},
+          *probe_ranges);
+      scan->RestrictToMorsels(exec::MorselSet{morsels, i, n});
+      return exec::OperatorPtr(std::move(scan));
+    };
+    exec::ParallelHashJoin join(
+        probe_factory, threads,
+        std::make_unique<exec::BdccScan>(
+            f.dim.get(), std::vector<std::string>{"dk", "dval"},
+            PlanNaturalScan(*f.dim)),
+        {"fk"}, {"dk"}, exec::JoinType::kInner,
+        common::TaskScheduler::Shared());
+    auto out = exec::CollectAll(&join, &ctx).ValueOrDie();
+    benchmark::DoNotOptimize(out.num_rows);
+    peak = std::max(peak, ctx.memory()->peak_bytes());
+  }
+  state.counters["peak_mem_kb"] = static_cast<double>(peak) / 1024.0;
+  state.counters["threads"] = threads;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int max_threads = bdcc::bench::StripThreadsFlag(&argc, argv, 4);
+  for (int t : bdcc::bench::ThreadCounts(max_threads)) {
+    benchmark::RegisterBenchmark(
+        ("BM_SandwichJoinParallel/threads:" + std::to_string(t)).c_str(),
+        [t](benchmark::State& s) { RunSandwichJoinParallel(s, t); });
+    benchmark::RegisterBenchmark(
+        ("BM_HashJoinParallelProbe/threads:" + std::to_string(t)).c_str(),
+        [t](benchmark::State& s) { RunHashJoinParallelProbe(s, t); });
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

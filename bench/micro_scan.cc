@@ -1,13 +1,18 @@
 // google-benchmark microbenchmarks for the paper's benefit (i): selection
 // pushdown. Compares a full plain scan against a BDCC scan with group
-// pruning on a clustered dimension, at several selectivities.
+// pruning on a clustered dimension, at several selectivities, plus
+// morsel-parallel variants swept over --threads=N (one JSON row per thread
+// count: the scan speedup curve).
 #include <benchmark/benchmark.h>
 
 #include "bdcc/bdcc_table.h"
 #include "bdcc/binning.h"
 #include "bdcc/scatter_scan.h"
+#include "bench/bench_util.h"
 #include "common/rng.h"
+#include "common/task_scheduler.h"
 #include "exec/filter.h"
+#include "exec/morsel.h"
 #include "exec/scan.h"
 
 namespace {
@@ -54,7 +59,9 @@ struct Fixture {
             .ValueOrDie();
     std::vector<DimensionUse> uses(1);
     uses[0].dimension = std::make_shared<const Dimension>(std::move(dim));
-    NoFkResolver resolver(&copy);
+    // Resolve against `plain`: `copy` is moved into BuildBdccTable below and
+    // must not be referenced during the build.
+    NoFkResolver resolver(&plain);
     clustered = std::make_unique<BdccTable>(
         BuildBdccTable(std::move(copy), uses, resolver, {}).ValueOrDie());
   }
@@ -122,6 +129,95 @@ void BM_BdccScanPruned(benchmark::State& state) {
 BENCHMARK(BM_PlainScanFiltered)->Arg(2)->Arg(5)->Arg(8);
 BENCHMARK(BM_BdccScanPruned)->Arg(2)->Arg(5)->Arg(8);
 
+// Morsel-parallel plain scan: `threads` clones walk strided zone-aligned
+// morsels of the shared plan (selectivity fixed at 2^-2).
+void RunPlainScanParallel(benchmark::State& state, int threads) {
+  Fixture& f = F();
+  int64_t hi = kDomain >> 2;
+  auto morsels = std::make_shared<const std::vector<exec::Morsel>>(
+      exec::MakeRowMorsels(kRows, 1024, 16384));
+  for (auto _ : state) {
+    std::vector<uint64_t> matched(threads, 0);
+    common::TaskScheduler::Shared()->ParallelFor(threads, [&](size_t i) {
+      exec::ExecContext ctx(nullptr);
+      exec::PlainScan scan(
+          &f.plain, {"k", "v"},
+          {{"k", ValueRange{Value::Int32(0),
+                            Value::Int32(static_cast<int32_t>(hi - 1))}}});
+      scan.RestrictToMorsels(
+          exec::MorselSet{morsels, i, static_cast<size_t>(threads)});
+      scan.Open(&ctx).AbortIfNotOK();
+      while (true) {
+        auto b = scan.Next(&ctx).ValueOrDie();
+        if (b.empty()) break;
+        for (size_t r = 0; r < b.num_rows; ++r) {
+          if (b.columns[0].i32[r] < hi) ++matched[i];
+        }
+      }
+    });
+    uint64_t total = 0;
+    for (uint64_t m : matched) total += m;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["threads"] = threads;
+}
+
+// Morsel-parallel BDCC scan: group pruning first, then GroupRange-index
+// morsels split the surviving groups across clones.
+void RunBdccScanParallel(benchmark::State& state, int threads) {
+  Fixture& f = F();
+  int64_t hi = kDomain >> 2;
+  const BdccTable& bt = *f.clustered;
+  uint64_t lo_bin, hi_bin;
+  CompositeValue lo{Value::Int64(0)}, hiv{Value::Int64(hi - 1)};
+  bt.uses()[0].dimension->BinRange(&lo, &hiv, &lo_bin, &hi_bin);
+  uint64_t lo_prefix, hi_prefix;
+  bt.BinRangeToGroupPrefix(0, lo_bin, hi_bin, &lo_prefix, &hi_prefix);
+  auto ranges = std::make_shared<const std::vector<GroupRange>>(
+      FilterGroupsByPrefix(bt, PlanNaturalScan(bt), 0, lo_prefix, hi_prefix));
+  auto morsels = std::make_shared<const std::vector<exec::Morsel>>(
+      exec::MakeRangeMorsels(*ranges, 16384));
+  for (auto _ : state) {
+    std::vector<uint64_t> matched(threads, 0);
+    common::TaskScheduler::Shared()->ParallelFor(threads, [&](size_t i) {
+      exec::ExecContext ctx(nullptr);
+      exec::BdccScan scan(
+          &bt, {"k", "v"}, *ranges,
+          {{"k", ValueRange{Value::Int32(0),
+                            Value::Int32(static_cast<int32_t>(hi - 1))}}});
+      scan.RestrictToMorsels(
+          exec::MorselSet{morsels, i, static_cast<size_t>(threads)});
+      scan.Open(&ctx).AbortIfNotOK();
+      while (true) {
+        auto b = scan.Next(&ctx).ValueOrDie();
+        if (b.empty()) break;
+        for (size_t r = 0; r < b.num_rows; ++r) {
+          if (b.columns[0].i32[r] < hi) ++matched[i];
+        }
+      }
+    });
+    uint64_t total = 0;
+    for (uint64_t m : matched) total += m;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["threads"] = threads;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int max_threads = bdcc::bench::StripThreadsFlag(&argc, argv, 4);
+  for (int t : bdcc::bench::ThreadCounts(max_threads)) {
+    benchmark::RegisterBenchmark(
+        ("BM_PlainScanParallel/threads:" + std::to_string(t)).c_str(),
+        [t](benchmark::State& s) { RunPlainScanParallel(s, t); });
+    benchmark::RegisterBenchmark(
+        ("BM_BdccScanParallel/threads:" + std::to_string(t)).c_str(),
+        [t](benchmark::State& s) { RunBdccScanParallel(s, t); });
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "common/task_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bdcc {
+namespace common {
+
+// Shared between a TaskGroup and its in-flight tasks; outlives the group if
+// the group is destroyed after Wait (Wait guarantees pending == 0).
+struct GroupState {
+  std::mutex mu;
+  std::condition_variable done;
+  size_t pending = 0;
+};
+
+TaskScheduler::TaskScheduler(int num_workers) {
+  workers_.reserve(std::max(0, num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Any tasks still queued are dropped; their groups are notified so no
+  // waiter hangs. (Normal use never reaches this: TaskGroup::Wait drains.)
+  for (Task& t : queue_) {
+    std::lock_guard<std::mutex> lock(t.group->mu);
+    if (--t.group->pending == 0) t.group->done.notify_all();
+  }
+}
+
+TaskScheduler* TaskScheduler::Shared() {
+  static TaskScheduler* shared = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new TaskScheduler(std::max(1, static_cast<int>(hw) - 1));
+  }();
+  return shared;
+}
+
+void TaskScheduler::Enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(task.group->mu);
+    ++task.group->pending;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool TaskScheduler::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task.fn();
+  {
+    std::lock_guard<std::mutex> lock(task.group->mu);
+    --task.group->pending;
+    if (task.group->pending == 0) task.group->done.notify_all();
+  }
+  return true;
+}
+
+void TaskScheduler::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+    }
+    RunOneTask();
+  }
+}
+
+void TaskScheduler::TaskGroup::Submit(std::function<void()> fn) {
+  if (!state_) state_ = std::make_shared<GroupState>();
+  scheduler_->Enqueue(Task{std::move(fn), state_});
+}
+
+void TaskScheduler::TaskGroup::Wait() {
+  if (!state_) return;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->pending == 0) return;
+    }
+    // Help: run queued tasks instead of blocking. Only once the queue is
+    // empty (our remaining tasks are running on workers) do we block.
+    if (scheduler_->RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->done.wait_for(lock, std::chrono::milliseconds(1),
+                          [this] { return state_->pending == 0; });
+    if (state_->pending == 0) return;
+  }
+}
+
+void TaskScheduler::ParallelFor(size_t n,
+                                const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  TaskGroup group(this);
+  for (size_t i = 1; i < n; ++i) {
+    group.Submit([&fn, i] { fn(i); });
+  }
+  fn(0);
+  group.Wait();
+}
+
+}  // namespace common
+}  // namespace bdcc

@@ -1,0 +1,91 @@
+// Fixed-pool task scheduler for morsel-driven parallel execution.
+//
+// A TaskScheduler owns N worker threads draining one shared FIFO queue.
+// Work is submitted through TaskGroup, which tracks completion of its own
+// tasks; TaskGroup::Wait() *helps*: while its tasks are outstanding the
+// waiting thread pops and runs queued tasks (of any group) instead of
+// blocking, so nested fork-join (a parallel operator inside a parallel
+// operator) cannot deadlock even on a pool with zero workers.
+//
+// Thread-safety contract: all members of TaskScheduler are safe to call from
+// any thread. A TaskGroup must be driven by one owner thread (Submit/Wait);
+// the tasks it submitted may run on any worker or on the owner during Wait.
+#ifndef BDCC_COMMON_TASK_SCHEDULER_H_
+#define BDCC_COMMON_TASK_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace bdcc {
+namespace common {
+
+struct GroupState;
+
+class TaskScheduler {
+ public:
+  /// \param num_workers Worker threads to spawn (0 is valid: all work then
+  /// runs on the threads that Wait()).
+  explicit TaskScheduler(int num_workers);
+  ~TaskScheduler();
+  BDCC_DISALLOW_COPY_AND_ASSIGN(TaskScheduler);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool, created on first use with hardware_concurrency - 1
+  /// workers (min 1). Query execution uses this unless handed a specific
+  /// scheduler.
+  static TaskScheduler* Shared();
+
+  /// \brief Completion tracker for a batch of tasks.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(TaskScheduler* scheduler) : scheduler_(scheduler) {}
+    ~TaskGroup() { Wait(); }
+    BDCC_DISALLOW_COPY_AND_ASSIGN(TaskGroup);
+
+    void Submit(std::function<void()> fn);
+    /// Block until every task submitted through this group has finished,
+    /// running queued tasks on the calling thread while it waits.
+    void Wait();
+
+   private:
+    TaskScheduler* scheduler_;
+    std::shared_ptr<GroupState> state_;
+  };
+
+  /// Run fn(0..n-1) across the pool and the calling thread; returns when all
+  /// iterations completed.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<GroupState> group;
+  };
+
+  void Enqueue(Task task);
+  /// Pop one task if available and run it (used by helping waiters).
+  bool RunOneTask();
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace common
+}  // namespace bdcc
+
+#endif  // BDCC_COMMON_TASK_SCHEDULER_H_

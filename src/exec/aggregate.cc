@@ -242,6 +242,62 @@ void AggregatorCore::EmitRange(size_t begin, size_t end,
   }
 }
 
+void AggregatorCore::MergeFrom(const AggregatorCore& other,
+                               const std::vector<uint32_t>& group_map) {
+  BDCC_CHECK(specs_.size() == other.specs_.size());
+  BDCC_CHECK(group_map.size() == other.num_groups_);
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    State& st = states_[s];
+    const State& os = other.states_[s];
+    for (size_t g = 0; g < other.num_groups_; ++g) {
+      uint32_t m = group_map[g];
+      switch (specs_[s].kind) {
+        case AggKind::kSum:
+          if (arg_types_[s] == TypeId::kFloat64) {
+            st.sum_f64[m] += os.sum_f64[g];
+          } else {
+            st.sum_i64[m] += os.sum_i64[g];
+          }
+          break;
+        case AggKind::kAvg:
+          st.sum_f64[m] += os.sum_f64[g];
+          st.count[m] += os.count[g];
+          break;
+        case AggKind::kCount:
+        case AggKind::kCountStar:
+          st.count[m] += os.count[g];
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          if (!os.has_value[g]) break;
+          bool is_min = specs_[s].kind == AggKind::kMin;
+          if (arg_types_[s] == TypeId::kFloat64) {
+            double v = os.minmax_f64[g];
+            if (!st.has_value[m] || (is_min ? v < st.minmax_f64[m]
+                                            : v > st.minmax_f64[m])) {
+              st.minmax_f64[m] = v;
+            }
+          } else {
+            int64_t v = os.minmax_i64[g];
+            if (!st.has_value[m] || (is_min ? v < st.minmax_i64[m]
+                                            : v > st.minmax_i64[m])) {
+              st.minmax_i64[m] = v;
+            }
+          }
+          st.has_value[m] = 1;
+          break;
+        }
+        case AggKind::kCountDistinct:
+          for (int64_t v : os.distinct[g]) {
+            auto [it, inserted] = st.distinct[m].insert(v);
+            if (inserted) ++distinct_entries_;
+          }
+          break;
+      }
+    }
+  }
+}
+
 uint64_t AggregatorCore::MemoryBytes() const {
   uint64_t total = 0;
   for (const State& st : states_) {

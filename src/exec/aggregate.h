@@ -71,6 +71,13 @@ class AggregatorCore {
   void EmitRange(size_t begin, size_t end,
                  std::vector<ColumnVector>* out) const;
 
+  /// Fold `other`'s per-group states into this core: other's group g merges
+  /// into this core's group `group_map[g]`. Both cores must be bound to the
+  /// same specs. Used to combine thread-local partial aggregates after a
+  /// morsel-parallel consume phase.
+  void MergeFrom(const AggregatorCore& other,
+                 const std::vector<uint32_t>& group_map);
+
   /// Approximate heap bytes (for memory accounting).
   uint64_t MemoryBytes() const;
 

@@ -1,4 +1,11 @@
 // Shared per-query execution state.
+//
+// Thread-safety contract: one ExecContext belongs to one thread. Parallel
+// operators hand each worker clone a *child* context (the child constructor)
+// which shares the parent's buffer pool and memory tracker — both safe for
+// concurrent use — while keeping private ExecStats; the parent merges child
+// stats with MergeStats() after the parallel phase (serially, so plain
+// uint64 fields suffice).
 #ifndef BDCC_EXEC_EXEC_CONTEXT_H_
 #define BDCC_EXEC_EXEC_CONTEXT_H_
 
@@ -20,6 +27,15 @@ struct ExecStats {
   uint64_t sandwich_partitions = 0;
 
   void Reset() { *this = ExecStats{}; }
+
+  void Merge(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    zones_skipped += other.zones_skipped;
+    zones_read += other.zones_read;
+    groups_pruned += other.groups_pruned;
+    groups_read += other.groups_read;
+    sandwich_partitions += other.sandwich_partitions;
+  }
 };
 
 /// \brief Holds the memory tracker, optional buffer pool, and stats for one
@@ -28,15 +44,30 @@ class ExecContext {
  public:
   explicit ExecContext(io::BufferPool* pool = nullptr) : pool_(pool) {}
 
-  MemoryTracker* memory() { return &memory_; }
+  /// Child context for one worker of a parallel pipeline: shares the
+  /// parent's buffer pool and memory tracker, private stats. (Takes a
+  /// reference to stay unambiguous with the BufferPool* constructor.)
+  explicit ExecContext(ExecContext& parent)
+      : pool_(parent.pool_),
+        parent_(&parent),
+        batch_size_(parent.batch_size_) {}
+
+  MemoryTracker* memory() {
+    return parent_ != nullptr ? parent_->memory() : &memory_;
+  }
   io::BufferPool* buffer_pool() { return pool_; }
   ExecStats* stats() { return &stats_; }
+
+  /// Fold a child's stats into this context (call after the child's worker
+  /// has finished; not safe concurrently with other mutations of stats()).
+  void MergeStats(const ExecContext& child) { stats_.Merge(child.stats_); }
 
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n; }
 
  private:
   io::BufferPool* pool_;
+  ExecContext* parent_ = nullptr;
   MemoryTracker memory_;
   ExecStats stats_;
   size_t batch_size_ = 2048;

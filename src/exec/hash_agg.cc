@@ -74,22 +74,76 @@ Status HashAgg::Consume(const Batch& batch) {
   return core_.Update(batch, group_of_row);
 }
 
-Result<Batch> HashAgg::Next(ExecContext* ctx) {
-  if (!consumed_) {
-    while (true) {
-      BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
-      if (b.empty()) break;
-      BDCC_RETURN_NOT_OK(Consume(b));
-      uint64_t store_bytes = 0;
-      for (const ColumnVector& v : key_store_) {
-        store_bytes += ColumnVectorBytes(v);
-      }
-      tracked_->Set(key_map_.MemoryBytes() + store_bytes +
-                    core_.MemoryBytes());
+Status HashAgg::ConsumeAll(ExecContext* ctx) {
+  if (consumed_) return Status::OK();
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
+    if (b.empty()) break;
+    BDCC_RETURN_NOT_OK(Consume(b));
+    uint64_t store_bytes = 0;
+    for (const ColumnVector& v : key_store_) {
+      store_bytes += ColumnVectorBytes(v);
     }
-    if (group_cols_.empty()) core_.EnsureGroups(1);  // scalar agg: one row
-    consumed_ = true;
+    tracked_->Set(key_map_.MemoryBytes() + store_bytes + core_.MemoryBytes());
   }
+  if (group_cols_.empty()) core_.EnsureGroups(1);  // scalar agg: one row
+  consumed_ = true;
+  return Status::OK();
+}
+
+Status HashAgg::MergePartial(HashAgg* other) {
+  BDCC_CHECK(consumed_ && other->consumed_);
+  if (group_cols_.empty()) {
+    core_.MergeFrom(other->core_, {0});
+    return Status::OK();
+  }
+  size_t other_groups = other->key_map_.size();
+  if (other_groups == 0) return Status::OK();
+  // Re-encode the partial's group keys (its key store is one row per group)
+  // against this aggregate's key map.
+  Batch keys;
+  keys.columns = other->key_store_;
+  keys.num_rows = other_groups;
+  std::vector<Field> key_fields;
+  for (size_t k = 0; k < group_cols_.size(); ++k) {
+    key_fields.push_back(Field{group_cols_[k], key_store_[k].type});
+  }
+  Schema key_schema{std::move(key_fields)};
+  KeyEncoder merge_encoder;
+  BDCC_RETURN_NOT_OK(merge_encoder.Bind(key_schema, group_cols_));
+  std::vector<uint32_t> group_map(other_groups);
+  auto assign = [&](size_t row, int64_t gid, bool inserted) {
+    if (inserted) {
+      for (size_t k = 0; k < key_store_.size(); ++k) {
+        key_store_[k].AppendInterning(keys.columns[k], row);
+      }
+    }
+    group_map[row] = static_cast<uint32_t>(gid);
+  };
+  if (merge_encoder.int_path()) {
+    std::vector<int64_t> encoded;
+    std::vector<uint8_t> valid;
+    merge_encoder.EncodeInts(keys, &encoded, &valid);
+    for (size_t i = 0; i < other_groups; ++i) {
+      bool inserted;
+      assign(i, key_map_.FindOrInsert(encoded[i], &inserted), inserted);
+    }
+  } else {
+    std::vector<std::string> encoded;
+    std::vector<uint8_t> valid;
+    merge_encoder.EncodeBytes(keys, &encoded, &valid);
+    for (size_t i = 0; i < other_groups; ++i) {
+      bool inserted;
+      assign(i, key_map_.FindOrInsert(encoded[i], &inserted), inserted);
+    }
+  }
+  core_.EnsureGroups(key_map_.size());
+  core_.MergeFrom(other->core_, group_map);
+  return Status::OK();
+}
+
+Result<Batch> HashAgg::Next(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(ConsumeAll(ctx));
   size_t total = group_cols_.empty() ? 1 : key_map_.size();
   if (emit_cursor_ >= total) return Batch::Empty();
   size_t end = std::min(total, emit_cursor_ + ctx->batch_size());

@@ -23,6 +23,17 @@ class HashAgg : public Operator {
   Result<Batch> Next(ExecContext* ctx) override;
   void Close(ExecContext* ctx) override;
 
+  /// Drain the child and fold every batch into the aggregation state without
+  /// emitting (idempotent; Next calls it lazily). Distinct HashAgg instances
+  /// may run ConsumeAll concurrently on distinct ExecContexts — this is the
+  /// thread-local consume phase of morsel-parallel aggregation.
+  Status ConsumeAll(ExecContext* ctx);
+
+  /// Fold `other`'s consumed-but-unemitted partial state into this
+  /// aggregate; `other` must share this aggregate's group columns and specs.
+  /// Called serially (merge phase) after the parallel consume phase.
+  Status MergePartial(HashAgg* other);
+
  private:
   Status Consume(const Batch& batch);
 

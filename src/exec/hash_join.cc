@@ -26,6 +26,23 @@ HashJoin::HashJoin(OperatorPtr left, OperatorPtr right,
       right_keys_(std::move(right_keys)),
       type_(type) {}
 
+Status HashJoinProber::Bind(const Schema& probe_schema,
+                            const std::vector<std::string>& probe_keys,
+                            const JoinHashTable* table, JoinType type) {
+  table_ = table;
+  type_ = type;
+  BDCC_RETURN_NOT_OK(encoder_.Bind(probe_schema, probe_keys));
+  if (encoder_.int_path() != table->encoder().int_path()) {
+    return Status::InvalidArgument("join key types incompatible across sides");
+  }
+  if (type_ == JoinType::kLeftSemi || type_ == JoinType::kLeftAnti) {
+    schema_ = probe_schema;
+  } else {
+    schema_ = Schema::Concat(probe_schema, table->schema());
+  }
+  return Status::OK();
+}
+
 Status HashJoin::Open(ExecContext* ctx) {
   BDCC_RETURN_NOT_OK(left_->Open(ctx));
   BDCC_RETURN_NOT_OK(right_->Open(ctx));
@@ -43,19 +60,11 @@ Status HashJoin::Open(ExecContext* ctx) {
     tracked_->Set(table_.MemoryBytes());
   }
 
-  BDCC_RETURN_NOT_OK(probe_encoder_.Bind(left_->schema(), left_keys_));
-  if (probe_encoder_.int_path() != table_.encoder().int_path()) {
-    return Status::InvalidArgument("join key types incompatible across sides");
-  }
-  if (type_ == JoinType::kLeftSemi || type_ == JoinType::kLeftAnti) {
-    schema_ = left_->schema();
-  } else {
-    schema_ = Schema::Concat(left_->schema(), right_->schema());
-  }
-  return Status::OK();
+  return prober_.Bind(left_->schema(), left_keys_, &table_, type_);
 }
 
-Result<Batch> HashJoin::ProbeBatch(const Batch& in) {
+Result<Batch> HashJoinProber::ProbeBatch(const Batch& in) const {
+  const JoinHashTable& table = *table_;
   size_t left_width = in.columns.size();
   Batch out;
   out.group_id = in.group_id;
@@ -64,8 +73,8 @@ Result<Batch> HashJoin::ProbeBatch(const Batch& in) {
   }
   // Pre-wire right-side dictionaries so empty results stay typed.
   if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
-    for (size_t c = 0; c < table_.columns().size(); ++c) {
-      out.columns[left_width + c].dict = table_.columns()[c].dict;
+    for (size_t c = 0; c < table.columns().size(); ++c) {
+      out.columns[left_width + c].dict = table.columns()[c].dict;
     }
   }
 
@@ -73,8 +82,8 @@ Result<Batch> HashJoin::ProbeBatch(const Batch& in) {
     for (size_t c = 0; c < left_width; ++c) {
       out.columns[c].AppendFrom(in.columns[c], left_row);
     }
-    for (size_t c = 0; c < table_.columns().size(); ++c) {
-      out.columns[left_width + c].AppendFrom(table_.columns()[c], build_row);
+    for (size_t c = 0; c < table.columns().size(); ++c) {
+      out.columns[left_width + c].AppendFrom(table.columns()[c], build_row);
     }
     ++out.num_rows;
   };
@@ -96,14 +105,14 @@ Result<Batch> HashJoin::ProbeBatch(const Batch& in) {
       switch (type_) {
         case JoinType::kInner:
         case JoinType::kLeftOuter:
-          table_.ForEachMatch(key, [&](uint32_t row) {
+          table.ForEachMatch(key, [&](uint32_t row) {
             emit_match(i, row);
             matched = true;
           });
           break;
         case JoinType::kLeftSemi:
         case JoinType::kLeftAnti:
-          matched = table_.HasMatch(key);
+          matched = table.HasMatch(key);
           break;
       }
     }
@@ -122,15 +131,15 @@ Result<Batch> HashJoin::ProbeBatch(const Batch& in) {
     }
   };
 
-  if (probe_encoder_.int_path()) {
+  if (encoder_.int_path()) {
     std::vector<int64_t> keys;
     std::vector<uint8_t> valid;
-    probe_encoder_.EncodeInts(in, &keys, &valid);
+    encoder_.EncodeInts(in, &keys, &valid);
     for (size_t i = 0; i < in.num_rows; ++i) probe_row(i, keys[i], valid[i]);
   } else {
     std::vector<std::string> keys;
     std::vector<uint8_t> valid;
-    probe_encoder_.EncodeBytes(in, &keys, &valid);
+    encoder_.EncodeBytes(in, &keys, &valid);
     for (size_t i = 0; i < in.num_rows; ++i) probe_row(i, keys[i], valid[i]);
   }
   return out;
@@ -140,7 +149,7 @@ Result<Batch> HashJoin::Next(ExecContext* ctx) {
   while (true) {
     BDCC_ASSIGN_OR_RETURN(Batch in, left_->Next(ctx));
     if (in.empty()) return Batch::Empty();
-    BDCC_ASSIGN_OR_RETURN(Batch out, ProbeBatch(in));
+    BDCC_ASSIGN_OR_RETURN(Batch out, prober_.ProbeBatch(in));
     if (out.num_rows > 0) return out;
   }
 }

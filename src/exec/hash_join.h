@@ -20,26 +20,48 @@ enum class JoinType { kInner, kLeftOuter, kLeftSemi, kLeftAnti };
 
 const char* JoinTypeName(JoinType t);
 
+/// \brief Probe-side logic of a hash join against a finished build table.
+///
+/// Thread-safety: ProbeBatch only reads the table, so any number of
+/// HashJoinProber instances (one per worker, each with its own encoder) may
+/// probe one shared JoinHashTable concurrently — the core of parallel probe
+/// pipelines. The table must not be mutated while probers exist.
+class HashJoinProber {
+ public:
+  Status Bind(const Schema& probe_schema,
+              const std::vector<std::string>& probe_keys,
+              const JoinHashTable* table, JoinType type);
+
+  /// Join output schema (probe columns, then build columns for
+  /// inner/left-outer).
+  const Schema& schema() const { return schema_; }
+
+  Result<Batch> ProbeBatch(const Batch& in) const;
+
+ private:
+  const JoinHashTable* table_ = nullptr;
+  KeyEncoder encoder_;
+  JoinType type_ = JoinType::kInner;
+  Schema schema_;
+};
+
 class HashJoin : public Operator {
  public:
   HashJoin(OperatorPtr left, OperatorPtr right,
            std::vector<std::string> left_keys,
            std::vector<std::string> right_keys, JoinType type);
 
-  const Schema& schema() const override { return schema_; }
+  const Schema& schema() const override { return prober_.schema(); }
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
   void Close(ExecContext* ctx) override;
 
  private:
-  Result<Batch> ProbeBatch(const Batch& in);
-
   OperatorPtr left_, right_;
   std::vector<std::string> left_keys_, right_keys_;
   JoinType type_;
-  Schema schema_;
   JoinHashTable table_;
-  KeyEncoder probe_encoder_;
+  HashJoinProber prober_;
   std::unique_ptr<TrackedMemory> tracked_;
 };
 

@@ -3,9 +3,20 @@
 // Operators report the bytes held by their stateful structures (join hash
 // tables, aggregation tables, sort buffers, outer-side materializations);
 // the tracker keeps the running total and the high-water mark per query.
+//
+// Thread-safety contract: MemoryTracker is fully thread-safe — one tracker
+// is shared by every worker of a parallel query, so the peak reflects the
+// query-wide concurrent footprint. Allocate/Release are lock-free atomics;
+// peak_bytes() may transiently lag a concurrent Allocate by one CAS round
+// but is exact once the query quiesces. Reset() must not race with
+// concurrent Allocate/Release (call it between queries only).
+// TrackedMemory is NOT thread-safe: each instance must be owned and
+// adjusted by a single thread (per-clone operator state in parallel
+// pipelines owns one TrackedMemory per clone).
 #ifndef BDCC_EXEC_MEMORY_TRACKER_H_
 #define BDCC_EXEC_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/macros.h"
@@ -16,28 +27,34 @@ namespace exec {
 class MemoryTracker {
  public:
   void Allocate(uint64_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    uint64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
   }
   void Release(uint64_t bytes) {
-    BDCC_CHECK(bytes <= current_);
-    current_ -= bytes;
+    uint64_t prev = current_.fetch_sub(bytes, std::memory_order_relaxed);
+    BDCC_CHECK(bytes <= prev);
   }
 
-  uint64_t current_bytes() const { return current_; }
-  uint64_t peak_bytes() const { return peak_; }
+  uint64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
   void Reset() {
-    current_ = 0;
-    peak_ = 0;
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  uint64_t current_ = 0;
-  uint64_t peak_ = 0;
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
 };
 
-/// \brief RAII registration of a chunk of operator memory.
+/// \brief RAII registration of a chunk of operator memory. Single-owner:
+/// see the thread-safety contract above.
 class TrackedMemory {
  public:
   explicit TrackedMemory(MemoryTracker* tracker) : tracker_(tracker) {}

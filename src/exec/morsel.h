@@ -1,0 +1,52 @@
+// Morsels: the work units of parallel scans.
+//
+// A morsel plan is computed once at plan time and shared (read-only) by all
+// scan clones of a pipeline. Each clone walks a deterministic strided subset
+// (clone i takes morsels i, i+stride, i+2*stride, ...), so the rows a clone
+// processes — and therefore per-clone aggregate partials — do not depend on
+// runtime scheduling. Morsels are aligned to zone boundaries for plain
+// tables and to GroupRange boundaries for BDCC tables, so zone skipping and
+// group pruning compose with parallel execution.
+#ifndef BDCC_EXEC_MORSEL_H_
+#define BDCC_EXEC_MORSEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdcc/scatter_scan.h"
+
+namespace bdcc {
+namespace exec {
+
+/// Half-open span. For plain scans the units are physical rows; for BDCC
+/// scans they are indices into the scan's GroupRange vector.
+struct Morsel {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// \brief Immutable, shareable list of morsels plus the strided view a
+/// single scan clone walks.
+struct MorselSet {
+  std::shared_ptr<const std::vector<Morsel>> morsels;
+  size_t offset = 0;  // first morsel index for this clone
+  size_t stride = 1;  // step between this clone's morsels
+
+  bool valid() const { return morsels != nullptr; }
+};
+
+/// Row morsels of ~`target_rows`, aligned up to multiples of `zone_rows`
+/// (pass 0 when the table has no zone maps).
+std::vector<Morsel> MakeRowMorsels(uint64_t num_rows, uint32_t zone_rows,
+                                   uint64_t target_rows);
+
+/// GroupRange-index morsels: consecutive ranges are packed until a morsel
+/// covers ~`target_rows` physical rows. Never splits a range.
+std::vector<Morsel> MakeRangeMorsels(const std::vector<GroupRange>& ranges,
+                                     uint64_t target_rows);
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_MORSEL_H_

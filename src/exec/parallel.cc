@@ -1,0 +1,287 @@
+#include "exec/parallel.h"
+
+#include <utility>
+
+namespace bdcc {
+namespace exec {
+
+namespace {
+
+common::TaskScheduler* SchedulerOrShared(common::TaskScheduler* scheduler) {
+  return scheduler != nullptr ? scheduler : common::TaskScheduler::Shared();
+}
+
+uint64_t BatchBytes(const Batch& b) {
+  uint64_t total = 0;
+  for (const ColumnVector& c : b.columns) total += ColumnVectorBytes(c);
+  return total;
+}
+
+// Drain `op` on a worker, collecting every non-empty batch; the growing
+// buffer is charged to `mem` (one TrackedMemory per clone, single-owner).
+Status DrainChain(Operator* op, ExecContext* ctx, std::vector<Batch>* out,
+                  TrackedMemory* mem) {
+  uint64_t bytes = 0;
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, op->Next(ctx));
+    if (b.empty()) return Status::OK();
+    bytes += BatchBytes(b);
+    mem->Set(bytes);
+    out->push_back(std::move(b));
+  }
+}
+
+}  // namespace
+
+// ---------------- ParallelUnion ----------------
+
+ParallelUnion::ParallelUnion(ChainFactory factory, size_t num_chains,
+                             common::TaskScheduler* scheduler)
+    : factory_(std::move(factory)),
+      num_chains_(num_chains),
+      scheduler_(SchedulerOrShared(scheduler)) {
+  BDCC_CHECK(num_chains_ > 0);
+}
+
+Status ParallelUnion::Open(ExecContext* ctx) {
+  chains_.clear();
+  child_ctxs_.clear();
+  ran_ = false;
+  ready_.clear();
+  for (size_t i = 0; i < num_chains_; ++i) {
+    BDCC_ASSIGN_OR_RETURN(OperatorPtr chain, factory_(i, num_chains_));
+    child_ctxs_.push_back(std::make_unique<ExecContext>(*ctx));
+    BDCC_RETURN_NOT_OK(chain->Open(child_ctxs_.back().get()));
+    chains_.push_back(std::move(chain));
+  }
+  schema_ = chains_[0]->schema();
+  return Status::OK();
+}
+
+Status ParallelUnion::RunAll(ExecContext* ctx) {
+  std::vector<Status> statuses(chains_.size(), Status::OK());
+  std::vector<std::vector<Batch>> outputs(chains_.size());
+  std::vector<std::unique_ptr<TrackedMemory>> clone_mem;
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    clone_mem.push_back(std::make_unique<TrackedMemory>(ctx->memory()));
+  }
+  scheduler_->ParallelFor(chains_.size(), [&](size_t i) {
+    statuses[i] = DrainChain(chains_[i].get(), child_ctxs_[i].get(),
+                             &outputs[i], clone_mem[i].get());
+  });
+  ready_bytes_ = 0;
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    BDCC_RETURN_NOT_OK(statuses[i]);
+    ctx->MergeStats(*child_ctxs_[i]);
+    clone_mem[i]->Clear();
+    for (Batch& b : outputs[i]) {
+      ready_bytes_ += BatchBytes(b);
+      ready_.push_back(std::move(b));
+    }
+  }
+  tracked_ready_ = std::make_unique<TrackedMemory>(ctx->memory());
+  tracked_ready_->Set(ready_bytes_);
+  ran_ = true;
+  return Status::OK();
+}
+
+Result<Batch> ParallelUnion::Next(ExecContext* ctx) {
+  if (!ran_) BDCC_RETURN_NOT_OK(RunAll(ctx));
+  if (ready_.empty()) return Batch::Empty();
+  Batch out = std::move(ready_.front());
+  ready_.pop_front();
+  ready_bytes_ -= BatchBytes(out);
+  tracked_ready_->Set(ready_bytes_);
+  return out;
+}
+
+void ParallelUnion::Close(ExecContext* ctx) {
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    chains_[i]->Close(child_ctxs_[i].get());
+  }
+  chains_.clear();
+  child_ctxs_.clear();
+  ready_.clear();
+  if (tracked_ready_) tracked_ready_->Clear();
+}
+
+// ---------------- ParallelHashAgg ----------------
+
+ParallelHashAgg::ParallelHashAgg(ChainFactory child_factory, size_t num_clones,
+                                 std::vector<std::string> group_cols,
+                                 std::vector<AggSpec> specs,
+                                 common::TaskScheduler* scheduler)
+    : child_factory_(std::move(child_factory)),
+      num_clones_(num_clones),
+      group_cols_(std::move(group_cols)),
+      spec_templates_(std::move(specs)),
+      scheduler_(SchedulerOrShared(scheduler)) {
+  BDCC_CHECK(num_clones_ > 0);
+}
+
+const Schema& ParallelHashAgg::schema() const {
+  return partials_[0]->schema();
+}
+
+Status ParallelHashAgg::Open(ExecContext* ctx) {
+  partials_.clear();
+  child_ctxs_.clear();
+  merged_ = false;
+  for (size_t i = 0; i < num_clones_; ++i) {
+    BDCC_ASSIGN_OR_RETURN(OperatorPtr child, child_factory_(i, num_clones_));
+    auto agg = std::make_unique<HashAgg>(std::move(child), group_cols_,
+                                         spec_templates_);
+    child_ctxs_.push_back(std::make_unique<ExecContext>(*ctx));
+    BDCC_RETURN_NOT_OK(agg->Open(child_ctxs_.back().get()));
+    partials_.push_back(std::move(agg));
+  }
+  return Status::OK();
+}
+
+Result<Batch> ParallelHashAgg::Next(ExecContext* ctx) {
+  if (!merged_) {
+    std::vector<Status> statuses(partials_.size(), Status::OK());
+    scheduler_->ParallelFor(partials_.size(), [&](size_t i) {
+      statuses[i] = partials_[i]->ConsumeAll(child_ctxs_[i].get());
+    });
+    for (size_t i = 0; i < partials_.size(); ++i) {
+      BDCC_RETURN_NOT_OK(statuses[i]);
+      ctx->MergeStats(*child_ctxs_[i]);
+    }
+    // Merge in clone order: deterministic for a fixed clone count because
+    // each clone's morsel subset is a deterministic stride.
+    for (size_t i = 1; i < partials_.size(); ++i) {
+      BDCC_RETURN_NOT_OK(partials_[0]->MergePartial(partials_[i].get()));
+    }
+    merged_ = true;
+  }
+  return partials_[0]->Next(child_ctxs_[0].get());
+}
+
+void ParallelHashAgg::Close(ExecContext* ctx) {
+  for (size_t i = 0; i < partials_.size(); ++i) {
+    partials_[i]->Close(child_ctxs_[i].get());
+  }
+  partials_.clear();
+  child_ctxs_.clear();
+}
+
+// ---------------- ParallelHashJoin ----------------
+
+ParallelHashJoin::ParallelHashJoin(ChainFactory probe_factory,
+                                   size_t num_clones, OperatorPtr build,
+                                   std::vector<std::string> probe_keys,
+                                   std::vector<std::string> build_keys,
+                                   JoinType type,
+                                   common::TaskScheduler* scheduler)
+    : probe_factory_(std::move(probe_factory)),
+      num_clones_(num_clones),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)),
+      type_(type),
+      scheduler_(SchedulerOrShared(scheduler)) {
+  BDCC_CHECK(num_clones_ > 0);
+}
+
+Status ParallelHashJoin::Open(ExecContext* ctx) {
+  probes_.clear();
+  probers_.clear();
+  child_ctxs_.clear();
+  ran_ = false;
+  ready_.clear();
+  if (probe_keys_.size() != build_keys_.size() || probe_keys_.empty()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+
+  // Build once, serially (the build side is typically small; parallel
+  // builds would need a concurrent table).
+  BDCC_RETURN_NOT_OK(build_->Open(ctx));
+  BDCC_RETURN_NOT_OK(table_.Init(build_->schema(), build_keys_));
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, build_->Next(ctx));
+    if (b.empty()) break;
+    BDCC_RETURN_NOT_OK(table_.AddBatch(b));
+    tracked_->Set(table_.MemoryBytes());
+  }
+
+  probers_.resize(num_clones_);
+  for (size_t i = 0; i < num_clones_; ++i) {
+    BDCC_ASSIGN_OR_RETURN(OperatorPtr probe, probe_factory_(i, num_clones_));
+    child_ctxs_.push_back(std::make_unique<ExecContext>(*ctx));
+    BDCC_RETURN_NOT_OK(probe->Open(child_ctxs_.back().get()));
+    BDCC_RETURN_NOT_OK(
+        probers_[i].Bind(probe->schema(), probe_keys_, &table_, type_));
+    probes_.push_back(std::move(probe));
+  }
+  schema_ = probers_[0].schema();
+  return Status::OK();
+}
+
+Status ParallelHashJoin::RunAll(ExecContext* ctx) {
+  std::vector<Status> statuses(probes_.size(), Status::OK());
+  std::vector<std::vector<Batch>> outputs(probes_.size());
+  std::vector<std::unique_ptr<TrackedMemory>> clone_mem;
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    clone_mem.push_back(std::make_unique<TrackedMemory>(ctx->memory()));
+  }
+  scheduler_->ParallelFor(probes_.size(), [&](size_t i) {
+    Operator* probe = probes_[i].get();
+    ExecContext* cctx = child_ctxs_[i].get();
+    statuses[i] = [&]() -> Status {
+      uint64_t bytes = 0;
+      while (true) {
+        BDCC_ASSIGN_OR_RETURN(Batch in, probe->Next(cctx));
+        if (in.empty()) return Status::OK();
+        BDCC_ASSIGN_OR_RETURN(Batch out, probers_[i].ProbeBatch(in));
+        if (out.num_rows > 0) {
+          bytes += BatchBytes(out);
+          clone_mem[i]->Set(bytes);
+          outputs[i].push_back(std::move(out));
+        }
+      }
+    }();
+  });
+  ready_bytes_ = 0;
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    BDCC_RETURN_NOT_OK(statuses[i]);
+    ctx->MergeStats(*child_ctxs_[i]);
+    clone_mem[i]->Clear();
+    for (Batch& b : outputs[i]) {
+      ready_bytes_ += BatchBytes(b);
+      ready_.push_back(std::move(b));
+    }
+  }
+  tracked_ready_ = std::make_unique<TrackedMemory>(ctx->memory());
+  tracked_ready_->Set(ready_bytes_);
+  ran_ = true;
+  return Status::OK();
+}
+
+Result<Batch> ParallelHashJoin::Next(ExecContext* ctx) {
+  if (!ran_) BDCC_RETURN_NOT_OK(RunAll(ctx));
+  if (ready_.empty()) return Batch::Empty();
+  Batch out = std::move(ready_.front());
+  ready_.pop_front();
+  ready_bytes_ -= BatchBytes(out);
+  tracked_ready_->Set(ready_bytes_);
+  return out;
+}
+
+void ParallelHashJoin::Close(ExecContext* ctx) {
+  build_->Close(ctx);
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    probes_[i]->Close(child_ctxs_[i].get());
+  }
+  probes_.clear();
+  probers_.clear();
+  child_ctxs_.clear();
+  table_.Clear();
+  ready_.clear();
+  if (tracked_) tracked_->Clear();
+  if (tracked_ready_) tracked_ready_->Clear();
+}
+
+}  // namespace exec
+}  // namespace bdcc

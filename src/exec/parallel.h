@@ -1,0 +1,136 @@
+// Morsel-driven parallel execution operators.
+//
+// Compiled plans are split into pipelines at blocking operators; these
+// operators run N clones of a pipeline on the shared TaskScheduler and
+// recombine the results:
+//
+//  - ParallelUnion: clone chunks are independent (group-id-chunked sandwich
+//    joins/aggregates) — outputs are concatenated in chunk order, which
+//    preserves the ascending-group-id contract for downstream sandwich
+//    consumers.
+//  - ParallelHashAgg: each clone aggregates its morsels into a thread-local
+//    HashAgg; partial hash tables are merged serially, in clone order, so
+//    results are deterministic for a fixed clone count.
+//  - ParallelHashJoin: the build side is materialized once, then per-clone
+//    probe pipelines probe the shared read-only table concurrently.
+//
+// Each clone runs on a child ExecContext (shared buffer pool and memory
+// tracker, private stats — see exec_context.h); clones are constructed and
+// Open()ed serially on the coordinating thread, because shared ExprPtrs may
+// be rebound during Open, and only the Next() drain runs on workers.
+#ifndef BDCC_EXEC_PARALLEL_H_
+#define BDCC_EXEC_PARALLEL_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/task_scheduler.h"
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/operator.h"
+
+namespace bdcc {
+namespace exec {
+
+/// Builds clone `i` of `total` of a pipeline (a scan chain restricted to
+/// the clone's morsels or group-id chunk, possibly with a blocking operator
+/// on top).
+using ChainFactory =
+    std::function<Result<OperatorPtr>(size_t i, size_t total)>;
+
+/// \brief Runs `num_chains` independent chains and emits their outputs
+/// concatenated in chain order.
+class ParallelUnion : public Operator {
+ public:
+  ParallelUnion(ChainFactory factory, size_t num_chains,
+                common::TaskScheduler* scheduler = nullptr);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  Status RunAll(ExecContext* ctx);
+
+  ChainFactory factory_;
+  size_t num_chains_;
+  common::TaskScheduler* scheduler_;
+  std::vector<OperatorPtr> chains_;
+  std::vector<std::unique_ptr<ExecContext>> child_ctxs_;
+  Schema schema_;
+  bool ran_ = false;
+  std::deque<Batch> ready_;
+  // The buffered outputs are real operator memory (the barrier cost of the
+  // all-at-once hand-off): registered with the query's tracker, per clone
+  // while draining and as one block while emitting.
+  std::unique_ptr<TrackedMemory> tracked_ready_;
+  uint64_t ready_bytes_ = 0;
+};
+
+/// \brief Morsel-parallel hash aggregation: thread-local partials + merge.
+class ParallelHashAgg : public Operator {
+ public:
+  ParallelHashAgg(ChainFactory child_factory, size_t num_clones,
+                  std::vector<std::string> group_cols,
+                  std::vector<AggSpec> specs,
+                  common::TaskScheduler* scheduler = nullptr);
+
+  const Schema& schema() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  ChainFactory child_factory_;
+  size_t num_clones_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggSpec> spec_templates_;
+  common::TaskScheduler* scheduler_;
+  std::vector<std::unique_ptr<HashAgg>> partials_;
+  std::vector<std::unique_ptr<ExecContext>> child_ctxs_;
+  bool merged_ = false;
+};
+
+/// \brief Hash join with a shared build table and parallel probe clones.
+class ParallelHashJoin : public Operator {
+ public:
+  ParallelHashJoin(ChainFactory probe_factory, size_t num_clones,
+                   OperatorPtr build, std::vector<std::string> probe_keys,
+                   std::vector<std::string> build_keys, JoinType type,
+                   common::TaskScheduler* scheduler = nullptr);
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override;
+
+ private:
+  Status RunAll(ExecContext* ctx);
+
+  ChainFactory probe_factory_;
+  size_t num_clones_;
+  OperatorPtr build_;
+  std::vector<std::string> probe_keys_, build_keys_;
+  JoinType type_;
+  common::TaskScheduler* scheduler_;
+
+  JoinHashTable table_;
+  std::vector<OperatorPtr> probes_;
+  std::vector<HashJoinProber> probers_;
+  std::vector<std::unique_ptr<ExecContext>> child_ctxs_;
+  std::unique_ptr<TrackedMemory> tracked_;
+  Schema schema_;
+  bool ran_ = false;
+  std::deque<Batch> ready_;
+  std::unique_ptr<TrackedMemory> tracked_ready_;
+  uint64_t ready_bytes_ = 0;
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_PARALLEL_H_

@@ -88,6 +88,7 @@ PlainScan::PlainScan(const Table* table, std::vector<std::string> columns,
 
 Status PlainScan::Open(ExecContext* ctx) {
   cursor_ = 0;
+  morsel_idx_ = morsels_.offset;
   last_zone_counted_ = ~uint64_t{0};
   return ResolveScan(*table_, col_names_, preds_, &col_idx_, &bound_preds_,
                      &schema_);
@@ -105,8 +106,23 @@ Result<Batch> PlainScan::Next(ExecContext* ctx) {
   uint64_t rows = table_->num_rows();
   uint32_t zone_rows = table_->HasZoneMaps() ? table_->zone_rows() : 0;
   Batch out = PrepareBatch(*table_, col_idx_, schema_);
-  while (cursor_ < rows && out.num_rows < ctx->batch_size()) {
-    uint64_t end = std::min(rows, cursor_ + (ctx->batch_size() - out.num_rows));
+  while (out.num_rows < ctx->batch_size()) {
+    uint64_t limit = rows;
+    if (morsels_.valid()) {
+      // Walk this clone's strided morsels; a batch may span morsels.
+      while (morsel_idx_ < morsels_.morsels->size()) {
+        const Morsel& m = (*morsels_.morsels)[morsel_idx_];
+        if (cursor_ < m.begin) cursor_ = m.begin;
+        if (cursor_ < m.end) break;
+        morsel_idx_ += morsels_.stride;
+      }
+      if (morsel_idx_ >= morsels_.morsels->size()) break;
+      limit = (*morsels_.morsels)[morsel_idx_].end;
+    } else if (cursor_ >= rows) {
+      break;
+    }
+    uint64_t end =
+        std::min(limit, cursor_ + (ctx->batch_size() - out.num_rows));
     if (zone_rows != 0) {
       uint64_t zone = cursor_ / zone_rows;
       if (!ZoneAllowed(zone)) {
@@ -142,6 +158,10 @@ BdccScan::BdccScan(const BdccTable* table, std::vector<std::string> columns,
 Status BdccScan::Open(ExecContext* ctx) {
   range_idx_ = 0;
   cursor_ = 0;
+  morsel_pos_ = morsels_.offset;
+  // Morsel restriction addresses ranges by index, so grouped scans (which
+  // sort/coalesce below) must use group-id chunking instead.
+  BDCC_CHECK(!morsels_.valid() || grouping_.empty());
   ctx->stats()->groups_pruned += pruned_groups_;
   BDCC_RETURN_NOT_OK(ResolveScan(table_->data(), col_names_, preds_,
                                  &col_idx_, &bound_preds_, &schema_));
@@ -157,8 +177,9 @@ Status BdccScan::Open(ExecContext* ctx) {
   }
   // Coalesce physically contiguous ranges that share a group id so batches
   // are not fragmented at count-table group boundaries (for an ungrouped
-  // scan every contiguous run merges into one span).
-  if (!ranges_.empty()) {
+  // scan every contiguous run merges into one span). Skipped under a morsel
+  // restriction, whose spans address the ranges by index.
+  if (!ranges_.empty() && !morsels_.valid()) {
     std::vector<GroupRange> merged;
     merged.reserve(ranges_.size());
     int64_t last_gid = 0;
@@ -186,11 +207,12 @@ bool BdccScan::ZoneAllowed(uint64_t zone) const {
   return true;
 }
 
-int64_t BdccScan::GroupIdOf(uint64_t key) const {
-  if (grouping_.empty()) return -1;
+int64_t GroupIdForKey(const BdccTable& table,
+                      const std::vector<GroupSpec>& grouping, uint64_t key) {
+  if (grouping.empty()) return -1;
   int64_t gid = 0;
-  for (const GroupSpec& g : grouping_) {
-    uint64_t mask = table_->ReducedMask(g.use_idx);
+  for (const GroupSpec& g : grouping) {
+    uint64_t mask = table.ReducedMask(g.use_idx);
     int own_bits = bits::Ones(mask);
     uint64_t prefix = bits::ExtractBits(key, mask);
     BDCC_CHECK(g.shared_bits <= own_bits);
@@ -200,12 +222,31 @@ int64_t BdccScan::GroupIdOf(uint64_t key) const {
   return gid;
 }
 
+int64_t BdccScan::GroupIdOf(uint64_t key) const {
+  return GroupIdForKey(*table_, grouping_, key);
+}
+
 Result<Batch> BdccScan::Next(ExecContext* ctx) {
   const Table& data = table_->data();
   uint32_t zone_rows = data.HasZoneMaps() ? data.zone_rows() : 0;
   Batch out = PrepareBatch(data, col_idx_, schema_);
   int64_t batch_gid = -2;  // unset sentinel
-  while (range_idx_ < ranges_.size() && out.num_rows < ctx->batch_size()) {
+  while (out.num_rows < ctx->batch_size()) {
+    if (morsels_.valid()) {
+      // Walk this clone's strided morsels of range indices.
+      while (morsel_pos_ < morsels_.morsels->size()) {
+        const Morsel& m = (*morsels_.morsels)[morsel_pos_];
+        if (range_idx_ < m.begin) {
+          range_idx_ = m.begin;
+          cursor_ = 0;
+        }
+        if (range_idx_ < m.end) break;
+        morsel_pos_ += morsels_.stride;
+      }
+      if (morsel_pos_ >= morsels_.morsels->size()) break;
+    } else if (range_idx_ >= ranges_.size()) {
+      break;
+    }
     const GroupRange& range = ranges_[range_idx_];
     // A batch never mixes group ids (sandwich alignment contract); ranges
     // are id-sorted, so we only ever cut at id boundaries.

@@ -9,6 +9,7 @@
 
 #include "bdcc/bdcc_table.h"
 #include "bdcc/scatter_scan.h"
+#include "exec/morsel.h"
 #include "exec/operator.h"
 #include "storage/zonemap.h"
 
@@ -31,6 +32,10 @@ class PlainScan : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
 
+  /// Restrict this scan to a strided subset of row morsels (parallel clone
+  /// path; see exec/morsel.h). Call before Open.
+  void RestrictToMorsels(MorselSet morsels) { morsels_ = std::move(morsels); }
+
  private:
   bool ZoneAllowed(uint64_t zone) const;
 
@@ -40,6 +45,8 @@ class PlainScan : public Operator {
   std::vector<int> col_idx_;
   std::vector<std::pair<int, ValueRange>> bound_preds_;
   Schema schema_;
+  MorselSet morsels_;
+  size_t morsel_idx_ = 0;
   uint64_t cursor_ = 0;
   uint64_t last_zone_counted_ = ~uint64_t{0};
 };
@@ -67,6 +74,11 @@ class BdccScan : public Operator {
   /// Group id a given reduced key maps to under `grouping`.
   int64_t GroupIdOf(uint64_t key) const;
 
+  /// Restrict this scan to a strided subset of GroupRange-index morsels
+  /// (parallel clone path). Only valid for ungrouped scans — grouped scans
+  /// parallelize by group-id chunking instead. Call before Open.
+  void RestrictToMorsels(MorselSet morsels) { morsels_ = std::move(morsels); }
+
  private:
   bool ZoneAllowed(uint64_t zone) const;
 
@@ -79,9 +91,17 @@ class BdccScan : public Operator {
   std::vector<int> col_idx_;
   std::vector<std::pair<int, ValueRange>> bound_preds_;
   Schema schema_;
+  MorselSet morsels_;
+  size_t morsel_pos_ = 0;
   size_t range_idx_ = 0;
   uint64_t cursor_ = 0;  // within current range
 };
+
+/// Group id `key` maps to under `grouping` (-1 when grouping is empty):
+/// the concatenation of each use's aligned bin prefix, major first. Shared
+/// by BdccScan and the planner's group-chunked parallel pipelines.
+int64_t GroupIdForKey(const BdccTable& table,
+                      const std::vector<GroupSpec>& grouping, uint64_t key);
 
 }  // namespace exec
 }  // namespace bdcc

@@ -50,7 +50,7 @@ void BufferPool::Insert(PageKey key) {
     PageKey victim = lru_.back();
     lru_.pop_back();
     resident_.erase(victim);
-    ++stats_.evictions;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   lru_.push_front(key);
   resident_[key] = lru_.begin();
@@ -73,6 +73,7 @@ void BufferPool::ReadRows(ColumnHandle handle, uint64_t row_begin,
   last_page = std::min(last_page, col.pages - 1);
   first_page = std::min(first_page, last_page);
 
+  std::lock_guard<std::mutex> lock(mu_);
   // Walk the page range, coalescing runs of misses.
   uint64_t run_start = 0;
   uint64_t run_len = 0;
@@ -86,11 +87,11 @@ void BufferPool::ReadRows(ColumnHandle handle, uint64_t row_begin,
   for (uint64_t p = first_page; p <= last_page; ++p) {
     PageKey key = MakeKey(handle, p);
     if (resident_.count(key)) {
-      ++stats_.page_hits;
+      stats_.page_hits.fetch_add(1, std::memory_order_relaxed);
       flush_run();
       Touch(key);
     } else {
-      ++stats_.page_misses;
+      stats_.page_misses.fetch_add(1, std::memory_order_relaxed);
       if (run_len == 0) run_start = p;
       (void)run_start;
       ++run_len;
@@ -101,6 +102,7 @@ void BufferPool::ReadRows(ColumnHandle handle, uint64_t row_begin,
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   resident_.clear();
 }

@@ -5,11 +5,22 @@
 // the DeviceModel. This is how the reproduction keeps the paper's central
 // I/O argument (scattered group access must stay >= AR per group to be
 // efficient) observable in an in-memory engine.
+//
+// Thread-safety contract: ReadRows/Clear/ResetStats are safe to call from
+// any thread — the LRU structures and the DeviceModel charge are serialized
+// by an internal mutex, and the hit/miss/eviction counters are atomics so
+// stats() can be sampled without the lock (counters are monotonically
+// consistent; a sample taken during a concurrent ReadRows may miss its
+// in-flight increments). RegisterColumn is NOT safe concurrently with
+// reads — register all columns before query execution starts (table load
+// time), which is how every caller uses it.
 #ifndef BDCC_IO_BUFFER_POOL_H_
 #define BDCC_IO_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,20 +35,24 @@ namespace io {
 using ColumnHandle = uint32_t;
 
 struct BufferPoolStats {
-  uint64_t page_hits = 0;
-  uint64_t page_misses = 0;
-  uint64_t evictions = 0;
+  std::atomic<uint64_t> page_hits{0};
+  std::atomic<uint64_t> page_misses{0};
+  std::atomic<uint64_t> evictions{0};
 };
 
 /// \brief LRU page cache backed by a DeviceModel.
 class BufferPool {
  public:
   /// \param device The device charged for misses (not owned, must outlive).
+  /// DeviceModel itself is not thread-safe; the pool serializes all charges
+  /// to it under its mutex, so a device must not be shared by two pools that
+  /// run concurrently.
   /// \param capacity_bytes Cache capacity; the paper used a 4GB buffer pool.
   BufferPool(DeviceModel* device, uint64_t capacity_bytes);
   BDCC_DISALLOW_COPY_AND_ASSIGN(BufferPool);
 
   /// Register a column of `total_bytes` payload; returns its handle.
+  /// Not thread-safe; call during table load only.
   ColumnHandle RegisterColumn(const std::string& name, uint64_t total_bytes,
                               uint64_t row_count);
 
@@ -49,14 +64,18 @@ class BufferPool {
 
   /// \brief Read rows [row_begin, row_end) of a column. Misses are coalesced:
   /// consecutive missing pages become one request (first charged as random,
-  /// continuation pages as sequential transfer).
+  /// continuation pages as sequential transfer). Thread-safe.
   void ReadRows(ColumnHandle handle, uint64_t row_begin, uint64_t row_end);
 
-  /// Drop all cached pages (simulates a cold run).
+  /// Drop all cached pages (simulates a cold run). Thread-safe.
   void Clear();
 
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void ResetStats() {
+    stats_.page_hits.store(0, std::memory_order_relaxed);
+    stats_.page_misses.store(0, std::memory_order_relaxed);
+    stats_.evictions.store(0, std::memory_order_relaxed);
+  }
   DeviceModel* device() { return device_; }
 
  private:
@@ -72,12 +91,15 @@ class BufferPool {
     return (static_cast<uint64_t>(h) << 40) | page;
   }
 
+  // Both require mu_ held.
   void Touch(PageKey key);
   void Insert(PageKey key);
 
   DeviceModel* device_;
   uint64_t capacity_pages_;
   std::vector<ColumnInfo> columns_;
+  // Guards lru_/resident_ and all DeviceModel charges.
+  std::mutex mu_;
   // LRU: list front = most recent; map points into list.
   std::list<PageKey> lru_;
   std::unordered_map<PageKey, std::list<PageKey>::iterator> resident_;

@@ -5,9 +5,12 @@
 
 #include "bdcc/scatter_scan.h"
 #include "common/bits.h"
+#include "common/task_scheduler.h"
 #include "exec/filter.h"
 #include "exec/hash_agg.h"
 #include "exec/merge_join.h"
+#include "exec/morsel.h"
+#include "exec/parallel.h"
 #include "exec/project.h"
 #include "exec/sandwich_agg.h"
 #include "exec/sandwich_join.h"
@@ -59,6 +62,53 @@ struct AbsorbedTable {
   std::vector<std::string> path;  // FK chain from the probe base table
 };
 
+// ---- Parallel pipeline support ------------------------------------------
+//
+// When PlannerOptions::num_threads > 1, scan chains additionally carry a
+// *leaf factory*: a closure that instantiates another copy of the chain
+// restricted to one clone's share of the work. Two restriction modes exist:
+//  - morsel mode (ungrouped scans): clone i walks a deterministic strided
+//    subset of the shared morsel plan;
+//  - group-id mode (grouped BDCC scans): the clone scans only the ranges
+//    whose group id falls in [gid_lo, gid_hi], so sandwich operators can be
+//    chunked with both sides aligned on the same group-id span.
+
+/// Rows per morsel; zone-aligned for plain tables, a pack target for
+/// GroupRange morsels.
+constexpr uint64_t kMorselRows = 8192;
+/// Leaf size below which parallel pipelines are not worth their overhead.
+constexpr uint64_t kMinParallelRows = 2 * kMorselRows;
+
+struct LeafClone {
+  size_t instance = 0;
+  size_t total = 1;
+  // When >= 0: restrict a grouped BDCC scan to group ids in [gid_lo, gid_hi].
+  int64_t gid_lo = -1;
+  int64_t gid_hi = -1;
+};
+
+using LeafFactory =
+    std::function<Result<exec::OperatorPtr>(const LeafClone&)>;
+
+/// Contiguous chunk of the ascending distinct-group-id universe.
+struct GidSpan {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+std::vector<GidSpan> ChunkGids(const std::vector<int64_t>& gids,
+                               size_t max_chunks) {
+  size_t chunks = std::min(max_chunks, gids.size());
+  std::vector<GidSpan> out;
+  if (chunks == 0) return out;
+  size_t per = (gids.size() + chunks - 1) / chunks;
+  for (size_t b = 0; b < gids.size(); b += per) {
+    size_t e = std::min(gids.size(), b + per);
+    out.push_back(GidSpan{gids[b], gids[e - 1]});
+  }
+  return out;
+}
+
 struct SubPlan {
   exec::OperatorPtr op;
   const LogicalNode* base_scan = nullptr;  // set for scan-chains
@@ -66,6 +116,13 @@ struct SubPlan {
   const BdccTable* grouped_base = nullptr;
   std::vector<exec::GroupSpec> grouping;  // major..minor
   std::vector<AbsorbedTable> absorbed;
+
+  // Parallel-clone support (empty/0 unless num_threads > 1 and the subplan
+  // is a pure scan chain).
+  LeafFactory leaf_factory;
+  uint64_t leaf_rows = 0;
+  // Ascending distinct group ids of a grouped scan chain (group-id mode).
+  std::shared_ptr<const std::vector<int64_t>> leaf_gids;
 };
 
 struct GroupRequest {
@@ -192,6 +249,17 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
     }
   }
 
+  // Row-level enforcement of sargs + residual (applied below and inside
+  // every parallel clone).
+  std::vector<exec::ExprPtr> conjuncts;
+  for (const Sarg& s : scan.sargs) conjuncts.push_back(SargRowExpr(s));
+  if (scan.residual) conjuncts.push_back(scan.residual);
+  auto add_filter = [&conjuncts](exec::OperatorPtr op) -> exec::OperatorPtr {
+    if (conjuncts.empty()) return op;
+    return std::make_unique<exec::Filter>(std::move(op),
+                                          exec::AndAll(conjuncts));
+  };
+
   SubPlan out;
   const BdccTable* bt =
       db_.scheme() == Scheme::kBdcc ? db_.bdcc(scan.table) : nullptr;
@@ -219,27 +287,88 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
     uint64_t pruned = before - ranges.size();
     std::vector<exec::GroupSpec> grouping =
         req != nullptr ? req->specs : std::vector<exec::GroupSpec>{};
-    out.op = std::make_unique<exec::BdccScan>(bt, scan.columns,
-                                              std::move(ranges), zone_preds,
-                                              grouping, pruned);
+
+    if (opts_.num_threads > 1) {
+      auto shared_ranges =
+          std::make_shared<const std::vector<GroupRange>>(ranges);
+      out.leaf_rows = bt->data().num_rows();
+      std::shared_ptr<const std::vector<exec::Morsel>> morsels;
+      if (grouping.empty()) {
+        morsels = std::make_shared<const std::vector<exec::Morsel>>(
+            exec::MakeRangeMorsels(*shared_ranges, kMorselRows));
+      } else {
+        // Group-id mode: record the ascending distinct group ids so callers
+        // can chunk sandwich pipelines.
+        auto gids = std::make_shared<std::vector<int64_t>>();
+        for (const GroupRange& r : *shared_ranges) {
+          gids->push_back(exec::GroupIdForKey(*bt, grouping, r.key));
+        }
+        std::sort(gids->begin(), gids->end());
+        gids->erase(std::unique(gids->begin(), gids->end()), gids->end());
+        out.leaf_gids = std::move(gids);
+      }
+      out.leaf_factory = [bt, cols = scan.columns, shared_ranges, zone_preds,
+                          grouping, pruned, morsels, conjuncts](
+                             const LeafClone& c) -> Result<exec::OperatorPtr> {
+        std::vector<GroupRange> clone_ranges;
+        if (c.gid_lo >= 0) {
+          for (const GroupRange& r : *shared_ranges) {
+            int64_t g = exec::GroupIdForKey(*bt, grouping, r.key);
+            if (g >= c.gid_lo && g <= c.gid_hi) clone_ranges.push_back(r);
+          }
+        } else {
+          BDCC_CHECK(grouping.empty());
+          clone_ranges = *shared_ranges;
+        }
+        auto scan_op = std::make_unique<exec::BdccScan>(
+            bt, cols, std::move(clone_ranges), zone_preds, grouping,
+            c.instance == 0 ? pruned : 0);
+        if (c.gid_lo < 0 && morsels != nullptr) {
+          scan_op->RestrictToMorsels(
+              exec::MorselSet{morsels, c.instance, c.total});
+        }
+        exec::OperatorPtr op = std::move(scan_op);
+        if (!conjuncts.empty()) {
+          op = std::make_unique<exec::Filter>(std::move(op),
+                                              exec::AndAll(conjuncts));
+        }
+        return op;
+      };
+    }
+
+    out.op = add_filter(std::make_unique<exec::BdccScan>(
+        bt, scan.columns, std::move(ranges), zone_preds, grouping, pruned));
     if (req != nullptr) {
       out.grouped_base = bt;
       out.grouping = req->specs;
     }
   } else {
-    out.op = std::make_unique<exec::PlainScan>(storage, scan.columns,
-                                               zone_preds);
+    if (opts_.num_threads > 1) {
+      uint32_t zone_rows = storage->HasZoneMaps() ? storage->zone_rows() : 0;
+      auto morsels = std::make_shared<const std::vector<exec::Morsel>>(
+          exec::MakeRowMorsels(storage->num_rows(), zone_rows, kMorselRows));
+      out.leaf_rows = storage->num_rows();
+      out.leaf_factory = [storage, cols = scan.columns, zone_preds, morsels,
+                          conjuncts](
+                             const LeafClone& c) -> Result<exec::OperatorPtr> {
+        BDCC_CHECK(c.gid_lo < 0);  // plain scans have no group ids
+        auto scan_op =
+            std::make_unique<exec::PlainScan>(storage, cols, zone_preds);
+        scan_op->RestrictToMorsels(
+            exec::MorselSet{morsels, c.instance, c.total});
+        exec::OperatorPtr op = std::move(scan_op);
+        if (!conjuncts.empty()) {
+          op = std::make_unique<exec::Filter>(std::move(op),
+                                              exec::AndAll(conjuncts));
+        }
+        return op;
+      };
+    }
+    out.op = add_filter(std::make_unique<exec::PlainScan>(
+        storage, scan.columns, zone_preds));
     out.sorted_on = db_.sorted_on(scan.table);
   }
 
-  // Row-level enforcement of sargs + residual.
-  std::vector<exec::ExprPtr> conjuncts;
-  for (const Sarg& s : scan.sargs) conjuncts.push_back(SargRowExpr(s));
-  if (scan.residual) conjuncts.push_back(scan.residual);
-  if (!conjuncts.empty()) {
-    out.op = std::make_unique<exec::Filter>(std::move(out.op),
-                                            exec::AndAll(conjuncts));
-  }
   out.base_scan = node.get();
   out.absorbed.push_back(AbsorbedTable{scan.table, {}});
   return out;
@@ -290,9 +419,39 @@ Result<SubPlan> PlannerImpl::CompileJoin(const NodePtr& node) {
             Note("sandwich join " + left_base->scan.table + "⋈" +
                  right_base->scan.table + " on [" + dims + "]");
             SubPlan out;
-            out.op = std::make_unique<exec::SandwichHashJoin>(
-                std::move(left.op), std::move(right.op), jn.left_keys,
-                jn.right_keys, jn.type);
+            if (opts_.num_threads > 1 && left.leaf_factory &&
+                right.leaf_factory && left.leaf_gids &&
+                left.leaf_gids->size() >= 2 &&
+                left.leaf_rows >= kMinParallelRows) {
+              // Chunk the probe side's group-id universe; each chunk joins a
+              // gid-aligned slice of both sides independently.
+              std::vector<GidSpan> spans =
+                  ChunkGids(*left.leaf_gids,
+                            static_cast<size_t>(opts_.num_threads));
+              LeafFactory lf = left.leaf_factory;
+              LeafFactory rf = right.leaf_factory;
+              auto lk = jn.left_keys;
+              auto rk = jn.right_keys;
+              auto type = jn.type;
+              exec::ChainFactory factory =
+                  [lf, rf, spans, lk, rk, type](
+                      size_t i, size_t n) -> Result<exec::OperatorPtr> {
+                LeafClone c{i, n, spans[i].lo, spans[i].hi};
+                BDCC_ASSIGN_OR_RETURN(exec::OperatorPtr l, lf(c));
+                BDCC_ASSIGN_OR_RETURN(exec::OperatorPtr r, rf(c));
+                return exec::OperatorPtr(
+                    std::make_unique<exec::SandwichHashJoin>(
+                        std::move(l), std::move(r), lk, rk, type));
+              };
+              Note("parallel sandwich join x" +
+                   std::to_string(spans.size()));
+              out.op = std::make_unique<exec::ParallelUnion>(
+                  std::move(factory), spans.size(), opts_.scheduler);
+            } else {
+              out.op = std::make_unique<exec::SandwichHashJoin>(
+                  std::move(left.op), std::move(right.op), jn.left_keys,
+                  jn.right_keys, jn.type);
+            }
             out.grouped_base = bt_l;
             out.grouping = left_req.specs;
             out.absorbed = left.absorbed;
@@ -430,9 +589,28 @@ Result<SubPlan> PlannerImpl::CompileJoin(const NodePtr& node) {
   out.grouped_base = left.grouped_base;
   out.grouping = left.grouping;
   out.absorbed = left.absorbed;
-  out.op = std::make_unique<exec::HashJoin>(std::move(left.op),
-                                            std::move(right.op), jn.left_keys,
-                                            jn.right_keys, jn.type);
+  // Parallel probe: build once, probe with morsel clones. Requires an
+  // order-insensitive probe side — morsel interleaving destroys sortedness,
+  // so PK chains that may feed merge/stream consumers stay serial.
+  if (opts_.num_threads > 1 && left.leaf_factory && left.grouping.empty() &&
+      left.sorted_on.empty() && left.leaf_rows >= kMinParallelRows) {
+    LeafFactory inner = left.leaf_factory;
+    exec::ChainFactory probe_factory = [inner](size_t i, size_t n) {
+      LeafClone c;
+      c.instance = i;
+      c.total = n;
+      return inner(c);
+    };
+    Note("parallel hash join probe x" + std::to_string(opts_.num_threads));
+    out.op = std::make_unique<exec::ParallelHashJoin>(
+        std::move(probe_factory), static_cast<size_t>(opts_.num_threads),
+        std::move(right.op), jn.left_keys, jn.right_keys, jn.type,
+        opts_.scheduler);
+  } else {
+    out.op = std::make_unique<exec::HashJoin>(
+        std::move(left.op), std::move(right.op), jn.left_keys, jn.right_keys,
+        jn.type);
+  }
   return out;
 }
 
@@ -509,8 +687,32 @@ Result<SubPlan> PlannerImpl::CompileAgg(const NodePtr& node) {
         BDCC_ASSIGN_OR_RETURN(SubPlan child, Compile(child_l, &req));
         Note("sandwich aggregation on " + base->scan.table);
         SubPlan out;
-        out.op = std::make_unique<exec::SandwichAgg>(std::move(child.op),
-                                                     an.group_cols, an.specs);
+        if (opts_.num_threads > 1 && child.leaf_factory && child.leaf_gids &&
+            child.leaf_gids->size() >= 2 &&
+            child.leaf_rows >= kMinParallelRows) {
+          // Partitions are disjoint across group-id chunks (the group keys
+          // determine the partition), so chunk outputs simply concatenate.
+          std::vector<GidSpan> spans = ChunkGids(
+              *child.leaf_gids, static_cast<size_t>(opts_.num_threads));
+          LeafFactory inner = child.leaf_factory;
+          auto group_cols = an.group_cols;
+          auto specs = an.specs;
+          exec::ChainFactory factory =
+              [inner, spans, group_cols, specs](
+                  size_t i, size_t n) -> Result<exec::OperatorPtr> {
+            LeafClone c{i, n, spans[i].lo, spans[i].hi};
+            BDCC_ASSIGN_OR_RETURN(exec::OperatorPtr chain, inner(c));
+            return exec::OperatorPtr(std::make_unique<exec::SandwichAgg>(
+                std::move(chain), group_cols, specs));
+          };
+          Note("parallel sandwich aggregation x" +
+               std::to_string(spans.size()));
+          out.op = std::make_unique<exec::ParallelUnion>(
+              std::move(factory), spans.size(), opts_.scheduler);
+        } else {
+          out.op = std::make_unique<exec::SandwichAgg>(
+              std::move(child.op), an.group_cols, an.specs);
+        }
         return out;
       }
     }
@@ -551,8 +753,23 @@ Result<SubPlan> PlannerImpl::CompileAgg(const NodePtr& node) {
   }
 
   SubPlan out;
-  out.op = std::make_unique<exec::HashAgg>(std::move(child.op), an.group_cols,
-                                           an.specs);
+  if (opts_.num_threads > 1 && child.leaf_factory && child.grouping.empty() &&
+      child.leaf_rows >= kMinParallelRows) {
+    LeafFactory inner = child.leaf_factory;
+    exec::ChainFactory factory = [inner](size_t i, size_t n) {
+      LeafClone c;
+      c.instance = i;
+      c.total = n;
+      return inner(c);
+    };
+    Note("parallel hash aggregation x" + std::to_string(opts_.num_threads));
+    out.op = std::make_unique<exec::ParallelHashAgg>(
+        std::move(factory), static_cast<size_t>(opts_.num_threads),
+        an.group_cols, an.specs, opts_.scheduler);
+  } else {
+    out.op = std::make_unique<exec::HashAgg>(std::move(child.op),
+                                             an.group_cols, an.specs);
+  }
   return out;
 }
 
@@ -566,6 +783,16 @@ Result<SubPlan> PlannerImpl::Compile(const NodePtr& node,
       SubPlan out = std::move(child);
       out.op = std::make_unique<exec::Filter>(std::move(out.op),
                                               node->filter.predicate);
+      if (out.leaf_factory) {
+        LeafFactory inner = std::move(out.leaf_factory);
+        exec::ExprPtr pred = node->filter.predicate;
+        out.leaf_factory =
+            [inner, pred](const LeafClone& c) -> Result<exec::OperatorPtr> {
+          BDCC_ASSIGN_OR_RETURN(exec::OperatorPtr op, inner(c));
+          return exec::OperatorPtr(
+              std::make_unique<exec::Filter>(std::move(op), pred));
+        };
+      }
       return out;
     }
     case NodeKind::kProject: {
@@ -574,6 +801,18 @@ Result<SubPlan> PlannerImpl::Compile(const NodePtr& node,
       out.grouped_base = child.grouped_base;
       out.grouping = child.grouping;
       out.absorbed = child.absorbed;
+      out.leaf_rows = child.leaf_rows;
+      out.leaf_gids = child.leaf_gids;
+      if (child.leaf_factory) {
+        LeafFactory inner = std::move(child.leaf_factory);
+        auto exprs = node->project.exprs;
+        out.leaf_factory =
+            [inner, exprs](const LeafClone& c) -> Result<exec::OperatorPtr> {
+          BDCC_ASSIGN_OR_RETURN(exec::OperatorPtr op, inner(c));
+          return exec::OperatorPtr(
+              std::make_unique<exec::Project>(std::move(op), exprs));
+        };
+      }
       out.op = std::make_unique<exec::Project>(std::move(child.op),
                                                node->project.exprs);
       return out;

@@ -21,6 +21,10 @@
 #include "opt/pushdown.h"
 
 namespace bdcc {
+namespace common {
+class TaskScheduler;
+}  // namespace common
+
 namespace opt {
 
 struct PlannerOptions {
@@ -29,6 +33,16 @@ struct PlannerOptions {
   bool enable_zonemaps = true;      // all schemes: MinMax zone skipping
   bool enable_merge_join = true;    // PK: merge joins on sorted keys
   bool enable_stream_agg = true;    // PK: ordered aggregation
+
+  /// Degree of intra-query parallelism. 1 (default) compiles the classic
+  /// single-threaded pull plan; N > 1 splits eligible pipelines into N
+  /// morsel-driven clones at blocking operators (hash aggregation, hash-join
+  /// probe, sandwich join/aggregate). Results are identical either way
+  /// (modulo float summation order); plans too small to benefit stay serial.
+  int num_threads = 1;
+  /// Worker pool used when num_threads > 1; nullptr = the process-wide
+  /// TaskScheduler::Shared().
+  common::TaskScheduler* scheduler = nullptr;
 };
 
 struct CompiledQuery {

@@ -1,7 +1,11 @@
 // The correctness anchor of the reproduction: every TPC-H query must return
 // identical results under the Plain, PK and BDCC physical designs — the
-// three schemes only change *how* data is laid out and accessed.
+// three schemes only change *how* data is laid out and accessed. The suite
+// is additionally parametrized over PlannerOptions::num_threads: the
+// morsel-parallel plans (num_threads=4) must agree with the classic serial
+// plans (num_threads=1) on every query and scheme.
 #include <memory>
+#include <tuple>
 
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -12,7 +16,8 @@ namespace bdcc {
 namespace tpch {
 namespace {
 
-class CrossSchemeTest : public ::testing::TestWithParam<int> {
+class CrossSchemeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
  protected:
   static void SetUpTestSuite() {
     TpchDbOptions options;
@@ -22,30 +27,50 @@ class CrossSchemeTest : public ::testing::TestWithParam<int> {
   }
   static void TearDownTestSuite() { db_.reset(); }
 
+  static Result<exec::Batch> Run(int q, opt::Scheme scheme, int num_threads) {
+    exec::ExecContext exec_ctx(nullptr);
+    QueryContext ctx;
+    ctx.db = &db_->db(scheme);
+    ctx.exec = &exec_ctx;
+    ctx.scale_factor = db_->options().scale_factor;
+    ctx.planner.num_threads = num_threads;
+    return RunTpchQuery(q, ctx);
+  }
+
   static std::unique_ptr<TpchDb> db_;
 };
 
 std::unique_ptr<TpchDb> CrossSchemeTest::db_;
 
-TEST_P(CrossSchemeTest, SchemesAgree) {
-  int q = GetParam();
+TEST_P(CrossSchemeTest, SchemesAndThreadCountsAgree) {
+  auto [q, threads] = GetParam();
   exec::Batch results[3];
   for (int s = 0; s < 3; ++s) {
-    exec::ExecContext exec_ctx(nullptr);
-    QueryContext ctx;
-    ctx.db = &db_->db(static_cast<opt::Scheme>(s));
-    ctx.exec = &exec_ctx;
-    ctx.scale_factor = db_->options().scale_factor;
-    auto result = RunTpchQuery(q, ctx);
+    opt::Scheme scheme = static_cast<opt::Scheme>(s);
+    auto result = Run(q, scheme, threads);
     ASSERT_TRUE(result.ok())
-        << "Q" << q << " on " << opt::SchemeName(static_cast<opt::Scheme>(s))
-        << ": " << result.status().ToString();
+        << "Q" << q << " on " << opt::SchemeName(scheme) << " threads="
+        << threads << ": " << result.status().ToString();
     results[s] = std::move(result).value();
   }
-  testutil::ExpectBatchesEqual(results[0], results[1],
-                               "Q" + std::to_string(q) + " plain-vs-pk");
+  std::string label = "Q" + std::to_string(q) + " (threads=" +
+                      std::to_string(threads) + ") ";
+  testutil::ExpectBatchesEqual(results[0], results[1], label + "plain-vs-pk");
   testutil::ExpectBatchesEqual(results[0], results[2],
-                               "Q" + std::to_string(q) + " plain-vs-bdcc");
+                               label + "plain-vs-bdcc");
+  // Parallel plans must agree with the serial plan on every scheme.
+  if (threads > 1) {
+    for (int s = 0; s < 3; ++s) {
+      opt::Scheme scheme = static_cast<opt::Scheme>(s);
+      auto serial = Run(q, scheme, 1);
+      ASSERT_TRUE(serial.ok())
+          << "Q" << q << " on " << opt::SchemeName(scheme)
+          << " threads=1: " << serial.status().ToString();
+      testutil::ExpectBatchesEqual(
+          serial.value(), results[s],
+          label + opt::SchemeName(scheme) + " serial-vs-parallel");
+    }
+  }
   // Sanity: the queries should not be trivially empty. Exemptions are
   // queries whose predicates select rare events that may not occur at the
   // tiny test scale factor (Q2: exact min-cost tie set; Q18: orders with
@@ -56,8 +81,13 @@ TEST_P(CrossSchemeTest, SchemesAgree) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllQueries, CrossSchemeTest,
-                         ::testing::Range(1, 23));
+INSTANTIATE_TEST_SUITE_P(
+    AllQueries, CrossSchemeTest,
+    ::testing::Combine(::testing::Range(1, 23), ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "Q" + std::to_string(std::get<0>(info.param)) + "_threads" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace tpch

@@ -1,8 +1,11 @@
 // The three-scheme TPC-H database: physical properties per scheme, I/O
-// plumbing, and storage accounting.
+// plumbing, storage accounting, and thread-count-invariant query execution
+// (parametrized over the schemes).
 #include "tpch/tpch_db.h"
 
 #include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "tpch/tpch_queries.h"
 
 namespace bdcc {
 namespace tpch {
@@ -92,6 +95,48 @@ TEST_F(TpchDbTest, DiskBytesComparableAcrossSchemes) {
   EXPECT_GT(bdcc, plain);
   EXPECT_LT(static_cast<double>(bdcc) / static_cast<double>(plain), 1.25);
 }
+
+// Morsel-parallel execution must be invisible in the results: Q1 and Q6
+// (the parallel-aggregation flagships) return the same batches at
+// num_threads 1 and 4, on every scheme, with I/O charged through the
+// scheme's (now concurrency-safe) buffer pool.
+class TpchThreadInvarianceTest
+    : public TpchDbTest,
+      public ::testing::WithParamInterface<opt::Scheme> {};
+
+TEST_P(TpchThreadInvarianceTest, ThreadCountDoesNotChangeResults) {
+  opt::Scheme scheme = GetParam();
+  for (int q : {1, 6}) {
+    exec::Batch results[2];
+    int thread_counts[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+      db_->ResetIo();
+      exec::ExecContext exec_ctx(db_->pool(scheme));
+      QueryContext ctx;
+      ctx.db = &db_->db(scheme);
+      ctx.exec = &exec_ctx;
+      ctx.scale_factor = db_->options().scale_factor;
+      ctx.planner.num_threads = thread_counts[i];
+      auto result = RunTpchQuery(q, ctx);
+      ASSERT_TRUE(result.ok()) << "Q" << q << " threads=" << thread_counts[i]
+                               << ": " << result.status().ToString();
+      results[i] = std::move(result).value();
+      EXPECT_GT(exec_ctx.stats()->rows_scanned, 0u);
+    }
+    testutil::ExpectBatchesEqual(
+        results[0], results[1],
+        "Q" + std::to_string(q) + " " + opt::SchemeName(scheme) +
+            " threads 1-vs-4");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, TpchThreadInvarianceTest,
+                         ::testing::Values(opt::Scheme::kPlain,
+                                           opt::Scheme::kPk,
+                                           opt::Scheme::kBdcc),
+                         [](const ::testing::TestParamInfo<opt::Scheme>& i) {
+                           return opt::SchemeName(i.param);
+                         });
 
 TEST_F(TpchDbTest, PartialBuilds) {
   TpchDbOptions options;
