@@ -68,6 +68,14 @@ int main() {
     std::printf("%-26s %10.1f %12.2f %12s %10llu\n", row.label, wall, io,
                 HumanBytes(peak).c_str(),
                 static_cast<unsigned long long>(scanned));
+    JsonLine("ablation_features")
+        .Str("features", row.label)
+        .Num("sf", sf)
+        .Num("wall_ms", wall)
+        .Num("sim_io_ms", io)
+        .Num("peak_bytes", static_cast<double>(peak))
+        .Num("rows_scanned", static_cast<double>(scanned))
+        .Emit();
   }
   std::printf(
       "\nexpected attribution: pushdown/propagation cuts rows scanned and\n"

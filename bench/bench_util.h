@@ -3,6 +3,7 @@
 #define BDCC_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -101,6 +102,68 @@ inline QueryRun RunQueryCold(tpch::TpchDb* db, opt::Scheme scheme, int q) {
   }
   return out;
 }
+
+/// \brief One machine-readable JSON result line per benchmark config.
+///
+/// The google-benchmark micros already emit JSON via --benchmark_out; the
+/// plain fig/table drivers use this builder so every benchmark in the tree
+/// produces greppable per-config records (the perf-trajectory files like
+/// BENCH_pr3.json are built from these). Lines append to the file named by
+/// $BDCC_BENCH_JSON, or go to stdout prefixed "BENCHJSON " when unset.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    body_ = "{\"bench\":\"" + Escape(bench) + "\"";
+  }
+  JsonLine& Str(const std::string& key, const std::string& value) {
+    body_ += ",\"" + Escape(key) + "\":\"" + Escape(value) + "\"";
+    return *this;
+  }
+  JsonLine& Num(const std::string& key, double value) {
+    char buf[64];
+    // NaN/inf have no JSON literal and would poison the whole line.
+    if (!std::isfinite(value)) {
+      body_ += ",\"" + Escape(key) + "\":null";
+      return *this;
+    }
+    // Integral values (row counts, byte sizes) must round-trip exactly;
+    // %.6g would silently truncate them to 6 significant digits.
+    if (value >= -9.2e18 && value <= 9.2e18 &&
+        value == static_cast<double>(static_cast<int64_t>(value))) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+    }
+    body_ += ",\"" + Escape(key) + "\":" + buf;
+    return *this;
+  }
+  void Emit() const {
+    std::string line = body_ + "}\n";
+    const char* path = std::getenv("BDCC_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') {
+      if (std::FILE* f = std::fopen(path, "a")) {
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fclose(f);
+        return;
+      }
+    }
+    std::printf("BENCHJSON %s", line.c_str());
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string body_;
+};
 
 inline std::string HumanBytes(uint64_t bytes) {
   char buf[32];

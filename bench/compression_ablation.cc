@@ -56,6 +56,12 @@ int main() {
                 HumanBytes(fb.compressed).c_str(),
                 double(fp.raw) / double(fp.compressed),
                 double(fb.raw) / double(fb.compressed));
+    JsonLine("compression_ablation")
+        .Str("table", name)
+        .Num("raw_bytes", static_cast<double>(fp.raw))
+        .Num("plain_compressed_bytes", static_cast<double>(fp.compressed))
+        .Num("bdcc_compressed_bytes", static_cast<double>(fb.compressed))
+        .Emit();
   }
   std::printf("-----------+\n");
   std::printf("%-10s | %10s %12s %12s |\n", "total",

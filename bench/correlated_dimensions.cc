@@ -12,6 +12,7 @@
 
 #include "bdcc/bdcc_table.h"
 #include "bdcc/binning.h"
+#include "bench/bench_util.h"
 #include "catalog/catalog.h"
 #include "common/rng.h"
 
@@ -77,6 +78,14 @@ void RunCase(const char* label, double correlation, uint64_t rows) {
               static_cast<unsigned long long>(1ull << built.full_bits()),
               an.MissingGroupFactor(built.full_bits()), b_chosen,
               built.count_table().num_groups());
+  bench::JsonLine("correlated_dimensions")
+      .Str("case", label)
+      .Num("full_bits", built.full_bits())
+      .Num("observed_groups",
+           static_cast<double>(an.NumGroups(built.full_bits())))
+      .Num("missing_factor", an.MissingGroupFactor(built.full_bits()))
+      .Num("chosen_bits", b_chosen)
+      .Emit();
   // Histogram at the chosen granularity.
   std::vector<uint64_t> hist = built.analysis().Histogram(b_chosen);
   std::printf("  log2 group-size histogram @b=%d:", b_chosen);

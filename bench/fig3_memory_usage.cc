@@ -50,6 +50,14 @@ int main() {
     std::printf("Q%-3d | %12s %12s %12s | %8.1fx\n", q,
                 HumanBytes(mem[0]).c_str(), HumanBytes(mem[1]).c_str(),
                 HumanBytes(mem[2]).c_str(), ratio);
+    for (int s = 0; s < 3; ++s) {
+      JsonLine("fig3_memory_usage")
+          .Num("q", q)
+          .Str("scheme", opt::SchemeName(schemes[s]))
+          .Num("sf", sf)
+          .Num("peak_bytes", static_cast<double>(mem[s]))
+          .Emit();
+    }
   }
   std::printf("-----+--------------------------------------+\n");
   std::printf("run  | %12s %12s %12s |\n", HumanBytes(total[0]).c_str(),

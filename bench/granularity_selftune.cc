@@ -52,6 +52,13 @@ int main() {
                 static_cast<unsigned long long>(c.ar), li.count_bits(),
                 tables.at("ORDERS").count_bits(),
                 tables.at("PARTSUPP").count_bits(), log2pages);
+    JsonLine("granularity_selftune")
+        .Str("ar", c.label)
+        .Num("ar_bytes", static_cast<double>(c.ar))
+        .Num("lineitem_bits", li.count_bits())
+        .Num("orders_bits", tables.at("ORDERS").count_bits())
+        .Num("partsupp_bits", tables.at("PARTSUPP").count_bits())
+        .Emit();
   }
   std::printf(
       "\npaper: at SF100 LINEITEM's l_comment had 550000 32KB pages and\n"

@@ -1,0 +1,151 @@
+// Selectivity sweep for the scan->filter pipeline: the selection-vector
+// path (scan-level predicate pushdown, late materialization) vs the legacy
+// compact path (full batch copy out of the scan, then a Filter that
+// re-copies survivors with Gather). Swept 0.1% -> 99% selectivity and over
+// --threads=N; one JSON row per (path, selectivity, threads) config lands
+// in --benchmark_out, so speedup curves are directly plottable
+// (BENCH_pr3.json commits the sel-vs-legacy trajectory for this PR).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/task_scheduler.h"
+#include "exec/expr.h"
+#include "exec/filter.h"
+#include "exec/morsel.h"
+#include "exec/scan.h"
+
+namespace {
+
+using namespace bdcc;  // NOLINT
+
+constexpr uint64_t kRows = 500000;
+constexpr int64_t kDomain = 1 << 20;
+
+struct Fixture {
+  Table table{"T"};
+
+  Fixture() {
+    Rng rng(11);
+    Column k(TypeId::kInt32), v(TypeId::kFloat64), w(TypeId::kInt64);
+    for (uint64_t i = 0; i < kRows; ++i) {
+      k.AppendInt32(static_cast<int32_t>(rng.Uniform(0, kDomain - 1)));
+      v.AppendFloat64(rng.NextDouble());
+      w.AppendInt64(static_cast<int64_t>(i));
+    }
+    table.AddColumn("k", std::move(k)).AbortIfNotOK();
+    table.AddColumn("v", std::move(v)).AbortIfNotOK();
+    table.AddColumn("w", std::move(w)).AbortIfNotOK();
+    table.BuildZoneMaps(1024);
+  }
+};
+
+Fixture& F() {
+  static Fixture f;
+  return f;
+}
+
+// Selectivity in tenths of a percent (permille): hi = domain * permille/1000.
+std::vector<exec::ScanPredicate> PredsFor(int64_t permille) {
+  int64_t hi = std::max<int64_t>(1, kDomain * permille / 1000);
+  return {{"k", ValueRange{Value::Int32(0),
+                           Value::Int32(static_cast<int32_t>(hi - 1))}}};
+}
+
+exec::ExprPtr RowExprFor(int64_t permille) {
+  int64_t hi = std::max<int64_t>(1, kDomain * permille / 1000);
+  return exec::Le(exec::Col("k"), exec::Lit(Value::Int32(
+                                      static_cast<int32_t>(hi - 1))));
+}
+
+// Drain one scan->filter pipeline clone, consuming selected rows sel-aware
+// (the way downstream operators do).
+uint64_t DrainPipeline(exec::Operator* op, exec::ExecContext* ctx) {
+  op->Open(ctx).AbortIfNotOK();
+  uint64_t sum = 0;
+  while (true) {
+    auto b = op->Next(ctx).ValueOrDie();
+    if (b.empty()) break;
+    const exec::ColumnVector& k = b.columns[0];
+    for (size_t i = 0; i < b.num_rows; ++i) sum += k.i32[b.RowAt(i)];
+    op->Recycle(std::move(b));
+  }
+  op->Close(ctx);
+  return sum;
+}
+
+// One clone of the measured pipeline. `sel_path` selects between the scan
+// pushdown + selection vectors and the seed's copy-then-Gather shape.
+exec::OperatorPtr MakePipeline(int64_t permille, bool sel_path,
+                               std::shared_ptr<const std::vector<exec::Morsel>>
+                                   morsels,
+                               size_t instance, size_t total) {
+  auto scan = std::make_unique<exec::PlainScan>(&F().table,
+                                                std::vector<std::string>{
+                                                    "k", "v", "w"},
+                                                PredsFor(permille));
+  scan->EnableRowFilter(sel_path);
+  if (morsels != nullptr) {
+    scan->RestrictToMorsels(exec::MorselSet{morsels, instance, total});
+  }
+  if (sel_path) return scan;  // predicates fully enforced inside the scan
+  return std::make_unique<exec::Filter>(std::move(scan), RowExprFor(permille));
+}
+
+void RunMicroFilter(benchmark::State& state, int64_t permille, bool sel_path,
+                    int threads) {
+  auto morsels =
+      threads > 1
+          ? std::make_shared<const std::vector<exec::Morsel>>(
+                exec::MakeRowMorsels(kRows, 1024, 16384))
+          : nullptr;
+  for (auto _ : state) {
+    uint64_t total = 0;
+    if (threads == 1) {
+      exec::ExecContext ctx(nullptr);
+      ctx.set_sel_enabled(sel_path);
+      auto op = MakePipeline(permille, sel_path, nullptr, 0, 1);
+      total = DrainPipeline(op.get(), &ctx);
+    } else {
+      std::vector<uint64_t> sums(threads, 0);
+      common::TaskScheduler::Shared()->ParallelFor(threads, [&](size_t i) {
+        exec::ExecContext ctx(nullptr);
+        ctx.set_sel_enabled(sel_path);
+        auto op = MakePipeline(permille, sel_path, morsels, i,
+                               static_cast<size_t>(threads));
+        sums[i] = DrainPipeline(op.get(), &ctx);
+      });
+      for (uint64_t s : sums) total += s;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["threads"] = threads;
+  state.counters["sel_permille"] = static_cast<double>(permille);
+  state.counters["sel_path"] = sel_path ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_threads = bdcc::bench::StripThreadsFlag(&argc, argv, 4);
+  const int64_t permilles[] = {1, 10, 100, 500, 990};  // 0.1% .. 99%
+  for (int t : bdcc::bench::ThreadCounts(max_threads)) {
+    for (int64_t p : permilles) {
+      for (bool sel : {false, true}) {
+        std::string name = std::string("BM_MicroFilter/") +
+                           (sel ? "sel" : "legacy") +
+                           "/permille:" + std::to_string(p) +
+                           "/threads:" + std::to_string(t);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [p, sel, t](benchmark::State& s) {
+              RunMicroFilter(s, p, sel, t);
+            });
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include "bdcc/binning.h"
 #include "bdcc/count_table.h"
 #include "bdcc/interleave.h"
+#include "bench/bench_util.h"
 #include "common/bits.h"
 #include "common/rng.h"
 
@@ -75,4 +76,13 @@ BENCHMARK(BM_CountTableBuild)->Arg(10000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Accept (and ignore) the harness-wide --threads flag so the CI bench
+  // smoke can invoke every micro benchmark uniformly.
+  bdcc::bench::StripThreadsFlag(&argc, argv, 1);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,6 +58,16 @@ int main() {
   std::printf("%-22s %12.2f %12.2f\n", "z-order (automatic)", zorder_ms,
               zorder_io);
   std::printf("%-22s %12.2f %12.2f\n", "major-minor (manual)", mm_ms, mm_io);
+  JsonLine("ordering_zorder_vs_majorminor")
+      .Str("setup", "zorder")
+      .Num("wall_ms", zorder_ms)
+      .Num("sim_io_ms", zorder_io)
+      .Emit();
+  JsonLine("ordering_zorder_vs_majorminor")
+      .Str("setup", "majorminor")
+      .Num("wall_ms", mm_ms)
+      .Num("sim_io_ms", mm_io)
+      .Emit();
   std::printf(
       "\npaper (SF100): automatic 284s vs manual 291s (comparable, "
       "automatic slightly ahead)\nmeasured ratio: %.3f\n",

@@ -69,6 +69,7 @@ void PrintPaperMasks() {
   std::printf("\n%s\n", mismatches == 0
                             ? "all masks match the published table"
                             : "MISMATCH against the published table!");
+  JsonLine("table_dimension_uses").Num("mask_mismatches", mismatches).Emit();
 }
 
 }  // namespace

@@ -29,6 +29,13 @@ int main() {
   }
   std::printf("== Section IV dimension table (SF %.3f) ==\n\n%s\n", sf,
               advisor::RenderDimensionTable(db.value()->design()).c_str());
+  for (const auto& dim : db.value()->design().dimensions) {
+    JsonLine("table_dimensions")
+        .Str("dimension", dim->name())
+        .Num("sf", sf)
+        .Num("bits", dim->bits())
+        .Emit();
+  }
   std::printf(
       "paper (SF100): D_NATION 5 bits (NATION: n_regionkey,n_nationkey)\n"
       "               D_PART  13 bits (PART: p_partkey)\n"

@@ -144,6 +144,13 @@ void ColumnVector::Reserve(size_t rows) {
   }
 }
 
+void ColumnVector::ClearKeepCapacity() {
+  i32.clear();
+  i64.clear();
+  f64.clear();
+  nulls.clear();
+}
+
 ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
   ColumnVector out(type);
   out.dict = dict;
@@ -164,6 +171,16 @@ ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
     for (uint32_t r : sel) out.nulls.push_back(nulls[r]);
   }
   return out;
+}
+
+void Batch::Compact() {
+  if (sel.empty()) return;
+  for (ColumnVector& c : columns) c = c.Gather(sel);
+  sel.clear();
+}
+
+void Batch::CompactIfSparse(double min_density) {
+  if (has_sel() && density() < min_density) Compact();
 }
 
 }  // namespace exec

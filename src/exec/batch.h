@@ -92,20 +92,59 @@ struct ColumnVector {
   void AppendNull();
 
   void Reserve(size_t rows);
+  /// Drop all values (and the null mask) but keep lane capacity and the
+  /// dictionary pointer — buffer-recycling support (see Operator::Recycle).
+  void ClearKeepCapacity();
   /// Rows selected by `sel` (indices into this vector).
   ColumnVector Gather(const std::vector<uint32_t>& sel) const;
 };
 
 /// \brief A batch of rows flowing between operators.
+///
+/// Selection-vector contract (late materialization): when `sel` is
+/// non-empty it holds, in emission order, the *physical* indices of the
+/// selected rows within `columns`, and `num_rows == sel.size()` counts the
+/// selected (logical) rows only — the columns keep their full physical
+/// length. Producers (Scan predicate pushdown, Filter) attach `sel` instead
+/// of compacting so downstream operators touch only the lanes they read.
+/// Consumers must either iterate logical rows through RowAt()/sel-aware
+/// helpers (KeyEncoder, hash join/agg) or call Compact() up front
+/// (materializing operators: sort, merge, streaming). See
+/// src/exec/README.md for the full contract.
 struct Batch {
   std::vector<ColumnVector> columns;
   size_t num_rows = 0;
+  /// Selected physical row indices; empty = identity (all physical rows).
+  std::vector<uint32_t> sel;
   /// Sandwich group tag: >= 0 when the producing scan emits group-aligned
   /// batches (a batch never spans two groups); -1 otherwise.
   int64_t group_id = -1;
 
   bool empty() const { return num_rows == 0; }
   static Batch Empty() { return Batch{}; }
+
+  bool has_sel() const { return !sel.empty(); }
+  /// Physical index of logical row `i`.
+  uint32_t RowAt(size_t i) const {
+    return sel.empty() ? static_cast<uint32_t>(i) : sel[i];
+  }
+  /// Rows physically held by the columns (>= num_rows under a selection).
+  size_t physical_rows() const {
+    return columns.empty() ? num_rows : columns[0].size();
+  }
+  /// Selected fraction of the physical rows (1.0 without a selection).
+  double density() const {
+    size_t phys = physical_rows();
+    return (sel.empty() || phys == 0)
+               ? 1.0
+               : static_cast<double>(num_rows) / static_cast<double>(phys);
+  }
+  /// Materialize the selection: gather every column down to the selected
+  /// rows and drop `sel`. No-op without a selection.
+  void Compact();
+  /// Compact only when density() < `min_density` (materializing-boundary
+  /// policy: keep dense selections lazy, squeeze sparse ones).
+  void CompactIfSparse(double min_density);
 };
 
 }  // namespace exec

@@ -20,6 +20,7 @@ namespace exec {
 /// Counters the planner/benchmarks read after a query finishes.
 struct ExecStats {
   uint64_t rows_scanned = 0;
+  uint64_t rows_filtered_at_scan = 0;  // rows dropped by scan-level predicates
   uint64_t zones_skipped = 0;
   uint64_t zones_read = 0;
   uint64_t groups_pruned = 0;
@@ -30,6 +31,7 @@ struct ExecStats {
 
   void Merge(const ExecStats& other) {
     rows_scanned += other.rows_scanned;
+    rows_filtered_at_scan += other.rows_filtered_at_scan;
     zones_skipped += other.zones_skipped;
     zones_read += other.zones_read;
     groups_pruned += other.groups_pruned;
@@ -42,6 +44,10 @@ struct ExecStats {
 /// query execution.
 class ExecContext {
  public:
+  /// Below this selected-row density, selection vectors are compacted at
+  /// materializing boundaries instead of carried (see batch.h contract).
+  static constexpr double kCompactDensity = 0.25;
+
   explicit ExecContext(io::BufferPool* pool = nullptr) : pool_(pool) {}
 
   /// Child context for one worker of a parallel pipeline: shares the
@@ -50,7 +56,8 @@ class ExecContext {
   explicit ExecContext(ExecContext& parent)
       : pool_(parent.pool_),
         parent_(&parent),
-        batch_size_(parent.batch_size_) {}
+        batch_size_(parent.batch_size_),
+        sel_enabled_(parent.sel_enabled_) {}
 
   MemoryTracker* memory() {
     return parent_ != nullptr ? parent_->memory() : &memory_;
@@ -65,12 +72,19 @@ class ExecContext {
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n; }
 
+  /// When false, batches are compacted eagerly wherever a selection vector
+  /// would otherwise be attached — the legacy copy path, kept selectable for
+  /// benchmarking and sel-vs-compact equality tests.
+  bool sel_enabled() const { return sel_enabled_; }
+  void set_sel_enabled(bool on) { sel_enabled_ = on; }
+
  private:
   io::BufferPool* pool_;
   ExecContext* parent_ = nullptr;
   MemoryTracker memory_;
   ExecStats stats_;
   size_t batch_size_ = 2048;
+  bool sel_enabled_ = true;
 };
 
 }  // namespace exec

@@ -34,6 +34,22 @@ int64_t FetchI64(const ColumnVector& v, size_t row) {
   }
 }
 
+// NULL in, NULL out for value-producing expressions: rows where any input
+// is NULL get a NULL output (aggregates then skip them, as documented).
+void PropagateNulls(const ColumnVector& a, const ColumnVector& b, size_t n,
+                    ColumnVector* out) {
+  if (!a.HasNulls() && !b.HasNulls()) return;
+  out->nulls.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (a.IsNull(i) || b.IsNull(i)) out->nulls[i] = 1;
+  }
+}
+
+void PropagateNulls(const ColumnVector& a, size_t n, ColumnVector* out) {
+  if (!a.HasNulls()) return;
+  out->nulls.assign(a.nulls.begin(), a.nulls.begin() + n);
+}
+
 // ---------------- Column reference ----------------
 
 class ColExpr : public Expr {
@@ -48,6 +64,10 @@ class ColExpr : public Expr {
   TypeId type() const override { return type_; }
   Result<ColumnVector> Eval(const Batch& batch) const override {
     BDCC_CHECK_MSG(index_ >= 0, "unbound column");
+    // Leaves densify: under a selection vector only the referenced column is
+    // gathered (late materialization); every non-leaf kernel then runs over
+    // dense logical-length vectors.
+    if (batch.has_sel()) return batch.columns[index_].Gather(batch.sel);
     // Copy: vectors are cheap at batch granularity and keeps ownership simple.
     return batch.columns[index_];
   }
@@ -134,6 +154,7 @@ class ArithExpr : public Expr {
         out.i64.push_back(Apply(x, y));
       }
     }
+    PropagateNulls(va, vb, batch.num_rows, &out);
     return out;
   }
   std::string ToString() const override {
@@ -178,11 +199,49 @@ class CmpExpr : public Expr {
     if (a_str != b_str) {
       return Status::InvalidArgument("comparison mixes string / non-string");
     }
+    // String = constant: remember the literal so Eval can bind it to a
+    // dictionary code once per batch instead of materializing it per row.
+    str_lit_ = nullptr;
+    if (a_str && (op_ == CmpOp::kEq || op_ == CmpOp::kNe)) {
+      if (auto* lb = dynamic_cast<const LitExpr*>(b_.get())) {
+        str_lit_ = lb;
+        str_col_ = a_;
+      } else if (auto* la = dynamic_cast<const LitExpr*>(a_.get())) {
+        str_lit_ = la;
+        str_col_ = b_;
+      }
+    }
     return Status::OK();
   }
   TypeId type() const override { return TypeId::kBool; }
 
   Result<ColumnVector> Eval(const Batch& batch) const override {
+    if (str_lit_ != nullptr) {
+      BDCC_ASSIGN_OR_RETURN(ColumnVector va, str_col_->Eval(batch));
+      if (va.dict != nullptr) {
+        // One dictionary lookup per batch; absent constant -> code -1,
+        // which matches no row.
+        int32_t code = va.dict->Find(str_lit_->value().AsString());
+        ColumnVector out(TypeId::kBool);
+        out.i32.resize(batch.num_rows);
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          bool eq = code >= 0 && va.i32[i] == code;
+          out.i32[i] = (op_ == CmpOp::kEq) ? eq : !eq;
+        }
+        if (va.HasNulls()) {
+          // NULL comparisons are UNKNOWN: value 0 (never passes a filter)
+          // plus a null mark so NOT does not turn them into TRUE.
+          out.nulls.assign(batch.num_rows, 0);
+          for (size_t i = 0; i < batch.num_rows; ++i) {
+            if (va.nulls[i]) {
+              out.i32[i] = 0;
+              out.nulls[i] = 1;
+            }
+          }
+        }
+        return out;
+      }
+    }
     BDCC_ASSIGN_OR_RETURN(ColumnVector va, a_->Eval(batch));
     BDCC_ASSIGN_OR_RETURN(ColumnVector vb, b_->Eval(batch));
     ColumnVector out(TypeId::kBool);
@@ -198,6 +257,10 @@ class CmpExpr : public Expr {
         }
       } else {
         for (size_t i = 0; i < batch.num_rows; ++i) {
+          if (has_nulls && (va.IsNull(i) || vb.IsNull(i))) {
+            out.i32[i] = 0;
+            continue;
+          }
           int c = va.GetString(i).compare(vb.GetString(i));
           out.i32[i] = Decide(c);
         }
@@ -214,8 +277,12 @@ class CmpExpr : public Expr {
       }
     }
     if (has_nulls) {
+      out.nulls.assign(batch.num_rows, 0);
       for (size_t i = 0; i < batch.num_rows; ++i) {
-        if (va.IsNull(i) || vb.IsNull(i)) out.i32[i] = 0;
+        if (va.IsNull(i) || vb.IsNull(i)) {
+          out.i32[i] = 0;
+          out.nulls[i] = 1;
+        }
       }
     }
     return out;
@@ -246,6 +313,9 @@ class CmpExpr : public Expr {
 
   CmpOp op_;
   ExprPtr a_, b_;
+  // Set at Bind for string-vs-literal equality (see Bind).
+  const LitExpr* str_lit_ = nullptr;
+  ExprPtr str_col_;
 };
 
 // ---------------- Boolean connectives ----------------
@@ -264,22 +334,48 @@ class BoolExpr : public Expr {
   }
   TypeId type() const override { return TypeId::kBool; }
 
+  // Three-valued logic over (value, null) pairs. Predicates encode UNKNOWN
+  // as value 0 + null mark, so filters (which test the value only) drop
+  // UNKNOWN rows at any nesting depth; the null mark exists so NOT and OR
+  // do not promote UNKNOWN to TRUE.
   Result<ColumnVector> Eval(const Batch& batch) const override {
     BDCC_ASSIGN_OR_RETURN(ColumnVector va, a_->Eval(batch));
     ColumnVector out(TypeId::kBool);
     out.i32.resize(batch.num_rows);
     if (op_ == BoolOp::kNot) {
-      for (size_t i = 0; i < batch.num_rows; ++i) out.i32[i] = !va.i32[i];
+      // NOT TRUE = FALSE, NOT FALSE = TRUE, NOT UNKNOWN = UNKNOWN.
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        out.i32[i] = !va.i32[i] && !va.IsNull(i);
+      }
+      out.nulls = std::move(va.nulls);
       return out;
     }
     BDCC_ASSIGN_OR_RETURN(ColumnVector vb, b_->Eval(batch));
+    bool has_nulls = va.HasNulls() || vb.HasNulls();
     if (op_ == BoolOp::kAnd) {
       for (size_t i = 0; i < batch.num_rows; ++i) {
         out.i32[i] = va.i32[i] && vb.i32[i];
       }
+      if (has_nulls) {
+        // FALSE AND UNKNOWN = FALSE; TRUE/UNKNOWN AND UNKNOWN = UNKNOWN.
+        out.nulls.assign(batch.num_rows, 0);
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          bool a_false = !va.i32[i] && !va.IsNull(i);
+          bool b_false = !vb.i32[i] && !vb.IsNull(i);
+          out.nulls[i] =
+              (va.IsNull(i) || vb.IsNull(i)) && !a_false && !b_false;
+        }
+      }
     } else {
       for (size_t i = 0; i < batch.num_rows; ++i) {
         out.i32[i] = va.i32[i] || vb.i32[i];
+      }
+      if (has_nulls) {
+        // TRUE OR UNKNOWN = TRUE; FALSE/UNKNOWN OR UNKNOWN = UNKNOWN.
+        out.nulls.assign(batch.num_rows, 0);
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          out.nulls[i] = !out.i32[i] && (va.IsNull(i) || vb.IsNull(i));
+        }
       }
     }
     return out;
@@ -315,9 +411,15 @@ class LikeExpr : public Expr {
     BDCC_ASSIGN_OR_RETURN(ColumnVector va, a_->Eval(batch));
     ColumnVector out(TypeId::kBool);
     out.i32.resize(batch.num_rows);
+    if (va.HasNulls()) out.nulls.assign(batch.num_rows, 0);
     // Memoize per-dictionary-code verdicts: dictionaries repeat heavily.
     std::unordered_map<int32_t, bool> memo;
     for (size_t i = 0; i < batch.num_rows; ++i) {
+      if (va.IsNull(i)) {
+        out.i32[i] = 0;  // NULL [NOT] LIKE ... is UNKNOWN
+        out.nulls[i] = 1;
+        continue;
+      }
       int32_t code = va.i32[i];
       auto it = memo.find(code);
       bool match;
@@ -362,7 +464,32 @@ class InStringsExpr : public Expr {
     BDCC_ASSIGN_OR_RETURN(ColumnVector va, a_->Eval(batch));
     ColumnVector out(TypeId::kBool);
     out.i32.resize(batch.num_rows);
+    if (va.dict != nullptr) {
+      // Bind the IN-list to dictionary codes once per batch: per-row work
+      // becomes an integer-set probe instead of a string materialization.
+      std::unordered_set<int32_t> codes;
+      for (const std::string& v : values_) {
+        int32_t c = va.dict->Find(v);
+        if (c >= 0) codes.insert(c);
+      }
+      if (va.HasNulls()) out.nulls.assign(batch.num_rows, 0);
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        if (va.IsNull(i)) {
+          out.i32[i] = 0;  // NULL IN (...) is UNKNOWN
+          out.nulls[i] = 1;
+          continue;
+        }
+        out.i32[i] = codes.count(va.i32[i]) > 0;
+      }
+      return out;
+    }
+    if (va.HasNulls()) out.nulls.assign(batch.num_rows, 0);
     for (size_t i = 0; i < batch.num_rows; ++i) {
+      if (va.IsNull(i)) {
+        out.i32[i] = 0;
+        out.nulls[i] = 1;
+        continue;
+      }
       out.i32[i] = values_.count(std::string(va.GetString(i))) > 0;
     }
     return out;
@@ -392,7 +519,13 @@ class InIntsExpr : public Expr {
     BDCC_ASSIGN_OR_RETURN(ColumnVector va, a_->Eval(batch));
     ColumnVector out(TypeId::kBool);
     out.i32.resize(batch.num_rows);
+    if (va.HasNulls()) out.nulls.assign(batch.num_rows, 0);
     for (size_t i = 0; i < batch.num_rows; ++i) {
+      if (va.IsNull(i)) {
+        out.i32[i] = 0;  // NULL IN (...) is UNKNOWN
+        out.nulls[i] = 1;
+        continue;
+      }
       out.i32[i] = values_.count(FetchI64(va, i)) > 0;
     }
     return out;
@@ -444,6 +577,13 @@ class CaseExpr : public Expr {
         out.i64.push_back(vc.i32[i] ? FetchI64(vt, i) : FetchI64(ve, i));
       }
     }
+    if (vt.HasNulls() || ve.HasNulls()) {
+      out.nulls.assign(batch.num_rows, 0);
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        const ColumnVector& chosen = vc.i32[i] ? vt : ve;
+        if (chosen.IsNull(i)) out.nulls[i] = 1;
+      }
+    }
     return out;
   }
   std::string ToString() const override {
@@ -480,6 +620,7 @@ class YearExpr : public Expr {
       CivilFromDays(va.i32[i], &y, &m, &d);
       out.i32[i] = y;
     }
+    PropagateNulls(va, batch.num_rows, &out);
     return out;
   }
   std::string ToString() const override {
@@ -509,10 +650,15 @@ class StrPrefixExpr : public Expr {
     out.dict = std::make_shared<Dictionary>();
     out.i32.reserve(batch.num_rows);
     for (size_t i = 0; i < batch.num_rows; ++i) {
+      if (va.IsNull(i)) {
+        out.i32.push_back(out.dict->GetOrAdd(""));
+        continue;
+      }
       std::string_view s = va.GetString(i);
       out.i32.push_back(out.dict->GetOrAdd(
           s.substr(0, std::min<size_t>(s.size(), static_cast<size_t>(len_)))));
     }
+    PropagateNulls(va, batch.num_rows, &out);
     return out;
   }
   std::string ToString() const override {

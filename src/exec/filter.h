@@ -19,6 +19,7 @@ class Filter : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
   void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  void Recycle(Batch&& batch) override { child_->Recycle(std::move(batch)); }
 
  private:
   OperatorPtr child_;

@@ -18,7 +18,6 @@ Status HashAgg::Open(ExecContext* ctx) {
   key_store_.clear();
   if (!group_cols_.empty()) {
     BDCC_RETURN_NOT_OK(encoder_.Bind(in, group_cols_));
-    key_map_.SetIntMode(encoder_.int_path());
     for (const std::string& g : group_cols_) {
       BDCC_ASSIGN_OR_RETURN(int idx, in.Require(g));
       fields.push_back(in.field(idx));
@@ -42,33 +41,15 @@ Status HashAgg::Consume(const Batch& batch) {
     std::fill(group_of_row.begin(), group_of_row.end(), 0);
   } else {
     const std::vector<int>& key_idx = encoder_.indices();
-    auto assign = [&](size_t row, int64_t gid, bool inserted) {
-      if (inserted) {
-        for (size_t k = 0; k < key_idx.size(); ++k) {
-          key_store_[k].AppendInterning(batch.columns[key_idx[k]], row);
-        }
-      }
-      group_of_row[row] = static_cast<uint32_t>(gid);
-    };
-    if (encoder_.int_path()) {
-      std::vector<int64_t> keys;
-      std::vector<uint8_t> valid;
-      encoder_.EncodeInts(batch, &keys, &valid);
-      for (size_t i = 0; i < batch.num_rows; ++i) {
-        bool inserted;
-        int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
-        assign(i, gid, inserted);
-      }
-    } else {
-      std::vector<std::string> keys;
-      std::vector<uint8_t> valid;
-      encoder_.EncodeBytes(batch, &keys, &valid);
-      for (size_t i = 0; i < batch.num_rows; ++i) {
-        bool inserted;
-        int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
-        assign(i, gid, inserted);
-      }
-    }
+    // A fresh group stores its key values from the source row (NULL key
+    // parts append as NULLs); AppendInterning resolves through RowAt.
+    EncodeAndAssignGroups(encoder_, &key_map_, batch, &group_of_row,
+                          [&](size_t row) {
+                            for (size_t k = 0; k < key_idx.size(); ++k) {
+                              key_store_[k].AppendInterning(
+                                  batch.columns[key_idx[k]], batch.RowAt(row));
+                            }
+                          });
     core_.EnsureGroups(key_map_.size());
   }
   return core_.Update(batch, group_of_row);
@@ -80,6 +61,7 @@ Status HashAgg::ConsumeAll(ExecContext* ctx) {
     BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
     if (b.empty()) break;
     BDCC_RETURN_NOT_OK(Consume(b));
+    child_->Recycle(std::move(b));
     uint64_t store_bytes = 0;
     for (const ColumnVector& v : key_store_) {
       store_bytes += ColumnVectorBytes(v);
@@ -100,43 +82,17 @@ Status HashAgg::MergePartial(HashAgg* other) {
   size_t other_groups = other->key_map_.size();
   if (other_groups == 0) return Status::OK();
   // Re-encode the partial's group keys (its key store is one row per group)
-  // against this aggregate's key map.
-  Batch keys;
-  keys.columns = other->key_store_;
-  keys.num_rows = other_groups;
-  std::vector<Field> key_fields;
-  for (size_t k = 0; k < group_cols_.size(); ++k) {
-    key_fields.push_back(Field{group_cols_[k], key_store_[k].type});
-  }
-  Schema key_schema{std::move(key_fields)};
-  KeyEncoder merge_encoder;
-  BDCC_RETURN_NOT_OK(merge_encoder.Bind(key_schema, group_cols_));
-  std::vector<uint32_t> group_map(other_groups);
-  auto assign = [&](size_t row, int64_t gid, bool inserted) {
-    if (inserted) {
-      for (size_t k = 0; k < key_store_.size(); ++k) {
-        key_store_[k].AppendInterning(keys.columns[k], row);
-      }
-    }
-    group_map[row] = static_cast<uint32_t>(gid);
-  };
-  if (merge_encoder.int_path()) {
-    std::vector<int64_t> encoded;
-    std::vector<uint8_t> valid;
-    merge_encoder.EncodeInts(keys, &encoded, &valid);
-    for (size_t i = 0; i < other_groups; ++i) {
-      bool inserted;
-      assign(i, key_map_.FindOrInsert(encoded[i], &inserted), inserted);
-    }
-  } else {
-    std::vector<std::string> encoded;
-    std::vector<uint8_t> valid;
-    merge_encoder.EncodeBytes(keys, &encoded, &valid);
-    for (size_t i = 0; i < other_groups; ++i) {
-      bool inserted;
-      assign(i, key_map_.FindOrInsert(encoded[i], &inserted), inserted);
-    }
-  }
+  // through *this* aggregate's encoder, so string keys land in the same
+  // canonical code space — and NULL-bearing groups fold into the matching
+  // null/byte-fallback groups — as the keys consumed directly.
+  const std::vector<ColumnVector>& keys = other->key_store_;
+  std::vector<uint32_t> group_map;
+  EncodeAndAssignGroupsCols(encoder_, &key_map_, keys, other_groups,
+                            &group_map, [&](size_t row) {
+                              for (size_t k = 0; k < key_store_.size(); ++k) {
+                                key_store_[k].AppendInterning(keys[k], row);
+                              }
+                            });
   core_.EnsureGroups(key_map_.size());
   core_.MergeFrom(other->core_, group_map);
   return Status::OK();

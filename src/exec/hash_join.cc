@@ -31,10 +31,10 @@ Status HashJoinProber::Bind(const Schema& probe_schema,
                             const JoinHashTable* table, JoinType type) {
   table_ = table;
   type_ = type;
-  BDCC_RETURN_NOT_OK(encoder_.Bind(probe_schema, probe_keys));
-  if (encoder_.int_path() != table->encoder().int_path()) {
-    return Status::InvalidArgument("join key types incompatible across sides");
-  }
+  // Probe keys encode in the build side's canonical space (string keys
+  // resolve to build dictionary codes; absent strings never match).
+  BDCC_RETURN_NOT_OK(
+      encoder_.BindProbe(probe_schema, probe_keys, &table->encoder()));
   if (type_ == JoinType::kLeftSemi || type_ == JoinType::kLeftAnti) {
     schema_ = probe_schema;
   } else {
@@ -57,6 +57,7 @@ Status HashJoin::Open(ExecContext* ctx) {
     BDCC_ASSIGN_OR_RETURN(Batch b, right_->Next(ctx));
     if (b.empty()) break;
     BDCC_RETURN_NOT_OK(table_.AddBatch(b));
+    right_->Recycle(std::move(b));
     tracked_->Set(table_.MemoryBytes());
   }
 
@@ -78,9 +79,11 @@ Result<Batch> HashJoinProber::ProbeBatch(const Batch& in) const {
     }
   }
 
+  // `left_row` below is a logical row; map through the probe batch's
+  // selection when materializing.
   auto emit_match = [&](size_t left_row, uint32_t build_row) {
     for (size_t c = 0; c < left_width; ++c) {
-      out.columns[c].AppendFrom(in.columns[c], left_row);
+      out.columns[c].AppendFrom(in.columns[c], in.RowAt(left_row));
     }
     for (size_t c = 0; c < table.columns().size(); ++c) {
       out.columns[left_width + c].AppendFrom(table.columns()[c], build_row);
@@ -89,7 +92,7 @@ Result<Batch> HashJoinProber::ProbeBatch(const Batch& in) const {
   };
   auto emit_left_only = [&](size_t left_row, bool null_right) {
     for (size_t c = 0; c < left_width; ++c) {
-      out.columns[c].AppendFrom(in.columns[c], left_row);
+      out.columns[c].AppendFrom(in.columns[c], in.RowAt(left_row));
     }
     if (null_right) {
       for (size_t c = left_width; c < out.columns.size(); ++c) {
@@ -150,6 +153,7 @@ Result<Batch> HashJoin::Next(ExecContext* ctx) {
     BDCC_ASSIGN_OR_RETURN(Batch in, left_->Next(ctx));
     if (in.empty()) return Batch::Empty();
     BDCC_ASSIGN_OR_RETURN(Batch out, prober_.ProbeBatch(in));
+    left_->Recycle(std::move(in));  // probe output is freshly materialized
     if (out.num_rows > 0) return out;
   }
 }

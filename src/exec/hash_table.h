@@ -3,6 +3,7 @@
 #define BDCC_EXEC_HASH_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,57 +15,186 @@ namespace bdcc {
 namespace exec {
 
 /// \brief Normalizes one or more key columns per row into either an int64
-/// (single integer-backed key: the TPC-H join fast path) or a byte string
-/// (composite / string / float keys). NULL keys encode distinctly and never
-/// match a non-null key.
+/// (fast paths, see below) or a byte string. All encoders are sel-aware:
+/// they produce one key per *logical* row of a batch.
+///
+/// int64 fast paths (int_path() == true):
+///  - kInt:    single integer-backed key — the raw value (TPC-H FK joins).
+///  - kCode:   single string key — the dictionary code, canonicalized
+///             against the first dictionary seen (probe sides resolve
+///             read-only against the build side's canonical space; absent
+///             strings yield a never-matching key).
+///  - kPacked: two fixed-width keys (i32-backed and/or string codes) packed
+///             into one uint64 (e.g. Q1's (l_returnflag, l_linestatus)).
+/// Everything else (kBytes) serializes per row with per-column null tags,
+/// so composite keys containing NULLs group exactly.
+///
+/// NULL keys: `valid[i] = 0` flags rows whose key tuple contains a NULL.
+/// Joins skip them (SQL: NULL never matches); aggregations group them
+/// through EncodeAndAssignGroups (single keys -> DenseKeyMap::NullId,
+/// NULL-bearing packed tuples -> exact tagged byte keys).
+///
+/// Thread-safety: a build/aggregate encoder mutates its canonical string
+/// space while encoding and must stay single-threaded. A probe encoder
+/// bound with BindProbe never mutates the build encoder's space — any
+/// number of probe encoders (one per worker clone, each with private
+/// translation caches) may encode concurrently once the build is done.
 class KeyEncoder {
  public:
   Status Bind(const Schema& schema, const std::vector<std::string>& key_cols);
+  /// Bind as the probe side of `build`: string keys resolve against the
+  /// build encoder's canonical space (read-only; misses never match).
+  /// `build` must outlive this encoder and be done encoding before probes
+  /// start.
+  Status BindProbe(const Schema& schema,
+                   const std::vector<std::string>& key_cols,
+                   const KeyEncoder* build);
 
-  bool int_path() const { return int_path_; }
+  bool int_path() const { return mode_ != Mode::kBytes; }
   size_t num_keys() const { return indices_.size(); }
   const std::vector<int>& indices() const { return indices_; }
 
-  /// Fast path: per-row int64 keys; `valid[i]`=0 marks NULL keys.
+  /// Fast path: per-logical-row int64 keys; `valid[i]`=0 marks NULL keys.
   void EncodeInts(const Batch& batch, std::vector<int64_t>* keys,
                   std::vector<uint8_t>* valid) const;
-  /// Generic path: per-row byte keys ("" never produced); NULL keys yield
-  /// valid[i]=0.
+  /// Generic path: per-logical-row byte keys (complete even for NULL
+  /// tuples); `valid[i]`=0 marks rows with a NULL key column.
   void EncodeBytes(const Batch& batch, std::vector<std::string>* keys,
                    std::vector<uint8_t>* valid) const;
 
+  /// Encode from explicit key columns (key_cols[k] is key k, dense, no
+  /// selection) — used when merging partial aggregates, so the partial's
+  /// stored keys re-encode in *this* encoder's canonical space.
+  void EncodeIntsCols(const std::vector<ColumnVector>& key_cols,
+                      size_t num_rows, std::vector<int64_t>* keys,
+                      std::vector<uint8_t>* valid) const;
+  void EncodeBytesCols(const std::vector<ColumnVector>& key_cols,
+                       size_t num_rows, std::vector<std::string>* keys,
+                       std::vector<uint8_t>* valid) const;
+
+  /// Byte-encode one logical row's key tuple (same tagged format as
+  /// EncodeBytes). Used for NULL-bearing tuples on the packed int path,
+  /// which need exact per-tuple grouping that 64 bits cannot express.
+  std::string EncodeBytesRow(const Batch& batch, size_t logical_row) const;
+  std::string EncodeBytesRowCols(const std::vector<ColumnVector>& key_cols,
+                                 size_t row) const;
+
  private:
+  enum class Mode { kInt, kCode, kPacked, kBytes };
+
+  // Canonical space of one string key column: the first dictionary seen
+  // (ownership shared so expression-generated dictionaries stay alive) plus
+  // stable ids for strings outside it.
+  struct StringSpace {
+    std::shared_ptr<Dictionary> canon;
+    std::unordered_map<std::string, uint32_t> side;
+  };
+  // Per-batch translation cache: source dictionary code -> slot. Holds a
+  // shared_ptr so the cached dictionary cannot be freed and its heap
+  // address reused by a different dictionary (which would validate the
+  // stale cache and translate through the wrong mapping).
+  struct TranslateCache {
+    std::shared_ptr<Dictionary> src;
+    size_t src_size = 0;
+    size_t space_version = 0;
+    std::vector<int64_t> slot;
+  };
+
+  static constexpr int64_t kUnresolved = -2;
+  static constexpr uint32_t kSideBase = 1u << 31;
+  static constexpr uint32_t kMissSlot = 0xFFFFFFFFu;
+  /// Key-column pointer buffers live on the stack up to this arity.
+  static constexpr size_t kInlineKeyCols = 8;
+
+  const ColumnVector* const* GatherCols(
+      const Batch& batch, const ColumnVector* inline_buf[kInlineKeyCols],
+      std::vector<const ColumnVector*>* overflow) const;
+
+  const StringSpace& TargetSpace(size_t k) const {
+    return probe_of_ != nullptr ? probe_of_->spaces_[k] : spaces_[k];
+  }
+  size_t SpaceVersion(size_t k) const;
+  /// Slot of string code `code` from dictionary `src` in key column `k`
+  /// (canonical code, side id, or kMissSlot on a frozen probe).
+  uint32_t StringSlot(size_t k, const std::shared_ptr<Dictionary>& src,
+                      int32_t code) const;
+  /// 32-bit slot of logical row value in key column `k` (raw bits for
+  /// integer-backed, canonicalized code for strings).
+  uint32_t SlotOf(size_t k, const ColumnVector& col, size_t row) const;
+
+  void EncodeIntsImpl(const ColumnVector* const* cols, size_t num_rows,
+                      const uint32_t* sel, std::vector<int64_t>* keys,
+                      std::vector<uint8_t>* valid) const;
+  void EncodeBytesImpl(const ColumnVector* const* cols, size_t num_rows,
+                       const uint32_t* sel, std::vector<std::string>* keys,
+                       std::vector<uint8_t>* valid) const;
+  /// Append one row's tagged key bytes to `key`; returns false when a key
+  /// column was NULL.
+  bool AppendBytesRow(const ColumnVector* const* cols, size_t row,
+                      std::string* key) const;
+
   std::vector<int> indices_;
   std::vector<TypeId> types_;
-  bool int_path_ = false;
+  Mode mode_ = Mode::kInt;
+  const KeyEncoder* probe_of_ = nullptr;
+  // Mutated lazily while encoding (canonical adoption / side interning /
+  // translation caches); see thread-safety note above.
+  mutable std::vector<StringSpace> spaces_;
+  mutable std::vector<TranslateCache> caches_;
 };
 
 /// \brief Chained hash table mapping keys to dense ids 0..n-1 (insertion
-/// order). Ids index the caller's payload arrays.
+/// order). Ids index the caller's payload arrays. An optional dedicated
+/// null-key id (NullId) shares the dense id space, so aggregations can
+/// keep SQL's "NULLs group together" semantics on the int fast paths; in
+/// int mode the byte-keyed overloads remain usable as an exact side
+/// channel for NULL-bearing composite tuples (both key spaces share the
+/// dense id sequence).
 class DenseKeyMap {
  public:
-  void SetIntMode(bool int_mode) { int_mode_ = int_mode; }
-
   /// Existing id or -1.
   int64_t Find(int64_t key) const;
   int64_t Find(const std::string& key) const;
   /// Existing id, or insert and return the fresh one (out_inserted flags it).
   int64_t FindOrInsert(int64_t key, bool* out_inserted);
   int64_t FindOrInsert(const std::string& key, bool* out_inserted);
+  /// Dense id reserved for NULL keys (allocated on first use).
+  int64_t NullId(bool* out_inserted);
 
   size_t size() const {
-    return int_mode_ ? int_map_.size() : bytes_map_.size();
+    return int_map_.size() + bytes_map_.size() + (null_id_ >= 0 ? 1 : 0);
   }
   /// Rough heap footprint for memory accounting.
   uint64_t MemoryBytes() const;
   void Clear();
 
  private:
-  bool int_mode_ = true;
+  int64_t NextId() const { return static_cast<int64_t>(size()); }
+
   std::unordered_map<int64_t, int64_t> int_map_;
   std::unordered_map<std::string, int64_t> bytes_map_;
+  int64_t null_id_ = -1;
   uint64_t bytes_key_payload_ = 0;
 };
+
+/// Encode `batch`'s key tuple per logical row through `encoder` and assign
+/// dense group ids from `key_map`, calling `on_new_group(logical_row)` for
+/// each freshly inserted group (append the row's key values there). NULL
+/// keys follow SQL GROUP BY semantics: single-key int paths use the
+/// dedicated null group; NULL-bearing packed tuples fall back to exact
+/// tagged byte keys so (1, NULL) and (2, NULL) stay distinct; byte keys
+/// are exact by construction. Shared by hash and sandwich aggregation.
+void EncodeAndAssignGroups(const KeyEncoder& encoder, DenseKeyMap* key_map,
+                           const Batch& batch,
+                           std::vector<uint32_t>* group_of_row,
+                           const std::function<void(size_t)>& on_new_group);
+/// Same, over explicit dense key columns (partial-aggregate merge).
+void EncodeAndAssignGroupsCols(const KeyEncoder& encoder,
+                               DenseKeyMap* key_map,
+                               const std::vector<ColumnVector>& key_cols,
+                               size_t num_rows,
+                               std::vector<uint32_t>* group_of_row,
+                               const std::function<void(size_t)>& on_new_group);
 
 /// \brief Materialized build side of a hash join: all build columns plus a
 /// key -> row-chain index.

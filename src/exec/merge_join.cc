@@ -46,6 +46,8 @@ Status MergeJoin::AdvanceRight(ExecContext* ctx) {
       right_done_ = true;
       break;
     }
+    b.Compact();  // the merge cursor walks rows positionally
+    right_->Recycle(std::move(right_batch_));  // fully consumed predecessor
     right_batch_ = std::move(b);
     right_pos_ = 0;
   }
@@ -56,6 +58,7 @@ Result<Batch> MergeJoin::Next(ExecContext* ctx) {
   while (true) {
     BDCC_ASSIGN_OR_RETURN(Batch in, left_->Next(ctx));
     if (in.empty()) return Batch::Empty();
+    in.Compact();  // positional row walk below
 
     Batch out;
     out.group_id = in.group_id;
@@ -92,6 +95,7 @@ Result<Batch> MergeJoin::Next(ExecContext* ctx) {
         ++out.num_rows;
       }
     }
+    left_->Recycle(std::move(in));  // output rows are copies
     if (out.num_rows > 0) return out;
   }
 }

@@ -9,6 +9,7 @@ Result<Batch> CollectAll(Operator* op, ExecContext* ctx) {
   while (true) {
     BDCC_ASSIGN_OR_RETURN(Batch b, op->Next(ctx));
     if (b.empty()) break;
+    b.Compact();  // collected results are always dense
     if (out.columns.empty()) {
       out = std::move(b);
       continue;
@@ -19,6 +20,7 @@ Result<Batch> CollectAll(Operator* op, ExecContext* ctx) {
       }
     }
     out.num_rows += b.num_rows;
+    op->Recycle(std::move(b));
   }
   op->Close(ctx);
   if (out.columns.empty()) {

@@ -24,6 +24,15 @@ class Operator {
   virtual Status Open(ExecContext* ctx) = 0;
   virtual Result<Batch> Next(ExecContext* ctx) = 0;
   virtual void Close(ExecContext* ctx) {}
+
+  /// Best-effort buffer return: a consumer that has fully materialized (or
+  /// discarded) a batch obtained from this operator's Next may hand it back
+  /// so the producer reuses the lane allocations for future batches. The
+  /// batch must no longer be referenced by the caller. Default: drop.
+  /// Filter forwards to its child (its output may share the child's
+  /// buffers); Project recycles its input itself and drops returns (its
+  /// output schema differs from the child's).
+  virtual void Recycle(Batch&& batch) {}
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

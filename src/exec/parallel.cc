@@ -19,12 +19,15 @@ uint64_t BatchBytes(const Batch& b) {
 
 // Drain `op` on a worker, collecting every non-empty batch; the growing
 // buffer is charged to `mem` (one TrackedMemory per clone, single-owner).
+// The buffer is a materializing boundary: sparse selections are compacted
+// so the barrier does not hold unselected rows in memory.
 Status DrainChain(Operator* op, ExecContext* ctx, std::vector<Batch>* out,
                   TrackedMemory* mem) {
   uint64_t bytes = 0;
   while (true) {
     BDCC_ASSIGN_OR_RETURN(Batch b, op->Next(ctx));
     if (b.empty()) return Status::OK();
+    b.CompactIfSparse(ExecContext::kCompactDensity);
     bytes += BatchBytes(b);
     mem->Set(bytes);
     out->push_back(std::move(b));
@@ -203,6 +206,7 @@ Status ParallelHashJoin::Open(ExecContext* ctx) {
     BDCC_ASSIGN_OR_RETURN(Batch b, build_->Next(ctx));
     if (b.empty()) break;
     BDCC_RETURN_NOT_OK(table_.AddBatch(b));
+    build_->Recycle(std::move(b));
     tracked_->Set(table_.MemoryBytes());
   }
 
@@ -235,6 +239,7 @@ Status ParallelHashJoin::RunAll(ExecContext* ctx) {
         BDCC_ASSIGN_OR_RETURN(Batch in, probe->Next(cctx));
         if (in.empty()) return Status::OK();
         BDCC_ASSIGN_OR_RETURN(Batch out, probers_[i].ProbeBatch(in));
+        probe->Recycle(std::move(in));
         if (out.num_rows > 0) {
           bytes += BatchBytes(out);
           clone_mem[i]->Set(bytes);

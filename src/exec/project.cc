@@ -46,6 +46,9 @@ Result<Batch> Project::Next(ExecContext* ctx) {
     BDCC_ASSIGN_OR_RETURN(ColumnVector v, ne.expr->Eval(in));
     out.columns.push_back(std::move(v));
   }
+  // Expression outputs are dense copies (leaves densify), so the input
+  // buffers are free to reuse.
+  child_->Recycle(std::move(in));
   return out;
 }
 

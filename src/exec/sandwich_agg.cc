@@ -17,7 +17,6 @@ Status SandwichAgg::Open(ExecContext* ctx) {
   const Schema& in = child_->schema();
   BDCC_RETURN_NOT_OK(core_.Bind(in, spec_templates_));
   BDCC_RETURN_NOT_OK(encoder_.Bind(in, group_cols_));
-  key_map_.SetIntMode(encoder_.int_path());
 
   std::vector<Field> fields;
   key_store_.clear();
@@ -38,35 +37,15 @@ Status SandwichAgg::Open(ExecContext* ctx) {
 }
 
 Status SandwichAgg::Consume(const Batch& batch) {
-  std::vector<uint32_t> group_of_row(batch.num_rows);
+  std::vector<uint32_t> group_of_row;
   const std::vector<int>& key_idx = encoder_.indices();
-  auto assign = [&](size_t row, int64_t gid, bool inserted) {
-    if (inserted) {
-      for (size_t k = 0; k < key_idx.size(); ++k) {
-        key_store_[k].AppendInterning(batch.columns[key_idx[k]], row);
-      }
-    }
-    group_of_row[row] = static_cast<uint32_t>(gid);
-  };
-  if (encoder_.int_path()) {
-    std::vector<int64_t> keys;
-    std::vector<uint8_t> valid;
-    encoder_.EncodeInts(batch, &keys, &valid);
-    for (size_t i = 0; i < batch.num_rows; ++i) {
-      bool inserted;
-      int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
-      assign(i, gid, inserted);
-    }
-  } else {
-    std::vector<std::string> keys;
-    std::vector<uint8_t> valid;
-    encoder_.EncodeBytes(batch, &keys, &valid);
-    for (size_t i = 0; i < batch.num_rows; ++i) {
-      bool inserted;
-      int64_t gid = key_map_.FindOrInsert(keys[i], &inserted);
-      assign(i, gid, inserted);
-    }
-  }
+  EncodeAndAssignGroups(encoder_, &key_map_, batch, &group_of_row,
+                        [&](size_t row) {
+                          for (size_t k = 0; k < key_idx.size(); ++k) {
+                            key_store_[k].AppendInterning(
+                                batch.columns[key_idx[k]], batch.RowAt(row));
+                          }
+                        });
   core_.EnsureGroups(key_map_.size());
   return core_.Update(batch, group_of_row);
 }
@@ -111,6 +90,7 @@ Result<Batch> SandwichAgg::Next(ExecContext* ctx) {
     }
     current_partition_ = b.group_id;
     BDCC_RETURN_NOT_OK(Consume(b));
+    child_->Recycle(std::move(b));
     uint64_t store_bytes = 0;
     for (const ColumnVector& v : key_store_) {
       store_bytes += ColumnVectorBytes(v);

@@ -18,7 +18,10 @@ Status SandwichHashJoin::Open(ExecContext* ctx) {
   BDCC_RETURN_NOT_OK(right_->Open(ctx));
   tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
   BDCC_RETURN_NOT_OK(table_.Init(right_->schema(), right_keys_));
-  BDCC_RETURN_NOT_OK(probe_encoder_.Bind(left_->schema(), left_keys_));
+  // Per-group builds alternate with probes on this one thread, so sharing
+  // the build encoder's canonical string space is race-free.
+  BDCC_RETURN_NOT_OK(
+      probe_encoder_.BindProbe(left_->schema(), left_keys_, &table_.encoder()));
   if (type_ == JoinType::kLeftSemi || type_ == JoinType::kLeftAnti) {
     schema_ = left_->schema();
   } else {
@@ -60,12 +63,14 @@ Status SandwichHashJoin::LoadRightGroupUpTo(int64_t target, ExecContext* ctx) {
     if (!have_pending_right_) return Status::OK();  // right exhausted
     if (pending_right_.group_id >= target) break;
     have_pending_right_ = false;
+    right_->Recycle(std::move(pending_right_));
   }
   // Build all batches of the chosen group.
   int64_t group = pending_right_.group_id;
   while (have_pending_right_ && pending_right_.group_id == group) {
     BDCC_RETURN_NOT_OK(table_.AddBatch(pending_right_));
     have_pending_right_ = false;
+    right_->Recycle(std::move(pending_right_));
     if (!right_done_) BDCC_RETURN_NOT_OK(PullRight(ctx));
   }
   current_group_ = group;
@@ -85,9 +90,10 @@ Result<Batch> SandwichHashJoin::ProbeBatch(const Batch& in) {
     }
   }
 
+  // `left_row` is logical; map through the probe batch's selection.
   auto emit_match = [&](size_t left_row, uint32_t build_row) {
     for (size_t c = 0; c < left_width; ++c) {
-      out.columns[c].AppendFrom(in.columns[c], left_row);
+      out.columns[c].AppendFrom(in.columns[c], in.RowAt(left_row));
     }
     for (size_t c = 0; c < table_.columns().size(); ++c) {
       out.columns[left_width + c].AppendFrom(table_.columns()[c], build_row);
@@ -96,7 +102,7 @@ Result<Batch> SandwichHashJoin::ProbeBatch(const Batch& in) {
   };
   auto emit_left = [&](size_t left_row, bool null_right) {
     for (size_t c = 0; c < left_width; ++c) {
-      out.columns[c].AppendFrom(in.columns[c], left_row);
+      out.columns[c].AppendFrom(in.columns[c], in.RowAt(left_row));
     }
     if (null_right) {
       for (size_t c = left_width; c < out.columns.size(); ++c) {
@@ -151,13 +157,15 @@ Result<Batch> SandwichHashJoin::Next(ExecContext* ctx) {
     BDCC_RETURN_NOT_OK(LoadRightGroupUpTo(in.group_id, ctx));
     if (current_group_ == in.group_id) {
       BDCC_ASSIGN_OR_RETURN(Batch out, ProbeBatch(in));
+      left_->Recycle(std::move(in));  // probe output is freshly materialized
       if (out.num_rows > 0) return out;
       continue;
     }
     // No matching right group: anti rows pass through; left-outer rows pass
-    // with NULL right columns.
+    // with NULL right columns (dense, so the appended null columns align).
     if (type_ == JoinType::kLeftAnti) return in;
     if (type_ == JoinType::kLeftOuter) {
+      in.Compact();
       Batch out;
       out.group_id = in.group_id;
       out.num_rows = in.num_rows;

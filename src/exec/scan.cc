@@ -1,33 +1,197 @@
 #include "exec/scan.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/bits.h"
 
 namespace bdcc {
 namespace exec {
 
-namespace {
+namespace internal {
 
-// Prepare an empty batch with one typed column per scan output.
-Batch PrepareBatch(const Table& table, const std::vector<int>& col_idx,
-                   const Schema& schema) {
-  Batch out;
-  out.columns.reserve(col_idx.size());
-  for (size_t c = 0; c < col_idx.size(); ++c) {
-    ColumnVector v(schema.field(c).type);
-    if (table.column(col_idx[c]).type() == TypeId::kString) {
-      v.dict = table.column(col_idx[c]).dict();
+Status ScanFilterState::Bind(const Table& table,
+                             const std::vector<ScanPredicate>& preds) {
+  bound_.clear();
+  for (const ScanPredicate& p : preds) {
+    BDCC_ASSIGN_OR_RETURN(int idx, table.ColumnIndex(p.column));
+    const Column& col = table.column(idx);
+    BoundRowPred b;
+    b.col = idx;
+    b.type = col.type();
+    switch (col.type()) {
+      case TypeId::kInt64:
+        b.lo_i64 = p.range.lo ? p.range.lo->AsInt64()
+                              : std::numeric_limits<int64_t>::min();
+        b.hi_i64 = p.range.hi ? p.range.hi->AsInt64()
+                              : std::numeric_limits<int64_t>::max();
+        break;
+      case TypeId::kFloat64:
+        b.lo_f64 = p.range.lo ? p.range.lo->AsDouble()
+                              : -std::numeric_limits<double>::infinity();
+        b.hi_f64 = p.range.hi ? p.range.hi->AsDouble()
+                              : std::numeric_limits<double>::infinity();
+        b.has_hi_f64 = p.range.hi.has_value();
+        break;
+      case TypeId::kString: {
+        // Bind the range to the dictionary once: one verdict per code.
+        const Dictionary& dict = *col.dict();
+        b.code_ok.resize(dict.size());
+        for (int32_t c = 0; c < dict.size(); ++c) {
+          b.code_ok[c] = p.range.Contains(Value::String(dict.Get(c))) ? 1 : 0;
+        }
+        break;
+      }
+      default: {  // i32-backed
+        int64_t lo = p.range.lo ? p.range.lo->AsInt64()
+                                : std::numeric_limits<int32_t>::min();
+        int64_t hi = p.range.hi ? p.range.hi->AsInt64()
+                                : std::numeric_limits<int32_t>::max();
+        if (lo > std::numeric_limits<int32_t>::max() ||
+            hi < std::numeric_limits<int32_t>::min()) {
+          // The range lies entirely outside the lane's domain: match
+          // nothing (a naive clamp would wrongly admit the boundary value).
+          b.lo_i32 = 1;
+          b.hi_i32 = 0;
+        } else {
+          b.lo_i32 = static_cast<int32_t>(std::clamp<int64_t>(
+              lo, std::numeric_limits<int32_t>::min(),
+              std::numeric_limits<int32_t>::max()));
+          b.hi_i32 = static_cast<int32_t>(std::clamp<int64_t>(
+              hi, std::numeric_limits<int32_t>::min(),
+              std::numeric_limits<int32_t>::max()));
+        }
+        break;
+      }
     }
-    out.columns.push_back(std::move(v));
+    bound_.push_back(std::move(b));
+  }
+  return Status::OK();
+}
+
+void ScanFilterState::EvalSpan(const Table& table, uint64_t begin,
+                               uint64_t end, std::vector<uint32_t>* rel_sel) {
+  size_t n = static_cast<size_t>(end - begin);
+  mask_.assign(n, 1);
+  for (const BoundRowPred& p : bound_) {
+    const Column& col = table.column(p.col);
+    switch (p.type) {
+      case TypeId::kInt64: {
+        const int64_t* v = col.i64().data() + begin;
+        for (size_t i = 0; i < n; ++i) {
+          mask_[i] &= static_cast<uint8_t>(v[i] >= p.lo_i64) &
+                      static_cast<uint8_t>(v[i] <= p.hi_i64);
+        }
+        break;
+      }
+      case TypeId::kFloat64: {
+        const double* v = col.f64().data() + begin;
+        // NaN must match the Filter path's comparator (NaN sorts last): it
+        // passes any lower bound and fails an explicit upper bound.
+        for (size_t i = 0; i < n; ++i) {
+          bool nan = std::isnan(v[i]);
+          mask_[i] &= (static_cast<uint8_t>(v[i] >= p.lo_f64) | nan) &
+                      (static_cast<uint8_t>(v[i] <= p.hi_f64) |
+                       static_cast<uint8_t>(nan && !p.has_hi_f64));
+        }
+        break;
+      }
+      case TypeId::kString: {
+        const int32_t* v = col.i32().data() + begin;
+        const uint8_t* ok = p.code_ok.data();
+        for (size_t i = 0; i < n; ++i) mask_[i] &= ok[v[i]];
+        break;
+      }
+      default: {
+        const int32_t* v = col.i32().data() + begin;
+        for (size_t i = 0; i < n; ++i) {
+          mask_[i] &= static_cast<uint8_t>(v[i] >= p.lo_i32) &
+                      static_cast<uint8_t>(v[i] <= p.hi_i32);
+        }
+        break;
+      }
+    }
+  }
+  rel_sel->clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (mask_[i]) rel_sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+Batch ScanFilterState::TakeBatch(const Table& table,
+                                 const std::vector<int>& col_idx,
+                                 const Schema& schema, size_t reserve_rows) {
+  Batch out;
+  if (!recycled_.empty()) {
+    out = std::move(recycled_.back());
+    recycled_.pop_back();
+    out.num_rows = 0;
+    out.sel.clear();
+    out.group_id = -1;
+    for (ColumnVector& c : out.columns) c.ClearKeepCapacity();
+  } else {
+    out.columns.reserve(col_idx.size());
+    for (size_t c = 0; c < col_idx.size(); ++c) {
+      ColumnVector v(schema.field(c).type);
+      v.Reserve(reserve_rows);
+      out.columns.push_back(std::move(v));
+    }
+  }
+  for (size_t c = 0; c < col_idx.size(); ++c) {
+    if (table.column(col_idx[c]).type() == TypeId::kString) {
+      out.columns[c].dict = table.column(col_idx[c]).dict();
+    }
   }
   return out;
 }
 
-// Append rows [begin, end) of the storage columns to `out`, charging
-// buffer-pool I/O per contiguous chunk.
+void ScanFilterState::Recycle(Batch&& batch, const Schema& schema) {
+  if (recycled_.size() >= 2) return;  // keep the free list tiny
+  if (batch.columns.size() != schema.num_fields()) return;
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    if (batch.columns[c].type != schema.field(c).type) return;
+  }
+  recycled_.push_back(std::move(batch));
+}
+
+void SelBuilder::AddDense(size_t base, size_t n) {
+  if (explicit_) {
+    for (size_t i = 0; i < n; ++i) {
+      sel_.push_back(static_cast<uint32_t>(base + i));
+    }
+  }
+  logical_ += n;
+}
+
+void SelBuilder::AddPartial(size_t base, const std::vector<uint32_t>& rel) {
+  if (!explicit_) {
+    // Everything so far was dense: materialize the identity prefix.
+    sel_.reserve(logical_ + rel.size());
+    for (size_t i = 0; i < logical_; ++i) {
+      sel_.push_back(static_cast<uint32_t>(i));
+    }
+    explicit_ = true;
+  }
+  for (uint32_t r : rel) sel_.push_back(static_cast<uint32_t>(base + r));
+  logical_ += rel.size();
+}
+
+void SelBuilder::Finish(Batch* out) {
+  out->num_rows = logical_;
+  if (explicit_) out->sel = std::move(sel_);
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::SelBuilder;
+
+// Append rows [begin, end) of the storage columns to `out` (no I/O or stats
+// accounting — see ChargeSpan).
 void AppendRows(const Table& table, const std::vector<int>& col_idx,
-                uint64_t begin, uint64_t end, ExecContext* ctx, Batch* out) {
+                uint64_t begin, uint64_t end, Batch* out) {
   for (size_t c = 0; c < col_idx.size(); ++c) {
     const Column& src = table.column(col_idx[c]);
     ColumnVector& v = out->columns[c];
@@ -45,14 +209,86 @@ void AppendRows(const Table& table, const std::vector<int>& col_idx,
                      src.i32().begin() + end);
         break;
     }
-    // Simulated I/O only when the execution context is wired to a pool
-    // (plan-time mini-evaluations pass a pool-less context).
-    if (table.HasIoHandles() && ctx->buffer_pool() != nullptr) {
+  }
+}
+
+// Append only rows begin+rel_sel[i] (sparse chunk: gather straight from
+// storage, no intermediate copy).
+void AppendSelectedRows(const Table& table, const std::vector<int>& col_idx,
+                        uint64_t begin, const std::vector<uint32_t>& rel_sel,
+                        Batch* out) {
+  for (size_t c = 0; c < col_idx.size(); ++c) {
+    const Column& src = table.column(col_idx[c]);
+    ColumnVector& v = out->columns[c];
+    switch (src.type()) {
+      case TypeId::kInt64: {
+        const int64_t* data = src.i64().data() + begin;
+        for (uint32_t r : rel_sel) v.i64.push_back(data[r]);
+        break;
+      }
+      case TypeId::kFloat64: {
+        const double* data = src.f64().data() + begin;
+        for (uint32_t r : rel_sel) v.f64.push_back(data[r]);
+        break;
+      }
+      default: {
+        const int32_t* data = src.i32().data() + begin;
+        for (uint32_t r : rel_sel) v.i32.push_back(data[r]);
+        break;
+      }
+    }
+  }
+}
+
+// Charge simulated I/O and scan stats for reading rows [begin, end) of the
+// scanned columns (the scan reads the span even when predicates then drop
+// rows). Simulated I/O only when the execution context is wired to a pool
+// (plan-time mini-evaluations pass a pool-less context).
+void ChargeSpan(const Table& table, const std::vector<int>& col_idx,
+                uint64_t begin, uint64_t end, ExecContext* ctx) {
+  if (table.HasIoHandles() && ctx->buffer_pool() != nullptr) {
+    for (size_t c = 0; c < col_idx.size(); ++c) {
       table.buffer_pool()->ReadRows(table.io_handle(col_idx[c]), begin, end);
     }
   }
-  out->num_rows += end - begin;
   ctx->stats()->rows_scanned += end - begin;
+}
+
+// One zone-bounded chunk through the optional row filter. Returns the
+// number of physical rows appended and records selection state in `selb`.
+size_t EmitChunk(const Table& table, const std::vector<int>& col_idx,
+                 uint64_t begin, uint64_t end, bool row_filter,
+                 internal::ScanFilterState* filter, ExecContext* ctx,
+                 Batch* out, SelBuilder* selb,
+                 std::vector<uint32_t>* rel_scratch) {
+  size_t base = out->physical_rows();
+  size_t n = static_cast<size_t>(end - begin);
+  ChargeSpan(table, col_idx, begin, end, ctx);
+  if (!row_filter || !filter->active()) {
+    AppendRows(table, col_idx, begin, end, out);
+    selb->AddDense(base, n);
+    return n;
+  }
+  filter->EvalSpan(table, begin, end, rel_scratch);
+  size_t k = rel_scratch->size();
+  ctx->stats()->rows_filtered_at_scan += n - k;
+  if (k == 0) return 0;  // nothing qualifies: no copy at all
+  if (k == n) {
+    AppendRows(table, col_idx, begin, end, out);
+    selb->AddDense(base, n);
+    return n;
+  }
+  double density = static_cast<double>(k) / static_cast<double>(n);
+  if (!ctx->sel_enabled() || density < ExecContext::kCompactDensity) {
+    // Sparse: gather just the qualifying rows from storage.
+    AppendSelectedRows(table, col_idx, begin, *rel_scratch, out);
+    selb->AddDense(base, k);
+    return k;
+  }
+  // Dense partial: bulk copy (memcpy-speed) and narrow with a selection.
+  AppendRows(table, col_idx, begin, end, out);
+  selb->AddPartial(base, *rel_scratch);
+  return n;
 }
 
 Status ResolveScan(const Table& table, const std::vector<std::string>& names,
@@ -90,6 +326,10 @@ Status PlainScan::Open(ExecContext* ctx) {
   cursor_ = 0;
   morsel_idx_ = morsels_.offset;
   last_zone_counted_ = ~uint64_t{0};
+  filter_.ClearRecycled();
+  if (row_filter_) {
+    BDCC_RETURN_NOT_OK(filter_.Bind(*table_, preds_));
+  }
   return ResolveScan(*table_, col_names_, preds_, &col_idx_, &bound_preds_,
                      &schema_);
 }
@@ -105,8 +345,11 @@ bool PlainScan::ZoneAllowed(uint64_t zone) const {
 Result<Batch> PlainScan::Next(ExecContext* ctx) {
   uint64_t rows = table_->num_rows();
   uint32_t zone_rows = table_->HasZoneMaps() ? table_->zone_rows() : 0;
-  Batch out = PrepareBatch(*table_, col_idx_, schema_);
-  while (out.num_rows < ctx->batch_size()) {
+  Batch out = filter_.TakeBatch(*table_, col_idx_, schema_, ctx->batch_size());
+  SelBuilder selb;
+  std::vector<uint32_t> rel_scratch;
+  size_t appended = 0;
+  while (appended < ctx->batch_size()) {
     uint64_t limit = rows;
     if (morsels_.valid()) {
       // Walk this clone's strided morsels; a batch may span morsels.
@@ -121,8 +364,7 @@ Result<Batch> PlainScan::Next(ExecContext* ctx) {
     } else if (cursor_ >= rows) {
       break;
     }
-    uint64_t end =
-        std::min(limit, cursor_ + (ctx->batch_size() - out.num_rows));
+    uint64_t end = std::min(limit, cursor_ + (ctx->batch_size() - appended));
     if (zone_rows != 0) {
       uint64_t zone = cursor_ / zone_rows;
       if (!ZoneAllowed(zone)) {
@@ -136,9 +378,11 @@ Result<Batch> PlainScan::Next(ExecContext* ctx) {
       }
       end = std::min<uint64_t>(end, (zone + 1) * zone_rows);
     }
-    AppendRows(*table_, col_idx_, cursor_, end, ctx, &out);
+    appended += EmitChunk(*table_, col_idx_, cursor_, end, row_filter_,
+                          &filter_, ctx, &out, &selb, &rel_scratch);
     cursor_ = end;
   }
+  selb.Finish(&out);
   return out;  // empty == end-of-stream
 }
 
@@ -159,10 +403,14 @@ Status BdccScan::Open(ExecContext* ctx) {
   range_idx_ = 0;
   cursor_ = 0;
   morsel_pos_ = morsels_.offset;
+  filter_.ClearRecycled();
   // Morsel restriction addresses ranges by index, so grouped scans (which
   // sort/coalesce below) must use group-id chunking instead.
   BDCC_CHECK(!morsels_.valid() || grouping_.empty());
   ctx->stats()->groups_pruned += pruned_groups_;
+  if (row_filter_) {
+    BDCC_RETURN_NOT_OK(filter_.Bind(table_->data(), preds_));
+  }
   BDCC_RETURN_NOT_OK(ResolveScan(table_->data(), col_names_, preds_,
                                  &col_idx_, &bound_preds_, &schema_));
   // Grouped emission must present group ids in ascending order (sandwich
@@ -229,9 +477,12 @@ int64_t BdccScan::GroupIdOf(uint64_t key) const {
 Result<Batch> BdccScan::Next(ExecContext* ctx) {
   const Table& data = table_->data();
   uint32_t zone_rows = data.HasZoneMaps() ? data.zone_rows() : 0;
-  Batch out = PrepareBatch(data, col_idx_, schema_);
+  Batch out = filter_.TakeBatch(data, col_idx_, schema_, ctx->batch_size());
+  SelBuilder selb;
+  std::vector<uint32_t> rel_scratch;
+  size_t appended = 0;
   int64_t batch_gid = -2;  // unset sentinel
-  while (out.num_rows < ctx->batch_size()) {
+  while (appended < ctx->batch_size()) {
     if (morsels_.valid()) {
       // Walk this clone's strided morsels of range indices.
       while (morsel_pos_ < morsels_.morsels->size()) {
@@ -261,8 +512,8 @@ Result<Batch> BdccScan::Next(ExecContext* ctx) {
       cursor_ = 0;
       continue;
     }
-    uint64_t end = std::min(range.row_end,
-                            cursor_ + (ctx->batch_size() - out.num_rows));
+    uint64_t end =
+        std::min(range.row_end, cursor_ + (ctx->batch_size() - appended));
     if (zone_rows != 0) {
       uint64_t zone = cursor_ / zone_rows;
       uint64_t zone_begin = zone * zone_rows;
@@ -277,10 +528,15 @@ Result<Batch> BdccScan::Next(ExecContext* ctx) {
       end = std::min(end, zone_end);
       ctx->stats()->zones_read += 1;
     }
-    AppendRows(data, col_idx_, cursor_, end, ctx, &out);
-    batch_gid = gid;
+    size_t added = EmitChunk(data, col_idx_, cursor_, end, row_filter_,
+                             &filter_, ctx, &out, &selb, &rel_scratch);
+    appended += added;
+    // Only chunks that contributed rows pin the batch's group id; a fully
+    // filtered group simply emits nothing (like a zone-skipped one).
+    if (added > 0) batch_gid = gid;
     cursor_ = end;
   }
+  selb.Finish(&out);
   out.group_id = batch_gid == -2 ? -1 : batch_gid;
   if (grouping_.empty()) out.group_id = -1;
   return out;

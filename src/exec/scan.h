@@ -1,6 +1,17 @@
 // Table scans: plain (zone-map pruned) and BDCC (group-pruned, optionally
 // group-ordered for sandwich consumers). Both charge simulated I/O through
 // the buffer pool when the table is registered with one.
+//
+// Scans optionally enforce their sargable predicates *row-level* (planner
+// pushdown): each zone-bounded chunk is evaluated with typed, branch-free
+// kernels directly over the storage lanes (string ranges pre-resolved to a
+// per-dictionary-code verdict table at Open), then
+//  - fully-passing chunks bulk-append as before,
+//  - fully-failing chunks append nothing (no copy at all),
+//  - dense partial chunks bulk-append and attach a selection vector,
+//  - sparse partial chunks gather only the qualifying rows.
+// Batches returned to Recycle() are reused, so steady-state scanning does
+// not allocate per batch.
 #ifndef BDCC_EXEC_SCAN_H_
 #define BDCC_EXEC_SCAN_H_
 
@@ -16,11 +27,78 @@
 namespace bdcc {
 namespace exec {
 
-/// Sargable predicate usable against zone maps (MinMax pushdown).
+/// Sargable predicate usable against zone maps (MinMax pushdown) and, when
+/// row filtering is enabled, enforced per row inside the scan.
 struct ScanPredicate {
   std::string column;
   ValueRange range;
 };
+
+namespace internal {
+
+/// One bound row-level predicate with constants pre-typed for the column's
+/// storage lane ("bind constants once"): numeric bounds as lane values,
+/// string ranges as a per-dictionary-code verdict table.
+struct BoundRowPred {
+  int col = 0;
+  TypeId type = TypeId::kInt64;
+  int64_t lo_i64 = 0, hi_i64 = 0;
+  int32_t lo_i32 = 0, hi_i32 = 0;
+  double lo_f64 = 0, hi_f64 = 0;
+  // Whether the float range had an explicit upper bound: NaN mirrors the
+  // Filter path's comparison semantics (NaN compares "greater"), passing
+  // lower bounds and failing only explicit upper bounds.
+  bool has_hi_f64 = false;
+  std::vector<uint8_t> code_ok;  // string columns: verdict per dict code
+};
+
+/// Shared scan-side machinery: row-predicate kernels, selection building,
+/// and batch recycling.
+class ScanFilterState {
+ public:
+  /// Resolve `preds` against `table`'s columns (call at Open).
+  Status Bind(const Table& table, const std::vector<ScanPredicate>& preds);
+
+  bool active() const { return !bound_.empty(); }
+
+  /// Evaluate all predicates over storage rows [begin, end); selected
+  /// chunk-relative indices land in `rel_sel` (scratch reused across calls).
+  void EvalSpan(const Table& table, uint64_t begin, uint64_t end,
+                std::vector<uint32_t>* rel_sel);
+
+  /// Take a batch for filling: a recycled one when available, else fresh
+  /// (typed per `schema`, string dictionaries wired from storage).
+  Batch TakeBatch(const Table& table, const std::vector<int>& col_idx,
+                  const Schema& schema, size_t reserve_rows);
+  /// Return a no-longer-referenced batch for reuse (type-checked).
+  void Recycle(Batch&& batch, const Schema& schema);
+  void ClearRecycled() { recycled_.clear(); }
+
+ private:
+  std::vector<BoundRowPred> bound_;
+  std::vector<uint8_t> mask_;  // scratch
+  std::vector<Batch> recycled_;
+};
+
+/// Builds the output selection while chunks append: identity until the
+/// first partial chunk, explicit afterwards.
+class SelBuilder {
+ public:
+  /// `n` appended rows, all selected (base = physical rows before append).
+  void AddDense(size_t base, size_t n);
+  /// Bulk-appended chunk of which only `rel` (chunk-relative) are selected.
+  void AddPartial(size_t base, const std::vector<uint32_t>& rel);
+  size_t logical_rows() const { return logical_; }
+  /// Install num_rows/sel on `out` (physical = rows actually appended).
+  void Finish(Batch* out);
+
+ private:
+  std::vector<uint32_t> sel_;
+  bool explicit_ = false;
+  size_t logical_ = 0;
+};
+
+}  // namespace internal
 
 /// \brief Sequential scan over a plain table with MinMax zone skipping.
 class PlainScan : public Operator {
@@ -31,6 +109,14 @@ class PlainScan : public Operator {
   const Schema& schema() const override { return schema_; }
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override { filter_.ClearRecycled(); }
+  void Recycle(Batch&& batch) override {
+    filter_.Recycle(std::move(batch), schema_);
+  }
+
+  /// Enforce the zone predicates row-level inside the scan (emitting
+  /// selection vectors / gathered rows). Call before Open.
+  void EnableRowFilter(bool on) { row_filter_ = on; }
 
   /// Restrict this scan to a strided subset of row morsels (parallel clone
   /// path; see exec/morsel.h). Call before Open.
@@ -49,6 +135,8 @@ class PlainScan : public Operator {
   size_t morsel_idx_ = 0;
   uint64_t cursor_ = 0;
   uint64_t last_zone_counted_ = ~uint64_t{0};
+  bool row_filter_ = false;
+  internal::ScanFilterState filter_;
 };
 
 /// How a BDCC scan should tag batches for sandwich consumers: group id is
@@ -70,6 +158,14 @@ class BdccScan : public Operator {
   const Schema& schema() const override { return schema_; }
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
+  void Close(ExecContext* ctx) override { filter_.ClearRecycled(); }
+  void Recycle(Batch&& batch) override {
+    filter_.Recycle(std::move(batch), schema_);
+  }
+
+  /// Enforce the zone predicates row-level inside the scan. Call before
+  /// Open.
+  void EnableRowFilter(bool on) { row_filter_ = on; }
 
   /// Group id a given reduced key maps to under `grouping`.
   int64_t GroupIdOf(uint64_t key) const;
@@ -95,6 +191,8 @@ class BdccScan : public Operator {
   size_t morsel_pos_ = 0;
   size_t range_idx_ = 0;
   uint64_t cursor_ = 0;  // within current range
+  bool row_filter_ = false;
+  internal::ScanFilterState filter_;
 };
 
 /// Group id `key` maps to under `grouping` (-1 when grouping is empty):

@@ -72,10 +72,11 @@ Result<Batch> Sort::Next(ExecContext* ctx) {
       }
       for (size_t c = 0; c < b.columns.size(); ++c) {
         for (size_t r = 0; r < b.num_rows; ++r) {
-          materialized_.columns[c].AppendInterning(b.columns[c], r);
+          materialized_.columns[c].AppendInterning(b.columns[c], b.RowAt(r));
         }
       }
       materialized_.num_rows += b.num_rows;
+      child_->Recycle(std::move(b));
     }
     uint64_t bytes = 0;
     for (const ColumnVector& c : materialized_.columns) {
@@ -127,7 +128,7 @@ Result<Batch> Limit::Next(ExecContext* ctx) {
   if (emitted_ + b.num_rows > limit_) {
     size_t keep = static_cast<size_t>(limit_ - emitted_);
     std::vector<uint32_t> sel(keep);
-    std::iota(sel.begin(), sel.end(), 0);
+    for (size_t i = 0; i < keep; ++i) sel[i] = b.RowAt(i);
     Batch out;
     out.num_rows = keep;
     for (const ColumnVector& c : b.columns) out.columns.push_back(c.Gather(sel));

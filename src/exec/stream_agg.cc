@@ -62,6 +62,8 @@ Result<Batch> StreamAgg::Next(ExecContext* ctx) {
       FlushCurrentGroup();
       break;
     }
+    // Run detection walks rows positionally; materialize any selection.
+    b.Compact();
     // Encode keys once, assign run-local group ids (group 0 = carried run).
     std::vector<uint8_t> valid;
     std::vector<int64_t> ikeys;
@@ -149,6 +151,7 @@ Result<Batch> StreamAgg::Next(ExecContext* ctx) {
       current_key_row_[k] = std::move(fresh);
       current_key_row_[k].AppendInterning(b.columns[key_idx[k]], last_row);
     }
+    child_->Recycle(std::move(b));  // carried key/state are copies
   }
   if (pending_rows_ == 0) return Batch::Empty();
   Batch out;

@@ -43,7 +43,7 @@ Result<Batch> TopN::Next(ExecContext* ctx) {
         // Append candidate row.
         uint32_t idx = static_cast<uint32_t>(heap_rows_.num_rows);
         for (size_t c = 0; c < b.columns.size(); ++c) {
-          heap_rows_.columns[c].AppendInterning(b.columns[c], r);
+          heap_rows_.columns[c].AppendInterning(b.columns[c], b.RowAt(r));
         }
         heap_rows_.num_rows += 1;
         heap_.push_back(idx);
@@ -76,6 +76,7 @@ Result<Batch> TopN::Next(ExecContext* ctx) {
         bytes += ColumnVectorBytes(c);
       }
       tracked_->Set(bytes);
+      child_->Recycle(std::move(b));  // heap rows are interned copies
     }
     final_order_ = heap_;
     std::sort(final_order_.begin(), final_order_.end(),

@@ -51,6 +51,7 @@ class GroupRetag : public exec::Operator {
     return b;
   }
   void Close(exec::ExecContext* ctx) override { child_->Close(ctx); }
+  void Recycle(exec::Batch&& b) override { child_->Recycle(std::move(b)); }
 
  private:
   exec::OperatorPtr child_;
@@ -250,9 +251,21 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
   }
 
   // Row-level enforcement of sargs + residual (applied below and inside
-  // every parallel clone).
+  // every parallel clone). Range-exact sargs are pushed into the scan
+  // itself (selection-vector kernels); sargs with a custom row expression
+  // (whose range over-approximates, e.g. prefix LIKE) and residuals keep a
+  // Filter on top.
+  bool scan_filters_rows = opts_.enable_scan_filter_pushdown &&
+                           opts_.enable_zonemaps &&
+                           std::any_of(scan.sargs.begin(), scan.sargs.end(),
+                                       [](const Sarg& s) {
+                                         return s.row_expr == nullptr;
+                                       });
   std::vector<exec::ExprPtr> conjuncts;
-  for (const Sarg& s : scan.sargs) conjuncts.push_back(SargRowExpr(s));
+  for (const Sarg& s : scan.sargs) {
+    if (scan_filters_rows && s.row_expr == nullptr) continue;
+    conjuncts.push_back(SargRowExpr(s));
+  }
   if (scan.residual) conjuncts.push_back(scan.residual);
   auto add_filter = [&conjuncts](exec::OperatorPtr op) -> exec::OperatorPtr {
     if (conjuncts.empty()) return op;
@@ -308,7 +321,8 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
         out.leaf_gids = std::move(gids);
       }
       out.leaf_factory = [bt, cols = scan.columns, shared_ranges, zone_preds,
-                          grouping, pruned, morsels, conjuncts](
+                          grouping, pruned, morsels, conjuncts,
+                          scan_filters_rows](
                              const LeafClone& c) -> Result<exec::OperatorPtr> {
         std::vector<GroupRange> clone_ranges;
         if (c.gid_lo >= 0) {
@@ -323,6 +337,7 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
         auto scan_op = std::make_unique<exec::BdccScan>(
             bt, cols, std::move(clone_ranges), zone_preds, grouping,
             c.instance == 0 ? pruned : 0);
+        scan_op->EnableRowFilter(scan_filters_rows);
         if (c.gid_lo < 0 && morsels != nullptr) {
           scan_op->RestrictToMorsels(
               exec::MorselSet{morsels, c.instance, c.total});
@@ -336,8 +351,10 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
       };
     }
 
-    out.op = add_filter(std::make_unique<exec::BdccScan>(
-        bt, scan.columns, std::move(ranges), zone_preds, grouping, pruned));
+    auto bdcc_scan = std::make_unique<exec::BdccScan>(
+        bt, scan.columns, std::move(ranges), zone_preds, grouping, pruned);
+    bdcc_scan->EnableRowFilter(scan_filters_rows);
+    out.op = add_filter(std::move(bdcc_scan));
     if (req != nullptr) {
       out.grouped_base = bt;
       out.grouping = req->specs;
@@ -349,11 +366,12 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
           exec::MakeRowMorsels(storage->num_rows(), zone_rows, kMorselRows));
       out.leaf_rows = storage->num_rows();
       out.leaf_factory = [storage, cols = scan.columns, zone_preds, morsels,
-                          conjuncts](
+                          conjuncts, scan_filters_rows](
                              const LeafClone& c) -> Result<exec::OperatorPtr> {
         BDCC_CHECK(c.gid_lo < 0);  // plain scans have no group ids
         auto scan_op =
             std::make_unique<exec::PlainScan>(storage, cols, zone_preds);
+        scan_op->EnableRowFilter(scan_filters_rows);
         scan_op->RestrictToMorsels(
             exec::MorselSet{morsels, c.instance, c.total});
         exec::OperatorPtr op = std::move(scan_op);
@@ -364,8 +382,10 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
         return op;
       };
     }
-    out.op = add_filter(std::make_unique<exec::PlainScan>(
-        storage, scan.columns, zone_preds));
+    auto plain_scan = std::make_unique<exec::PlainScan>(
+        storage, scan.columns, zone_preds);
+    plain_scan->EnableRowFilter(scan_filters_rows);
+    out.op = add_filter(std::move(plain_scan));
     out.sorted_on = db_.sorted_on(scan.table);
   }
 

@@ -33,6 +33,11 @@ struct PlannerOptions {
   bool enable_zonemaps = true;      // all schemes: MinMax zone skipping
   bool enable_merge_join = true;    // PK: merge joins on sorted keys
   bool enable_stream_agg = true;    // PK: ordered aggregation
+  /// All schemes: enforce range-exact sargs row-level inside the scan
+  /// (branch-free kernels over the storage lanes emitting selection
+  /// vectors) instead of a Filter over copied batches. Sargs with a custom
+  /// row expression (e.g. LIKE) and residual predicates stay in the Filter.
+  bool enable_scan_filter_pushdown = true;
 
   /// Degree of intra-query parallelism. 1 (default) compiles the classic
   /// single-threaded pull plan; N > 1 splits eligible pipelines into N

@@ -41,29 +41,155 @@ TEST(KeyEncoderTest, IntFastPath) {
   EXPECT_EQ(valid, (std::vector<uint8_t>{1, 1, 1}));
 }
 
-TEST(KeyEncoderTest, BytesPathForStringsFloatsComposite) {
+TEST(KeyEncoderTest, BytesPathForFloatsAndWideComposites) {
   KeyEncoder enc;
-  ASSERT_TRUE(enc.Bind(MakeSchema(), {"s"}).ok());
+  ASSERT_TRUE(enc.Bind(MakeSchema(), {"f"}).ok());
   EXPECT_FALSE(enc.int_path());
   KeyEncoder enc2;
-  ASSERT_TRUE(enc2.Bind(MakeSchema(), {"f"}).ok());
+  ASSERT_TRUE(enc2.Bind(MakeSchema(), {"i", "l"}).ok());  // i64 not packable
   EXPECT_FALSE(enc2.int_path());
-  KeyEncoder enc3;
-  ASSERT_TRUE(enc3.Bind(MakeSchema(), {"i", "l"}).ok());
-  EXPECT_FALSE(enc3.int_path());
 
   std::vector<std::string> keys;
   std::vector<uint8_t> valid;
   Batch b = MakeBatch();
-  enc3.EncodeBytes(b, &keys, &valid);
-  EXPECT_EQ(keys[0].size(), 12u);  // 4 + 8 bytes
+  enc2.EncodeBytes(b, &keys, &valid);
+  EXPECT_EQ(keys[0].size(), 14u);  // (1 tag + 4) + (1 tag + 8) bytes
   EXPECT_NE(keys[0], keys[1]);     // (7,100) vs (7,200)
   EXPECT_NE(keys[0], keys[2]);     // (7,100) vs (9,100)
 
   // String keys compare by content, not code.
-  enc.EncodeBytes(b, &keys, &valid);
+  KeyEncoder enc3;
+  ASSERT_TRUE(enc3.Bind(MakeSchema(), {"s", "f"}).ok());
+  EXPECT_FALSE(enc3.int_path());
+  enc3.EncodeBytes(b, &keys, &valid);
+  EXPECT_EQ(keys[0], keys[2]);  // both ("x", 1.0)
+  EXPECT_NE(keys[0], keys[1]);
+}
+
+TEST(KeyEncoderTest, SingleStringKeyUsesDictCodePath) {
+  KeyEncoder enc;
+  ASSERT_TRUE(enc.Bind(MakeSchema(), {"s"}).ok());
+  EXPECT_TRUE(enc.int_path());
+  std::vector<int64_t> keys;
+  std::vector<uint8_t> valid;
+  Batch b = MakeBatch();
+  enc.EncodeInts(b, &keys, &valid);
   EXPECT_EQ(keys[0], keys[2]);  // both "x"
   EXPECT_NE(keys[0], keys[1]);
+  EXPECT_EQ(valid, (std::vector<uint8_t>{1, 1, 1}));
+
+  // A later batch with a *different* dictionary (same strings in another
+  // insertion order) must produce the same keys: codes canonicalize against
+  // the first dictionary seen.
+  Batch b2 = MakeBatch();
+  b2.columns[2].dict = std::make_shared<Dictionary>();
+  b2.columns[2].i32.clear();
+  for (const char* v : {"y", "x", "zebra"}) {
+    b2.columns[2].i32.push_back(b2.columns[2].dict->GetOrAdd(v));
+  }
+  std::vector<int64_t> keys2;
+  enc.EncodeInts(b2, &keys2, &valid);
+  EXPECT_EQ(keys2[1], keys[0]);  // "x" matches batch 1's "x"
+  EXPECT_EQ(keys2[0], keys[1]);  // "y" matches batch 1's "y"
+  EXPECT_NE(keys2[2], keys[0]);  // "zebra" is a fresh, stable side id
+  EXPECT_NE(keys2[2], keys[1]);
+  std::vector<int64_t> keys3;
+  enc.EncodeInts(b2, &keys3, &valid);
+  EXPECT_EQ(keys3[2], keys2[2]);  // stable across batches
+}
+
+TEST(KeyEncoderTest, PackedPairPath) {
+  KeyEncoder enc;
+  ASSERT_TRUE(enc.Bind(MakeSchema(), {"i", "s"}).ok());
+  EXPECT_TRUE(enc.int_path());
+  std::vector<int64_t> keys;
+  std::vector<uint8_t> valid;
+  Batch b = MakeBatch();
+  enc.EncodeInts(b, &keys, &valid);
+  // Rows: (7,"x"), (7,"y"), (9,"x") — all distinct, none equal.
+  EXPECT_NE(keys[0], keys[1]);
+  EXPECT_NE(keys[0], keys[2]);
+  EXPECT_NE(keys[1], keys[2]);
+  // Same logical tuple encodes identically.
+  std::vector<int64_t> again;
+  enc.EncodeInts(b, &again, &valid);
+  EXPECT_EQ(keys, again);
+}
+
+TEST(KeyEncoderTest, SelAwareEncoding) {
+  KeyEncoder enc;
+  ASSERT_TRUE(enc.Bind(MakeSchema(), {"i"}).ok());
+  Batch b = MakeBatch();
+  b.sel = {2, 0};
+  b.num_rows = 2;
+  std::vector<int64_t> keys;
+  std::vector<uint8_t> valid;
+  enc.EncodeInts(b, &keys, &valid);
+  EXPECT_EQ(keys, (std::vector<int64_t>{9, 7}));
+}
+
+TEST(KeyEncoderTest, ProbeResolvesAgainstBuildSpace) {
+  KeyEncoder build;
+  ASSERT_TRUE(build.Bind(MakeSchema(), {"s"}).ok());
+  std::vector<int64_t> bkeys;
+  std::vector<uint8_t> valid;
+  Batch bb = MakeBatch();
+  build.EncodeInts(bb, &bkeys, &valid);
+
+  // Probe batch with its own dictionary: "x" must map to the build key,
+  // "nope" must map to a key matching nothing (and not crash).
+  Batch pb = MakeBatch();
+  pb.columns[2].dict = std::make_shared<Dictionary>();
+  pb.columns[2].i32.clear();
+  for (const char* v : {"nope", "x", "nope"}) {
+    pb.columns[2].i32.push_back(pb.columns[2].dict->GetOrAdd(v));
+  }
+  KeyEncoder probe;
+  ASSERT_TRUE(probe.BindProbe(MakeSchema(), {"s"}, &build).ok());
+  std::vector<int64_t> pkeys;
+  probe.EncodeInts(pb, &pkeys, &valid);
+  EXPECT_EQ(pkeys[1], bkeys[0]);  // "x"
+  EXPECT_NE(pkeys[0], bkeys[0]);
+  EXPECT_NE(pkeys[0], bkeys[1]);
+}
+
+TEST(KeyEncoderTest, TranslationCacheSurvivesDictionaryAddressReuse) {
+  // Per-batch dictionaries (e.g. expression-generated strings) are freed
+  // between batches; the allocator may hand the next batch's equal-sized
+  // dictionary the same heap address. The translation cache must not
+  // validate by address and reuse the previous dictionary's mapping.
+  Schema schema({{"s", TypeId::kString}});
+  auto make_batch = [](std::initializer_list<const char*> dict_order) {
+    Batch b;
+    ColumnVector s(TypeId::kString);
+    s.dict = std::make_shared<Dictionary>();
+    for (const char* v : dict_order) s.dict->GetOrAdd(v);
+    s.i32 = {s.dict->Find("a"), s.dict->Find("b")};
+    b.columns = {std::move(s)};
+    b.num_rows = 2;
+    return b;
+  };
+
+  KeyEncoder enc;
+  ASSERT_TRUE(enc.Bind(schema, {"s"}).ok());
+  std::vector<int64_t> keys;
+  std::vector<uint8_t> valid;
+  Batch b1 = make_batch({"a", "b"});  // adopted as canonical space
+  enc.EncodeInts(b1, &keys, &valid);
+  std::vector<int64_t> canon_keys = keys;
+
+  // Fill the cache from a dictionary with the opposite code order, then
+  // free it so its address can be reused.
+  {
+    Batch b2 = make_batch({"b", "a"});
+    enc.EncodeInts(b2, &keys, &valid);
+    EXPECT_EQ(keys, canon_keys);  // same strings -> same keys
+  }
+  // Same-sized fresh dictionary, canonical order: if the stale cache were
+  // revalidated by address, "a" would encode as "b" and vice versa.
+  Batch b3 = make_batch({"a", "b"});
+  enc.EncodeInts(b3, &keys, &valid);
+  EXPECT_EQ(keys, canon_keys);
 }
 
 TEST(KeyEncoderTest, NullKeysFlaggedInvalid) {
@@ -82,6 +208,17 @@ TEST(KeyEncoderTest, NullKeysFlaggedInvalid) {
   EXPECT_EQ(valid[1], 0);
 }
 
+TEST(KeyEncoderTest, ProbeRejectsPositionallyMismatchedPackedKeys) {
+  // Both sides bind as kPacked, but the build packs dictionary codes where
+  // the probe would pack raw integers — equal bit patterns must not join.
+  KeyEncoder build;
+  ASSERT_TRUE(build.Bind(MakeSchema(), {"s", "i"}).ok());
+  KeyEncoder probe;
+  EXPECT_FALSE(probe.BindProbe(MakeSchema(), {"i", "i"}, &build).ok());
+  KeyEncoder ok_probe;
+  EXPECT_TRUE(ok_probe.BindProbe(MakeSchema(), {"s", "i"}, &build).ok());
+}
+
 TEST(KeyEncoderTest, MissingColumnFailsBind) {
   KeyEncoder enc;
   EXPECT_FALSE(enc.Bind(MakeSchema(), {"nope"}).ok());
@@ -89,7 +226,6 @@ TEST(KeyEncoderTest, MissingColumnFailsBind) {
 
 TEST(DenseKeyMapTest, DenseIdsInsertionOrder) {
   DenseKeyMap map;
-  map.SetIntMode(true);
   bool inserted;
   EXPECT_EQ(map.FindOrInsert(100, &inserted), 0);
   EXPECT_TRUE(inserted);
@@ -106,7 +242,6 @@ TEST(DenseKeyMapTest, DenseIdsInsertionOrder) {
 
 TEST(DenseKeyMapTest, BytesMode) {
   DenseKeyMap map;
-  map.SetIntMode(false);
   bool inserted;
   EXPECT_EQ(map.FindOrInsert(std::string("abc"), &inserted), 0);
   EXPECT_EQ(map.FindOrInsert(std::string("def"), &inserted), 1);
