@@ -7,6 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 
 #include "bdcc/bdcc_table.h"
 #include "bdcc/binning.h"
@@ -270,10 +273,128 @@ void RunHashJoinParallelProbe(benchmark::State& state, int threads) {
   state.counters["threads"] = threads;
 }
 
+// ---- Build-side cardinality x threads sweep (plain JSON rows) ----------
+//
+// Times the hash-join *build* phase separately from the probe phase, for
+// the serial build vs. the radix-partitioned parallel build, across build
+// cardinalities and thread counts. One JsonLine row per config feeds the
+// BENCH_pr5.json perf-trajectory baseline and the CI bench-regression diff.
+void RunBuildSweep(int max_threads) {
+  const uint64_t kProbeRows = 1u << 20;
+  uint64_t max_build = 1u << 20;
+  if (const char* env = std::getenv("BDCC_BENCH_BUILD_ROWS")) {
+    uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) max_build = v;
+  }
+  std::vector<uint64_t> sizes;
+  for (uint64_t s = 1u << 16; s < max_build; s *= 4) sizes.push_back(s);
+  sizes.push_back(max_build);
+
+  for (uint64_t build_rows : sizes) {
+    Table build_t("BUILD");
+    {
+      Column bk(TypeId::kInt32), bval(TypeId::kInt64);
+      for (uint64_t i = 0; i < build_rows; ++i) {
+        // Multiplicative shuffle so insertion order is not key order.
+        bk.AppendInt32(static_cast<int32_t>((i * 2654435761u) % build_rows));
+        bval.AppendInt64(static_cast<int64_t>(i));
+      }
+      build_t.AddColumn("bk", std::move(bk)).AbortIfNotOK();
+      build_t.AddColumn("bval", std::move(bval)).AbortIfNotOK();
+    }
+    Table probe_t("PROBE");
+    {
+      Rng rng(17);
+      Column fk(TypeId::kInt32), pval(TypeId::kFloat64);
+      for (uint64_t i = 0; i < kProbeRows; ++i) {
+        fk.AppendInt32(static_cast<int32_t>(
+            rng.Uniform(0, static_cast<int64_t>(build_rows) - 1)));
+        pval.AppendFloat64(rng.NextDouble());
+      }
+      probe_t.AddColumn("fk", std::move(fk)).AbortIfNotOK();
+      probe_t.AddColumn("pval", std::move(pval)).AbortIfNotOK();
+    }
+    auto build_morsels = std::make_shared<const std::vector<exec::Morsel>>(
+        exec::MakeRowMorsels(build_rows, 0, 16384));
+    auto probe_morsels = std::make_shared<const std::vector<exec::Morsel>>(
+        exec::MakeRowMorsels(kProbeRows, 0, 16384));
+
+    for (int threads : bdcc::bench::ThreadCounts(max_threads)) {
+      for (bool partitioned : {false, true}) {
+        int bits = exec::ChoosePartitionBits(build_rows, threads);
+        double best_build_ms = 0, best_probe_ms = 0;
+        uint64_t out_rows = 0;
+        for (int rep = 0; rep < 3; ++rep) {
+          exec::ExecContext ctx(nullptr);
+          exec::ChainFactory probe_factory =
+              [&](size_t i, size_t n) -> Result<exec::OperatorPtr> {
+            auto scan = std::make_unique<exec::PlainScan>(
+                &probe_t, std::vector<std::string>{"fk", "pval"});
+            scan->RestrictToMorsels(exec::MorselSet{probe_morsels, i, n});
+            return exec::OperatorPtr(std::move(scan));
+          };
+          exec::ParallelHashJoin join(
+              probe_factory, threads,
+              std::make_unique<exec::PlainScan>(
+                  &build_t, std::vector<std::string>{"bk", "bval"}),
+              {"fk"}, {"bk"}, exec::JoinType::kInner,
+              common::TaskScheduler::Shared());
+          if (partitioned) {
+            exec::ChainFactory build_factory =
+                [&](size_t i, size_t n) -> Result<exec::OperatorPtr> {
+              auto scan = std::make_unique<exec::PlainScan>(
+                  &build_t, std::vector<std::string>{"bk", "bval"});
+              scan->RestrictToMorsels(exec::MorselSet{build_morsels, i, n});
+              return exec::OperatorPtr(std::move(scan));
+            };
+            join.EnableParallelBuild(build_factory, bits);
+          }
+          auto t0 = std::chrono::steady_clock::now();
+          join.Open(&ctx).AbortIfNotOK();
+          auto t1 = std::chrono::steady_clock::now();
+          uint64_t rows = 0;
+          while (true) {
+            exec::Batch b = join.Next(&ctx).ValueOrDie();
+            if (b.empty()) break;
+            rows += b.num_rows;
+          }
+          auto t2 = std::chrono::steady_clock::now();
+          join.Close(&ctx);
+          double build_ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          double probe_ms =
+              std::chrono::duration<double, std::milli>(t2 - t1).count();
+          if (rep == 0 || build_ms < best_build_ms) best_build_ms = build_ms;
+          if (rep == 0 || probe_ms < best_probe_ms) best_probe_ms = probe_ms;
+          out_rows = rows;
+        }
+        bdcc::bench::JsonLine("micro_join_build_sweep")
+            .Str("mode", partitioned ? "partitioned" : "serial")
+            // Wall-clock speedups need real cores; recording the host's
+            // count keeps cross-machine baseline diffs interpretable.
+            .Num("host_cpus", std::thread::hardware_concurrency())
+            .Num("build_rows", static_cast<double>(build_rows))
+            .Num("probe_rows", static_cast<double>(kProbeRows))
+            .Num("threads", threads)
+            .Num("partitions", partitioned ? (1 << bits) : 1)
+            .Num("build_ms", best_build_ms)
+            .Num("probe_ms", best_probe_ms)
+            .Num("build_mrows_per_s",
+                 build_rows / 1e6 / (best_build_ms / 1e3))
+            .Num("probe_mrows_per_s",
+                 kProbeRows / 1e6 / (best_probe_ms / 1e3))
+            .Num("out_rows", static_cast<double>(out_rows))
+            .Emit();
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int max_threads = bdcc::bench::StripThreadsFlag(&argc, argv, 4);
+  RunBuildSweep(max_threads);
   for (int t : bdcc::bench::ThreadCounts(max_threads)) {
     benchmark::RegisterBenchmark(
         ("BM_SandwichJoinParallel/threads:" + std::to_string(t)).c_str(),

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Warn-only benchmark regression check.
+
+Compares the JSON lines emitted by the CI bench smoke run against the
+committed perf-trajectory baselines (BENCH_pr5.json). Rows are matched on
+their config keys (bench/mode/build_rows/threads, and any other non-metric
+fields); for each matched row, every *throughput* metric (keys ending in
+"_per_s") that dropped more than the threshold prints a GitHub warning
+annotation. The step never fails the build: machine-to-machine variance
+(the committed baselines may come from a different core count — see the
+host_cpus field) makes a hard gate meaningless, but a printed warning makes
+a real regression visible in the PR checks.
+
+Usage: check_bench_regression.py <smoke.jsonl> <baseline.json> [threshold]
+"""
+import json
+import sys
+
+# Fields that describe the measurement rather than the configuration.
+METRIC_PREFIXES = ("build_ms", "probe_ms", "wall_ms", "time_ms")
+METRIC_SUFFIXES = ("_per_s", "_ms", "_kb", "_bytes")
+IGNORED_KEYS = ("host_cpus", "out_rows", "partitions")
+
+
+def is_metric(key):
+    return key.endswith(METRIC_SUFFIXES) or key.startswith(METRIC_PREFIXES)
+
+
+def config_key(row):
+    items = []
+    for k, v in sorted(row.items()):
+        if is_metric(k) or k in IGNORED_KEYS:
+            continue
+        items.append((k, v))
+    return tuple(items)
+
+
+def load_rows(path):
+    rows = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if "bench" in row:
+                    rows[config_key(row)] = row
+    except OSError as e:
+        print(f"note: cannot read {path}: {e}")
+    return rows
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 0
+    smoke = load_rows(sys.argv[1])
+    baseline = load_rows(sys.argv[2])
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+
+    compared = warned = 0
+    for key, base_row in baseline.items():
+        got = smoke.get(key)
+        if got is None:
+            continue
+        for metric, base_val in base_row.items():
+            if not metric.endswith("_per_s"):
+                continue  # only throughput metrics: higher is better
+            new_val = got.get(metric)
+            if not isinstance(base_val, (int, float)) or not base_val:
+                continue
+            if not isinstance(new_val, (int, float)):
+                continue
+            compared += 1
+            drop = 1.0 - new_val / base_val
+            if drop > threshold:
+                cfg = " ".join(f"{k}={v}" for k, v in key)
+                print(
+                    f"::warning title=bench regression::{cfg} {metric} "
+                    f"dropped {drop * 100:.0f}% "
+                    f"({base_val:.3g} -> {new_val:.3g})"
+                )
+                warned += 1
+    print(
+        f"bench-regression: {compared} throughput metrics compared against "
+        f"baseline, {warned} above the {threshold * 100:.0f}% drop threshold"
+    )
+    return 0  # warn-only by design
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,19 @@
 namespace bdcc {
 namespace common {
 
+namespace {
+
+// Worker identity: set once per worker thread, read on every Submit to
+// route tasks to the local deque. External threads (coordinators, tests)
+// keep the default and submit through the injection queue.
+struct WorkerTls {
+  TaskScheduler* scheduler = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerTls tls_worker;
+
+}  // namespace
+
 // Shared between a TaskGroup and its in-flight tasks; outlives the group if
 // the group is destroyed after Wait (Wait guarantees pending == 0).
 struct GroupState {
@@ -15,9 +28,14 @@ struct GroupState {
 };
 
 TaskScheduler::TaskScheduler(int num_workers) {
-  workers_.reserve(std::max(0, num_workers));
-  for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  int n = std::max(0, num_workers);
+  deques_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
   }
 }
 
@@ -30,10 +48,15 @@ TaskScheduler::~TaskScheduler() {
   for (std::thread& w : workers_) w.join();
   // Any tasks still queued are dropped; their groups are notified so no
   // waiter hangs. (Normal use never reaches this: TaskGroup::Wait drains.)
-  for (Task& t : queue_) {
-    std::lock_guard<std::mutex> lock(t.group->mu);
-    if (--t.group->pending == 0) t.group->done.notify_all();
-  }
+  auto drop = [](std::deque<Task>& tasks) {
+    for (Task& t : tasks) {
+      std::lock_guard<std::mutex> lock(t.group->mu);
+      if (--t.group->pending == 0) t.group->done.notify_all();
+    }
+    tasks.clear();
+  };
+  drop(injected_);
+  for (std::unique_ptr<WorkerDeque>& d : deques_) drop(d->tasks);
 }
 
 TaskScheduler* TaskScheduler::Shared() {
@@ -49,38 +72,117 @@ void TaskScheduler::Enqueue(Task task) {
     std::lock_guard<std::mutex> lock(task.group->mu);
     ++task.group->pending;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+  // Count before publishing (seq_cst, paired with the sleep protocol in
+  // WorkerLoop): a thief that steals the task the moment the deque mutex
+  // drops must never drive num_queued_ below the number of still-queued
+  // tasks (an over-count merely causes one spurious scan).
+  num_queued_.fetch_add(1);
+  if (tls_worker.scheduler == this) {
+    // Local push at the bottom: the submitting worker will pop it LIFO
+    // (cache-hot); idle workers steal from the top.
+    {
+      WorkerDeque& d = *deques_[tls_worker.index];
+      std::lock_guard<std::mutex> lock(d.mu);
+      d.tasks.push_back(std::move(task));
+    }
+    // Dekker-style handoff: our num_queued_ increment is seq_cst-ordered
+    // before this num_sleeping_ read, and a worker going to sleep
+    // increments num_sleeping_ before re-checking num_queued_ — so either
+    // we see the sleeper (and wake it through mu_) or the sleeper sees our
+    // task. Busy pools skip the global mutex entirely.
+    if (num_sleeping_.load() > 0) {
+      { std::lock_guard<std::mutex> lock(mu_); }
+      work_available_.notify_one();
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      injected_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
   }
-  work_available_.notify_one();
 }
 
-bool TaskScheduler::RunOneTask() {
-  Task task;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-  }
-  task.fn();
-  {
-    std::lock_guard<std::mutex> lock(task.group->mu);
-    --task.group->pending;
-    if (task.group->pending == 0) task.group->done.notify_all();
-  }
+bool TaskScheduler::PopLocal(Task* out) {
+  if (tls_worker.scheduler != this) return false;
+  WorkerDeque& d = *deques_[tls_worker.index];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.tasks.empty()) return false;
+  *out = std::move(d.tasks.back());  // LIFO
+  d.tasks.pop_back();
   return true;
 }
 
-void TaskScheduler::WorkerLoop() {
-  while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_) return;
+bool TaskScheduler::PopInjected(Task* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (injected_.empty()) return false;
+  *out = std::move(injected_.front());  // FIFO
+  injected_.pop_front();
+  return true;
+}
+
+bool TaskScheduler::StealFrom(size_t victim, Task* out) {
+  WorkerDeque& d = *deques_[victim];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.tasks.empty()) return false;
+  *out = std::move(d.tasks.front());  // FIFO: steal the oldest task
+  d.tasks.pop_front();
+  return true;
+}
+
+void TaskScheduler::RunTask(Task task) {
+  num_queued_.fetch_sub(1, std::memory_order_acquire);
+  task.fn();
+  std::lock_guard<std::mutex> lock(task.group->mu);
+  --task.group->pending;
+  if (task.group->pending == 0) task.group->done.notify_all();
+}
+
+bool TaskScheduler::RunOneTask() {
+  if (num_queued_.load(std::memory_order_acquire) == 0) return false;
+  Task task;
+  if (PopLocal(&task)) {
+    RunTask(std::move(task));
+    return true;
+  }
+  if (PopInjected(&task)) {
+    RunTask(std::move(task));
+    return true;
+  }
+  // Steal sweep, starting at a rotating position; skip our own deque (it
+  // was empty a moment ago, and stealing from ourselves is just a pop).
+  size_t n = deques_.size();
+  if (n == 0) return false;
+  size_t start = steal_seed_.fetch_add(1, std::memory_order_relaxed);
+  bool local = tls_worker.scheduler == this;
+  for (size_t i = 0; i < n; ++i) {
+    size_t victim = (start + i) % n;
+    if (local && victim == tls_worker.index) continue;
+    if (StealFrom(victim, &task)) {
+      RunTask(std::move(task));
+      return true;
     }
-    RunOneTask();
+  }
+  return false;
+}
+
+void TaskScheduler::WorkerLoop(size_t worker_index) {
+  tls_worker.scheduler = this;
+  tls_worker.index = worker_index;
+  while (true) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    // Untimed block. Sleep protocol (see Enqueue): announce the sleep
+    // first (seq_cst), then re-check for work under mu_ — an enqueuer
+    // either observes num_sleeping_ > 0 and notifies through mu_, or this
+    // predicate observes its num_queued_ increment.
+    num_sleeping_.fetch_add(1);
+    work_available_.wait(lock, [this] {
+      return shutdown_ || num_queued_.load() > 0;
+    });
+    num_sleeping_.fetch_sub(1);
+    if (shutdown_) return;
   }
 }
 
@@ -96,8 +198,9 @@ void TaskScheduler::TaskGroup::Wait() {
       std::lock_guard<std::mutex> lock(state_->mu);
       if (state_->pending == 0) return;
     }
-    // Help: run queued tasks instead of blocking. Only once the queue is
-    // empty (our remaining tasks are running on workers) do we block.
+    // Help: run queued tasks (local, injected, or stolen) instead of
+    // blocking. Only once nothing is runnable (our remaining tasks are
+    // executing on workers) do we block.
     if (scheduler_->RunOneTask()) continue;
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->done.wait_for(lock, std::chrono::milliseconds(1),

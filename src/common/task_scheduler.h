@@ -1,9 +1,16 @@
-// Fixed-pool task scheduler for morsel-driven parallel execution.
+// Work-stealing task scheduler for morsel-driven parallel execution.
 //
-// A TaskScheduler owns N worker threads draining one shared FIFO queue.
+// A TaskScheduler owns N worker threads, each with a private deque of tasks.
+// A thread pushes and pops its own deque at the *bottom* (LIFO — the freshest
+// task is cache-hot), while idle threads steal from the *top* of a victim's
+// deque (FIFO — the oldest task, most likely to represent a large untouched
+// chunk of work). Threads with no scheduler affinity (the query's
+// coordinating thread, tests) submit into a shared injection queue that
+// workers drain like any other victim.
+//
 // Work is submitted through TaskGroup, which tracks completion of its own
 // tasks; TaskGroup::Wait() *helps*: while its tasks are outstanding the
-// waiting thread pops and runs queued tasks (of any group) instead of
+// waiting thread pops/steals and runs queued tasks (of any group) instead of
 // blocking, so nested fork-join (a parallel operator inside a parallel
 // operator) cannot deadlock even on a pool with zero workers.
 //
@@ -13,6 +20,7 @@
 #ifndef BDCC_COMMON_TASK_SCHEDULER_H_
 #define BDCC_COMMON_TASK_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -73,15 +81,45 @@ class TaskScheduler {
     std::shared_ptr<GroupState> group;
   };
 
-  void Enqueue(Task task);
-  /// Pop one task if available and run it (used by helping waiters).
-  bool RunOneTask();
-  void WorkerLoop();
+  // One worker's deque. The mutex is private to the deque, so local
+  // push/pop and steals only contend when a thief actually targets this
+  // worker; the common case (owner-only access) is an uncontended lock.
+  // (Deques are held by unique_ptr, so each lives in its own heap
+  // allocation and neighbouring mutexes do not share cache lines.)
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
 
+  void Enqueue(Task task);
+  /// Find and run one task: local deque bottom (LIFO), then the injection
+  /// queue, then steal from a victim's top (FIFO). Returns false when no
+  /// task anywhere was runnable.
+  bool RunOneTask();
+  void RunTask(Task task);
+  bool PopLocal(Task* out);
+  bool PopInjected(Task* out);
+  bool StealFrom(size_t victim, Task* out);
+  void WorkerLoop(size_t worker_index);
+
+  // Injection queue for external (non-worker) submitters; also the wakeup
+  // rendezvous — workers sleep on `work_available_` and every Enqueue
+  // notifies it.
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<Task> queue_;
+  std::deque<Task> injected_;
   bool shutdown_ = false;
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  // Tasks queued anywhere (injection queue + all deques). Lets idle workers
+  // and helpers skip the scan when the scheduler is empty.
+  std::atomic<size_t> num_queued_{0};
+  // Workers blocked on work_available_. Lets Enqueue skip the global-mutex
+  // fence and the notify when nobody could be asleep (the common case on a
+  // busy pool), so local submissions stay on the per-deque mutex only.
+  std::atomic<size_t> num_sleeping_{0};
+  // Rotates steal start positions so thieves do not all hammer worker 0.
+  std::atomic<size_t> steal_seed_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -251,6 +251,7 @@ void AggregatorCore::MergeFrom(const AggregatorCore& other,
     const State& os = other.states_[s];
     for (size_t g = 0; g < other.num_groups_; ++g) {
       uint32_t m = group_map[g];
+      if (m == kSkipGroup) continue;  // partition-sliced merge: not ours
       switch (specs_[s].kind) {
         case AggKind::kSum:
           if (arg_types_[s] == TypeId::kFloat64) {

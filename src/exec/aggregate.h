@@ -71,10 +71,16 @@ class AggregatorCore {
   void EmitRange(size_t begin, size_t end,
                  std::vector<ColumnVector>* out) const;
 
+  /// Groups mapped to this id in MergeFrom's group_map are skipped —
+  /// partition-sliced merges fold only the slice they own.
+  static constexpr uint32_t kSkipGroup = 0xFFFFFFFFu;
+
   /// Fold `other`'s per-group states into this core: other's group g merges
-  /// into this core's group `group_map[g]`. Both cores must be bound to the
-  /// same specs. Used to combine thread-local partial aggregates after a
-  /// morsel-parallel consume phase.
+  /// into this core's group `group_map[g]` (kSkipGroup entries are
+  /// skipped). Both cores must be bound to the same specs. Used to combine
+  /// thread-local partial aggregates after a morsel-parallel consume phase;
+  /// read-only on `other`, so several targets may merge slices of one
+  /// partial concurrently.
   void MergeFrom(const AggregatorCore& other,
                  const std::vector<uint32_t>& group_map);
 

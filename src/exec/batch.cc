@@ -1,5 +1,7 @@
 #include "exec/batch.h"
 
+#include <cstring>
+
 namespace bdcc {
 namespace exec {
 
@@ -151,26 +153,133 @@ void ColumnVector::ClearKeepCapacity() {
   nulls.clear();
 }
 
-ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
-  ColumnVector out(type);
-  out.dict = dict;
-  out.Reserve(sel.size());
+namespace {
+
+// Gather sel[0..n) of `src` into dst[0..n). Contiguous ascending runs
+// (>= kMemcpyRun) collapse to one memcpy — the dominant shape when a dense
+// scan chunk carries a near-identity selection — and scattered stretches
+// use a 4-wide manually unrolled gather so the loads pipeline.
+constexpr size_t kMemcpyRun = 8;
+
+template <typename T>
+void GatherLane(const T* src, const uint32_t* sel, size_t n, T* dst) {
+  size_t i = 0;
+  while (i < n) {
+    // Length of the contiguous ascending run starting at i.
+    uint32_t base = sel[i];
+    size_t max_run = n - i;
+    size_t run = 1;
+    while (run < max_run && sel[i + run] == base + run) ++run;
+    if (run >= kMemcpyRun) {
+      std::memcpy(dst + i, src + base, run * sizeof(T));
+      i += run;
+      continue;
+    }
+    // Scattered stretch: extend past short runs until a memcpy-worthy run
+    // could start, then gather it 4-wide.
+    size_t end = i + run;
+    while (end < n) {
+      size_t r = 1;
+      while (r < kMemcpyRun && end + r < n && sel[end + r] == sel[end] + r) {
+        ++r;
+      }
+      if (r >= kMemcpyRun) break;
+      end += r;
+    }
+    size_t j = i;
+    for (; j + 4 <= end; j += 4) {
+      T v0 = src[sel[j]];
+      T v1 = src[sel[j + 1]];
+      T v2 = src[sel[j + 2]];
+      T v3 = src[sel[j + 3]];
+      dst[j] = v0;
+      dst[j + 1] = v1;
+      dst[j + 2] = v2;
+      dst[j + 3] = v3;
+    }
+    for (; j < end; ++j) dst[j] = src[sel[j]];
+    i = end;
+  }
+}
+
+}  // namespace
+
+void ColumnVector::GatherInto(const std::vector<uint32_t>& sel,
+                              ColumnVector* out) const {
+  out->type = type;
+  out->ClearKeepCapacity();
+  out->dict = dict;
+  size_t n = sel.size();
   switch (type) {
     case TypeId::kInt64:
-      for (uint32_t r : sel) out.i64.push_back(i64[r]);
+      out->i64.resize(n);
+      GatherLane(i64.data(), sel.data(), n, out->i64.data());
       break;
     case TypeId::kFloat64:
-      for (uint32_t r : sel) out.f64.push_back(f64[r]);
+      out->f64.resize(n);
+      GatherLane(f64.data(), sel.data(), n, out->f64.data());
       break;
     default:
-      for (uint32_t r : sel) out.i32.push_back(i32[r]);
+      out->i32.resize(n);
+      GatherLane(i32.data(), sel.data(), n, out->i32.data());
       break;
   }
   if (!nulls.empty()) {
-    out.nulls.reserve(sel.size());
-    for (uint32_t r : sel) out.nulls.push_back(nulls[r]);
+    out->nulls.resize(n);
+    GatherLane(nulls.data(), sel.data(), n, out->nulls.data());
   }
+}
+
+ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
+  ColumnVector out(type);
+  GatherInto(sel, &out);
   return out;
+}
+
+namespace {
+
+template <typename T>
+void AppendGatherLane(const std::vector<T>& src, const uint32_t* rows,
+                      size_t n, std::vector<T>* dst) {
+  size_t base = dst->size();
+  dst->resize(base + n);
+  GatherLane(src.data(), rows, n, dst->data() + base);
+}
+
+}  // namespace
+
+void ColumnVector::AppendGather(const ColumnVector& other,
+                                const uint32_t* rows, size_t n) {
+  BDCC_CHECK(type == other.type);
+  if (n == 0) return;
+  if (type == TypeId::kString) {
+    if (dict == nullptr) dict = other.dict;
+    if (dict != other.dict) {
+      // Foreign dictionary: intern by content (slow path, see AppendFrom).
+      for (size_t i = 0; i < n; ++i) AppendFrom(other, rows[i]);
+      return;
+    }
+  }
+  // NULL-mask alignment first, so lane sizes and mask sizes stay in step.
+  if (!other.nulls.empty() || !nulls.empty()) {
+    if (nulls.empty()) nulls.assign(size(), 0);
+    if (other.nulls.empty()) {
+      nulls.resize(nulls.size() + n, 0);
+    } else {
+      AppendGatherLane(other.nulls, rows, n, &nulls);
+    }
+  }
+  switch (type) {
+    case TypeId::kInt64:
+      AppendGatherLane(other.i64, rows, n, &i64);
+      break;
+    case TypeId::kFloat64:
+      AppendGatherLane(other.f64, rows, n, &f64);
+      break;
+    default:
+      AppendGatherLane(other.i32, rows, n, &i32);
+      break;
+  }
 }
 
 void Batch::Compact() {
@@ -181,6 +290,18 @@ void Batch::Compact() {
 
 void Batch::CompactIfSparse(double min_density) {
   if (has_sel() && density() < min_density) Compact();
+}
+
+bool RecycleIntoFreeList(Batch&& batch, const Schema& schema,
+                         std::vector<Batch>* free_list, size_t max_size) {
+  if (free_list->size() >= max_size) return false;  // keep the list tiny
+  if (batch.columns.size() != schema.num_fields()) return false;
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    if (batch.columns[c].type != schema.field(c).type) return false;
+  }
+  batch.sel.clear();
+  free_list->push_back(std::move(batch));
+  return true;
 }
 
 }  // namespace exec

@@ -95,8 +95,18 @@ struct ColumnVector {
   /// Drop all values (and the null mask) but keep lane capacity and the
   /// dictionary pointer — buffer-recycling support (see Operator::Recycle).
   void ClearKeepCapacity();
-  /// Rows selected by `sel` (indices into this vector).
+  /// Rows selected by `sel` (indices into this vector). Fixed-width lanes
+  /// take a fast path: contiguous ascending runs become one memcpy and
+  /// scattered stretches a 4-wide unrolled gather.
   ColumnVector Gather(const std::vector<uint32_t>& sel) const;
+  /// Append rows[0..n) of `other` (same type) to this vector: the bulk,
+  /// typed-loop counterpart of n AppendFrom calls. String vectors adopt
+  /// `other`'s dictionary when unset, copy codes when it matches, and fall
+  /// back to per-row interning otherwise.
+  void AppendGather(const ColumnVector& other, const uint32_t* rows, size_t n);
+  /// Gather into `out`, reusing its lane allocations (cleared first) —
+  /// the allocation-free flavour behind Operator::Recycle paths.
+  void GatherInto(const std::vector<uint32_t>& sel, ColumnVector* out) const;
 };
 
 /// \brief A batch of rows flowing between operators.
@@ -146,6 +156,14 @@ struct Batch {
   /// policy: keep dense selections lazy, squeeze sparse ones).
   void CompactIfSparse(double min_density);
 };
+
+/// Accept `batch` onto a small free list iff it matches `schema` column for
+/// column — the shared validator behind every Operator::Recycle free list
+/// (scans, HashJoin, Project). Returns false (dropping the batch) when the
+/// list is full or the shape mismatches; clears any selection on accept.
+bool RecycleIntoFreeList(Batch&& batch, const Schema& schema,
+                         std::vector<Batch>* free_list,
+                         size_t max_size = 2);
 
 }  // namespace exec
 }  // namespace bdcc

@@ -71,6 +71,23 @@ class ColExpr : public Expr {
     // Copy: vectors are cheap at batch granularity and keeps ownership simple.
     return batch.columns[index_];
   }
+  Result<ColumnVector> EvalReusing(const Batch& batch,
+                                   ColumnVector&& scratch) const override {
+    BDCC_CHECK_MSG(index_ >= 0, "unbound column");
+    const ColumnVector& src = batch.columns[index_];
+    if (scratch.type != src.type) return Eval(batch);
+    if (batch.has_sel()) {
+      src.GatherInto(batch.sel, &scratch);
+      return std::move(scratch);
+    }
+    scratch.ClearKeepCapacity();
+    scratch.dict = src.dict;
+    scratch.i32.assign(src.i32.begin(), src.i32.end());
+    scratch.i64.assign(src.i64.begin(), src.i64.end());
+    scratch.f64.assign(src.f64.begin(), src.f64.end());
+    scratch.nulls.assign(src.nulls.begin(), src.nulls.end());
+    return std::move(scratch);
+  }
   std::string ToString() const override { return name_; }
 
  private:

@@ -35,6 +35,15 @@ class Expr {
   /// Output type; valid only after a successful Bind.
   virtual TypeId type() const = 0;
   virtual Result<ColumnVector> Eval(const Batch& batch) const = 0;
+  /// Eval reusing `scratch`'s lane allocations where profitable (batch
+  /// recycling through Project outputs). Default ignores scratch; column
+  /// leaves override — they produce a copy/gather per batch, which is
+  /// exactly the allocation recycling saves.
+  virtual Result<ColumnVector> EvalReusing(const Batch& batch,
+                                           ColumnVector&& scratch) const {
+    (void)scratch;
+    return Eval(batch);
+  }
   /// Pretty-printed form for EXPLAIN output.
   virtual std::string ToString() const = 0;
 };

@@ -1,5 +1,7 @@
 #include "exec/hash_agg.h"
 
+#include <cstring>
+
 namespace bdcc {
 namespace exec {
 
@@ -9,11 +11,9 @@ HashAgg::HashAgg(OperatorPtr child, std::vector<std::string> group_cols,
       group_cols_(std::move(group_cols)),
       spec_templates_(std::move(specs)) {}
 
-Status HashAgg::Open(ExecContext* ctx) {
-  BDCC_RETURN_NOT_OK(child_->Open(ctx));
-  const Schema& in = child_->schema();
+Status HashAgg::Bind(const Schema& in) {
+  input_schema_ = in;
   BDCC_RETURN_NOT_OK(core_.Bind(in, spec_templates_));
-
   std::vector<Field> fields;
   key_store_.clear();
   if (!group_cols_.empty()) {
@@ -26,13 +26,28 @@ Status HashAgg::Open(ExecContext* ctx) {
   }
   for (const Field& f : core_.output_fields()) fields.push_back(f);
   schema_ = Schema(std::move(fields));
-
-  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
   key_map_.Clear();
   emit_cursor_ = 0;
   consumed_ = false;
   return Status::OK();
 }
+
+Status HashAgg::Open(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(child_->Open(ctx));
+  BDCC_RETURN_NOT_OK(Bind(child_->schema()));
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  return Status::OK();
+}
+
+Status HashAgg::BindMergeOnly(const Schema& input) {
+  BDCC_CHECK(child_ == nullptr);
+  BDCC_RETURN_NOT_OK(Bind(input));
+  // Nothing to consume: Next() emits whatever partitions merge in.
+  consumed_ = true;
+  return Status::OK();
+}
+
+const Schema& HashAgg::input_schema() const { return input_schema_; }
 
 Status HashAgg::Consume(const Batch& batch) {
   std::vector<uint32_t> group_of_row(batch.num_rows);
@@ -98,6 +113,72 @@ Status HashAgg::MergePartial(HashAgg* other) {
   return Status::OK();
 }
 
+std::vector<uint32_t> HashAgg::PartitionGroups(int bits) const {
+  BDCC_CHECK(bits >= 1 && bits <= 30);
+  size_t groups = key_map_.size();
+  std::vector<uint32_t> out(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    // Value-based hash: strings by content, numerics by lane bits, NULLs
+    // as a fixed tag — the same group key lands in the same partition no
+    // matter which clone (and which private dictionary) stored it.
+    uint64_t h = 0x2545f4914f6cdd1dull;
+    for (const ColumnVector& col : key_store_) {
+      uint64_t v;
+      if (col.IsNull(g)) {
+        v = 0x9ae16a3b2f90404full;  // NULL tag
+      } else if (col.type == TypeId::kString) {
+        v = HashKeyBytes(col.GetString(g));
+      } else if (col.type == TypeId::kInt64) {
+        v = static_cast<uint64_t>(col.i64[g]);
+      } else if (col.type == TypeId::kFloat64) {
+        double d = col.f64[g];
+        std::memcpy(&v, &d, sizeof(v));
+      } else {
+        v = static_cast<uint64_t>(static_cast<uint32_t>(col.i32[g]));
+      }
+      h = HashKey64(h ^ v);
+    }
+    out[g] = static_cast<uint32_t>(h >> (64 - bits));
+  }
+  return out;
+}
+
+Status HashAgg::MergePartialPartition(const HashAgg& other,
+                                      const std::vector<uint32_t>& part_of_group,
+                                      uint32_t partition) {
+  BDCC_CHECK(consumed_ && other.consumed_ && !group_cols_.empty());
+  size_t other_groups = other.key_map_.size();
+  if (other_groups == 0) return Status::OK();
+  // Gather only the owned groups' key rows, then encode just that subset:
+  // total encode work across all partition tasks stays O(groups), and this
+  // merger's encoder only ever sees (and side-interns) its own partition's
+  // strings.
+  std::vector<uint32_t> rows;
+  for (size_t g = 0; g < other_groups; ++g) {
+    if (part_of_group[g] == partition) {
+      rows.push_back(static_cast<uint32_t>(g));
+    }
+  }
+  if (rows.empty()) return Status::OK();
+  std::vector<ColumnVector> sub;
+  sub.reserve(other.key_store_.size());
+  for (const ColumnVector& col : other.key_store_) {
+    sub.push_back(col.Gather(rows));
+  }
+  std::vector<uint32_t> sub_map;
+  EncodeAndAssignGroupsCols(encoder_, &key_map_, sub, rows.size(), &sub_map,
+                            [&](size_t row) {
+                              for (size_t k = 0; k < key_store_.size(); ++k) {
+                                key_store_[k].AppendInterning(sub[k], row);
+                              }
+                            });
+  core_.EnsureGroups(key_map_.size());
+  std::vector<uint32_t> group_map(other_groups, AggregatorCore::kSkipGroup);
+  for (size_t i = 0; i < rows.size(); ++i) group_map[rows[i]] = sub_map[i];
+  core_.MergeFrom(other.core_, group_map);
+  return Status::OK();
+}
+
 Result<Batch> HashAgg::Next(ExecContext* ctx) {
   BDCC_RETURN_NOT_OK(ConsumeAll(ctx));
   size_t total = group_cols_.empty() ? 1 : key_map_.size();
@@ -120,7 +201,7 @@ Result<Batch> HashAgg::Next(ExecContext* ctx) {
 }
 
 void HashAgg::Close(ExecContext* ctx) {
-  child_->Close(ctx);
+  if (child_ != nullptr) child_->Close(ctx);
   key_map_.Clear();
   key_store_.clear();
   core_.Reset();

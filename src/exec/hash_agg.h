@@ -34,13 +34,40 @@ class HashAgg : public Operator {
   /// Called serially (merge phase) after the parallel consume phase.
   Status MergePartial(HashAgg* other);
 
+  /// Bind as a merge-only target (no child operator): `input` is the schema
+  /// the partials consumed. Afterwards only MergePartial/
+  /// MergePartialPartition, Next (emission) and Close are valid — Next
+  /// emits whatever was merged in.
+  Status BindMergeOnly(const Schema& input);
+
+  /// Schema of the child this aggregate consumed (valid once Open ran);
+  /// what merge-only peers must be bound with.
+  const Schema& input_schema() const;
+
+  size_t num_groups() const { return key_map_.size(); }
+
+  /// Partition this aggregate's groups into 1 << bits radix partitions by
+  /// a *value-based* hash of the stored group keys — consistent across
+  /// aggregates even though each clone interned strings into private
+  /// dictionaries. out[g] = partition of group g.
+  std::vector<uint32_t> PartitionGroups(int bits) const;
+
+  /// Fold only the groups of `other` whose part_of_group[g] == partition
+  /// into this aggregate. Read-only on `other`: distinct targets may merge
+  /// disjoint slices of one partial concurrently.
+  Status MergePartialPartition(const HashAgg& other,
+                               const std::vector<uint32_t>& part_of_group,
+                               uint32_t partition);
+
  private:
+  Status Bind(const Schema& in);
   Status Consume(const Batch& batch);
 
-  OperatorPtr child_;
+  OperatorPtr child_;  // null for merge-only instances (BindMergeOnly)
   std::vector<std::string> group_cols_;
   std::vector<AggSpec> spec_templates_;
   Schema schema_;
+  Schema input_schema_;
 
   KeyEncoder encoder_;
   DenseKeyMap key_map_;

@@ -64,13 +64,24 @@ Status HashJoin::Open(ExecContext* ctx) {
   return prober_.Bind(left_->schema(), left_keys_, &table_, type_);
 }
 
-Result<Batch> HashJoinProber::ProbeBatch(const Batch& in) const {
+Result<Batch> HashJoinProber::ProbeBatch(const Batch& in, Batch scratch) const {
   const JoinHashTable& table = *table_;
   size_t left_width = in.columns.size();
   Batch out;
   out.group_id = in.group_id;
-  for (const Field& f : schema_.fields()) {
-    out.columns.emplace_back(f.type);
+  if (scratch.columns.size() == schema_.num_fields()) {
+    // Reuse a recycled output batch's lanes. Dictionaries are re-wired
+    // below / re-adopted on first append, so a stale dictionary pointer
+    // from the previous batch can never be interned into.
+    out.columns = std::move(scratch.columns);
+    for (ColumnVector& c : out.columns) {
+      c.ClearKeepCapacity();
+      c.dict = nullptr;
+    }
+  } else {
+    for (const Field& f : schema_.fields()) {
+      out.columns.emplace_back(f.type);
+    }
   }
   // Pre-wire right-side dictionaries so empty results stay typed.
   if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
@@ -81,12 +92,12 @@ Result<Batch> HashJoinProber::ProbeBatch(const Batch& in) const {
 
   // `left_row` below is a logical row; map through the probe batch's
   // selection when materializing.
-  auto emit_match = [&](size_t left_row, uint32_t build_row) {
+  auto emit_match = [&](size_t left_row, BuildRowRef build) {
     for (size_t c = 0; c < left_width; ++c) {
       out.columns[c].AppendFrom(in.columns[c], in.RowAt(left_row));
     }
-    for (size_t c = 0; c < table.columns().size(); ++c) {
-      out.columns[left_width + c].AppendFrom(table.columns()[c], build_row);
+    for (size_t c = 0; c < build.columns->size(); ++c) {
+      out.columns[left_width + c].AppendFrom((*build.columns)[c], build.row);
     }
     ++out.num_rows;
   };
@@ -108,8 +119,8 @@ Result<Batch> HashJoinProber::ProbeBatch(const Batch& in) const {
       switch (type_) {
         case JoinType::kInner:
         case JoinType::kLeftOuter:
-          table.ForEachMatch(key, [&](uint32_t row) {
-            emit_match(i, row);
+          table.ForEachMatch(key, [&](BuildRowRef build) {
+            emit_match(i, build);
             matched = true;
           });
           break;
@@ -152,16 +163,27 @@ Result<Batch> HashJoin::Next(ExecContext* ctx) {
   while (true) {
     BDCC_ASSIGN_OR_RETURN(Batch in, left_->Next(ctx));
     if (in.empty()) return Batch::Empty();
-    BDCC_ASSIGN_OR_RETURN(Batch out, prober_.ProbeBatch(in));
+    Batch scratch;
+    if (!recycled_.empty()) {
+      scratch = std::move(recycled_.back());
+      recycled_.pop_back();
+    }
+    BDCC_ASSIGN_OR_RETURN(Batch out,
+                          prober_.ProbeBatch(in, std::move(scratch)));
     left_->Recycle(std::move(in));  // probe output is freshly materialized
     if (out.num_rows > 0) return out;
   }
+}
+
+void HashJoin::Recycle(Batch&& batch) {
+  RecycleIntoFreeList(std::move(batch), schema(), &recycled_);
 }
 
 void HashJoin::Close(ExecContext* ctx) {
   left_->Close(ctx);
   right_->Close(ctx);
   table_.Clear();
+  recycled_.clear();
   if (tracked_) tracked_->Clear();
 }
 

@@ -36,7 +36,10 @@ class HashJoinProber {
   /// inner/left-outer).
   const Schema& schema() const { return schema_; }
 
-  Result<Batch> ProbeBatch(const Batch& in) const;
+  /// Probe one batch. `scratch` (optional) is a previously-emitted output
+  /// batch whose lane allocations are reused for the new output
+  /// (Operator::Recycle support); it must match this prober's schema.
+  Result<Batch> ProbeBatch(const Batch& in, Batch scratch = Batch()) const;
 
  private:
   const JoinHashTable* table_ = nullptr;
@@ -55,6 +58,9 @@ class HashJoin : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
   void Close(ExecContext* ctx) override;
+  /// Consumers hand fully-consumed join outputs back; their lane
+  /// allocations seed the next ProbeBatch's output.
+  void Recycle(Batch&& batch) override;
 
  private:
   OperatorPtr left_, right_;
@@ -63,6 +69,7 @@ class HashJoin : public Operator {
   JoinHashTable table_;
   HashJoinProber prober_;
   std::unique_ptr<TrackedMemory> tracked_;
+  std::vector<Batch> recycled_;
 };
 
 }  // namespace exec

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/task_scheduler.h"
+
 namespace bdcc {
 namespace exec {
 
@@ -308,7 +310,8 @@ namespace {
 // for NULL-bearing packed tuples.
 template <typename EncodeInts, typename EncodeBytes, typename ByteKey>
 void AssignGroupsImpl(const KeyEncoder& encoder, DenseKeyMap* key_map,
-                      size_t num_rows, std::vector<uint32_t>* group_of_row,
+                      size_t num_rows,
+                      std::vector<uint32_t>* group_of_row,
                       const std::function<void(size_t)>& on_new_group,
                       EncodeInts encode_ints, EncodeBytes encode_bytes,
                       ByteKey byte_key) {
@@ -406,6 +409,10 @@ int64_t DenseKeyMap::FindOrInsert(const std::string& key, bool* out_inserted) {
   return it->second;
 }
 
+void DenseKeyMap::Reserve(size_t n) {
+  int_map_.reserve(n);
+}
+
 int64_t DenseKeyMap::NullId(bool* out_inserted) {
   *out_inserted = null_id_ < 0;
   if (null_id_ < 0) null_id_ = NextId();
@@ -429,37 +436,58 @@ void DenseKeyMap::Clear() {
 
 // ---------------- JoinHashTable ----------------
 
+uint64_t HashKey64(uint64_t x) {
+  // splitmix64 finalizer: cheap, well-mixed high bits for radix routing.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashKeyBytes(std::string_view s) {
+  // FNV-1a, then one splitmix round so the *high* bits (the radix) mix.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return HashKey64(h);
+}
+
 Status JoinHashTable::Init(const Schema& build_schema,
                            const std::vector<std::string>& key_cols) {
   schema_ = build_schema;
   BDCC_RETURN_NOT_OK(encoder_.Bind(build_schema, key_cols));
-  columns_.clear();
+  parts_.clear();
+  parts_.resize(1);
   for (const Field& f : build_schema.fields()) {
-    columns_.emplace_back(f.type);
+    parts_[0].columns.emplace_back(f.type);
   }
   num_rows_ = 0;
-  heads_.clear();
-  next_.clear();
+  part_bits_ = 0;
+  producers_.clear();
   column_bytes_ = 0;
   return Status::OK();
 }
 
 Status JoinHashTable::AddBatch(const Batch& batch) {
+  BDCC_CHECK(part_bits_ == 0);  // serial mode only; partitioned uses Scatter
+  Partition& part = parts_[0];
   // Materialize the batch's (selected) rows.
-  for (size_t c = 0; c < columns_.size(); ++c) {
+  for (size_t c = 0; c < part.columns.size(); ++c) {
     const ColumnVector& src = batch.columns[c];
     for (size_t r = 0; r < batch.num_rows; ++r) {
-      columns_[c].AppendFrom(src, batch.RowAt(r));
+      part.columns[c].AppendFrom(src, batch.RowAt(r));
     }
   }
   // Chain rows under their keys.
   auto link = [&](int64_t id, size_t local_row) {
-    uint32_t row = static_cast<uint32_t>(num_rows_ + local_row);
-    if (static_cast<size_t>(id) >= heads_.size()) {
-      heads_.resize(id + 1, kEnd);
+    uint32_t row = static_cast<uint32_t>(part.num_rows + local_row);
+    if (static_cast<size_t>(id) >= part.heads.size()) {
+      part.heads.resize(id + 1, kEnd);
     }
-    next_.push_back(heads_[id]);
-    heads_[id] = row;
+    part.next.push_back(part.heads[id]);
+    part.heads[id] = row;
   };
   if (encoder_.int_path()) {
     std::vector<int64_t> keys;
@@ -467,11 +495,11 @@ Status JoinHashTable::AddBatch(const Batch& batch) {
     encoder_.EncodeInts(batch, &keys, &valid);
     for (size_t r = 0; r < batch.num_rows; ++r) {
       if (!valid[r]) {
-        next_.push_back(kEnd);  // NULL keys never match
+        part.next.push_back(kEnd);  // NULL keys never match
         continue;
       }
       bool inserted;
-      link(key_ids_.FindOrInsert(keys[r], &inserted), r);
+      link(part.key_ids.FindOrInsert(keys[r], &inserted), r);
     }
   } else {
     std::vector<std::string> keys;
@@ -479,34 +507,245 @@ Status JoinHashTable::AddBatch(const Batch& batch) {
     encoder_.EncodeBytes(batch, &keys, &valid);
     for (size_t r = 0; r < batch.num_rows; ++r) {
       if (!valid[r]) {
-        next_.push_back(kEnd);
+        part.next.push_back(kEnd);
         continue;
       }
       bool inserted;
-      link(key_ids_.FindOrInsert(keys[r], &inserted), r);
+      link(part.key_ids.FindOrInsert(keys[r], &inserted), r);
     }
   }
+  part.num_rows += batch.num_rows;
   num_rows_ += batch.num_rows;
   column_bytes_ = 0;
-  for (const ColumnVector& c : columns_) column_bytes_ += ColumnVectorBytes(c);
+  for (const ColumnVector& c : part.columns) {
+    column_bytes_ += ColumnVectorBytes(c);
+  }
   return Status::OK();
 }
 
+void JoinHashTable::BeginPartitionedBuild(int partition_bits,
+                                          size_t num_producers) {
+  BDCC_CHECK(partition_bits >= 1 && partition_bits <= kMaxPartitionBits);
+  BDCC_CHECK(num_rows_ == 0 && num_producers >= 1);
+  part_bits_ = partition_bits;
+  size_t n = size_t{1} << part_bits_;
+  parts_.clear();
+  parts_.resize(n);
+  for (Partition& p : parts_) {
+    for (const Field& f : schema_.fields()) p.columns.emplace_back(f.type);
+  }
+  producers_.clear();
+  producers_.resize(num_producers);
+  for (ProducerState& ps : producers_) ps.parts.resize(n);
+}
+
+Status JoinHashTable::ScatterBatch(size_t producer, Batch batch) {
+  BDCC_CHECK(part_bits_ > 0 && producer < producers_.size());
+  ProducerState& ps = producers_[producer];
+  uint64_t batch_ref = static_cast<uint64_t>(ps.pinned.size()) << 32;
+  if (encoder_.int_path()) {
+    std::vector<int64_t> keys;
+    std::vector<uint8_t> valid;
+    encoder_.EncodeInts(batch, &keys, &valid);
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      // NULL keys never match; park them in partition 0 so row counts (and
+      // memory accounting) agree with a serial build.
+      RowBuffer& rb = ps.parts[valid[i] ? PartOf(keys[i]) : 0];
+      rb.refs.push_back(batch_ref | batch.RowAt(i));
+      rb.int_keys.push_back(keys[i]);
+      rb.valid.push_back(valid[i]);
+    }
+  } else {
+    std::vector<std::string> keys;
+    std::vector<uint8_t> valid;
+    encoder_.EncodeBytes(batch, &keys, &valid);
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      RowBuffer& rb = ps.parts[valid[i] ? PartOf(keys[i]) : 0];
+      rb.refs.push_back(batch_ref | batch.RowAt(i));
+      rb.byte_keys.push_back(std::move(keys[i]));
+      rb.valid.push_back(valid[i]);
+    }
+  }
+  ps.pinned.push_back(std::move(batch));
+  return Status::OK();
+}
+
+void JoinHashTable::BuildPartition(size_t p) {
+  Partition& part = parts_[p];
+  size_t total = 0;
+  for (const ProducerState& ps : producers_) total += ps.parts[p].refs.size();
+  for (ColumnVector& c : part.columns) c.Reserve(total);
+  part.next.reserve(total);
+  part.heads.reserve(total);
+  bool int_path = encoder_.int_path();
+  if (int_path) part.key_ids.Reserve(total);
+  auto link = [&part](int64_t id, uint32_t row) {
+    if (static_cast<size_t>(id) >= part.heads.size()) {
+      part.heads.resize(id + 1, kEnd);
+    }
+    part.next.push_back(part.heads[id]);
+    part.heads[id] = row;
+  };
+  // Merge producers in producer order: per-key chain contents are then
+  // deterministic for a fixed producer count, and identical to a serial
+  // build when there is a single producer.
+  std::vector<uint32_t> run_rows;
+  for (ProducerState& ps : producers_) {
+    RowBuffer& rb = ps.parts[p];
+    size_t n = rb.refs.size();
+    // Materialize: refs arrive in batch order, so each same-batch run
+    // bulk-gathers with the typed fast path.
+    size_t i = 0;
+    while (i < n) {
+      uint32_t bidx = static_cast<uint32_t>(rb.refs[i] >> 32);
+      size_t run = i + 1;
+      while (run < n && static_cast<uint32_t>(rb.refs[run] >> 32) == bidx) {
+        ++run;
+      }
+      run_rows.resize(run - i);
+      for (size_t j = i; j < run; ++j) {
+        run_rows[j - i] = static_cast<uint32_t>(rb.refs[j]);
+      }
+      const Batch& src = ps.pinned[bidx];
+      for (size_t c = 0; c < part.columns.size(); ++c) {
+        part.columns[c].AppendGather(src.columns[c], run_rows.data(),
+                                     run_rows.size());
+      }
+      i = run;
+    }
+    // Chain the rows under their pre-encoded keys.
+    for (size_t r = 0; r < n; ++r) {
+      if (!rb.valid[r]) {
+        part.next.push_back(kEnd);
+        continue;
+      }
+      bool inserted;
+      int64_t id = int_path ? part.key_ids.FindOrInsert(rb.int_keys[r],
+                                                        &inserted)
+                            : part.key_ids.FindOrInsert(rb.byte_keys[r],
+                                                        &inserted);
+      link(id, static_cast<uint32_t>(part.num_rows + r));
+    }
+    part.num_rows += n;
+    rb = RowBuffer{};  // free the refs/keys as soon as they are merged
+  }
+}
+
+Status JoinHashTable::FinishPartitionedBuild(common::TaskScheduler* scheduler) {
+  BDCC_CHECK(part_bits_ > 0);
+  size_t n = parts_.size();
+  // Dictionary homogeneity: every partition must end up sharing one
+  // dictionary per string column (probe emit pre-wires partition 0's dict
+  // and bulk-copies codes). With a single dictionary across all pinned
+  // batches (the overwhelmingly common case) the parallel per-partition
+  // gather adopts it and never interns; with mixed dictionaries we build
+  // serially into fresh unified dictionaries instead, because interning
+  // from partition tasks would mutate a shared Dictionary concurrently.
+  bool dict_mix = false;
+  for (size_t c = 0; c < schema_.num_fields() && !dict_mix; ++c) {
+    if (schema_.field(c).type != TypeId::kString) continue;
+    const Dictionary* first = nullptr;
+    for (const ProducerState& ps : producers_) {
+      for (const Batch& b : ps.pinned) {
+        const Dictionary* d = b.columns[c].dict.get();
+        if (d == nullptr) continue;
+        if (first == nullptr) {
+          first = d;
+        } else if (first != d) {
+          dict_mix = true;
+          break;
+        }
+      }
+      if (dict_mix) break;
+    }
+  }
+  if (dict_mix) {
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      if (schema_.field(c).type != TypeId::kString) continue;
+      auto unified = std::make_shared<Dictionary>();
+      for (Partition& part : parts_) part.columns[c].dict = unified;
+    }
+    for (size_t p = 0; p < n; ++p) BuildPartition(p);
+  } else if (scheduler != nullptr) {
+    // One strided worker per producer (== build clone): the insert phase's
+    // concurrency stays bounded by the requested build parallelism, not by
+    // the shared pool's width.
+    size_t workers = std::min(n, std::max<size_t>(1, producers_.size()));
+    common::TaskScheduler::TaskGroup group(scheduler);
+    for (size_t w = 1; w < workers; ++w) {
+      group.Submit([this, w, workers, n] {
+        for (size_t p = w; p < n; p += workers) BuildPartition(p);
+      });
+    }
+    for (size_t p = 0; p < n; p += workers) BuildPartition(p);
+    group.Wait();
+  } else {
+    for (size_t p = 0; p < n; ++p) BuildPartition(p);
+  }
+  // Homogeneous-path partitions each adopted the (single) source dict; make
+  // empty partitions agree so columns() pre-wiring stays canonical.
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    if (schema_.field(c).type != TypeId::kString) continue;
+    std::shared_ptr<Dictionary> common_dict;
+    for (Partition& part : parts_) {
+      if (part.columns[c].dict != nullptr) {
+        common_dict = part.columns[c].dict;
+        break;
+      }
+    }
+    for (Partition& part : parts_) {
+      if (part.columns[c].dict == nullptr) part.columns[c].dict = common_dict;
+    }
+  }
+  producers_.clear();
+  num_rows_ = 0;
+  column_bytes_ = 0;
+  for (const Partition& part : parts_) {
+    num_rows_ += part.num_rows;
+    for (const ColumnVector& c : part.columns) {
+      column_bytes_ += ColumnVectorBytes(c);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t JoinHashTable::PartitionBytes(const Partition& p) const {
+  return p.heads.capacity() * 4 + p.next.capacity() * 4 +
+         p.key_ids.MemoryBytes();
+}
+
 uint64_t JoinHashTable::MemoryBytes() const {
-  return column_bytes_ + heads_.capacity() * 4 + next_.capacity() * 4 +
-         key_ids_.MemoryBytes();
+  uint64_t total = column_bytes_;
+  for (const Partition& p : parts_) total += PartitionBytes(p);
+  // In-flight scatter state (between Begin and Finish). Callers must not
+  // race this walk with concurrent ScatterBatch producers.
+  for (const ProducerState& ps : producers_) {
+    for (const Batch& b : ps.pinned) {
+      for (const ColumnVector& c : b.columns) total += ColumnVectorBytes(c);
+    }
+    for (const RowBuffer& rb : ps.parts) {
+      total += rb.refs.capacity() * 8 + rb.int_keys.capacity() * 8 +
+               rb.valid.capacity();
+      for (const std::string& k : rb.byte_keys) total += k.capacity();
+    }
+  }
+  return total;
 }
 
 void JoinHashTable::Clear() {
-  for (ColumnVector& c : columns_) {
-    ColumnVector fresh(c.type);
-    fresh.dict = c.dict;
-    c = std::move(fresh);
+  // Keep the single-partition shape (and dictionaries) so a cleared serial
+  // table can be refilled; partitioned state resets to serial.
+  std::vector<ColumnVector> fresh_cols;
+  for (const Field& f : schema_.fields()) fresh_cols.emplace_back(f.type);
+  for (size_t c = 0; c < fresh_cols.size(); ++c) {
+    if (!parts_.empty()) fresh_cols[c].dict = parts_[0].columns[c].dict;
   }
+  parts_.clear();
+  parts_.resize(1);
+  parts_[0].columns = std::move(fresh_cols);
   num_rows_ = 0;
-  heads_.clear();
-  next_.clear();
-  key_ids_.Clear();
+  part_bits_ = 0;
+  producers_.clear();
   column_bytes_ = 0;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +13,9 @@
 #include "exec/batch.h"
 
 namespace bdcc {
+namespace common {
+class TaskScheduler;
+}  // namespace common
 namespace exec {
 
 /// \brief Normalizes one or more key columns per row into either an int64
@@ -53,6 +57,21 @@ class KeyEncoder {
   bool int_path() const { return mode_ != Mode::kBytes; }
   size_t num_keys() const { return indices_.size(); }
   const std::vector<int>& indices() const { return indices_; }
+
+  /// True when the matching Encode* call is read-only and therefore safe to
+  /// run concurrently from many threads on this *build* encoder: the int
+  /// paths without string keys (raw values / packed i32) and the byte path
+  /// (serializes values, never touches the canonical space). Single-string
+  /// and packed-with-string encodes intern into the canonical space and
+  /// must stay single-threaded. Probe encoders bound with BindProbe are
+  /// always concurrent-safe per instance (see thread-safety note above).
+  bool concurrent_encode_safe() const {
+    if (mode_ == Mode::kBytes) return true;
+    for (TypeId t : types_) {
+      if (t == TypeId::kString) return false;
+    }
+    return true;
+  }
 
   /// Fast path: per-logical-row int64 keys; `valid[i]`=0 marks NULL keys.
   void EncodeInts(const Batch& batch, std::vector<int64_t>* keys,
@@ -158,6 +177,9 @@ class DenseKeyMap {
   /// Existing id, or insert and return the fresh one (out_inserted flags it).
   int64_t FindOrInsert(int64_t key, bool* out_inserted);
   int64_t FindOrInsert(const std::string& key, bool* out_inserted);
+  /// Pre-size for ~n keys (partitioned builds know their row counts up
+  /// front; skips the incremental rehash storms a serial build pays).
+  void Reserve(size_t n);
   /// Dense id reserved for NULL keys (allocated on first use).
   int64_t NullId(bool* out_inserted);
 
@@ -196,8 +218,39 @@ void EncodeAndAssignGroupsCols(const KeyEncoder& encoder,
                                std::vector<uint32_t>* group_of_row,
                                const std::function<void(size_t)>& on_new_group);
 
+/// Stable 64-bit mixers used to route keys to radix partitions. Build and
+/// probe must agree bit-for-bit, so these are fixed functions, not
+/// std::hash.
+uint64_t HashKey64(uint64_t x);
+uint64_t HashKeyBytes(std::string_view s);
+
+/// \brief One build row handed to ForEachMatch callbacks: the partition's
+/// materialized columns plus the row index within them. In serial
+/// (single-partition) mode `columns` is simply the whole build side.
+struct BuildRowRef {
+  const std::vector<ColumnVector>* columns;
+  uint32_t row;
+};
+
 /// \brief Materialized build side of a hash join: all build columns plus a
 /// key -> row-chain index.
+///
+/// Two build modes share the probe interface:
+///  - serial (Init + AddBatch): one partition, no routing on probe.
+///  - partitioned parallel (Init + BeginPartitionedBuild + per-producer
+///    ScatterBatch + FinishPartitionedBuild): rows are radix-partitioned by
+///    a stable hash of the *encoded* key into 2^bits partitions, each an
+///    unshared sub-table (own DenseKeyMap, chains, and columns) built by an
+///    independent task with no atomics on the insert path. Probe lookups
+///    route by the same radix bits inside ForEachMatch/HasMatch.
+///
+/// Thread-safety (partitioned build): ScatterBatch(producer, ...) may run
+/// concurrently across distinct producer slots iff
+/// encoder().concurrent_encode_safe() — otherwise encoding mutates the
+/// encoder's canonical string space and producers must scatter serially.
+/// FinishPartitionedBuild runs one task per partition on the scheduler
+/// (falling back to a serial merge when producers saw heterogeneous
+/// dictionaries, which would otherwise force cross-thread interning).
 class JoinHashTable {
  public:
   Status Init(const Schema& build_schema,
@@ -205,42 +258,121 @@ class JoinHashTable {
 
   Status AddBatch(const Batch& batch);
 
+  /// Switch to partitioned-build mode: 2^partition_bits partitions
+  /// (1 <= bits <= kMaxPartitionBits), `num_producers` scatter slots.
+  void BeginPartitionedBuild(int partition_bits, size_t num_producers);
+  /// Route `batch`'s rows into producer-local partition buffers: the batch
+  /// is pinned (moved in) and only (batch, row) refs plus encoded keys are
+  /// recorded per partition — materialization happens once, inside the
+  /// parallel per-partition insert of FinishPartitionedBuild. Sel-aware.
+  /// See class comment for when distinct producers may call this
+  /// concurrently.
+  Status ScatterBatch(size_t producer, Batch batch);
+  /// Build every partition's sub-table from the scattered buffers: one
+  /// task per partition when `scheduler` is non-null and dictionaries were
+  /// homogeneous, serial otherwise.
+  Status FinishPartitionedBuild(common::TaskScheduler* scheduler);
+
   size_t num_rows() const { return num_rows_; }
+  size_t num_partitions() const { return parts_.size(); }
   const Schema& schema() const { return schema_; }
-  const std::vector<ColumnVector>& columns() const { return columns_; }
+  /// Partition 0's columns. After a finished build every partition shares
+  /// the same dictionary per string column, so this is the correct source
+  /// for pre-wiring output dictionaries; row data of other partitions must
+  /// go through ForEachMatch's BuildRowRef.
+  const std::vector<ColumnVector>& columns() const {
+    return parts_.empty() ? empty_columns_ : parts_[0].columns;
+  }
   const KeyEncoder& encoder() const { return encoder_; }
 
-  /// Iterate build-row indices matching an int64 key.
+  /// Iterate build rows matching an int64 key (newest insertion first).
   template <typename Fn>
   void ForEachMatch(int64_t key, Fn fn) const {
-    int64_t id = key_ids_.Find(key);
+    const Partition& p = PartitionFor(key);
+    int64_t id = p.key_ids.Find(key);
     if (id < 0) return;
-    for (uint32_t row = heads_[id]; row != kEnd; row = next_[row]) fn(row);
+    for (uint32_t row = p.heads[id]; row != kEnd; row = p.next[row]) {
+      fn(BuildRowRef{&p.columns, row});
+    }
   }
   template <typename Fn>
   void ForEachMatch(const std::string& key, Fn fn) const {
-    int64_t id = key_ids_.Find(key);
+    const Partition& p = PartitionFor(key);
+    int64_t id = p.key_ids.Find(key);
     if (id < 0) return;
-    for (uint32_t row = heads_[id]; row != kEnd; row = next_[row]) fn(row);
+    for (uint32_t row = p.heads[id]; row != kEnd; row = p.next[row]) {
+      fn(BuildRowRef{&p.columns, row});
+    }
   }
-  bool HasMatch(int64_t key) const { return key_ids_.Find(key) >= 0; }
-  bool HasMatch(const std::string& key) const { return key_ids_.Find(key) >= 0; }
+  bool HasMatch(int64_t key) const {
+    return PartitionFor(key).key_ids.Find(key) >= 0;
+  }
+  bool HasMatch(const std::string& key) const {
+    return PartitionFor(key).key_ids.Find(key) >= 0;
+  }
 
-  /// Heap bytes held (columns + chains + key map) for memory accounting.
+  /// Heap bytes held (columns + chains + key maps) for memory accounting;
+  /// includes scatter buffers while a partitioned build is in flight.
   uint64_t MemoryBytes() const;
   void Clear();
+
+  static constexpr int kMaxPartitionBits = 6;  // <= 64 partitions
 
  private:
   static constexpr uint32_t kEnd = 0xFFFFFFFFu;
 
+  /// One unshared sub-table; in serial mode there is exactly one.
+  struct Partition {
+    DenseKeyMap key_ids;
+    std::vector<uint32_t> heads;  // per key id: first row in chain
+    std::vector<uint32_t> next;   // per row: next row with same key
+    std::vector<ColumnVector> columns;
+    size_t num_rows = 0;
+  };
+
+  /// One producer's pending row refs for one partition (scatter phase).
+  struct RowBuffer {
+    // Pinned-batch refs, batch_index << 32 | physical_row, in arrival
+    // order (so refs of one batch form a contiguous ascending-batch run —
+    // BuildPartition bulk-gathers per run).
+    std::vector<uint64_t> refs;
+    std::vector<int64_t> int_keys;
+    std::vector<std::string> byte_keys;
+    std::vector<uint8_t> valid;
+  };
+  /// Everything one producer scattered: its pinned input batches plus one
+  /// RowBuffer per partition. Touched only by that producer until
+  /// FinishPartitionedBuild, then read-only.
+  struct ProducerState {
+    std::vector<Batch> pinned;
+    std::vector<RowBuffer> parts;
+  };
+
+  size_t PartOf(int64_t key) const {
+    return HashKey64(static_cast<uint64_t>(key)) >> (64 - part_bits_);
+  }
+  size_t PartOf(const std::string& key) const {
+    return HashKeyBytes(key) >> (64 - part_bits_);
+  }
+  const Partition& PartitionFor(int64_t key) const {
+    return part_bits_ == 0 ? parts_[0] : parts_[PartOf(key)];
+  }
+  const Partition& PartitionFor(const std::string& key) const {
+    return part_bits_ == 0 ? parts_[0] : parts_[PartOf(key)];
+  }
+
+  void BuildPartition(size_t p);
+  uint64_t PartitionBytes(const Partition& p) const;
+
   Schema schema_;
   KeyEncoder encoder_;
-  std::vector<ColumnVector> columns_;
+  std::vector<Partition> parts_;
   size_t num_rows_ = 0;
-  DenseKeyMap key_ids_;
-  std::vector<uint32_t> heads_;  // per key id: first row in chain
-  std::vector<uint32_t> next_;   // per row: next row with same key
+  int part_bits_ = 0;  // 0 = serial single-partition mode
+  // Per-producer scatter state; cleared by FinishPartitionedBuild.
+  std::vector<ProducerState> producers_;
   uint64_t column_bytes_ = 0;
+  std::vector<ColumnVector> empty_columns_;
 };
 
 /// Heap bytes of one ColumnVector (accounting helper).

@@ -128,6 +128,8 @@ const Schema& ParallelHashAgg::schema() const {
 
 Status ParallelHashAgg::Open(ExecContext* ctx) {
   partials_.clear();
+  mergers_.clear();
+  emit_merger_ = 0;
   child_ctxs_.clear();
   merged_ = false;
   for (size_t i = 0; i < num_clones_; ++i) {
@@ -141,31 +143,94 @@ Status ParallelHashAgg::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<Batch> ParallelHashAgg::Next(ExecContext* ctx) {
-  if (!merged_) {
-    std::vector<Status> statuses(partials_.size(), Status::OK());
-    scheduler_->ParallelFor(partials_.size(), [&](size_t i) {
-      statuses[i] = partials_[i]->ConsumeAll(child_ctxs_[i].get());
-    });
-    for (size_t i = 0; i < partials_.size(); ++i) {
-      BDCC_RETURN_NOT_OK(statuses[i]);
-      ctx->MergeStats(*child_ctxs_[i]);
-    }
+Status ParallelHashAgg::MergeAll(ExecContext* ctx) {
+  std::vector<Status> statuses(partials_.size(), Status::OK());
+  scheduler_->ParallelFor(partials_.size(), [&](size_t i) {
+    statuses[i] = partials_[i]->ConsumeAll(child_ctxs_[i].get());
+  });
+  size_t total_groups = 0;
+  for (size_t i = 0; i < partials_.size(); ++i) {
+    BDCC_RETURN_NOT_OK(statuses[i]);
+    ctx->MergeStats(*child_ctxs_[i]);
+    total_groups += partials_[i]->num_groups();
+  }
+
+  if (group_cols_.empty() || total_groups < kMinPartitionedMergeGroups) {
+    // Scalar aggregates and small group sets: the pairwise chain is cheap.
     // Merge in clone order: deterministic for a fixed clone count because
     // each clone's morsel subset is a deterministic stride.
     for (size_t i = 1; i < partials_.size(); ++i) {
       BDCC_RETURN_NOT_OK(partials_[0]->MergePartial(partials_[i].get()));
     }
     merged_ = true;
+    return Status::OK();
   }
-  return partials_[0]->Next(child_ctxs_[0].get());
+
+  // Radix-partitioned merge: hash-partition every partial's groups by key
+  // value, then fold each partition with an independent task into its own
+  // merge-only aggregate. Each task reads the (now immutable) partials and
+  // writes only its own merger — no shared mutable state, no atomics.
+  int bits = 1;
+  while ((size_t{1} << bits) < partials_.size() * 4 &&
+         bits < JoinHashTable::kMaxPartitionBits) {
+    ++bits;
+  }
+  size_t num_partitions = size_t{1} << bits;
+  std::vector<std::vector<uint32_t>> part_of(partials_.size());
+  scheduler_->ParallelFor(partials_.size(), [&](size_t i) {
+    part_of[i] = partials_[i]->PartitionGroups(bits);
+  });
+
+  mergers_.clear();
+  mergers_.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    auto merger =
+        std::make_unique<HashAgg>(nullptr, group_cols_, spec_templates_);
+    BDCC_RETURN_NOT_OK(merger->BindMergeOnly(partials_[0]->input_schema()));
+    mergers_.push_back(std::move(merger));
+  }
+  // Strided over num_clones workers so merge concurrency stays bounded by
+  // the requested parallelism, not the shared pool's width.
+  std::vector<Status> merge_statuses(num_partitions, Status::OK());
+  size_t workers = std::min(num_partitions, partials_.size());
+  scheduler_->ParallelFor(workers, [&](size_t w) {
+    for (size_t p = w; p < num_partitions; p += workers) {
+      // Clone order within the partition keeps float accumulation order —
+      // and therefore bitwise results — deterministic for a fixed clone
+      // count.
+      for (size_t i = 0; i < partials_.size(); ++i) {
+        merge_statuses[p] = mergers_[p]->MergePartialPartition(
+            *partials_[i], part_of[i], static_cast<uint32_t>(p));
+        if (!merge_statuses[p].ok()) break;
+      }
+    }
+  });
+  for (const Status& s : merge_statuses) BDCC_RETURN_NOT_OK(s);
+  merged_ = true;
+  return Status::OK();
+}
+
+Result<Batch> ParallelHashAgg::Next(ExecContext* ctx) {
+  if (!merged_) BDCC_RETURN_NOT_OK(MergeAll(ctx));
+  if (mergers_.empty()) return partials_[0]->Next(child_ctxs_[0].get());
+  // Partitioned merge ran: emit partitions in order.
+  while (emit_merger_ < mergers_.size()) {
+    BDCC_ASSIGN_OR_RETURN(Batch b,
+                          mergers_[emit_merger_]->Next(child_ctxs_[0].get()));
+    if (!b.empty()) return b;
+    ++emit_merger_;
+  }
+  return Batch::Empty();
 }
 
 void ParallelHashAgg::Close(ExecContext* ctx) {
   for (size_t i = 0; i < partials_.size(); ++i) {
     partials_[i]->Close(child_ctxs_[i].get());
   }
+  for (std::unique_ptr<HashAgg>& m : mergers_) m->Close(ctx);
   partials_.clear();
+  mergers_.clear();
+  emit_merger_ = 0;
   child_ctxs_.clear();
 }
 
@@ -187,6 +252,108 @@ ParallelHashJoin::ParallelHashJoin(ChainFactory probe_factory,
   BDCC_CHECK(num_clones_ > 0);
 }
 
+void ParallelHashJoin::EnableParallelBuild(ChainFactory build_factory,
+                                           int partition_bits) {
+  BDCC_CHECK(partition_bits >= 1 &&
+             partition_bits <= JoinHashTable::kMaxPartitionBits);
+  build_factory_ = std::move(build_factory);
+  partition_bits_ = partition_bits;
+}
+
+int ChoosePartitionBits(uint64_t estimated_rows, size_t threads) {
+  // At least one partition per insert task; beyond that, aim for
+  // sub-tables of ~64K rows so per-partition key maps stay cache-friendly.
+  int bits = 1;
+  while ((size_t{1} << bits) < threads &&
+         bits < JoinHashTable::kMaxPartitionBits) {
+    ++bits;
+  }
+  while ((estimated_rows >> bits) > 65536 &&
+         bits < JoinHashTable::kMaxPartitionBits) {
+    ++bits;
+  }
+  return bits;
+}
+
+// Serial build: one operator drained on the coordinating thread.
+Status ParallelHashJoin::OpenBuildSerial(ExecContext* ctx) {
+  BDCC_RETURN_NOT_OK(build_->Open(ctx));
+  BDCC_RETURN_NOT_OK(table_.Init(build_->schema(), build_keys_));
+  while (true) {
+    BDCC_ASSIGN_OR_RETURN(Batch b, build_->Next(ctx));
+    if (b.empty()) break;
+    BDCC_RETURN_NOT_OK(table_.AddBatch(b));
+    build_->Recycle(std::move(b));
+    tracked_->Set(table_.MemoryBytes());
+  }
+  return Status::OK();
+}
+
+// Partitioned parallel build: N build chains scatter into radix partitions,
+// then one insert task per partition (see JoinHashTable).
+Status ParallelHashJoin::OpenBuildPartitioned(ExecContext* ctx) {
+  builds_.clear();
+  build_ctxs_.clear();
+  for (size_t i = 0; i < num_clones_; ++i) {
+    BDCC_ASSIGN_OR_RETURN(OperatorPtr chain, build_factory_(i, num_clones_));
+    build_ctxs_.push_back(std::make_unique<ExecContext>(*ctx));
+    BDCC_RETURN_NOT_OK(chain->Open(build_ctxs_.back().get()));
+    builds_.push_back(std::move(chain));
+  }
+  BDCC_RETURN_NOT_OK(table_.Init(builds_[0]->schema(), build_keys_));
+  table_.BeginPartitionedBuild(partition_bits_, num_clones_);
+
+  std::vector<Status> statuses(builds_.size(), Status::OK());
+  if (table_.encoder().concurrent_encode_safe()) {
+    // Fused drain + scatter: each clone encodes and routes its own batches.
+    // Batches are pinned inside the table until FinishPartitionedBuild
+    // materializes them, so they cannot be recycled to the scans.
+    scheduler_->ParallelFor(builds_.size(), [&](size_t i) {
+      statuses[i] = [&]() -> Status {
+        while (true) {
+          BDCC_ASSIGN_OR_RETURN(Batch b, builds_[i]->Next(build_ctxs_[i].get()));
+          if (b.empty()) return Status::OK();
+          BDCC_RETURN_NOT_OK(table_.ScatterBatch(i, std::move(b)));
+        }
+      }();
+    });
+  } else {
+    // String-keyed encoders intern into a shared canonical space: drain the
+    // chains in parallel (scan work still scales), scatter serially.
+    std::vector<std::vector<Batch>> drained(builds_.size());
+    std::vector<std::unique_ptr<TrackedMemory>> clone_mem;
+    for (size_t i = 0; i < builds_.size(); ++i) {
+      clone_mem.push_back(std::make_unique<TrackedMemory>(ctx->memory()));
+    }
+    scheduler_->ParallelFor(builds_.size(), [&](size_t i) {
+      statuses[i] = DrainChain(builds_[i].get(), build_ctxs_[i].get(),
+                               &drained[i], clone_mem[i].get());
+    });
+    for (size_t i = 0; i < builds_.size(); ++i) {
+      BDCC_RETURN_NOT_OK(statuses[i]);
+      for (Batch& b : drained[i]) {
+        BDCC_RETURN_NOT_OK(table_.ScatterBatch(i, std::move(b)));
+      }
+      drained[i].clear();
+    }
+    // The batches now live pinned inside the table; account them there
+    // before dropping the per-clone drain charges.
+    tracked_->Set(table_.MemoryBytes());
+    for (size_t i = 0; i < builds_.size(); ++i) clone_mem[i]->Clear();
+  }
+  for (size_t i = 0; i < builds_.size(); ++i) {
+    BDCC_RETURN_NOT_OK(statuses[i]);
+    ctx->MergeStats(*build_ctxs_[i]);
+  }
+  // Peak of the build: pinned batches + refs/keys, still held while the
+  // partition tables materialize (MemoryBytes must not race producers, so
+  // this is the earliest safe point on the fused path).
+  tracked_->Set(table_.MemoryBytes());
+  BDCC_RETURN_NOT_OK(table_.FinishPartitionedBuild(scheduler_));
+  tracked_->Set(table_.MemoryBytes());
+  return Status::OK();
+}
+
 Status ParallelHashJoin::Open(ExecContext* ctx) {
   probes_.clear();
   probers_.clear();
@@ -198,16 +365,10 @@ Status ParallelHashJoin::Open(ExecContext* ctx) {
   }
   tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
 
-  // Build once, serially (the build side is typically small; parallel
-  // builds would need a concurrent table).
-  BDCC_RETURN_NOT_OK(build_->Open(ctx));
-  BDCC_RETURN_NOT_OK(table_.Init(build_->schema(), build_keys_));
-  while (true) {
-    BDCC_ASSIGN_OR_RETURN(Batch b, build_->Next(ctx));
-    if (b.empty()) break;
-    BDCC_RETURN_NOT_OK(table_.AddBatch(b));
-    build_->Recycle(std::move(b));
-    tracked_->Set(table_.MemoryBytes());
+  if (build_factory_ != nullptr) {
+    BDCC_RETURN_NOT_OK(OpenBuildPartitioned(ctx));
+  } else {
+    BDCC_RETURN_NOT_OK(OpenBuildSerial(ctx));
   }
 
   probers_.resize(num_clones_);
@@ -275,10 +436,15 @@ Result<Batch> ParallelHashJoin::Next(ExecContext* ctx) {
 }
 
 void ParallelHashJoin::Close(ExecContext* ctx) {
-  build_->Close(ctx);
+  if (build_ != nullptr && builds_.empty()) build_->Close(ctx);
+  for (size_t i = 0; i < builds_.size(); ++i) {
+    builds_[i]->Close(build_ctxs_[i].get());
+  }
   for (size_t i = 0; i < probes_.size(); ++i) {
     probes_[i]->Close(child_ctxs_[i].get());
   }
+  builds_.clear();
+  build_ctxs_.clear();
   probes_.clear();
   probers_.clear();
   child_ctxs_.clear();

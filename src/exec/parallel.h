@@ -71,7 +71,17 @@ class ParallelUnion : public Operator {
   uint64_t ready_bytes_ = 0;
 };
 
-/// \brief Morsel-parallel hash aggregation: thread-local partials + merge.
+/// \brief Morsel-parallel hash aggregation: thread-local partials, then a
+/// radix-partitioned parallel merge.
+///
+/// Each clone aggregates its morsels into a thread-local HashAgg exactly as
+/// before. The merge phase hash-partitions every partial's *groups* by a
+/// value-based key hash (consistent across clones regardless of per-clone
+/// dictionaries) and folds each partition with an independent task into its
+/// own merge-only HashAgg — no lock-step pairwise MergeFrom chain. Group
+/// sums still accumulate in clone order within each partition, so float
+/// results are bitwise deterministic for a fixed clone count. Small group
+/// counts skip the partitioned machinery and merge serially.
 class ParallelHashAgg : public Operator {
  public:
   ParallelHashAgg(ChainFactory child_factory, size_t num_clones,
@@ -84,18 +94,43 @@ class ParallelHashAgg : public Operator {
   Result<Batch> Next(ExecContext* ctx) override;
   void Close(ExecContext* ctx) override;
 
+  /// Total groups across partials below which the merge stays serial (the
+  /// partitioned merge's task overhead would dominate).
+  static constexpr size_t kMinPartitionedMergeGroups = 4096;
+
  private:
+  Status MergeAll(ExecContext* ctx);
+
   ChainFactory child_factory_;
   size_t num_clones_;
   std::vector<std::string> group_cols_;
   std::vector<AggSpec> spec_templates_;
   common::TaskScheduler* scheduler_;
   std::vector<std::unique_ptr<HashAgg>> partials_;
+  // Partitioned-merge targets (one per radix partition); empty when the
+  // serial merge path ran (scalar aggregate or few groups).
+  std::vector<std::unique_ptr<HashAgg>> mergers_;
+  size_t emit_merger_ = 0;
   std::vector<std::unique_ptr<ExecContext>> child_ctxs_;
   bool merged_ = false;
 };
 
+/// Radix partition count (log2) for a parallel hash-join build of
+/// `estimated_rows`: enough partitions to feed `threads` insert tasks,
+/// growing toward cache-sized sub-tables on big builds, capped at
+/// JoinHashTable::kMaxPartitionBits.
+int ChoosePartitionBits(uint64_t estimated_rows, size_t threads);
+
 /// \brief Hash join with a shared build table and parallel probe clones.
+///
+/// By default the build side is one operator drained serially. With
+/// EnableParallelBuild the build side becomes N chain clones feeding a
+/// two-phase partitioned build (JoinHashTable::ScatterBatch /
+/// FinishPartitionedBuild): clones radix-partition their batches into
+/// producer-local buffers — fully parallel when the key encoding is
+/// read-only, with a serial scatter fallback for string-keyed encoders —
+/// then one task per partition builds an unshared sub-table. Probe clones
+/// route by the same radix bits inside the shared table.
 class ParallelHashJoin : public Operator {
  public:
   ParallelHashJoin(ChainFactory probe_factory, size_t num_clones,
@@ -103,25 +138,36 @@ class ParallelHashJoin : public Operator {
                    std::vector<std::string> build_keys, JoinType type,
                    common::TaskScheduler* scheduler = nullptr);
 
+  /// Switch the build side to `num_clones` parallel chains with a radix-
+  /// partitioned table of 2^partition_bits sub-tables. The serial `build`
+  /// operator passed to the constructor is ignored (may be null).
+  void EnableParallelBuild(ChainFactory build_factory, int partition_bits);
+
   const Schema& schema() const override { return schema_; }
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
   void Close(ExecContext* ctx) override;
 
  private:
+  Status OpenBuildSerial(ExecContext* ctx);
+  Status OpenBuildPartitioned(ExecContext* ctx);
   Status RunAll(ExecContext* ctx);
 
   ChainFactory probe_factory_;
   size_t num_clones_;
   OperatorPtr build_;
+  ChainFactory build_factory_;
+  int partition_bits_ = 0;
   std::vector<std::string> probe_keys_, build_keys_;
   JoinType type_;
   common::TaskScheduler* scheduler_;
 
   JoinHashTable table_;
+  std::vector<OperatorPtr> builds_;
   std::vector<OperatorPtr> probes_;
   std::vector<HashJoinProber> probers_;
   std::vector<std::unique_ptr<ExecContext>> child_ctxs_;
+  std::vector<std::unique_ptr<ExecContext>> build_ctxs_;
   std::unique_ptr<TrackedMemory> tracked_;
   Schema schema_;
   bool ran_ = false;

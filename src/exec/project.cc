@@ -38,18 +38,33 @@ Status Project::Open(ExecContext* ctx) {
 Result<Batch> Project::Next(ExecContext* ctx) {
   BDCC_ASSIGN_OR_RETURN(Batch in, child_->Next(ctx));
   if (in.empty()) return Batch::Empty();
+  Batch scratch;
+  if (!recycled_.empty()) {
+    scratch = std::move(recycled_.back());
+    recycled_.pop_back();
+  }
   Batch out;
   out.num_rows = in.num_rows;
   out.group_id = in.group_id;
   out.columns.reserve(exprs_.size());
-  for (const NamedExpr& ne : exprs_) {
-    BDCC_ASSIGN_OR_RETURN(ColumnVector v, ne.expr->Eval(in));
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    ColumnVector v;
+    if (e < scratch.columns.size()) {
+      BDCC_ASSIGN_OR_RETURN(
+          v, exprs_[e].expr->EvalReusing(in, std::move(scratch.columns[e])));
+    } else {
+      BDCC_ASSIGN_OR_RETURN(v, exprs_[e].expr->Eval(in));
+    }
     out.columns.push_back(std::move(v));
   }
   // Expression outputs are dense copies (leaves densify), so the input
   // buffers are free to reuse.
   child_->Recycle(std::move(in));
   return out;
+}
+
+void Project::Recycle(Batch&& batch) {
+  RecycleIntoFreeList(std::move(batch), schema_, &recycled_);
 }
 
 }  // namespace exec

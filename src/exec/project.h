@@ -35,12 +35,20 @@ class Project : public Operator {
   const Schema& schema() const override { return schema_; }
   Status Open(ExecContext* ctx) override;
   Result<Batch> Next(ExecContext* ctx) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  void Close(ExecContext* ctx) override {
+    child_->Close(ctx);
+    recycled_.clear();
+  }
+  /// Fully-consumed output batches come back here; their lanes are reused
+  /// for the next batch's expression outputs (column leaves gather into
+  /// them via Expr::EvalReusing).
+  void Recycle(Batch&& batch) override;
 
  private:
   OperatorPtr child_;
   std::vector<NamedExpr> exprs_;
   Schema schema_;
+  std::vector<Batch> recycled_;
 };
 
 }  // namespace exec

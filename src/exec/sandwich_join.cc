@@ -91,12 +91,12 @@ Result<Batch> SandwichHashJoin::ProbeBatch(const Batch& in) {
   }
 
   // `left_row` is logical; map through the probe batch's selection.
-  auto emit_match = [&](size_t left_row, uint32_t build_row) {
+  auto emit_match = [&](size_t left_row, BuildRowRef build) {
     for (size_t c = 0; c < left_width; ++c) {
       out.columns[c].AppendFrom(in.columns[c], in.RowAt(left_row));
     }
-    for (size_t c = 0; c < table_.columns().size(); ++c) {
-      out.columns[left_width + c].AppendFrom(table_.columns()[c], build_row);
+    for (size_t c = 0; c < build.columns->size(); ++c) {
+      out.columns[left_width + c].AppendFrom((*build.columns)[c], build.row);
     }
     ++out.num_rows;
   };
@@ -115,8 +115,8 @@ Result<Batch> SandwichHashJoin::ProbeBatch(const Batch& in) {
     bool matched = false;
     if (valid) {
       if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
-        table_.ForEachMatch(key, [&](uint32_t row) {
-          emit_match(i, row);
+        table_.ForEachMatch(key, [&](BuildRowRef build) {
+          emit_match(i, build);
           matched = true;
         });
       } else {

@@ -147,12 +147,7 @@ Batch ScanFilterState::TakeBatch(const Table& table,
 }
 
 void ScanFilterState::Recycle(Batch&& batch, const Schema& schema) {
-  if (recycled_.size() >= 2) return;  // keep the free list tiny
-  if (batch.columns.size() != schema.num_fields()) return;
-  for (size_t c = 0; c < batch.columns.size(); ++c) {
-    if (batch.columns[c].type != schema.field(c).type) return;
-  }
-  recycled_.push_back(std::move(batch));
+  RecycleIntoFreeList(std::move(batch), schema, &recycled_);
 }
 
 void SelBuilder::AddDense(size_t base, size_t n) {

@@ -79,6 +79,10 @@ struct AbsorbedTable {
 constexpr uint64_t kMorselRows = 8192;
 /// Leaf size below which parallel pipelines are not worth their overhead.
 constexpr uint64_t kMinParallelRows = 2 * kMorselRows;
+/// Build-side floor for the partitioned parallel build: builds are cheap
+/// per row, so the bar is lower than for probe pipelines — a couple of
+/// batches per producer already amortizes the scatter refs.
+constexpr uint64_t kMinParallelBuildRows = 4096;
 
 struct LeafClone {
   size_t instance = 0;
@@ -622,10 +626,34 @@ Result<SubPlan> PlannerImpl::CompileJoin(const NodePtr& node) {
       return inner(c);
     };
     Note("parallel hash join probe x" + std::to_string(opts_.num_threads));
-    out.op = std::make_unique<exec::ParallelHashJoin>(
+    // Parallel partitioned build when the build side is itself a clonable
+    // scan chain of useful size: partition count follows the estimated
+    // build cardinality (base-table rows; filters only shrink it). The
+    // serial build operator is not compiled into the plan in that case.
+    bool partitioned_build = opts_.enable_parallel_build &&
+                             right.leaf_factory &&
+                             right.leaf_gids == nullptr &&
+                             right.leaf_rows >= kMinParallelBuildRows;
+    auto pj = std::make_unique<exec::ParallelHashJoin>(
         std::move(probe_factory), static_cast<size_t>(opts_.num_threads),
-        std::move(right.op), jn.left_keys, jn.right_keys, jn.type,
-        opts_.scheduler);
+        partitioned_build ? nullptr : std::move(right.op), jn.left_keys,
+        jn.right_keys, jn.type, opts_.scheduler);
+    if (partitioned_build) {
+      LeafFactory build_inner = right.leaf_factory;
+      exec::ChainFactory build_factory = [build_inner](size_t i, size_t n) {
+        LeafClone c;
+        c.instance = i;
+        c.total = n;
+        return build_inner(c);
+      };
+      int bits = exec::ChoosePartitionBits(
+          right.leaf_rows, static_cast<size_t>(opts_.num_threads));
+      pj->EnableParallelBuild(std::move(build_factory), bits);
+      Note("parallel partitioned hash join build x" +
+           std::to_string(opts_.num_threads) + " (" +
+           std::to_string(size_t{1} << bits) + " partitions)");
+    }
+    out.op = std::move(pj);
   } else {
     out.op = std::make_unique<exec::HashJoin>(
         std::move(left.op), std::move(right.op), jn.left_keys, jn.right_keys,

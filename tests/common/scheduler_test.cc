@@ -85,6 +85,68 @@ TEST(TaskSchedulerTest, SharedPoolExists) {
   EXPECT_EQ(count.load(), 32);
 }
 
+// Steal-heavy: every task is submitted from one external thread (so all
+// work lands in the injection queue and workers race to claim it), and the
+// tasks themselves fan out nested subtasks from worker threads (local
+// deques), which idle workers then steal. Run under TSan in CI.
+TEST(TaskSchedulerTest, StealHeavyNestedSubmission) {
+  TaskScheduler scheduler(4);
+  std::atomic<int> count{0};
+  TaskScheduler::TaskGroup group(&scheduler);
+  for (int i = 0; i < 64; ++i) {
+    group.Submit([&scheduler, &count] {
+      // Nested fan-out from a worker: pushed LIFO onto its own deque,
+      // stolen FIFO by the other workers.
+      TaskScheduler::TaskGroup inner(&scheduler);
+      for (int j = 0; j < 32; ++j) {
+        inner.Submit([&count] { count.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 64 * 32);
+}
+
+// Uneven task sizes: a few long tasks pin workers while many short tasks
+// queue behind them — completion requires the free workers (and the
+// helping waiter) to steal around the stragglers.
+TEST(TaskSchedulerTest, UnevenTaskSizesComplete) {
+  TaskScheduler scheduler(3);
+  std::atomic<uint64_t> sum{0};
+  TaskScheduler::TaskGroup group(&scheduler);
+  for (int i = 0; i < 200; ++i) {
+    int spin = (i % 17 == 0) ? 40000 : 10;  // sporadic heavy tasks
+    group.Submit([&sum, spin] {
+      uint64_t acc = 0;
+      for (int k = 0; k < spin; ++k) acc += static_cast<uint64_t>(k) * k;
+      sum.fetch_add(acc + 1);
+    });
+  }
+  group.Wait();
+  // Every task ran exactly once: 200 "+1"s plus deterministic spin sums.
+  uint64_t expect = 0;
+  for (int i = 0; i < 200; ++i) {
+    int spin = (i % 17 == 0) ? 40000 : 10;
+    uint64_t acc = 0;
+    for (int k = 0; k < spin; ++k) acc += static_cast<uint64_t>(k) * k;
+    expect += acc + 1;
+  }
+  EXPECT_EQ(sum.load(), expect);
+}
+
+// Two schedulers interleaved from the same threads: worker-local deques
+// must stay per-scheduler (a worker of A submitting to B goes through B's
+// injection queue, not A's deques).
+TEST(TaskSchedulerTest, CrossSchedulerSubmission) {
+  TaskScheduler a(2), b(2);
+  std::atomic<int> count{0};
+  a.ParallelFor(16, [&](size_t) {
+    b.ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16 * 8);
+}
+
 // One MemoryTracker shared by many workers: the running total must return
 // to zero and the peak must be at least any single worker's footprint and
 // at most the theoretical concurrent maximum.

@@ -256,8 +256,8 @@ TEST(JoinHashTableTest, ChainsDuplicates) {
   ASSERT_TRUE(table.AddBatch(MakeBatch()).ok());
   EXPECT_EQ(table.num_rows(), 6u);
   int matches_7 = 0, matches_9 = 0;
-  table.ForEachMatch(int64_t{7}, [&](uint32_t) { ++matches_7; });
-  table.ForEachMatch(int64_t{9}, [&](uint32_t) { ++matches_9; });
+  table.ForEachMatch(int64_t{7}, [&](BuildRowRef) { ++matches_7; });
+  table.ForEachMatch(int64_t{9}, [&](BuildRowRef) { ++matches_9; });
   EXPECT_EQ(matches_7, 4);
   EXPECT_EQ(matches_9, 2);
   EXPECT_TRUE(table.HasMatch(int64_t{7}));
@@ -272,10 +272,10 @@ TEST(JoinHashTableTest, MaterializedColumnsPreserveValues) {
   JoinHashTable table;
   ASSERT_TRUE(table.Init(MakeSchema(), {"i"}).ok());
   ASSERT_TRUE(table.AddBatch(MakeBatch()).ok());
-  table.ForEachMatch(int64_t{9}, [&](uint32_t row) {
-    EXPECT_EQ(table.columns()[1].i64[row], 100);
-    EXPECT_EQ(table.columns()[2].GetString(row), "x");
-    EXPECT_DOUBLE_EQ(table.columns()[3].f64[row], 1.0);
+  table.ForEachMatch(int64_t{9}, [&](BuildRowRef build) {
+    EXPECT_EQ((*build.columns)[1].i64[build.row], 100);
+    EXPECT_EQ((*build.columns)[2].GetString(build.row), "x");
+    EXPECT_DOUBLE_EQ((*build.columns)[3].f64[build.row], 1.0);
   });
 }
 

@@ -148,6 +148,53 @@ TEST(ParallelHashAggTest, MatchesSerialScalarAggregate) {
   testutil::ExpectBatchesEqual(expect, got, "parallel scalar agg");
 }
 
+// Enough groups to cross kMinPartitionedMergeGroups: the radix-partitioned
+// parallel merge must agree with the serial aggregate (and with itself
+// across runs, bitwise, for the float sums).
+TEST(ParallelHashAggTest, PartitionedMergeMatchesSerialManyGroups) {
+  Rng rng(23);
+  Table t("T");
+  {
+    Column g(TypeId::kInt32), v(TypeId::kFloat64);
+    for (uint64_t i = 0; i < 60000; ++i) {
+      g.AppendInt32(static_cast<int32_t>(rng.Uniform(0, 19999)));
+      v.AppendFloat64(rng.NextDouble());
+    }
+    t.AddColumn("g", std::move(g)).AbortIfNotOK();
+    t.AddColumn("v", std::move(v)).AbortIfNotOK();
+  }
+  auto morsels = std::make_shared<const std::vector<Morsel>>(
+      MakeRowMorsels(t.num_rows(), 0, 1024));
+  std::vector<AggSpec> specs;
+  specs.push_back(AggSum(Col("v"), "sum_v"));
+  specs.push_back(AggCountStar("n"));
+  specs.push_back(AggMax(Col("v"), "max_v"));
+
+  ExecContext serial_ctx(nullptr);
+  HashAgg serial(std::make_unique<PlainScan>(
+                     &t, std::vector<std::string>{"g", "v"}),
+                 {"g"}, specs);
+  Batch expect = CollectAll(&serial, &serial_ctx).ValueOrDie();
+  ASSERT_GT(expect.num_rows, ParallelHashAgg::kMinPartitionedMergeGroups);
+
+  common::TaskScheduler scheduler(3);
+  double first_sum = 0;
+  for (int run = 0; run < 2; ++run) {
+    ExecContext ctx(nullptr);
+    ParallelHashAgg parallel(ScanFactory(&t, morsels, {"g", "v"}), 4, {"g"},
+                             specs, &scheduler);
+    Batch got = CollectAll(&parallel, &ctx).ValueOrDie();
+    testutil::ExpectBatchesEqual(expect, got, "partitioned merge agg");
+    double sum = 0;
+    for (size_t i = 0; i < got.num_rows; ++i) sum += got.columns[1].f64[i];
+    if (run == 0) {
+      first_sum = sum;
+    } else {
+      EXPECT_EQ(first_sum, sum);  // bitwise deterministic across runs
+    }
+  }
+}
+
 // Deterministic: two runs with the same clone count produce bitwise-equal
 // float sums (strided morsel assignment + ordered merge).
 TEST(ParallelHashAggTest, DeterministicAcrossRuns) {

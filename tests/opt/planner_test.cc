@@ -97,6 +97,23 @@ TEST_F(PlannerTest, BdccSchemePushdownPropagation) {
   EXPECT_TRUE(HasNote(notes, "pushdown: LINEITEM groups via D_NATION"));
 }
 
+TEST_F(PlannerTest, ParallelPartitionedBuildPlannedAndToggleable) {
+  // Plain scheme, threads=4: the probe parallelizes and — because the
+  // build side is itself a clonable scan chain of useful size — the build
+  // goes partitioned. (Q12 under plain: probe LINEITEM, build ORDERS.)
+  PlannerOptions par;
+  par.num_threads = 4;
+  auto notes = NotesFor(12, db_->plain(), par);
+  EXPECT_TRUE(HasNote(notes, "parallel hash join probe x4"));
+  EXPECT_TRUE(HasNote(notes, "parallel partitioned hash join build x4"));
+
+  PlannerOptions no_par_build = par;
+  no_par_build.enable_parallel_build = false;
+  notes = NotesFor(12, db_->plain(), no_par_build);
+  EXPECT_TRUE(HasNote(notes, "parallel hash join probe x4"));
+  EXPECT_FALSE(HasNote(notes, "parallel partitioned hash join build"));
+}
+
 TEST_F(PlannerTest, FeatureTogglesDisableStrategies) {
   PlannerOptions no_sandwich;
   no_sandwich.enable_sandwich = false;
