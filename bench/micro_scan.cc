@@ -5,11 +5,15 @@
 // count: the scan speedup curve).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
 #include "bdcc/bdcc_table.h"
 #include "bdcc/binning.h"
 #include "bdcc/scatter_scan.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/task_scheduler.h"
 #include "exec/filter.h"
 #include "exec/morsel.h"
@@ -203,10 +207,92 @@ void RunBdccScanParallel(benchmark::State& state, int threads) {
   state.counters["threads"] = threads;
 }
 
+// ---- Zero-copy view emission sweep ----
+//
+// A clustered table (long runs on k) where zone maps prove whole chunks
+// all-pass: compares copying scans against zero-copy view emission, both
+// unfiltered and under an all-match predicate (the zone short-circuit that
+// skips every codec decode). One JsonLine per config.
+void RunZeroCopySweep() {
+  Rng rng(23);
+  Table t("ZC");
+  Column k(TypeId::kInt32), v(TypeId::kFloat64), w(TypeId::kInt64);
+  int32_t cur = 0;
+  uint64_t left = 0;
+  for (uint64_t i = 0; i < kRows; ++i) {
+    if (left == 0) {
+      cur = static_cast<int32_t>(rng.Uniform(0, 999));
+      left = static_cast<uint64_t>(rng.Uniform(100, 400));
+    }
+    --left;
+    k.AppendInt32(cur);
+    v.AppendFloat64(rng.NextDouble());
+    w.AppendInt64(static_cast<int64_t>(i));
+  }
+  t.AddColumn("k", std::move(k)).AbortIfNotOK();
+  t.AddColumn("v", std::move(v)).AbortIfNotOK();
+  t.AddColumn("w", std::move(w)).AbortIfNotOK();
+  t.BuildZoneMaps(1024);
+  t.BuildEncodedLanes();
+
+  struct Config {
+    const char* name;
+    bool filtered;
+    bool zero_copy;
+  };
+  const Config configs[] = {{"copy", false, false},
+                            {"views", false, true},
+                            {"allmatch_copy", true, false},
+                            {"allmatch_views", true, true}};
+  for (const Config& c : configs) {
+    double best_ms = 0;
+    exec::ExecStats stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      exec::ExecContext ctx(nullptr);
+      std::vector<exec::ScanPredicate> preds;
+      if (c.filtered) {
+        // Every row satisfies this, so zone maps prove all-match per chunk.
+        preds = {{"k", ValueRange{Value::Int32(0), Value::Int32(999)}}};
+      }
+      exec::PlainScan scan(&t, {"k", "v", "w"}, preds);
+      scan.EnableRowFilter(c.filtered);
+      scan.SetEncodedEval(exec::EncodedEval::kAuto);
+      scan.EnableZeroCopy(c.zero_copy);
+      auto t0 = std::chrono::steady_clock::now();
+      scan.Open(&ctx).AbortIfNotOK();
+      uint64_t sum = 0;
+      while (true) {
+        auto b = scan.Next(&ctx).ValueOrDie();
+        if (b.empty()) break;
+        const int32_t* kd = b.columns[0].i32_data();
+        for (size_t i = 0; i < b.num_rows; ++i) sum += kd[b.RowAt(i)];
+        scan.Recycle(std::move(b));
+      }
+      scan.Close(&ctx);
+      auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(sum);
+      double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      stats = *ctx.stats();
+    }
+    bdcc::bench::JsonLine("micro_scan_zero_copy")
+        .Str("mode", c.name)
+        .Str("simd", bdcc::simd::TierName(bdcc::simd::ActiveTier()))
+        .Num("host_cpus", std::thread::hardware_concurrency())
+        .Num("rows", static_cast<double>(kRows))
+        .Num("wall_ms", best_ms)
+        .Num("mrows_per_s", kRows / 1e6 / (best_ms / 1e3))
+        .Num("chunks_zero_copy", static_cast<double>(stats.chunks_zero_copy))
+        .Num("decodes_skipped", static_cast<double>(stats.decodes_skipped))
+        .Emit();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int max_threads = bdcc::bench::StripThreadsFlag(&argc, argv, 4);
+  RunZeroCopySweep();
   for (int t : bdcc::bench::ThreadCounts(max_threads)) {
     benchmark::RegisterBenchmark(
         ("BM_PlainScanParallel/threads:" + std::to_string(t)).c_str(),

@@ -11,6 +11,11 @@ annotation. The step never fails the build: machine-to-machine variance
 host_cpus field) makes a hard gate meaningless, but a printed warning makes
 a real regression visible in the PR checks.
 
+Rows whose host_cpus differs between baseline and smoke run are skipped
+outright: a wall-clock comparison across machines with different core
+counts is noise, not signal. The summary line reports how many rows were
+skipped for that reason.
+
 Usage: check_bench_regression.py <smoke.jsonl> <baseline.json> [threshold]
 """
 import json
@@ -62,10 +67,13 @@ def main():
     baseline = load_rows(sys.argv[2])
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
 
-    compared = warned = 0
+    compared = warned = skipped_cpus = 0
     for key, base_row in baseline.items():
         got = smoke.get(key)
         if got is None:
+            continue
+        if base_row.get("host_cpus") != got.get("host_cpus"):
+            skipped_cpus += 1
             continue
         for metric, base_val in base_row.items():
             if not metric.endswith("_per_s"):
@@ -88,6 +96,11 @@ def main():
     print(
         f"bench-regression: {compared} throughput metrics compared against "
         f"baseline, {warned} above the {threshold * 100:.0f}% drop threshold"
+        + (
+            f", {skipped_cpus} rows skipped (host_cpus mismatch)"
+            if skipped_cpus
+            else ""
+        )
     )
     return 0  # warn-only by design
 

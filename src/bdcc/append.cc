@@ -80,6 +80,7 @@ Result<AppendStats> AppendToBdccTable(BdccTable* table, const Table& new_rows,
   uint32_t zone_rows =
       table->data().HasZoneMaps() ? table->data().zone_rows() : 1024;
   merged.BuildZoneMaps(zone_rows);
+  if (table->data().HasEncodedLanes()) merged.BuildEncodedLanes();
 
   int count_bits = table->count_bits();
   table->mutable_data() = std::move(merged);

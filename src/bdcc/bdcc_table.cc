@@ -248,8 +248,10 @@ Result<BdccTable> BuildBdccTable(Table source, std::vector<DimensionUse> uses,
   out.count_table_ =
       CountTable::Build(sorted_keys, spec.total_bits, out.decision_.chosen_bits);
 
-  // MinMax indexes over the clustered layout.
+  // MinMax indexes over the clustered layout, then encoded mirrors of the
+  // i32-backed lanes (clustering makes runs long, so RLE bites here).
   out.data_.BuildZoneMaps(options.zone_rows);
+  out.data_.BuildEncodedLanes();
   return out;
 }
 

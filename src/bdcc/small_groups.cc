@@ -49,8 +49,10 @@ Result<ConsolidationStats> ConsolidateSmallGroups(
       logical == 0 ? 0.0
                    : static_cast<double>(stats.rows_copied) /
                          static_cast<double>(logical);
-  // Physical layout changed; refresh the MinMax indexes.
+  // Physical layout changed; refresh the MinMax indexes (and the encoded
+  // mirrors the appends above invalidated).
   data.BuildZoneMaps(data.zone_rows() == 0 ? 1024 : data.zone_rows());
+  data.BuildEncodedLanes();
   return stats;
 }
 

@@ -1,0 +1,74 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bdcc {
+namespace simd {
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kNeon:
+      return "neon";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Tier DetectTier() {
+#if defined(__aarch64__)
+  return Tier::kNeon;  // NEON is architecturally guaranteed on aarch64
+#elif defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") ? Tier::kAvx2 : Tier::kScalar;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+namespace {
+
+Tier Clamp(Tier want) {
+  Tier max = DetectTier();
+  return static_cast<int>(want) <= static_cast<int>(max) ? want
+                                                         : Tier::kScalar;
+}
+
+Tier EnvTier() {
+  const char* env = std::getenv("BDCC_SIMD");
+  if (env == nullptr || std::strcmp(env, "native") == 0) return DetectTier();
+  if (std::strcmp(env, "scalar") == 0) return Tier::kScalar;
+  if (std::strcmp(env, "neon") == 0) return Clamp(Tier::kNeon);
+  if (std::strcmp(env, "avx2") == 0) return Clamp(Tier::kAvx2);
+  return DetectTier();  // unknown value: ignore
+}
+
+// -1 = not yet resolved; otherwise the Tier value in effect.
+std::atomic<int> g_tier{-1};
+
+}  // namespace
+
+Tier ActiveTier() {
+  int t = g_tier.load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = static_cast<int>(EnvTier());
+    g_tier.store(t, std::memory_order_relaxed);
+  }
+  return static_cast<Tier>(t);
+}
+
+Tier ForceTier(Tier t) {
+  Tier applied = Clamp(t);
+  g_tier.store(static_cast<int>(applied), std::memory_order_relaxed);
+  return applied;
+}
+
+void ResetTier() {
+  g_tier.store(static_cast<int>(EnvTier()), std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace bdcc

@@ -1,0 +1,40 @@
+// Runtime SIMD tier selection for the exec kernels (see exec/kernels/).
+//
+// The active tier is resolved once from hardware detection (CPUID on x86,
+// compile-time NEON on aarch64), optionally narrowed by the BDCC_SIMD
+// environment variable, and overridable programmatically for tests:
+//
+//   BDCC_SIMD=scalar | neon | avx2 | native
+//
+// Requesting a tier the hardware cannot run clamps down to the best
+// supported one — forcing "avx2" on a NEON machine silently yields scalar,
+// so equality tests can sweep every tier name on any host.
+#ifndef BDCC_COMMON_SIMD_H_
+#define BDCC_COMMON_SIMD_H_
+
+namespace bdcc {
+namespace simd {
+
+/// Instruction-set tiers, ordered by preference (higher = wider).
+enum class Tier : int { kScalar = 0, kNeon = 1, kAvx2 = 2 };
+
+const char* TierName(Tier t);
+
+/// Best tier this machine supports (ignores BDCC_SIMD and ForceTier).
+Tier DetectTier();
+
+/// Tier kernels should dispatch on right now: ForceTier override if set,
+/// else BDCC_SIMD (read once), else DetectTier(). Thread-safe.
+Tier ActiveTier();
+
+/// Force a tier for testing; clamps to hardware support and returns the
+/// tier actually applied. Call ResetTier() to drop the override.
+Tier ForceTier(Tier t);
+
+/// Return to env/hardware-based selection.
+void ResetTier();
+
+}  // namespace simd
+}  // namespace bdcc
+
+#endif  // BDCC_COMMON_SIMD_H_

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "exec/kernels/kernels.h"
+
 namespace bdcc {
 namespace exec {
 
@@ -40,19 +42,48 @@ Value ColumnVector::GetValue(size_t row) const {
   if (IsNull(row)) return Value();  // caller must check IsNull for semantics
   switch (type) {
     case TypeId::kInt32:
-      return Value::Int32(i32[row]);
+      return Value::Int32(i32_data()[row]);
     case TypeId::kInt64:
-      return Value::Int64(i64[row]);
+      return Value::Int64(i64_data()[row]);
     case TypeId::kFloat64:
-      return Value::Float64(f64[row]);
+      return Value::Float64(f64_data()[row]);
     case TypeId::kDate:
-      return Value::Date(i32[row]);
+      return Value::Date(i32_data()[row]);
     case TypeId::kBool:
-      return Value::Bool(i32[row] != 0);
+      return Value::Bool(i32_data()[row] != 0);
     case TypeId::kString:
-      return Value::String(dict->Get(i32[row]));
+      return Value::String(dict->Get(i32_data()[row]));
   }
   return Value();
+}
+
+void ColumnVector::SetView(const int32_t* data, size_t rows) {
+  ClearKeepCapacity();
+  v_i32 = data;
+  view_rows = rows;
+}
+
+void ColumnVector::SetView(const int64_t* data, size_t rows) {
+  ClearKeepCapacity();
+  v_i64 = data;
+  view_rows = rows;
+}
+
+void ColumnVector::SetView(const double* data, size_t rows) {
+  ClearKeepCapacity();
+  v_f64 = data;
+  view_rows = rows;
+}
+
+void ColumnVector::Materialize() {
+  if (!is_view()) return;
+  if (v_i32 != nullptr) i32.assign(v_i32, v_i32 + view_rows);
+  if (v_i64 != nullptr) i64.assign(v_i64, v_i64 + view_rows);
+  if (v_f64 != nullptr) f64.assign(v_f64, v_f64 + view_rows);
+  v_i32 = nullptr;
+  v_i64 = nullptr;
+  v_f64 = nullptr;
+  view_rows = 0;
 }
 
 void ColumnVector::AppendFromStorage(const Column& col, uint64_t row) {
@@ -78,15 +109,15 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
   }
   switch (type) {
     case TypeId::kInt64:
-      i64.push_back(other.i64[row]);
+      i64.push_back(other.i64_data()[row]);
       break;
     case TypeId::kFloat64:
-      f64.push_back(other.f64[row]);
+      f64.push_back(other.f64_data()[row]);
       break;
     case TypeId::kString:
       if (dict == nullptr) dict = other.dict;
       if (dict == other.dict) {
-        i32.push_back(other.i32[row]);
+        i32.push_back(other.i32_data()[row]);
       } else {
         // Source carries a different dictionary (e.g. expression-generated
         // strings): fall back to interning by content. GetOrAdd only ever
@@ -95,7 +126,7 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
       }
       break;
     default:
-      i32.push_back(other.i32[row]);
+      i32.push_back(other.i32_data()[row]);
       break;
   }
   if (!nulls.empty()) nulls.push_back(0);
@@ -151,59 +182,15 @@ void ColumnVector::ClearKeepCapacity() {
   i64.clear();
   f64.clear();
   nulls.clear();
+  v_i32 = nullptr;
+  v_i64 = nullptr;
+  v_f64 = nullptr;
+  view_rows = 0;
 }
 
-namespace {
-
-// Gather sel[0..n) of `src` into dst[0..n). Contiguous ascending runs
-// (>= kMemcpyRun) collapse to one memcpy — the dominant shape when a dense
-// scan chunk carries a near-identity selection — and scattered stretches
-// use a 4-wide manually unrolled gather so the loads pipeline.
-constexpr size_t kMemcpyRun = 8;
-
-template <typename T>
-void GatherLane(const T* src, const uint32_t* sel, size_t n, T* dst) {
-  size_t i = 0;
-  while (i < n) {
-    // Length of the contiguous ascending run starting at i.
-    uint32_t base = sel[i];
-    size_t max_run = n - i;
-    size_t run = 1;
-    while (run < max_run && sel[i + run] == base + run) ++run;
-    if (run >= kMemcpyRun) {
-      std::memcpy(dst + i, src + base, run * sizeof(T));
-      i += run;
-      continue;
-    }
-    // Scattered stretch: extend past short runs until a memcpy-worthy run
-    // could start, then gather it 4-wide.
-    size_t end = i + run;
-    while (end < n) {
-      size_t r = 1;
-      while (r < kMemcpyRun && end + r < n && sel[end + r] == sel[end] + r) {
-        ++r;
-      }
-      if (r >= kMemcpyRun) break;
-      end += r;
-    }
-    size_t j = i;
-    for (; j + 4 <= end; j += 4) {
-      T v0 = src[sel[j]];
-      T v1 = src[sel[j + 1]];
-      T v2 = src[sel[j + 2]];
-      T v3 = src[sel[j + 3]];
-      dst[j] = v0;
-      dst[j + 1] = v1;
-      dst[j + 2] = v2;
-      dst[j + 3] = v3;
-    }
-    for (; j < end; ++j) dst[j] = src[sel[j]];
-    i = end;
-  }
-}
-
-}  // namespace
-
+// Gathers run through the tier-dispatched kernels (exec/kernels): the same
+// run-collapsing frame as before, with hardware gathers for the scattered
+// stretches where the tier provides them.
 void ColumnVector::GatherInto(const std::vector<uint32_t>& sel,
                               ColumnVector* out) const {
   out->type = type;
@@ -213,20 +200,20 @@ void ColumnVector::GatherInto(const std::vector<uint32_t>& sel,
   switch (type) {
     case TypeId::kInt64:
       out->i64.resize(n);
-      GatherLane(i64.data(), sel.data(), n, out->i64.data());
+      kernels::GatherI64(i64_data(), sel.data(), n, out->i64.data());
       break;
     case TypeId::kFloat64:
       out->f64.resize(n);
-      GatherLane(f64.data(), sel.data(), n, out->f64.data());
+      kernels::GatherF64(f64_data(), sel.data(), n, out->f64.data());
       break;
     default:
       out->i32.resize(n);
-      GatherLane(i32.data(), sel.data(), n, out->i32.data());
+      kernels::GatherI32(i32_data(), sel.data(), n, out->i32.data());
       break;
   }
   if (!nulls.empty()) {
     out->nulls.resize(n);
-    GatherLane(nulls.data(), sel.data(), n, out->nulls.data());
+    kernels::GatherU8(nulls.data(), sel.data(), n, out->nulls.data());
   }
 }
 
@@ -238,12 +225,12 @@ ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
 
 namespace {
 
-template <typename T>
-void AppendGatherLane(const std::vector<T>& src, const uint32_t* rows,
-                      size_t n, std::vector<T>* dst) {
+template <typename T, typename Kernel>
+void AppendGatherLane(const T* src, const uint32_t* rows, size_t n,
+                      std::vector<T>* dst, Kernel kernel) {
   size_t base = dst->size();
   dst->resize(base + n);
-  GatherLane(src.data(), rows, n, dst->data() + base);
+  kernel(src, rows, n, dst->data() + base);
 }
 
 }  // namespace
@@ -266,24 +253,28 @@ void ColumnVector::AppendGather(const ColumnVector& other,
     if (other.nulls.empty()) {
       nulls.resize(nulls.size() + n, 0);
     } else {
-      AppendGatherLane(other.nulls, rows, n, &nulls);
+      AppendGatherLane(other.nulls.data(), rows, n, &nulls,
+                       kernels::GatherU8);
     }
   }
   switch (type) {
     case TypeId::kInt64:
-      AppendGatherLane(other.i64, rows, n, &i64);
+      AppendGatherLane(other.i64_data(), rows, n, &i64, kernels::GatherI64);
       break;
     case TypeId::kFloat64:
-      AppendGatherLane(other.f64, rows, n, &f64);
+      AppendGatherLane(other.f64_data(), rows, n, &f64, kernels::GatherF64);
       break;
     default:
-      AppendGatherLane(other.i32, rows, n, &i32);
+      AppendGatherLane(other.i32_data(), rows, n, &i32, kernels::GatherI32);
       break;
   }
 }
 
 void Batch::Compact() {
-  if (sel.empty()) return;
+  if (sel.empty()) {
+    for (ColumnVector& c : columns) c.Materialize();
+    return;
+  }
   for (ColumnVector& c : columns) c = c.Gather(sel);
   sel.clear();
 }

@@ -50,6 +50,14 @@ class Schema {
 /// Lanes mirror storage::Column; strings carry dictionary codes in the i32
 /// lane plus a shared Dictionary. An optional null mask (1 = NULL) supports
 /// outer-join results.
+///
+/// Zero-copy views: a vector may instead *borrow* a storage lane (scan
+/// chunks the zone maps prove fully-passing are emitted without copying).
+/// View vectors never carry nulls and are read-only; readers must go
+/// through the `*_data()` accessors (or row helpers built on them), and
+/// writers/materializing operators call Materialize() (Batch::Compact does
+/// so when no selection is attached). The borrowed lane must outlive the
+/// batch — scans borrow from the scanned Table, which outlives the query.
 struct ColumnVector {
   TypeId type = TypeId::kInt64;
   std::vector<int32_t> i32;
@@ -58,9 +66,32 @@ struct ColumnVector {
   std::shared_ptr<Dictionary> dict;
   std::vector<uint8_t> nulls;  // empty = no nulls
 
+  // Borrowed-lane view state (at most one pointer set; see class comment).
+  const int32_t* v_i32 = nullptr;
+  const int64_t* v_i64 = nullptr;
+  const double* v_f64 = nullptr;
+  size_t view_rows = 0;
+
   explicit ColumnVector(TypeId t = TypeId::kInt64) : type(t) {}
 
+  bool is_view() const {
+    return v_i32 != nullptr || v_i64 != nullptr || v_f64 != nullptr;
+  }
+  /// Borrow `rows` values (the i32 overload also serves string code lanes).
+  void SetView(const int32_t* data, size_t rows);
+  void SetView(const int64_t* data, size_t rows);
+  void SetView(const double* data, size_t rows);
+  /// Copy a borrowed lane into the owned vectors (no-op when not a view).
+  void Materialize();
+
+  /// Typed lane base pointers, view-aware — the only valid way to read a
+  /// lane that might be borrowed.
+  const int32_t* i32_data() const { return v_i32 != nullptr ? v_i32 : i32.data(); }
+  const int64_t* i64_data() const { return v_i64 != nullptr ? v_i64 : i64.data(); }
+  const double* f64_data() const { return v_f64 != nullptr ? v_f64 : f64.data(); }
+
   size_t size() const {
+    if (is_view()) return view_rows;
     switch (type) {
       case TypeId::kInt64:
         return i64.size();
@@ -76,7 +107,7 @@ struct ColumnVector {
   /// Generic accessor (strings materialized through the dictionary).
   Value GetValue(size_t row) const;
   std::string_view GetString(size_t row) const {
-    return dict->Get(i32[row]);
+    return dict->Get(i32_data()[row]);
   }
 
   /// Append a (non-null) value from a storage column.
@@ -150,7 +181,9 @@ struct Batch {
                : static_cast<double>(num_rows) / static_cast<double>(phys);
   }
   /// Materialize the selection: gather every column down to the selected
-  /// rows and drop `sel`. No-op without a selection.
+  /// rows and drop `sel`. Without a selection, materializes any borrowed
+  /// (zero-copy view) columns instead — after Compact() every lane is owned
+  /// and positionally walkable.
   void Compact();
   /// Compact only when density() < `min_density` (materializing-boundary
   /// policy: keep dense selections lazy, squeeze sparse ones).

@@ -26,6 +26,14 @@ struct ExecStats {
   uint64_t groups_pruned = 0;
   uint64_t groups_read = 0;
   uint64_t sandwich_partitions = 0;
+  // Scan chunks whose predicate evaluation (and any codec decode) was
+  // skipped because zone maps proved every row passes.
+  uint64_t decodes_skipped = 0;
+  // Scan chunks emitted as zero-copy views over the storage lanes.
+  uint64_t chunks_zero_copy = 0;
+  // Predicate spans evaluated directly over encoded (RLE/bit-packed)
+  // blocks instead of the flat lane.
+  uint64_t encoded_spans = 0;
 
   void Reset() { *this = ExecStats{}; }
 
@@ -37,6 +45,9 @@ struct ExecStats {
     groups_pruned += other.groups_pruned;
     groups_read += other.groups_read;
     sandwich_partitions += other.sandwich_partitions;
+    decodes_skipped += other.decodes_skipped;
+    chunks_zero_copy += other.chunks_zero_copy;
+    encoded_spans += other.encoded_spans;
   }
 };
 

@@ -15,22 +15,22 @@ bool IsNumeric(TypeId t) { return t != TypeId::kString; }
 double FetchF64(const ColumnVector& v, size_t row) {
   switch (v.type) {
     case TypeId::kInt64:
-      return static_cast<double>(v.i64[row]);
+      return static_cast<double>(v.i64_data()[row]);
     case TypeId::kFloat64:
-      return v.f64[row];
+      return v.f64_data()[row];
     default:
-      return static_cast<double>(v.i32[row]);
+      return static_cast<double>(v.i32_data()[row]);
   }
 }
 
 int64_t FetchI64(const ColumnVector& v, size_t row) {
   switch (v.type) {
     case TypeId::kInt64:
-      return v.i64[row];
+      return v.i64_data()[row];
     case TypeId::kFloat64:
-      return static_cast<int64_t>(v.f64[row]);
+      return static_cast<int64_t>(v.f64_data()[row]);
     default:
-      return v.i32[row];
+      return v.i32_data()[row];
   }
 }
 
@@ -68,8 +68,12 @@ class ColExpr : public Expr {
     // gathered (late materialization); every non-leaf kernel then runs over
     // dense logical-length vectors.
     if (batch.has_sel()) return batch.columns[index_].Gather(batch.sel);
-    // Copy: vectors are cheap at batch granularity and keeps ownership simple.
-    return batch.columns[index_];
+    // Copy: vectors are cheap at batch granularity and keeps ownership
+    // simple. Borrowed (zero-copy view) lanes are materialized here so
+    // every non-leaf kernel sees an owned, positionally indexable vector.
+    ColumnVector out = batch.columns[index_];
+    out.Materialize();
+    return out;
   }
   Result<ColumnVector> EvalReusing(const Batch& batch,
                                    ColumnVector&& scratch) const override {
@@ -82,9 +86,17 @@ class ColExpr : public Expr {
     }
     scratch.ClearKeepCapacity();
     scratch.dict = src.dict;
-    scratch.i32.assign(src.i32.begin(), src.i32.end());
-    scratch.i64.assign(src.i64.begin(), src.i64.end());
-    scratch.f64.assign(src.f64.begin(), src.f64.end());
+    switch (src.type) {  // typed copy through the view-aware accessors
+      case TypeId::kInt64:
+        scratch.i64.assign(src.i64_data(), src.i64_data() + src.size());
+        break;
+      case TypeId::kFloat64:
+        scratch.f64.assign(src.f64_data(), src.f64_data() + src.size());
+        break;
+      default:
+        scratch.i32.assign(src.i32_data(), src.i32_data() + src.size());
+        break;
+    }
     scratch.nulls.assign(src.nulls.begin(), src.nulls.end());
     return std::move(scratch);
   }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/task_scheduler.h"
+#include "exec/kernels/kernels.h"
 
 namespace bdcc {
 namespace exec {
@@ -115,9 +116,9 @@ uint32_t KeyEncoder::StringSlot(size_t k, const std::shared_ptr<Dictionary>& src
 uint32_t KeyEncoder::SlotOf(size_t k, const ColumnVector& col,
                             size_t row) const {
   if (types_[k] == TypeId::kString) {
-    return StringSlot(k, col.dict, col.i32[row]);
+    return StringSlot(k, col.dict, col.i32_data()[row]);
   }
-  return static_cast<uint32_t>(col.i32[row]);
+  return static_cast<uint32_t>(col.i32_data()[row]);
 }
 
 void KeyEncoder::EncodeIntsImpl(const ColumnVector* const* cols,
@@ -131,12 +132,14 @@ void KeyEncoder::EncodeIntsImpl(const ColumnVector* const* cols,
     case Mode::kInt: {
       const ColumnVector& col = *cols[0];
       if (col.type == TypeId::kInt64) {
+        const int64_t* lane = col.i64_data();
         for (size_t i = 0; i < num_rows; ++i) {
-          (*keys)[i] = col.i64[sel != nullptr ? sel[i] : i];
+          (*keys)[i] = lane[sel != nullptr ? sel[i] : i];
         }
       } else {
+        const int32_t* lane = col.i32_data();
         for (size_t i = 0; i < num_rows; ++i) {
-          (*keys)[i] = col.i32[sel != nullptr ? sel[i] : i];
+          (*keys)[i] = lane[sel != nullptr ? sel[i] : i];
         }
       }
       if (col.HasNulls()) {
@@ -155,7 +158,7 @@ void KeyEncoder::EncodeIntsImpl(const ColumnVector* const* cols,
           (*keys)[i] = 0;
           continue;
         }
-        uint32_t slot = StringSlot(0, col.dict, col.i32[row]);
+        uint32_t slot = StringSlot(0, col.dict, col.i32_data()[row]);
         (*keys)[i] = slot == kMissSlot ? -1 : static_cast<int64_t>(slot);
       }
       break;
@@ -203,17 +206,17 @@ bool KeyEncoder::AppendBytesRow(const ColumnVector* const* cols, size_t row,
         break;
       }
       case TypeId::kFloat64: {
-        double d = col.f64[row];
+        double d = col.f64_data()[row];
         key->append(reinterpret_cast<const char*>(&d), 8);
         break;
       }
       case TypeId::kInt64: {
-        int64_t v = col.i64[row];
+        int64_t v = col.i64_data()[row];
         key->append(reinterpret_cast<const char*>(&v), 8);
         break;
       }
       default: {
-        int32_t v = col.i32[row];
+        int32_t v = col.i32_data()[row];
         key->append(reinterpret_cast<const char*>(&v), 4);
         break;
       }
@@ -547,10 +550,14 @@ Status JoinHashTable::ScatterBatch(size_t producer, Batch batch) {
     std::vector<int64_t> keys;
     std::vector<uint8_t> valid;
     encoder_.EncodeInts(batch, &keys, &valid);
+    // NULL keys never match; the kernel parks them in partition 0 so row
+    // counts (and memory accounting) agree with a serial build.
+    std::vector<uint32_t> part_ids(batch.num_rows);
+    kernels::PartitionIdsFromKeys(
+        reinterpret_cast<const uint64_t*>(keys.data()), valid.data(),
+        batch.num_rows, part_bits_, part_ids.data());
     for (size_t i = 0; i < batch.num_rows; ++i) {
-      // NULL keys never match; park them in partition 0 so row counts (and
-      // memory accounting) agree with a serial build.
-      RowBuffer& rb = ps.parts[valid[i] ? PartOf(keys[i]) : 0];
+      RowBuffer& rb = ps.parts[part_ids[i]];
       rb.refs.push_back(batch_ref | batch.RowAt(i));
       rb.int_keys.push_back(keys[i]);
       rb.valid.push_back(valid[i]);

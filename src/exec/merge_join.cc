@@ -31,12 +31,12 @@ Status MergeJoin::Open(ExecContext* ctx) {
 
 int64_t MergeJoin::RightKeyAt(size_t row) const {
   const ColumnVector& c = right_batch_.columns[right_key_idx_];
-  return c.type == TypeId::kInt64 ? c.i64[row] : c.i32[row];
+  return c.type == TypeId::kInt64 ? c.i64_data()[row] : c.i32_data()[row];
 }
 
 int64_t MergeJoin::LeftKeyAt(const Batch& b, size_t row) const {
   const ColumnVector& c = b.columns[left_key_idx_];
-  return c.type == TypeId::kInt64 ? c.i64[row] : c.i32[row];
+  return c.type == TypeId::kInt64 ? c.i64_data()[row] : c.i32_data()[row];
 }
 
 Status MergeJoin::AdvanceRight(ExecContext* ctx) {

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/bits.h"
+#include "exec/kernels/kernels.h"
+#include "storage/compression/encoded_column.h"
 
 namespace bdcc {
 namespace exec {
@@ -71,52 +73,71 @@ Status ScanFilterState::Bind(const Table& table,
 }
 
 void ScanFilterState::EvalSpan(const Table& table, uint64_t begin,
-                               uint64_t end, std::vector<uint32_t>* rel_sel) {
+                               uint64_t end, ExecContext* ctx,
+                               std::vector<uint32_t>* rel_sel) {
+  using compression::EncodedLane;
   size_t n = static_cast<size_t>(end - begin);
   mask_.assign(n, 1);
+  bool none_pass = false;
   for (const BoundRowPred& p : bound_) {
+    if (none_pass) break;
     const Column& col = table.column(p.col);
+    // i32-backed lanes may carry an encoded mirror; honor the mode.
+    const EncodedLane* enc =
+        (encoded_eval_ != EncodedEval::kOff && p.type != TypeId::kInt64 &&
+         p.type != TypeId::kFloat64)
+            ? col.encoded()
+            : nullptr;
     switch (p.type) {
-      case TypeId::kInt64: {
-        const int64_t* v = col.i64().data() + begin;
-        for (size_t i = 0; i < n; ++i) {
-          mask_[i] &= static_cast<uint8_t>(v[i] >= p.lo_i64) &
-                      static_cast<uint8_t>(v[i] <= p.hi_i64);
-        }
+      case TypeId::kInt64:
+        kernels::RangeMaskI64(col.i64().data() + begin, n, p.lo_i64,
+                              p.hi_i64, mask_.data());
         break;
-      }
-      case TypeId::kFloat64: {
-        const double* v = col.f64().data() + begin;
-        // NaN must match the Filter path's comparator (NaN sorts last): it
-        // passes any lower bound and fails an explicit upper bound.
-        for (size_t i = 0; i < n; ++i) {
-          bool nan = std::isnan(v[i]);
-          mask_[i] &= (static_cast<uint8_t>(v[i] >= p.lo_f64) | nan) &
-                      (static_cast<uint8_t>(v[i] <= p.hi_f64) |
-                       static_cast<uint8_t>(nan && !p.has_hi_f64));
-        }
+      case TypeId::kFloat64:
+        kernels::RangeMaskF64(col.f64().data() + begin, n, p.lo_f64,
+                              p.hi_f64, p.has_hi_f64, mask_.data());
         break;
-      }
       case TypeId::kString: {
-        const int32_t* v = col.i32().data() + begin;
         const uint8_t* ok = p.code_ok.data();
-        for (size_t i = 0; i < n; ++i) mask_[i] &= ok[v[i]];
+        if (enc != nullptr && encoded_eval_ == EncodedEval::kDecode) {
+          decoded_.resize(n);
+          enc->DecodeSpan(col.i32().data(), begin, end, decoded_.data());
+          kernels::VerdictMaskI32(decoded_.data(), n, ok, mask_.data());
+        } else if (enc != nullptr) {
+          EncodedLane::SpanVerdict v = enc->VerdictMask(
+              col.i32().data(), begin, end, ok, p.code_ok.size(),
+              mask_.data());
+          ctx->stats()->encoded_spans += 1;
+          // kNonePass zeroes the whole span mask, so the AND-chain is done.
+          none_pass = v == EncodedLane::SpanVerdict::kNonePass;
+        } else {
+          kernels::VerdictMaskI32(col.i32().data() + begin, n, ok,
+                                  mask_.data());
+        }
         break;
       }
       default: {
-        const int32_t* v = col.i32().data() + begin;
-        for (size_t i = 0; i < n; ++i) {
-          mask_[i] &= static_cast<uint8_t>(v[i] >= p.lo_i32) &
-                      static_cast<uint8_t>(v[i] <= p.hi_i32);
+        if (enc != nullptr && encoded_eval_ == EncodedEval::kDecode) {
+          decoded_.resize(n);
+          enc->DecodeSpan(col.i32().data(), begin, end, decoded_.data());
+          kernels::RangeMaskI32(decoded_.data(), n, p.lo_i32, p.hi_i32,
+                                mask_.data());
+        } else if (enc != nullptr) {
+          EncodedLane::SpanVerdict v =
+              enc->RangeMask(col.i32().data(), begin, end, p.lo_i32,
+                             p.hi_i32, mask_.data());
+          ctx->stats()->encoded_spans += 1;
+          none_pass = v == EncodedLane::SpanVerdict::kNonePass;
+        } else {
+          kernels::RangeMaskI32(col.i32().data() + begin, n, p.lo_i32,
+                                p.hi_i32, mask_.data());
         }
         break;
       }
     }
   }
   rel_sel->clear();
-  for (size_t i = 0; i < n; ++i) {
-    if (mask_[i]) rel_sel->push_back(static_cast<uint32_t>(i));
-  }
+  if (!none_pass) kernels::MaskToSel(mask_.data(), n, 0, rel_sel);
 }
 
 Batch ScanFilterState::TakeBatch(const Table& table,
@@ -249,22 +270,50 @@ void ChargeSpan(const Table& table, const std::vector<int>& col_idx,
   ctx->stats()->rows_scanned += end - begin;
 }
 
-// One zone-bounded chunk through the optional row filter. Returns the
+// Minimum chunk size worth emitting as a borrowed view: below this the
+// bookkeeping of cutting a single-chunk batch outweighs the saved copy.
+constexpr uint64_t kMinViewRows = 256;
+
+// Point every output column at the storage lanes for rows [begin, end):
+// the zero-copy emission path for chunks proven fully-passing.
+void MakeViews(const Table& table, const std::vector<int>& col_idx,
+               uint64_t begin, uint64_t end, Batch* out) {
+  size_t n = static_cast<size_t>(end - begin);
+  for (size_t c = 0; c < col_idx.size(); ++c) {
+    const Column& src = table.column(col_idx[c]);
+    ColumnVector& v = out->columns[c];
+    switch (src.type()) {
+      case TypeId::kInt64:
+        v.SetView(src.i64().data() + begin, n);
+        break;
+      case TypeId::kFloat64:
+        v.SetView(src.f64().data() + begin, n);
+        break;
+      default:
+        v.SetView(src.i32().data() + begin, n);
+        break;
+    }
+  }
+  out->num_rows = n;
+}
+
+// One zone-bounded chunk through the optional row filter (`apply_filter`
+// false also covers chunks the zone maps proved fully-passing). Returns the
 // number of physical rows appended and records selection state in `selb`.
 size_t EmitChunk(const Table& table, const std::vector<int>& col_idx,
-                 uint64_t begin, uint64_t end, bool row_filter,
+                 uint64_t begin, uint64_t end, bool apply_filter,
                  internal::ScanFilterState* filter, ExecContext* ctx,
                  Batch* out, SelBuilder* selb,
                  std::vector<uint32_t>* rel_scratch) {
   size_t base = out->physical_rows();
   size_t n = static_cast<size_t>(end - begin);
   ChargeSpan(table, col_idx, begin, end, ctx);
-  if (!row_filter || !filter->active()) {
+  if (!apply_filter || !filter->active()) {
     AppendRows(table, col_idx, begin, end, out);
     selb->AddDense(base, n);
     return n;
   }
-  filter->EvalSpan(table, begin, end, rel_scratch);
+  filter->EvalSpan(table, begin, end, ctx, rel_scratch);
   size_t k = rel_scratch->size();
   ctx->stats()->rows_filtered_at_scan += n - k;
   if (k == 0) return 0;  // nothing qualifies: no copy at all
@@ -322,6 +371,7 @@ Status PlainScan::Open(ExecContext* ctx) {
   morsel_idx_ = morsels_.offset;
   last_zone_counted_ = ~uint64_t{0};
   filter_.ClearRecycled();
+  filter_.set_encoded_eval(encoded_eval_);
   if (row_filter_) {
     BDCC_RETURN_NOT_OK(filter_.Bind(*table_, preds_));
   }
@@ -333,6 +383,14 @@ bool PlainScan::ZoneAllowed(uint64_t zone) const {
   if (!table_->HasZoneMaps()) return true;
   for (const auto& [col, range] : bound_preds_) {
     if (!table_->zone_map(col).MayMatch(zone, range)) return false;
+  }
+  return true;
+}
+
+bool PlainScan::ZoneAllMatch(uint64_t zone) const {
+  if (!table_->HasZoneMaps()) return false;
+  for (const auto& [col, range] : bound_preds_) {
+    if (!table_->zone_map(col).AllMatch(zone, range)) return false;
   }
   return true;
 }
@@ -360,6 +418,7 @@ Result<Batch> PlainScan::Next(ExecContext* ctx) {
       break;
     }
     uint64_t end = std::min(limit, cursor_ + (ctx->batch_size() - appended));
+    bool zone_all_match = false;
     if (zone_rows != 0) {
       uint64_t zone = cursor_ / zone_rows;
       if (!ZoneAllowed(zone)) {
@@ -372,9 +431,24 @@ Result<Batch> PlainScan::Next(ExecContext* ctx) {
         last_zone_counted_ = zone;
       }
       end = std::min<uint64_t>(end, (zone + 1) * zone_rows);
+      zone_all_match = ZoneAllMatch(zone);
     }
-    appended += EmitChunk(*table_, col_idx_, cursor_, end, row_filter_,
-                          &filter_, ctx, &out, &selb, &rel_scratch);
+    bool filtering = row_filter_ && filter_.active();
+    // Zone maps proving every row passes short-circuit the chunk past
+    // predicate evaluation (and any encoded-lane work) entirely.
+    if (filtering && zone_all_match) ctx->stats()->decodes_skipped += 1;
+    uint64_t n = end - cursor_;
+    if (zero_copy_ && appended == 0 && n >= kMinViewRows &&
+        (!filtering || zone_all_match)) {
+      ChargeSpan(*table_, col_idx_, cursor_, end, ctx);
+      MakeViews(*table_, col_idx_, cursor_, end, &out);
+      ctx->stats()->chunks_zero_copy += 1;
+      cursor_ = end;
+      return out;  // single-chunk borrowed batch
+    }
+    appended += EmitChunk(*table_, col_idx_, cursor_, end,
+                          filtering && !zone_all_match, &filter_, ctx, &out,
+                          &selb, &rel_scratch);
     cursor_ = end;
   }
   selb.Finish(&out);
@@ -403,6 +477,7 @@ Status BdccScan::Open(ExecContext* ctx) {
   // sort/coalesce below) must use group-id chunking instead.
   BDCC_CHECK(!morsels_.valid() || grouping_.empty());
   ctx->stats()->groups_pruned += pruned_groups_;
+  filter_.set_encoded_eval(encoded_eval_);
   if (row_filter_) {
     BDCC_RETURN_NOT_OK(filter_.Bind(table_->data(), preds_));
   }
@@ -446,6 +521,15 @@ bool BdccScan::ZoneAllowed(uint64_t zone) const {
   if (!data.HasZoneMaps()) return true;
   for (const auto& [col, range] : bound_preds_) {
     if (!data.zone_map(col).MayMatch(zone, range)) return false;
+  }
+  return true;
+}
+
+bool BdccScan::ZoneAllMatch(uint64_t zone) const {
+  const Table& data = table_->data();
+  if (!data.HasZoneMaps()) return false;
+  for (const auto& [col, range] : bound_preds_) {
+    if (!data.zone_map(col).AllMatch(zone, range)) return false;
   }
   return true;
 }
@@ -509,6 +593,7 @@ Result<Batch> BdccScan::Next(ExecContext* ctx) {
     }
     uint64_t end =
         std::min(range.row_end, cursor_ + (ctx->batch_size() - appended));
+    bool zone_all_match = false;
     if (zone_rows != 0) {
       uint64_t zone = cursor_ / zone_rows;
       uint64_t zone_begin = zone * zone_rows;
@@ -522,9 +607,22 @@ Result<Batch> BdccScan::Next(ExecContext* ctx) {
       }
       end = std::min(end, zone_end);
       ctx->stats()->zones_read += 1;
+      zone_all_match = ZoneAllMatch(zone);
     }
-    size_t added = EmitChunk(data, col_idx_, cursor_, end, row_filter_,
-                             &filter_, ctx, &out, &selb, &rel_scratch);
+    bool filtering = row_filter_ && filter_.active();
+    if (filtering && zone_all_match) ctx->stats()->decodes_skipped += 1;
+    if (zero_copy_ && appended == 0 && end - cursor_ >= kMinViewRows &&
+        (!filtering || zone_all_match)) {
+      ChargeSpan(data, col_idx_, cursor_, end, ctx);
+      MakeViews(data, col_idx_, cursor_, end, &out);
+      ctx->stats()->chunks_zero_copy += 1;
+      cursor_ = end;
+      out.group_id = grouping_.empty() ? -1 : gid;
+      return out;  // single-chunk borrowed batch
+    }
+    size_t added =
+        EmitChunk(data, col_idx_, cursor_, end, filtering && !zone_all_match,
+                  &filter_, ctx, &out, &selb, &rel_scratch);
     appended += added;
     // Only chunks that contributed rows pin the batch's group id; a fully
     // filtered group simply emits nothing (like a zone-skipped one).

@@ -34,6 +34,15 @@ struct ScanPredicate {
   ValueRange range;
 };
 
+/// How scan predicates use a column's encoded mirror (Table::
+/// BuildEncodedLanes) when one exists:
+///  kAuto   — evaluate directly over the encoded blocks (one comparison per
+///            RLE run, unpack-compare for bit-packed spans);
+///  kOff    — ignore the encoding, evaluate over the flat lane;
+///  kDecode — decode the span to scratch first, then evaluate flat (the
+///            baseline the benches compare kAuto against).
+enum class EncodedEval { kAuto, kOff, kDecode };
+
 namespace internal {
 
 /// One bound row-level predicate with constants pre-typed for the column's
@@ -61,10 +70,13 @@ class ScanFilterState {
 
   bool active() const { return !bound_.empty(); }
 
+  void set_encoded_eval(EncodedEval mode) { encoded_eval_ = mode; }
+
   /// Evaluate all predicates over storage rows [begin, end); selected
   /// chunk-relative indices land in `rel_sel` (scratch reused across calls).
+  /// `ctx` takes the encoded-span stats.
   void EvalSpan(const Table& table, uint64_t begin, uint64_t end,
-                std::vector<uint32_t>* rel_sel);
+                ExecContext* ctx, std::vector<uint32_t>* rel_sel);
 
   /// Take a batch for filling: a recycled one when available, else fresh
   /// (typed per `schema`, string dictionaries wired from storage).
@@ -76,7 +88,9 @@ class ScanFilterState {
 
  private:
   std::vector<BoundRowPred> bound_;
-  std::vector<uint8_t> mask_;  // scratch
+  EncodedEval encoded_eval_ = EncodedEval::kOff;
+  std::vector<uint8_t> mask_;      // scratch
+  std::vector<int32_t> decoded_;   // scratch (kDecode baseline)
   std::vector<Batch> recycled_;
 };
 
@@ -118,12 +132,23 @@ class PlainScan : public Operator {
   /// selection vectors / gathered rows). Call before Open.
   void EnableRowFilter(bool on) { row_filter_ = on; }
 
+  /// Evaluate pushed predicates over encoded lanes per `mode` (when the
+  /// table has them; see EncodedEval). Call before Open.
+  void SetEncodedEval(EncodedEval mode) { encoded_eval_ = mode; }
+
+  /// Emit zone-sized chunks the zone maps prove fully-passing (or any chunk
+  /// when no filter is enforced) as zero-copy views over the storage lanes
+  /// instead of copying. Call before Open; consumers must honor the
+  /// ColumnVector view contract (see exec/batch.h).
+  void EnableZeroCopy(bool on) { zero_copy_ = on; }
+
   /// Restrict this scan to a strided subset of row morsels (parallel clone
   /// path; see exec/morsel.h). Call before Open.
   void RestrictToMorsels(MorselSet morsels) { morsels_ = std::move(morsels); }
 
  private:
   bool ZoneAllowed(uint64_t zone) const;
+  bool ZoneAllMatch(uint64_t zone) const;
 
   const Table* table_;
   std::vector<std::string> col_names_;
@@ -136,6 +161,8 @@ class PlainScan : public Operator {
   uint64_t cursor_ = 0;
   uint64_t last_zone_counted_ = ~uint64_t{0};
   bool row_filter_ = false;
+  bool zero_copy_ = false;
+  EncodedEval encoded_eval_ = EncodedEval::kOff;
   internal::ScanFilterState filter_;
 };
 
@@ -167,6 +194,14 @@ class BdccScan : public Operator {
   /// Open.
   void EnableRowFilter(bool on) { row_filter_ = on; }
 
+  /// Evaluate pushed predicates over encoded lanes per `mode`. Call before
+  /// Open.
+  void SetEncodedEval(EncodedEval mode) { encoded_eval_ = mode; }
+
+  /// Emit provably fully-passing chunks as zero-copy views (see PlainScan::
+  /// EnableZeroCopy). Call before Open.
+  void EnableZeroCopy(bool on) { zero_copy_ = on; }
+
   /// Group id a given reduced key maps to under `grouping`.
   int64_t GroupIdOf(uint64_t key) const;
 
@@ -177,6 +212,7 @@ class BdccScan : public Operator {
 
  private:
   bool ZoneAllowed(uint64_t zone) const;
+  bool ZoneAllMatch(uint64_t zone) const;
 
   const BdccTable* table_;
   std::vector<std::string> col_names_;
@@ -192,6 +228,8 @@ class BdccScan : public Operator {
   size_t range_idx_ = 0;
   uint64_t cursor_ = 0;  // within current range
   bool row_filter_ = false;
+  bool zero_copy_ = false;
+  EncodedEval encoded_eval_ = EncodedEval::kOff;
   internal::ScanFilterState filter_;
 };
 

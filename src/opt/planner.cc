@@ -265,6 +265,10 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
                                        [](const Sarg& s) {
                                          return s.row_expr == nullptr;
                                        });
+  exec::EncodedEval encoded_eval = opts_.enable_encoded_exec
+                                       ? exec::EncodedEval::kAuto
+                                       : exec::EncodedEval::kOff;
+  bool zero_copy = opts_.enable_zero_copy_views;
   std::vector<exec::ExprPtr> conjuncts;
   for (const Sarg& s : scan.sargs) {
     if (scan_filters_rows && s.row_expr == nullptr) continue;
@@ -326,7 +330,7 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
       }
       out.leaf_factory = [bt, cols = scan.columns, shared_ranges, zone_preds,
                           grouping, pruned, morsels, conjuncts,
-                          scan_filters_rows](
+                          scan_filters_rows, encoded_eval, zero_copy](
                              const LeafClone& c) -> Result<exec::OperatorPtr> {
         std::vector<GroupRange> clone_ranges;
         if (c.gid_lo >= 0) {
@@ -342,6 +346,8 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
             bt, cols, std::move(clone_ranges), zone_preds, grouping,
             c.instance == 0 ? pruned : 0);
         scan_op->EnableRowFilter(scan_filters_rows);
+        scan_op->SetEncodedEval(encoded_eval);
+        scan_op->EnableZeroCopy(zero_copy);
         if (c.gid_lo < 0 && morsels != nullptr) {
           scan_op->RestrictToMorsels(
               exec::MorselSet{morsels, c.instance, c.total});
@@ -358,6 +364,8 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
     auto bdcc_scan = std::make_unique<exec::BdccScan>(
         bt, scan.columns, std::move(ranges), zone_preds, grouping, pruned);
     bdcc_scan->EnableRowFilter(scan_filters_rows);
+    bdcc_scan->SetEncodedEval(encoded_eval);
+    bdcc_scan->EnableZeroCopy(zero_copy);
     out.op = add_filter(std::move(bdcc_scan));
     if (req != nullptr) {
       out.grouped_base = bt;
@@ -370,12 +378,15 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
           exec::MakeRowMorsels(storage->num_rows(), zone_rows, kMorselRows));
       out.leaf_rows = storage->num_rows();
       out.leaf_factory = [storage, cols = scan.columns, zone_preds, morsels,
-                          conjuncts, scan_filters_rows](
+                          conjuncts, scan_filters_rows, encoded_eval,
+                          zero_copy](
                              const LeafClone& c) -> Result<exec::OperatorPtr> {
         BDCC_CHECK(c.gid_lo < 0);  // plain scans have no group ids
         auto scan_op =
             std::make_unique<exec::PlainScan>(storage, cols, zone_preds);
         scan_op->EnableRowFilter(scan_filters_rows);
+        scan_op->SetEncodedEval(encoded_eval);
+        scan_op->EnableZeroCopy(zero_copy);
         scan_op->RestrictToMorsels(
             exec::MorselSet{morsels, c.instance, c.total});
         exec::OperatorPtr op = std::move(scan_op);
@@ -389,6 +400,8 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
     auto plain_scan = std::make_unique<exec::PlainScan>(
         storage, scan.columns, zone_preds);
     plain_scan->EnableRowFilter(scan_filters_rows);
+    plain_scan->SetEncodedEval(encoded_eval);
+    plain_scan->EnableZeroCopy(zero_copy);
     out.op = add_filter(std::move(plain_scan));
     out.sorted_on = db_.sorted_on(scan.table);
   }

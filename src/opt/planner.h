@@ -38,6 +38,15 @@ struct PlannerOptions {
   /// vectors) instead of a Filter over copied batches. Sargs with a custom
   /// row expression (e.g. LIKE) and residual predicates stay in the Filter.
   bool enable_scan_filter_pushdown = true;
+  /// All schemes: when the scanned table carries encoded lanes
+  /// (Table::BuildEncodedLanes), pushed range-exact sargs evaluate directly
+  /// over the encoded blocks — one comparison per RLE run, packed-domain
+  /// compares for bit-packed spans — instead of the flat lane.
+  bool enable_encoded_exec = true;
+  /// All schemes: scan chunks the zone maps prove fully-passing (or any
+  /// chunk when no predicate is enforced in the scan) are emitted as
+  /// zero-copy views borrowing the storage lanes instead of copying.
+  bool enable_zero_copy_views = true;
 
   /// Degree of intra-query parallelism. 1 (default) compiles the classic
   /// single-threaded pull plan; N > 1 splits eligible pipelines into N

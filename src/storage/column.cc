@@ -1,5 +1,7 @@
 #include "storage/column.h"
 
+#include "storage/compression/encoded_column.h"
+
 namespace bdcc {
 
 Column::Column(TypeId type) : type_(type) {
@@ -139,8 +141,21 @@ Column Column::Gather(const std::vector<uint32_t>& perm) const {
   return out;
 }
 
+void Column::BuildEncoded(uint32_t block_rows) {
+  switch (type_) {
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+      return;  // only i32-backed lanes (incl. string codes) have codecs
+    default:
+      break;
+  }
+  encoded_ = std::make_shared<const compression::EncodedLane>(
+      compression::EncodedLane::Build(i32_.data(), i32_.size(), block_rows));
+}
+
 void Column::AppendFrom(const Column& other, uint64_t row) {
   BDCC_CHECK(type_ == other.type_);
+  encoded_.reset();  // encoding is stale once the lane grows
   switch (type_) {
     case TypeId::kInt64:
       i64_.push_back(other.i64_[row]);

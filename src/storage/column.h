@@ -13,6 +13,10 @@
 
 namespace bdcc {
 
+namespace compression {
+class EncodedLane;
+}  // namespace compression
+
 /// \brief A single column of a stored table.
 ///
 /// Storage lanes by type:
@@ -71,12 +75,23 @@ class Column {
   /// Append row `row` of `other` (same type; strings re-interned).
   void AppendFrom(const Column& other, uint64_t row);
 
+  // -- Encoded mirror (direct execution over compressed lanes) --
+  /// Build the per-block encoded mirror of the i32 lane (i32-backed types
+  /// and string code lanes only; no-op otherwise). Call once the layout is
+  /// final, like zone maps; mutating the column afterwards leaves it stale
+  /// (appenders drop it defensively).
+  void BuildEncoded(uint32_t block_rows);
+  /// Encoded mirror, or nullptr when absent.
+  const compression::EncodedLane* encoded() const { return encoded_.get(); }
+  void DropEncoded() { encoded_.reset(); }
+
  private:
   TypeId type_;
   std::vector<int32_t> i32_;
   std::vector<int64_t> i64_;
   std::vector<double> f64_;
   std::shared_ptr<Dictionary> dict_;
+  std::shared_ptr<const compression::EncodedLane> encoded_;
 };
 
 }  // namespace bdcc

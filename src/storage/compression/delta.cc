@@ -9,6 +9,11 @@ namespace {
 uint64_t ZigZag(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
 }
+// Deltas wrap modulo 2^64: extreme operands overflow int64, but zigzag +
+// the matching wrapping add in DeltaDecode round-trip every value.
+uint64_t WrappingDelta(int64_t a, int64_t b) {
+  return static_cast<uint64_t>(a) - static_cast<uint64_t>(b);
+}
 int64_t UnZigZag(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
@@ -33,7 +38,7 @@ std::vector<uint8_t> DeltaEncode(const int64_t* input, size_t count) {
   std::vector<uint8_t> out;
   int64_t prev = 0;
   for (size_t i = 0; i < count; ++i) {
-    PutVarint(&out, ZigZag(input[i] - prev));
+    PutVarint(&out, ZigZag(static_cast<int64_t>(WrappingDelta(input[i], prev))));
     prev = input[i];
   }
   return out;
@@ -55,7 +60,8 @@ std::vector<int64_t> DeltaDecode(const uint8_t* data, size_t size,
       if ((byte & 0x80) == 0) break;
       shift += 7;
     }
-    prev += UnZigZag(v);
+    prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                static_cast<uint64_t>(UnZigZag(v)));
     out.push_back(prev);
   }
   return out;
@@ -65,7 +71,8 @@ size_t DeltaEncodedSize(const int64_t* input, size_t count) {
   size_t total = 0;
   int64_t prev = 0;
   for (size_t i = 0; i < count; ++i) {
-    total += VarintSize(ZigZag(input[i] - prev));
+    total += VarintSize(
+        ZigZag(static_cast<int64_t>(WrappingDelta(input[i], prev))));
     prev = input[i];
   }
   return total;

@@ -1,0 +1,293 @@
+#include "storage/compression/encoded_column.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "exec/kernels/kernels.h"
+#include "storage/compression/bitpack.h"
+
+namespace bdcc {
+namespace compression {
+
+namespace {
+
+// 8-byte window loads in Unpack may start at the last payload byte.
+constexpr size_t kPackPad = 8;
+constexpr size_t kUnpackChunk = 128;
+
+// Unpack count values starting at value index start_idx, adding `base`.
+void Unpack(const uint8_t* packed, uint64_t start_idx, size_t count,
+            int width, int32_t base, int32_t* out) {
+  uint64_t bitpos = start_idx * static_cast<uint64_t>(width);
+  const uint64_t low = bits::LowMask(width);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t w;
+    std::memcpy(&w, packed + (bitpos >> 3), 8);
+    out[i] = base + static_cast<int32_t>((w >> (bitpos & 7)) & low);
+    bitpos += static_cast<uint64_t>(width);
+  }
+}
+
+using SpanVerdict = EncodedLane::SpanVerdict;
+
+SpanVerdict VerdictOf(uint64_t pass, uint64_t total) {
+  if (pass == total) return SpanVerdict::kAllPass;
+  if (pass == 0) return SpanVerdict::kNonePass;
+  return SpanVerdict::kMixed;
+}
+
+}  // namespace
+
+EncodedLane EncodedLane::Build(const int32_t* lane, uint64_t rows,
+                               uint32_t block_rows) {
+  BDCC_CHECK(block_rows > 0);
+  EncodedLane out;
+  out.rows_ = rows;
+  out.block_rows_ = block_rows;
+  out.blocks_.reserve(static_cast<size_t>((rows + block_rows - 1) /
+                                          block_rows));
+  for (uint64_t at = 0; at < rows; at += block_rows) {
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(block_rows, rows - at));
+    const int32_t* v = lane + at;
+    // One pass: run count for RLE, min/max for the FOR-bitpack width.
+    size_t runs = 1;
+    int32_t mn = v[0], mx = v[0];
+    for (size_t i = 1; i < n; ++i) {
+      runs += v[i] != v[i - 1];
+      mn = std::min(mn, v[i]);
+      mx = std::max(mx, v[i]);
+    }
+    size_t raw_size = n * 4;
+    size_t rle_size = runs * 8;
+    int width = bits::CeilLog2(
+        static_cast<uint64_t>(static_cast<int64_t>(mx) - mn) + 1);
+    if (width == 0) width = 1;
+    size_t pack_size = width <= kMaxPackWidth ? BitPackedSize(n, width)
+                                              : raw_size;
+
+    Block b;
+    b.row_begin = at;
+    b.row_end = at + n;
+    size_t best = raw_size;
+    if (rle_size < best) {
+      b.codec = Codec::kRle;
+      best = rle_size;
+    }
+    if (width <= kMaxPackWidth && pack_size < best) {
+      b.codec = Codec::kBitPack;
+      best = pack_size;
+    }
+    switch (b.codec) {
+      case Codec::kRle: {
+        b.rle_values.reserve(runs);
+        b.rle_ends.reserve(runs);
+        size_t i = 0;
+        while (i < n) {
+          size_t j = i + 1;
+          while (j < n && v[j] == v[i]) ++j;
+          b.rle_values.push_back(v[i]);
+          b.rle_ends.push_back(static_cast<uint32_t>(j));
+          i = j;
+        }
+        break;
+      }
+      case Codec::kBitPack: {
+        b.for_base = mn;
+        b.bit_width = width;
+        std::vector<uint32_t> shifted(n);
+        for (size_t i = 0; i < n; ++i) {
+          shifted[i] = static_cast<uint32_t>(
+              static_cast<int64_t>(v[i]) - mn);
+        }
+        b.packed = BitPack(shifted.data(), n, width);
+        b.packed.resize(b.packed.size() + kPackPad, 0);
+        break;
+      }
+      default:
+        break;  // raw: evaluate over the flat lane
+    }
+    out.blocks_by_codec_[static_cast<int>(b.codec)]++;
+    out.encoded_bytes_ += best;
+    out.blocks_.push_back(std::move(b));
+  }
+  return out;
+}
+
+template <typename Eval>
+SpanVerdict EncodedLane::EvalBlocks(const int32_t* flat, uint64_t begin,
+                                    uint64_t end, uint8_t* mask,
+                                    Eval&& eval) const {
+  BDCC_CHECK(end <= rows_ && begin <= end);
+  bool all_pass = true, none_pass = true;
+  uint64_t bi = begin / block_rows_;
+  for (uint64_t cur = begin; cur < end;) {
+    const Block& blk = blocks_[bi];
+    uint64_t e = std::min<uint64_t>(end, blk.row_end);
+    SpanVerdict v = eval(blk, cur, e, mask + (cur - begin));
+    all_pass &= v == SpanVerdict::kAllPass;
+    none_pass &= v == SpanVerdict::kNonePass;
+    (void)flat;
+    cur = e;
+    ++bi;
+  }
+  if (all_pass && begin < end) return SpanVerdict::kAllPass;
+  if (none_pass && begin < end) return SpanVerdict::kNonePass;
+  return SpanVerdict::kMixed;
+}
+
+SpanVerdict EncodedLane::RangeMask(const int32_t* flat, uint64_t begin,
+                                   uint64_t end, int32_t lo, int32_t hi,
+                                   uint8_t* mask) const {
+  return EvalBlocks(
+      flat, begin, end, mask,
+      [&](const Block& b, uint64_t s, uint64_t e,
+          uint8_t* seg) -> SpanVerdict {
+        size_t len = static_cast<size_t>(e - s);
+        switch (b.codec) {
+          case Codec::kRle: {
+            // One comparison per run; failing runs zero their mask span
+            // wholesale (run-granular selection).
+            uint32_t rs = static_cast<uint32_t>(s - b.row_begin);
+            uint32_t re = static_cast<uint32_t>(e - b.row_begin);
+            size_t r = std::upper_bound(b.rle_ends.begin(),
+                                        b.rle_ends.end(), rs) -
+                       b.rle_ends.begin();
+            uint64_t pass = 0;
+            uint32_t cur = rs;
+            while (cur < re) {
+              uint32_t run_end = std::min(b.rle_ends[r], re);
+              int32_t val = b.rle_values[r];
+              if (val >= lo && val <= hi) {
+                pass += run_end - cur;
+              } else {
+                std::memset(seg + (cur - rs), 0, run_end - cur);
+              }
+              cur = run_end;
+              ++r;
+            }
+            return VerdictOf(pass, len);
+          }
+          case Codec::kBitPack: {
+            // Compare in the packed (frame-of-reference) domain.
+            int64_t pl = static_cast<int64_t>(lo) - b.for_base;
+            int64_t ph = static_cast<int64_t>(hi) - b.for_base;
+            int64_t pmax = (int64_t{1} << b.bit_width) - 1;
+            if (ph < 0 || pl > pmax) {
+              std::memset(seg, 0, len);
+              return SpanVerdict::kNonePass;
+            }
+            if (pl <= 0 && ph >= pmax) return SpanVerdict::kAllPass;
+            int32_t plo = static_cast<int32_t>(std::max<int64_t>(pl, 0));
+            int32_t phi = static_cast<int32_t>(std::min(ph, pmax));
+            int32_t buf[kUnpackChunk];
+            uint64_t idx0 = s - b.row_begin;
+            for (size_t off = 0; off < len; off += kUnpackChunk) {
+              size_t m = std::min(kUnpackChunk, len - off);
+              Unpack(b.packed.data(), idx0 + off, m, b.bit_width, 0, buf);
+              exec::kernels::RangeMaskI32(buf, m, plo, phi, seg + off);
+            }
+            return SpanVerdict::kMixed;
+          }
+          default:
+            exec::kernels::RangeMaskI32(flat + s, len, lo, hi, seg);
+            return SpanVerdict::kMixed;
+        }
+      });
+}
+
+SpanVerdict EncodedLane::VerdictMask(const int32_t* flat, uint64_t begin,
+                                     uint64_t end, const uint8_t* ok,
+                                     size_t num_codes, uint8_t* mask) const {
+  return EvalBlocks(
+      flat, begin, end, mask,
+      [&](const Block& b, uint64_t s, uint64_t e,
+          uint8_t* seg) -> SpanVerdict {
+        size_t len = static_cast<size_t>(e - s);
+        switch (b.codec) {
+          case Codec::kRle: {
+            uint32_t rs = static_cast<uint32_t>(s - b.row_begin);
+            uint32_t re = static_cast<uint32_t>(e - b.row_begin);
+            size_t r = std::upper_bound(b.rle_ends.begin(),
+                                        b.rle_ends.end(), rs) -
+                       b.rle_ends.begin();
+            uint64_t pass = 0;
+            uint32_t cur = rs;
+            while (cur < re) {
+              uint32_t run_end = std::min(b.rle_ends[r], re);
+              uint32_t code = static_cast<uint32_t>(b.rle_values[r]);
+              if (code < num_codes && ok[code]) {
+                pass += run_end - cur;
+              } else {
+                std::memset(seg + (cur - rs), 0, run_end - cur);
+              }
+              cur = run_end;
+              ++r;
+            }
+            return VerdictOf(pass, len);
+          }
+          case Codec::kBitPack: {
+            int32_t buf[kUnpackChunk];
+            uint64_t idx0 = s - b.row_begin;
+            for (size_t off = 0; off < len; off += kUnpackChunk) {
+              size_t m = std::min(kUnpackChunk, len - off);
+              Unpack(b.packed.data(), idx0 + off, m, b.bit_width,
+                     b.for_base, buf);
+              for (size_t j = 0; j < m; ++j) {
+                uint32_t code = static_cast<uint32_t>(buf[j]);
+                seg[off + j] &=
+                    code < num_codes ? ok[code] : uint8_t{0};
+              }
+            }
+            return SpanVerdict::kMixed;
+          }
+          default:
+            exec::kernels::VerdictMaskI32(flat + s, len, ok, seg);
+            return SpanVerdict::kMixed;
+        }
+      });
+}
+
+void EncodedLane::DecodeSpan(const int32_t* flat, uint64_t begin,
+                             uint64_t end, int32_t* out) const {
+  BDCC_CHECK(end <= rows_ && begin <= end);
+  uint64_t bi = begin / block_rows_;
+  for (uint64_t cur = begin; cur < end;) {
+    const Block& b = blocks_[bi];
+    uint64_t e = std::min<uint64_t>(end, b.row_end);
+    size_t len = static_cast<size_t>(e - cur);
+    int32_t* dst = out + (cur - begin);
+    switch (b.codec) {
+      case Codec::kRle: {
+        uint32_t rs = static_cast<uint32_t>(cur - b.row_begin);
+        uint32_t re = static_cast<uint32_t>(e - b.row_begin);
+        size_t r = std::upper_bound(b.rle_ends.begin(), b.rle_ends.end(),
+                                    rs) -
+                   b.rle_ends.begin();
+        uint32_t at = rs;
+        while (at < re) {
+          uint32_t run_end = std::min(b.rle_ends[r], re);
+          std::fill(dst + (at - rs), dst + (run_end - rs),
+                    b.rle_values[r]);
+          at = run_end;
+          ++r;
+        }
+        break;
+      }
+      case Codec::kBitPack:
+        Unpack(b.packed.data(), cur - b.row_begin, len, b.bit_width,
+               b.for_base, dst);
+        break;
+      default:
+        std::memcpy(dst, flat + cur, len * 4);
+        break;
+    }
+    cur = e;
+    ++bi;
+  }
+}
+
+}  // namespace compression
+}  // namespace bdcc

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include "storage/compression/encoded_column.h"
+
 namespace bdcc {
 
 Status Table::AddColumn(std::string name, Column column) {
@@ -62,6 +64,7 @@ Table Table::Clone() const {
 void Table::AppendRowsFrom(const Table& other, uint64_t begin, uint64_t end) {
   BDCC_CHECK(other.num_columns() == num_columns());
   BDCC_CHECK(end <= other.num_rows() && begin <= end);
+  has_encoded_lanes_ = false;  // appenders drop per-column encodings
   for (size_t i = 0; i < columns_.size(); ++i) {
     for (uint64_t r = begin; r < end; ++r) {
       columns_[i].AppendFrom(other.columns_[i], r);
@@ -77,6 +80,14 @@ void Table::BuildZoneMaps(uint32_t zone_rows) {
   for (const Column& c : columns_) {
     zone_maps_.push_back(ZoneMap::Build(c, zone_rows));
   }
+}
+
+void Table::BuildEncodedLanes() {
+  uint32_t block_rows = zone_rows_ != 0
+                            ? zone_rows_
+                            : compression::EncodedLane::kDefaultBlockRows;
+  for (Column& c : columns_) c.BuildEncoded(block_rows);
+  has_encoded_lanes_ = true;
 }
 
 void Table::RegisterWithBufferPool(io::BufferPool* pool) {

@@ -61,6 +61,13 @@ class Table {
   /// Zone map of column idx (requires BuildZoneMaps).
   const ZoneMap& zone_map(int idx) const { return zone_maps_[idx]; }
 
+  // -- Encoded lanes (direct execution over compressed data) --
+  /// Build per-block encoded mirrors for every codec-eligible column.
+  /// Blocks align with zone maps when present (zone_rows granularity) so a
+  /// zone-clipped scan span never straddles an encoded block boundary.
+  void BuildEncodedLanes();
+  bool HasEncodedLanes() const { return has_encoded_lanes_; }
+
   // -- Buffer pool registration (I/O simulation) --
   /// Register every column with `pool`; scans then charge simulated I/O.
   void RegisterWithBufferPool(io::BufferPool* pool);
@@ -76,6 +83,7 @@ class Table {
   std::unordered_map<std::string, int> by_name_;
   uint32_t zone_rows_ = 0;
   std::vector<ZoneMap> zone_maps_;
+  bool has_encoded_lanes_ = false;
   io::BufferPool* pool_ = nullptr;
   std::vector<io::ColumnHandle> io_handles_;
 };

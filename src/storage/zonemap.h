@@ -33,6 +33,13 @@ struct ValueRange {
     if (hi && zmin.Compare(*hi) > 0) return false;
     return true;
   }
+  /// Whether every value in [zmin, zmax] satisfies this range — the
+  /// all-pass dual of Overlaps; lets scans skip evaluation entirely.
+  bool Covers(const Value& zmin, const Value& zmax) const {
+    if (lo && zmin.Compare(*lo) < 0) return false;
+    if (hi && zmax.Compare(*hi) > 0) return false;
+    return true;
+  }
 };
 
 /// \brief Per-column MinMax summaries over fixed-size row zones.
@@ -52,6 +59,11 @@ class ZoneMap {
   /// Whether zone `zone` may contain values in `range`.
   bool MayMatch(uint64_t zone, const ValueRange& range) const {
     return range.Overlaps(mins_[zone], maxs_[zone]);
+  }
+
+  /// Whether *every* row of zone `zone` satisfies `range`.
+  bool AllMatch(uint64_t zone, const ValueRange& range) const {
+    return range.Covers(mins_[zone], maxs_[zone]);
   }
 
  private:

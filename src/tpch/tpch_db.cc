@@ -119,6 +119,7 @@ Result<std::unique_ptr<TpchDb>> TpchDb::Create(const TpchDbOptions& options) {
     db->plain_tables_ = CloneAll(base);
     for (auto& [name, table] : db->plain_tables_) {
       table.BuildZoneMaps(options.zone_rows);
+      table.BuildEncodedLanes();
       if (options.attach_buffer_pools) {
         table.RegisterWithBufferPool(
             db->io_[static_cast<int>(opt::Scheme::kPlain)].pool.get());
@@ -156,6 +157,7 @@ Result<std::unique_ptr<TpchDb>> TpchDb::Create(const TpchDbOptions& options) {
         table = table.ApplyPermutation(perm);
       }
       table.BuildZoneMaps(options.zone_rows);
+      table.BuildEncodedLanes();
       if (options.attach_buffer_pools) {
         table.RegisterWithBufferPool(
             db->io_[static_cast<int>(opt::Scheme::kPk)].pool.get());
@@ -180,6 +182,7 @@ Result<std::unique_ptr<TpchDb>> TpchDb::Create(const TpchDbOptions& options) {
       if (db->bdcc_tables_.count(name) == 0) {
         Table clone = table.Clone();
         clone.BuildZoneMaps(options.zone_rows);
+        clone.BuildEncodedLanes();
         db->bdcc_extra_.emplace(name, std::move(clone));
       }
     }

@@ -28,7 +28,7 @@ inline std::vector<CanonRow> Canonicalize(const exec::Batch& batch) {
     CanonRow& row = rows[r];
     for (const exec::ColumnVector& c : batch.columns) {
       if (c.type == TypeId::kFloat64) {
-        row.floats.push_back(c.IsNull(r) ? -1e300 : c.f64[r]);
+        row.floats.push_back(c.IsNull(r) ? -1e300 : c.f64_data()[r]);
         continue;
       }
       if (c.IsNull(r)) {
