@@ -63,6 +63,12 @@ struct QueryRun {
   double sim_io_ms = 0;
   uint64_t peak_memory = 0;
   uint64_t rows = 0;
+  // Lifecycle counters (ExecStats): all zero on a healthy unlimited run;
+  // nonzero values flag cancellations, budget refusals, or fault injection
+  // interfering with the measurement.
+  uint64_t morsels_cancelled = 0;
+  uint64_t budget_denials = 0;
+  uint64_t faults_injected = 0;
   std::vector<std::string> notes;
   bool ok = false;
   std::string error;
@@ -94,6 +100,9 @@ inline QueryRun RunQueryCold(tpch::TpchDb* db, opt::Scheme scheme, int q) {
           .count();
   out.sim_io_ms = device->stats().simulated_seconds * 1000.0;
   out.peak_memory = exec_ctx.memory()->peak_bytes();
+  out.morsels_cancelled = exec_ctx.stats()->morsels_cancelled;
+  out.budget_denials = exec_ctx.stats()->budget_denials;
+  out.faults_injected = exec_ctx.stats()->faults_injected;
   if (result.ok()) {
     out.ok = true;
     out.rows = result.value().num_rows;
@@ -164,6 +173,21 @@ class JsonLine {
 
   std::string body_;
 };
+
+/// Append the lifecycle counters of `run` to a JSON line (only when nonzero,
+/// so healthy baseline rows keep their historical shape and the regression
+/// checker's config keys stay comparable).
+inline void AddLifecycleCounters(JsonLine& line, const QueryRun& run) {
+  if (run.morsels_cancelled > 0) {
+    line.Num("morsels_cancelled", static_cast<double>(run.morsels_cancelled));
+  }
+  if (run.budget_denials > 0) {
+    line.Num("budget_denials", static_cast<double>(run.budget_denials));
+  }
+  if (run.faults_injected > 0) {
+    line.Num("faults_injected", static_cast<double>(run.faults_injected));
+  }
+}
 
 inline std::string HumanBytes(uint64_t bytes) {
   char buf[32];

@@ -54,14 +54,15 @@ int main(int argc, char** argv) {
                 runs[0].sim_io_ms, runs[1].sim_io_ms, runs[2].sim_io_ms,
                 static_cast<unsigned long long>(runs[2].rows));
     for (int s = 0; s < 3; ++s) {
-      JsonLine("fig2_execution_time")
-          .Num("q", q)
+      JsonLine line("fig2_execution_time");
+      line.Num("q", q)
           .Str("scheme", opt::SchemeName(schemes[s]))
           .Num("sf", sf)
           .Num("wall_ms", runs[s].wall_ms)
           .Num("sim_io_ms", runs[s].sim_io_ms)
-          .Num("rows", static_cast<double>(runs[s].rows))
-          .Emit();
+          .Num("rows", static_cast<double>(runs[s].rows));
+      AddLifecycleCounters(line, runs[s]);
+      line.Emit();
     }
     if (explain) {
       for (const std::string& n : runs[2].notes) {

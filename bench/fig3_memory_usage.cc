@@ -35,14 +35,15 @@ int main() {
   uint64_t peak[3] = {0, 0, 0};
   for (int q = 1; q <= tpch::kNumTpchQueries; ++q) {
     uint64_t mem[3];
+    QueryRun runs[3];
     for (int s = 0; s < 3; ++s) {
-      QueryRun run = RunQueryCold(db.get(), schemes[s], q);
-      if (!run.ok) {
+      runs[s] = RunQueryCold(db.get(), schemes[s], q);
+      if (!runs[s].ok) {
         std::fprintf(stderr, "Q%d %s failed: %s\n", q,
-                     opt::SchemeName(schemes[s]), run.error.c_str());
+                     opt::SchemeName(schemes[s]), runs[s].error.c_str());
         return 1;
       }
-      mem[s] = run.peak_memory;
+      mem[s] = runs[s].peak_memory;
       total[s] += mem[s];
       peak[s] = std::max(peak[s], mem[s]);
     }
@@ -51,12 +52,13 @@ int main() {
                 HumanBytes(mem[0]).c_str(), HumanBytes(mem[1]).c_str(),
                 HumanBytes(mem[2]).c_str(), ratio);
     for (int s = 0; s < 3; ++s) {
-      JsonLine("fig3_memory_usage")
-          .Num("q", q)
+      JsonLine line("fig3_memory_usage");
+      line.Num("q", q)
           .Str("scheme", opt::SchemeName(schemes[s]))
           .Num("sf", sf)
-          .Num("peak_bytes", static_cast<double>(mem[s]))
-          .Emit();
+          .Num("peak_bytes", static_cast<double>(mem[s]));
+      AddLifecycleCounters(line, runs[s]);
+      line.Emit();
     }
   }
   std::printf("-----+--------------------------------------+\n");

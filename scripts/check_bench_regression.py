@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""Warn-only benchmark regression check.
+"""Warn-only benchmark regression check over well-formed inputs.
 
 Compares the JSON lines emitted by the CI bench smoke run against the
 committed perf-trajectory baselines (BENCH_pr5.json). Rows are matched on
 their config keys (bench/mode/build_rows/threads, and any other non-metric
 fields); for each matched row, every *throughput* metric (keys ending in
 "_per_s") that dropped more than the threshold prints a GitHub warning
-annotation. The step never fails the build: machine-to-machine variance
+annotation. Regressions never fail the build: machine-to-machine variance
 (the committed baselines may come from a different core count — see the
 host_cpus field) makes a hard gate meaningless, but a printed warning makes
 a real regression visible in the PR checks.
+
+Broken *inputs* do fail the build, though: an unreadable file, a file with
+zero valid benchmark rows, or a line that looks like JSON but does not
+parse all exit non-zero. A silently-empty comparison reads as "no
+regressions" in CI when it actually means "the smoke run produced garbage".
 
 Rows whose host_cpus differs between baseline and smoke run are skipped
 outright: a wall-clock comparison across machines with different core
@@ -24,7 +29,18 @@ import sys
 # Fields that describe the measurement rather than the configuration.
 METRIC_PREFIXES = ("build_ms", "probe_ms", "wall_ms", "time_ms")
 METRIC_SUFFIXES = ("_per_s", "_ms", "_kb", "_bytes")
-IGNORED_KEYS = ("host_cpus", "out_rows", "partitions")
+# host_cpus is handled by the explicit mismatch skip; the lifecycle
+# counters (morsels_cancelled & co.) are emitted only when nonzero, so they
+# must not take part in row matching or healthy baseline rows would never
+# match a faulted smoke row and vice versa.
+IGNORED_KEYS = (
+    "host_cpus",
+    "out_rows",
+    "partitions",
+    "morsels_cancelled",
+    "budget_denials",
+    "faults_injected",
+)
 
 
 def is_metric(key):
@@ -41,31 +57,43 @@ def config_key(row):
 
 
 def load_rows(path):
+    """Parse one JSON-lines file into {config_key: row}.
+
+    Blank lines and non-JSON chatter (benchmark table output sharing the
+    stream) are tolerated; a line that *starts* like JSON but fails to
+    parse, an unreadable file, or a file with no benchmark rows at all is
+    a fatal input error (exit 1) rather than a silent zero-row comparison.
+    """
     rows = {}
     try:
         with open(path) as f:
-            for line in f:
+            for lineno, line in enumerate(f, start=1):
                 line = line.strip()
                 if not line.startswith("{"):
                     continue
                 try:
                     row = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
+                except json.JSONDecodeError as e:
+                    sys.exit(f"error: {path}:{lineno}: malformed JSON: {e}")
                 if "bench" in row:
                     rows[config_key(row)] = row
     except OSError as e:
-        print(f"note: cannot read {path}: {e}")
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not rows:
+        sys.exit(f"error: {path}: no benchmark JSON rows found")
     return rows
 
 
 def main():
     if len(sys.argv) < 3:
         print(__doc__)
-        return 0
+        return 2
     smoke = load_rows(sys.argv[1])
     baseline = load_rows(sys.argv[2])
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    try:
+        threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    except ValueError:
+        sys.exit(f"error: threshold must be a number, got {sys.argv[3]!r}")
 
     compared = warned = skipped_cpus = 0
     for key, base_row in baseline.items():
@@ -102,7 +130,7 @@ def main():
             else ""
         )
     )
-    return 0  # warn-only by design
+    return 0  # regressions warn-only by design; input errors exited above
 
 
 if __name__ == "__main__":

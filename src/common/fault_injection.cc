@@ -1,0 +1,140 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace bdcc {
+namespace fault {
+
+namespace {
+
+struct Config {
+  bool enabled = false;
+  uint64_t seed = 0;
+  // Fire when the hash draw is below this; UINT64_MAX means "always".
+  uint64_t threshold = 0;
+  // Exact point-name filter; empty matches every point.
+  std::string only_point;
+};
+
+// The active config is swapped atomically so readers never lock. Configs are
+// never freed: a ShouldFail racing a scope exit may still be reading the
+// outgoing config, and the few bytes per test scope are not worth a hazard
+// scheme. Retire() parks them in a static registry so they stay reachable
+// (keeps LeakSanitizer quiet about the deliberate retention).
+std::atomic<const Config*> g_active{nullptr};
+
+void Retire(const Config* c) {
+  static std::mutex* mu = new std::mutex();
+  static std::vector<const Config*>* retired = new std::vector<const Config*>();
+  std::lock_guard<std::mutex> lock(*mu);
+  retired->push_back(c);
+}
+std::atomic<uint64_t> g_draws{0};
+std::atomic<uint64_t> g_injected{0};
+
+uint64_t ThresholdFor(double probability) {
+  if (probability >= 1.0) return UINT64_MAX;
+  if (probability <= 0.0) return 0;
+  return static_cast<uint64_t>(
+      probability * static_cast<double>(UINT64_MAX >> 11) * 2048.0);
+}
+
+const Config* EnvConfig() {
+  static const Config* env = [] {
+    Config* c = new Config();
+    const char* seed = std::getenv("BDCC_FAULT_SEED");
+    if (seed != nullptr && *seed != '\0') {
+      c->enabled = true;
+      c->seed = std::strtoull(seed, nullptr, 10);
+      double prob = 0.001;
+      const char* p = std::getenv("BDCC_FAULT_PROB");
+      if (p != nullptr && *p != '\0') prob = std::atof(p);
+      c->threshold = ThresholdFor(prob);
+      const char* points = std::getenv("BDCC_FAULT_POINTS");
+      if (points != nullptr) c->only_point = points;
+    }
+    return c;
+  }();
+  return env;
+}
+
+const Config* Active() {
+  const Config* c = g_active.load(std::memory_order_acquire);
+  return c != nullptr ? c : EnvConfig();
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashPoint(const char* point) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char* p = point; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint64_t>(*p)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool Draw(const Config* c, const char* point) {
+  if (!c->only_point.empty() && c->only_point != point) return false;
+  uint64_t n = g_draws.fetch_add(1, std::memory_order_relaxed);
+  uint64_t h = SplitMix64(c->seed ^ SplitMix64(n) ^ HashPoint(point));
+  if (c->threshold == UINT64_MAX || h < c->threshold) {
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Enabled() { return Active()->enabled; }
+
+bool ShouldFail(const char* point) {
+  const Config* c = Active();
+  if (BDCC_LIKELY(!c->enabled)) return false;
+  return Draw(c, point);
+}
+
+void MaybeDelay(const char* point) {
+  const Config* c = Active();
+  if (BDCC_LIKELY(!c->enabled)) return;
+  if (Draw(c, point)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+uint64_t InjectedCount() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(uint64_t seed, double probability,
+                                           const char* only_point) {
+  Config* c = new Config();
+  c->enabled = true;
+  c->seed = seed;
+  c->threshold = ThresholdFor(probability);
+  if (only_point != nullptr) c->only_point = only_point;
+  Retire(c);
+  previous_ = g_active.exchange(c, std::memory_order_acq_rel);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_active.store(static_cast<const Config*>(previous_),
+                 std::memory_order_release);
+}
+
+}  // namespace fault
+}  // namespace bdcc

@@ -25,6 +25,12 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -19,6 +19,9 @@ enum class StatusCode : int {
   kInternal = 6,
   kIOError = 7,
   kParseError = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
 };
 
 /// \brief Lightweight success/error value returned by fallible operations.
@@ -53,6 +56,15 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -64,6 +76,13 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Message text ("" when OK).
   std::string_view message() const {

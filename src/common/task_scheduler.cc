@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/fault_injection.h"
 
 namespace bdcc {
 namespace common {
@@ -25,6 +29,32 @@ struct GroupState {
   std::mutex mu;
   std::condition_variable done;
   size_t pending = 0;
+  // First-failure capture: `failed` flips once (released by the failing
+  // task, acquired at dispatch so queued siblings skip their body);
+  // whichever of first_exception/first_status got there first holds the
+  // failure, both guarded by mu. WaitStatus() drains and resets them.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_exception;
+  Status first_status;
+
+  void RecordException(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_exception == nullptr && first_status.ok()) {
+        first_exception = std::move(e);
+      }
+    }
+    failed.store(true, std::memory_order_release);
+  }
+  void RecordStatus(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_exception == nullptr && first_status.ok()) {
+        first_status = std::move(s);
+      }
+    }
+    failed.store(true, std::memory_order_release);
+  }
 };
 
 TaskScheduler::TaskScheduler(int num_workers) {
@@ -132,7 +162,17 @@ bool TaskScheduler::StealFrom(size_t victim, Task* out) {
 
 void TaskScheduler::RunTask(Task task) {
   num_queued_.fetch_sub(1, std::memory_order_acquire);
-  task.fn();
+  // Skip the body once a sibling failed — the group is unwinding and the
+  // join point only wants the first failure. The pending decrement below
+  // still runs, so Wait() sees every task accounted for.
+  if (!task.group->failed.load(std::memory_order_acquire)) {
+    fault::MaybeDelay(fault::kTaskDelay);
+    try {
+      task.fn();
+    } catch (...) {
+      task.group->RecordException(std::current_exception());
+    }
+  }
   std::lock_guard<std::mutex> lock(task.group->mu);
   --task.group->pending;
   if (task.group->pending == 0) task.group->done.notify_all();
@@ -191,6 +231,20 @@ void TaskScheduler::TaskGroup::Submit(std::function<void()> fn) {
   scheduler_->Enqueue(Task{std::move(fn), state_});
 }
 
+void TaskScheduler::TaskGroup::SubmitFallible(std::function<Status()> fn) {
+  if (!state_) state_ = std::make_shared<GroupState>();
+  GroupState* state = state_.get();
+  // The wrapper holds no owning reference to the state: the Task's `group`
+  // member already keeps it alive for the duration of the run.
+  scheduler_->Enqueue(Task{[state, fn = std::move(fn)] {
+                             Status s = fn();
+                             if (BDCC_UNLIKELY(!s.ok())) {
+                               state->RecordStatus(std::move(s));
+                             }
+                           },
+                           state_});
+}
+
 void TaskScheduler::TaskGroup::Wait() {
   if (!state_) return;
   while (true) {
@@ -209,6 +263,24 @@ void TaskScheduler::TaskGroup::Wait() {
   }
 }
 
+Status TaskScheduler::TaskGroup::WaitStatus() {
+  Wait();
+  if (!state_) return Status::OK();
+  // pending == 0 here, so no task can touch the failure fields concurrently.
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::exception_ptr e = state_->first_exception;
+  Status s = std::move(state_->first_status);
+  state_->first_exception = nullptr;
+  state_->first_status = Status::OK();
+  state_->failed.store(false, std::memory_order_release);
+  if (e != nullptr) std::rethrow_exception(e);
+  return s;
+}
+
+bool TaskScheduler::TaskGroup::failed() const {
+  return state_ != nullptr && state_->failed.load(std::memory_order_acquire);
+}
+
 void TaskScheduler::ParallelFor(size_t n,
                                 const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -222,6 +294,20 @@ void TaskScheduler::ParallelFor(size_t n,
   }
   fn(0);
   group.Wait();
+}
+
+Status TaskScheduler::ParallelForStatus(
+    size_t n, const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (n == 1) return fn(0);
+  TaskGroup group(this);
+  // All iterations go through the group (none runs inline first) so that a
+  // failure in any iteration can skip the ones not yet started; the calling
+  // thread still executes its share by helping inside WaitStatus()'s Wait.
+  for (size_t i = 0; i < n; ++i) {
+    group.SubmitFallible([&fn, i] { return fn(i); });
+  }
+  return group.WaitStatus();
 }
 
 }  // namespace common

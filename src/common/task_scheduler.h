@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace bdcc {
 namespace common {
@@ -60,9 +61,23 @@ class TaskScheduler {
     BDCC_DISALLOW_COPY_AND_ASSIGN(TaskGroup);
 
     void Submit(std::function<void()> fn);
+    /// Submit a fallible task. A non-OK return (or a thrown exception, from
+    /// either Submit flavour) marks the group failed: the *first* failure is
+    /// recorded, and queued sibling tasks of a failed group are skipped at
+    /// dispatch instead of run (already-running siblings finish on their
+    /// own — operators poll QueryControl for prompt stops).
+    void SubmitFallible(std::function<Status()> fn);
     /// Block until every task submitted through this group has finished,
     /// running queued tasks on the calling thread while it waits.
     void Wait();
+    /// Wait, then surface the group's failure at this join point: rethrows
+    /// the first captured exception, or returns the first non-OK Status
+    /// (OK when nothing failed). Clears the failure so the group is
+    /// reusable for the next batch of tasks.
+    Status WaitStatus();
+    /// True once any task of this group has failed (siblings can poll it to
+    /// stop early even without a QueryControl).
+    bool failed() const;
 
    private:
     TaskScheduler* scheduler_;
@@ -72,6 +87,11 @@ class TaskScheduler {
   /// Run fn(0..n-1) across the pool and the calling thread; returns when all
   /// iterations completed.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Fallible ParallelFor: runs fn(0..n-1), skips iterations not yet started
+  /// once one fails, and returns the first failure (first-error-wins) after
+  /// all started iterations finished. Exceptions escape at the join point.
+  Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn);
 
  private:
   friend class TaskGroup;

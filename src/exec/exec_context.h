@@ -10,8 +10,12 @@
 #define BDCC_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <string>
 
+#include "common/fault_injection.h"
+#include "common/status.h"
 #include "exec/memory_tracker.h"
+#include "exec/query_control.h"
 #include "io/buffer_pool.h"
 
 namespace bdcc {
@@ -34,6 +38,13 @@ struct ExecStats {
   // Predicate spans evaluated directly over encoded (RLE/bit-packed)
   // blocks instead of the flat lane.
   uint64_t encoded_spans = 0;
+  // Lifecycle checks that observed a stop (cancel/deadline/sibling error)
+  // and unwound the morsel or chunk loop they guard.
+  uint64_t morsels_cancelled = 0;
+  // Operator growth requests refused by the memory budget.
+  uint64_t budget_denials = 0;
+  // Faults fired by the injection layer on this context's paths.
+  uint64_t faults_injected = 0;
 
   void Reset() { *this = ExecStats{}; }
 
@@ -48,6 +59,9 @@ struct ExecStats {
     decodes_skipped += other.decodes_skipped;
     chunks_zero_copy += other.chunks_zero_copy;
     encoded_spans += other.encoded_spans;
+    morsels_cancelled += other.morsels_cancelled;
+    budget_denials += other.budget_denials;
+    faults_injected += other.faults_injected;
   }
 };
 
@@ -76,6 +90,34 @@ class ExecContext {
   io::BufferPool* buffer_pool() { return pool_; }
   ExecStats* stats() { return &stats_; }
 
+  /// The query-wide cancel/deadline/error state; one per query, shared by
+  /// every worker clone (child contexts delegate to the root's).
+  QueryControl* control() {
+    return parent_ != nullptr ? parent_->control() : &control_;
+  }
+
+  /// Lifecycle poll for morsel boundaries and chunk loops: OK while the
+  /// query is healthy, else the stop status (counted in morsels_cancelled).
+  Status CheckLifecycle() {
+    Status s = control()->Check();
+    if (BDCC_UNLIKELY(!s.ok())) ++stats_.morsels_cancelled;
+    return s;
+  }
+
+  /// Budget-checked operator growth: TrySet through `mem` plus the
+  /// allocation fault-injection point, with denials and injected faults
+  /// counted on this context's stats.
+  Status ChargeMemory(TrackedMemory* mem, uint64_t bytes) {
+    if (BDCC_UNLIKELY(fault::ShouldFail(fault::kAlloc))) {
+      ++stats_.faults_injected;
+      return Status::ResourceExhausted(
+          std::string("injected allocation fault (") + mem->name() + ")");
+    }
+    Status s = mem->TrySet(bytes);
+    if (BDCC_UNLIKELY(!s.ok())) ++stats_.budget_denials;
+    return s;
+  }
+
   /// Fold a child's stats into this context (call after the child's worker
   /// has finished; not safe concurrently with other mutations of stats()).
   void MergeStats(const ExecContext& child) { stats_.Merge(child.stats_); }
@@ -93,6 +135,7 @@ class ExecContext {
   io::BufferPool* pool_;
   ExecContext* parent_ = nullptr;
   MemoryTracker memory_;
+  QueryControl control_;
   ExecStats stats_;
   size_t batch_size_ = 2048;
   bool sel_enabled_ = true;

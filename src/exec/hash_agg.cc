@@ -35,7 +35,7 @@ Status HashAgg::Bind(const Schema& in) {
 Status HashAgg::Open(ExecContext* ctx) {
   BDCC_RETURN_NOT_OK(child_->Open(ctx));
   BDCC_RETURN_NOT_OK(Bind(child_->schema()));
-  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory(), "hash-agg");
   return Status::OK();
 }
 
@@ -70,18 +70,23 @@ Status HashAgg::Consume(const Batch& batch) {
   return core_.Update(batch, group_of_row);
 }
 
+uint64_t HashAgg::MemoryBytes() const {
+  uint64_t store_bytes = 0;
+  for (const ColumnVector& v : key_store_) {
+    store_bytes += ColumnVectorBytes(v);
+  }
+  return key_map_.MemoryBytes() + store_bytes + core_.MemoryBytes();
+}
+
 Status HashAgg::ConsumeAll(ExecContext* ctx) {
   if (consumed_) return Status::OK();
   while (true) {
+    BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
     BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
     if (b.empty()) break;
     BDCC_RETURN_NOT_OK(Consume(b));
     child_->Recycle(std::move(b));
-    uint64_t store_bytes = 0;
-    for (const ColumnVector& v : key_store_) {
-      store_bytes += ColumnVectorBytes(v);
-    }
-    tracked_->Set(key_map_.MemoryBytes() + store_bytes + core_.MemoryBytes());
+    BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_.get(), MemoryBytes()));
   }
   if (group_cols_.empty()) core_.EnsureGroups(1);  // scalar agg: one row
   consumed_ = true;

@@ -46,6 +46,10 @@ class HashAgg : public Operator {
 
   size_t num_groups() const { return key_map_.size(); }
 
+  /// Bytes held by the aggregation state (key map + stored keys +
+  /// accumulators); what budget charges for this aggregate track.
+  uint64_t MemoryBytes() const;
+
   /// Partition this aggregate's groups into 1 << bits radix partitions by
   /// a *value-based* hash of the stored group keys — consistent across
   /// aggregates even though each clone interned strings into private

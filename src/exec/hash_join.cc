@@ -49,16 +49,17 @@ Status HashJoin::Open(ExecContext* ctx) {
   if (left_keys_.size() != right_keys_.size() || left_keys_.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
-  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory(), "hash-join build");
 
   // Build.
   BDCC_RETURN_NOT_OK(table_.Init(right_->schema(), right_keys_));
   while (true) {
+    BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
     BDCC_ASSIGN_OR_RETURN(Batch b, right_->Next(ctx));
     if (b.empty()) break;
     BDCC_RETURN_NOT_OK(table_.AddBatch(b));
     right_->Recycle(std::move(b));
-    tracked_->Set(table_.MemoryBytes());
+    BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_.get(), table_.MemoryBytes()));
   }
 
   return prober_.Bind(left_->schema(), left_keys_, &table_, type_);

@@ -2,8 +2,10 @@
 
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/task_scheduler.h"
 #include "exec/kernels/kernels.h"
+#include "exec/query_control.h"
 
 namespace bdcc {
 namespace exec {
@@ -638,9 +640,23 @@ void JoinHashTable::BuildPartition(size_t p) {
   }
 }
 
-Status JoinHashTable::FinishPartitionedBuild(common::TaskScheduler* scheduler) {
+Status JoinHashTable::FinishPartitionedBuild(common::TaskScheduler* scheduler,
+                                             QueryControl* control) {
   BDCC_CHECK(part_bits_ > 0);
   size_t n = parts_.size();
+  // Lifecycle/fault gate between partitions: a cancelled query (or an
+  // injected build fault) stops inserting and leaves the table for the
+  // caller to Clear().
+  auto build_range = [this, control, n](size_t first, size_t stride) -> Status {
+    for (size_t p = first; p < n; p += stride) {
+      if (control != nullptr) BDCC_RETURN_NOT_OK(control->Check());
+      if (BDCC_UNLIKELY(fault::ShouldFail(fault::kJoinBuild))) {
+        return Status::IOError("injected join-build fault");
+      }
+      BuildPartition(p);
+    }
+    return Status::OK();
+  };
   // Dictionary homogeneity: every partition must end up sharing one
   // dictionary per string column (probe emit pre-wires partition 0's dict
   // and bulk-copies codes). With a single dictionary across all pinned
@@ -672,22 +688,22 @@ Status JoinHashTable::FinishPartitionedBuild(common::TaskScheduler* scheduler) {
       auto unified = std::make_shared<Dictionary>();
       for (Partition& part : parts_) part.columns[c].dict = unified;
     }
-    for (size_t p = 0; p < n; ++p) BuildPartition(p);
+    BDCC_RETURN_NOT_OK(build_range(0, 1));
   } else if (scheduler != nullptr) {
     // One strided worker per producer (== build clone): the insert phase's
     // concurrency stays bounded by the requested build parallelism, not by
-    // the shared pool's width.
+    // the shared pool's width. All stripes go through the group so a failed
+    // stripe skips the ones not yet started; the coordinator helps inside
+    // WaitStatus.
     size_t workers = std::min(n, std::max<size_t>(1, producers_.size()));
     common::TaskScheduler::TaskGroup group(scheduler);
-    for (size_t w = 1; w < workers; ++w) {
-      group.Submit([this, w, workers, n] {
-        for (size_t p = w; p < n; p += workers) BuildPartition(p);
-      });
+    for (size_t w = 0; w < workers; ++w) {
+      group.SubmitFallible(
+          [&build_range, w, workers] { return build_range(w, workers); });
     }
-    for (size_t p = 0; p < n; p += workers) BuildPartition(p);
-    group.Wait();
+    BDCC_RETURN_NOT_OK(group.WaitStatus());
   } else {
-    for (size_t p = 0; p < n; ++p) BuildPartition(p);
+    BDCC_RETURN_NOT_OK(build_range(0, 1));
   }
   // Homogeneous-path partitions each adopted the (single) source dict; make
   // empty partitions agree so columns() pre-wiring stays canonical.

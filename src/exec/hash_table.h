@@ -18,6 +18,8 @@ class TaskScheduler;
 }  // namespace common
 namespace exec {
 
+class QueryControl;
+
 /// \brief Normalizes one or more key columns per row into either an int64
 /// (fast paths, see below) or a byte string. All encoders are sel-aware:
 /// they produce one key per *logical* row of a batch.
@@ -270,8 +272,11 @@ class JoinHashTable {
   Status ScatterBatch(size_t producer, Batch batch);
   /// Build every partition's sub-table from the scattered buffers: one
   /// task per partition when `scheduler` is non-null and dictionaries were
-  /// homogeneous, serial otherwise.
-  Status FinishPartitionedBuild(common::TaskScheduler* scheduler);
+  /// homogeneous, serial otherwise. A non-null `control` is polled between
+  /// partitions so a cancelled query stops building (on error the table is
+  /// left partially built — callers must Clear()).
+  Status FinishPartitionedBuild(common::TaskScheduler* scheduler,
+                                QueryControl* control = nullptr);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_partitions() const { return parts_.size(); }

@@ -3,11 +3,44 @@
 namespace bdcc {
 namespace exec {
 
+namespace {
+
+// Unwind the tree so every operator releases its tracked state before the
+// error surfaces (budget errors, cancellation, injected faults), and drop
+// the surfaced error from the query control: the failure now belongs to the
+// caller, and the same context must be able to run the next query.
+// Cancellation and deadlines persist until QueryControl::Reset().
+Status SurfaceFailure(Operator* op, ExecContext* ctx, Status failure) {
+  op->Close(ctx);
+  ctx->control()->ClearError();
+  if (failure.IsCancelled() || failure.IsDeadlineExceeded()) {
+    // Worker clones count the polls that observed the stop into their own
+    // stats (merged by the parallel operators), but a stop observed at a
+    // bare QueryControl::Check site — partition finish, merge loops, which
+    // run where no per-thread stats exist — would otherwise go uncounted.
+    // The driver abandoning its collect loop is itself a cancelled morsel.
+    ++ctx->stats()->morsels_cancelled;
+  }
+  return failure;
+}
+
+}  // namespace
+
 Result<Batch> CollectAll(Operator* op, ExecContext* ctx) {
-  BDCC_RETURN_NOT_OK(op->Open(ctx));
+  Status opened = op->Open(ctx);
+  if (BDCC_UNLIKELY(!opened.ok())) {
+    // Operators that do work in Open (parallel build sides) may have opened
+    // and charged part of the tree before failing; Close is idempotent and
+    // tolerates never-opened children.
+    return SurfaceFailure(op, ctx, std::move(opened));
+  }
   Batch out;
   while (true) {
-    BDCC_ASSIGN_OR_RETURN(Batch b, op->Next(ctx));
+    Result<Batch> next = op->Next(ctx);
+    if (BDCC_UNLIKELY(!next.ok())) {
+      return SurfaceFailure(op, ctx, std::move(next).status());
+    }
+    Batch b = std::move(next).value();
     if (b.empty()) break;
     b.Compact();  // collected results are always dense
     if (out.columns.empty()) {

@@ -25,11 +25,12 @@ Status DrainChain(Operator* op, ExecContext* ctx, std::vector<Batch>* out,
                   TrackedMemory* mem) {
   uint64_t bytes = 0;
   while (true) {
+    BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
     BDCC_ASSIGN_OR_RETURN(Batch b, op->Next(ctx));
     if (b.empty()) return Status::OK();
     b.CompactIfSparse(ExecContext::kCompactDensity);
     bytes += BatchBytes(b);
-    mem->Set(bytes);
+    BDCC_RETURN_NOT_OK(ctx->ChargeMemory(mem, bytes));
     out->push_back(std::move(b));
   }
 }
@@ -62,28 +63,37 @@ Status ParallelUnion::Open(ExecContext* ctx) {
 }
 
 Status ParallelUnion::RunAll(ExecContext* ctx) {
-  std::vector<Status> statuses(chains_.size(), Status::OK());
   std::vector<std::vector<Batch>> outputs(chains_.size());
   std::vector<std::unique_ptr<TrackedMemory>> clone_mem;
   for (size_t i = 0; i < chains_.size(); ++i) {
-    clone_mem.push_back(std::make_unique<TrackedMemory>(ctx->memory()));
+    clone_mem.push_back(std::make_unique<TrackedMemory>(
+        ctx->memory(), "parallel-union buffer"));
   }
-  scheduler_->ParallelFor(chains_.size(), [&](size_t i) {
-    statuses[i] = DrainChain(chains_[i].get(), child_ctxs_[i].get(),
-                             &outputs[i], clone_mem[i].get());
-  });
+  QueryControl* control = ctx->control();
+  Status run_status = scheduler_->ParallelForStatus(
+      chains_.size(), [&](size_t i) {
+        Status s = DrainChain(chains_[i].get(), child_ctxs_[i].get(),
+                              &outputs[i], clone_mem[i].get());
+        // Publish real failures so sibling clones stop at their next
+        // lifecycle check; cancel/deadline are already globally visible.
+        if (BDCC_UNLIKELY(!s.ok())) control->ReportError(s);
+        return s;
+      });
+  // Fold every clone's stats in (even on failure: partial scan counters are
+  // still real work done) before surfacing the first error.
+  for (size_t i = 0; i < chains_.size(); ++i) ctx->MergeStats(*child_ctxs_[i]);
+  BDCC_RETURN_NOT_OK(run_status);
   ready_bytes_ = 0;
   for (size_t i = 0; i < chains_.size(); ++i) {
-    BDCC_RETURN_NOT_OK(statuses[i]);
-    ctx->MergeStats(*child_ctxs_[i]);
     clone_mem[i]->Clear();
     for (Batch& b : outputs[i]) {
       ready_bytes_ += BatchBytes(b);
       ready_.push_back(std::move(b));
     }
   }
-  tracked_ready_ = std::make_unique<TrackedMemory>(ctx->memory());
-  tracked_ready_->Set(ready_bytes_);
+  tracked_ready_ = std::make_unique<TrackedMemory>(ctx->memory(),
+                                                   "parallel-union output");
+  BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_ready_.get(), ready_bytes_));
   ran_ = true;
   return Status::OK();
 }
@@ -144,14 +154,19 @@ Status ParallelHashAgg::Open(ExecContext* ctx) {
 }
 
 Status ParallelHashAgg::MergeAll(ExecContext* ctx) {
-  std::vector<Status> statuses(partials_.size(), Status::OK());
-  scheduler_->ParallelFor(partials_.size(), [&](size_t i) {
-    statuses[i] = partials_[i]->ConsumeAll(child_ctxs_[i].get());
-  });
+  QueryControl* control = ctx->control();
+  Status run_status = scheduler_->ParallelForStatus(
+      partials_.size(), [&](size_t i) {
+        Status s = partials_[i]->ConsumeAll(child_ctxs_[i].get());
+        if (BDCC_UNLIKELY(!s.ok())) control->ReportError(s);
+        return s;
+      });
+  for (size_t i = 0; i < partials_.size(); ++i) {
+    ctx->MergeStats(*child_ctxs_[i]);
+  }
+  BDCC_RETURN_NOT_OK(run_status);
   size_t total_groups = 0;
   for (size_t i = 0; i < partials_.size(); ++i) {
-    BDCC_RETURN_NOT_OK(statuses[i]);
-    ctx->MergeStats(*child_ctxs_[i]);
     total_groups += partials_[i]->num_groups();
   }
 
@@ -183,29 +198,49 @@ Status ParallelHashAgg::MergeAll(ExecContext* ctx) {
 
   mergers_.clear();
   mergers_.reserve(num_partitions);
+  merger_mem_.clear();
+  merger_mem_.reserve(num_partitions);
   for (size_t p = 0; p < num_partitions; ++p) {
     auto merger =
         std::make_unique<HashAgg>(nullptr, group_cols_, spec_templates_);
     BDCC_RETURN_NOT_OK(merger->BindMergeOnly(partials_[0]->input_schema()));
     mergers_.push_back(std::move(merger));
+    merger_mem_.push_back(
+        std::make_unique<TrackedMemory>(ctx->memory(), "hash-agg merge"));
   }
   // Strided over num_clones workers so merge concurrency stays bounded by
-  // the requested parallelism, not the shared pool's width.
-  std::vector<Status> merge_statuses(num_partitions, Status::OK());
+  // the requested parallelism, not the shared pool's width. Each partition
+  // (and its TrackedMemory) is owned by exactly one worker; the control is
+  // polled between partitions and denials go straight to the tracker (the
+  // per-context stats are not shared with workers).
   size_t workers = std::min(num_partitions, partials_.size());
-  scheduler_->ParallelFor(workers, [&](size_t w) {
-    for (size_t p = w; p < num_partitions; p += workers) {
-      // Clone order within the partition keeps float accumulation order —
-      // and therefore bitwise results — deterministic for a fixed clone
-      // count.
-      for (size_t i = 0; i < partials_.size(); ++i) {
-        merge_statuses[p] = mergers_[p]->MergePartialPartition(
-            *partials_[i], part_of[i], static_cast<uint32_t>(p));
-        if (!merge_statuses[p].ok()) break;
-      }
-    }
-  });
-  for (const Status& s : merge_statuses) BDCC_RETURN_NOT_OK(s);
+  Status merge_status = scheduler_->ParallelForStatus(
+      workers, [&](size_t w) -> Status {
+        for (size_t p = w; p < num_partitions; p += workers) {
+          BDCC_RETURN_NOT_OK(control->Check());
+          if (BDCC_UNLIKELY(fault::ShouldFail(fault::kAggMerge))) {
+            return Status::Internal("injected aggregation-merge fault");
+          }
+          // Clone order within the partition keeps float accumulation
+          // order — and therefore bitwise results — deterministic for a
+          // fixed clone count.
+          for (size_t i = 0; i < partials_.size(); ++i) {
+            Status s = mergers_[p]->MergePartialPartition(
+                *partials_[i], part_of[i], static_cast<uint32_t>(p));
+            if (BDCC_UNLIKELY(!s.ok())) {
+              control->ReportError(s);
+              return s;
+            }
+          }
+          Status charge = merger_mem_[p]->TrySet(mergers_[p]->MemoryBytes());
+          if (BDCC_UNLIKELY(!charge.ok())) {
+            control->ReportError(charge);
+            return charge;
+          }
+        }
+        return Status::OK();
+      });
+  BDCC_RETURN_NOT_OK(merge_status);
   merged_ = true;
   return Status::OK();
 }
@@ -230,6 +265,7 @@ void ParallelHashAgg::Close(ExecContext* ctx) {
   for (std::unique_ptr<HashAgg>& m : mergers_) m->Close(ctx);
   partials_.clear();
   mergers_.clear();
+  merger_mem_.clear();
   emit_merger_ = 0;
   child_ctxs_.clear();
 }
@@ -280,11 +316,12 @@ Status ParallelHashJoin::OpenBuildSerial(ExecContext* ctx) {
   BDCC_RETURN_NOT_OK(build_->Open(ctx));
   BDCC_RETURN_NOT_OK(table_.Init(build_->schema(), build_keys_));
   while (true) {
+    BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
     BDCC_ASSIGN_OR_RETURN(Batch b, build_->Next(ctx));
     if (b.empty()) break;
     BDCC_RETURN_NOT_OK(table_.AddBatch(b));
     build_->Recycle(std::move(b));
-    tracked_->Set(table_.MemoryBytes());
+    BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_.get(), table_.MemoryBytes()));
   }
   return Status::OK();
 }
@@ -303,54 +340,67 @@ Status ParallelHashJoin::OpenBuildPartitioned(ExecContext* ctx) {
   BDCC_RETURN_NOT_OK(table_.Init(builds_[0]->schema(), build_keys_));
   table_.BeginPartitionedBuild(partition_bits_, num_clones_);
 
-  std::vector<Status> statuses(builds_.size(), Status::OK());
+  QueryControl* control = ctx->control();
+  // Per-clone budget charge for the batches each clone pins/drains: the
+  // table's own MemoryBytes cannot be read while producers scatter, so the
+  // clones charge what they have seen and the pinned total is re-accounted
+  // on tracked_ once the parallel phase quiesces.
+  std::vector<std::unique_ptr<TrackedMemory>> clone_mem;
+  for (size_t i = 0; i < builds_.size(); ++i) {
+    clone_mem.push_back(
+        std::make_unique<TrackedMemory>(ctx->memory(), "hash-join build"));
+  }
+  Status run_status;
+  std::vector<std::vector<Batch>> drained(builds_.size());
   if (table_.encoder().concurrent_encode_safe()) {
     // Fused drain + scatter: each clone encodes and routes its own batches.
     // Batches are pinned inside the table until FinishPartitionedBuild
     // materializes them, so they cannot be recycled to the scans.
-    scheduler_->ParallelFor(builds_.size(), [&](size_t i) {
-      statuses[i] = [&]() -> Status {
-        while (true) {
-          BDCC_ASSIGN_OR_RETURN(Batch b, builds_[i]->Next(build_ctxs_[i].get()));
-          if (b.empty()) return Status::OK();
-          BDCC_RETURN_NOT_OK(table_.ScatterBatch(i, std::move(b)));
-        }
-      }();
-    });
+    run_status = scheduler_->ParallelForStatus(
+        builds_.size(), [&](size_t i) {
+          ExecContext* cctx = build_ctxs_[i].get();
+          Status s = [&]() -> Status {
+            uint64_t bytes = 0;
+            while (true) {
+              BDCC_RETURN_NOT_OK(cctx->CheckLifecycle());
+              BDCC_ASSIGN_OR_RETURN(Batch b, builds_[i]->Next(cctx));
+              if (b.empty()) return Status::OK();
+              bytes += BatchBytes(b);
+              BDCC_RETURN_NOT_OK(cctx->ChargeMemory(clone_mem[i].get(), bytes));
+              BDCC_RETURN_NOT_OK(table_.ScatterBatch(i, std::move(b)));
+            }
+          }();
+          if (BDCC_UNLIKELY(!s.ok())) control->ReportError(s);
+          return s;
+        });
   } else {
     // String-keyed encoders intern into a shared canonical space: drain the
     // chains in parallel (scan work still scales), scatter serially.
-    std::vector<std::vector<Batch>> drained(builds_.size());
-    std::vector<std::unique_ptr<TrackedMemory>> clone_mem;
-    for (size_t i = 0; i < builds_.size(); ++i) {
-      clone_mem.push_back(std::make_unique<TrackedMemory>(ctx->memory()));
-    }
-    scheduler_->ParallelFor(builds_.size(), [&](size_t i) {
-      statuses[i] = DrainChain(builds_[i].get(), build_ctxs_[i].get(),
-                               &drained[i], clone_mem[i].get());
-    });
-    for (size_t i = 0; i < builds_.size(); ++i) {
-      BDCC_RETURN_NOT_OK(statuses[i]);
-      for (Batch& b : drained[i]) {
-        BDCC_RETURN_NOT_OK(table_.ScatterBatch(i, std::move(b)));
-      }
-      drained[i].clear();
-    }
-    // The batches now live pinned inside the table; account them there
-    // before dropping the per-clone drain charges.
-    tracked_->Set(table_.MemoryBytes());
-    for (size_t i = 0; i < builds_.size(); ++i) clone_mem[i]->Clear();
+    run_status = scheduler_->ParallelForStatus(
+        builds_.size(), [&](size_t i) {
+          Status s = DrainChain(builds_[i].get(), build_ctxs_[i].get(),
+                                &drained[i], clone_mem[i].get());
+          if (BDCC_UNLIKELY(!s.ok())) control->ReportError(s);
+          return s;
+        });
   }
   for (size_t i = 0; i < builds_.size(); ++i) {
-    BDCC_RETURN_NOT_OK(statuses[i]);
     ctx->MergeStats(*build_ctxs_[i]);
   }
+  BDCC_RETURN_NOT_OK(run_status);
+  for (size_t i = 0; i < builds_.size(); ++i) {
+    for (Batch& b : drained[i]) {
+      BDCC_RETURN_NOT_OK(table_.ScatterBatch(i, std::move(b)));
+    }
+    drained[i].clear();
+  }
   // Peak of the build: pinned batches + refs/keys, still held while the
-  // partition tables materialize (MemoryBytes must not race producers, so
-  // this is the earliest safe point on the fused path).
-  tracked_->Set(table_.MemoryBytes());
-  BDCC_RETURN_NOT_OK(table_.FinishPartitionedBuild(scheduler_));
-  tracked_->Set(table_.MemoryBytes());
+  // partition tables materialize. Re-account on tracked_ (dropping the
+  // per-clone charges first so the budget is not billed twice).
+  for (size_t i = 0; i < builds_.size(); ++i) clone_mem[i]->Clear();
+  BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_.get(), table_.MemoryBytes()));
+  BDCC_RETURN_NOT_OK(table_.FinishPartitionedBuild(scheduler_, control));
+  BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_.get(), table_.MemoryBytes()));
   return Status::OK();
 }
 
@@ -363,7 +413,7 @@ Status ParallelHashJoin::Open(ExecContext* ctx) {
   if (probe_keys_.size() != build_keys_.size() || probe_keys_.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
-  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory(), "hash-join build");
 
   if (build_factory_ != nullptr) {
     BDCC_RETURN_NOT_OK(OpenBuildPartitioned(ctx));
@@ -385,42 +435,48 @@ Status ParallelHashJoin::Open(ExecContext* ctx) {
 }
 
 Status ParallelHashJoin::RunAll(ExecContext* ctx) {
-  std::vector<Status> statuses(probes_.size(), Status::OK());
   std::vector<std::vector<Batch>> outputs(probes_.size());
   std::vector<std::unique_ptr<TrackedMemory>> clone_mem;
   for (size_t i = 0; i < probes_.size(); ++i) {
-    clone_mem.push_back(std::make_unique<TrackedMemory>(ctx->memory()));
+    clone_mem.push_back(std::make_unique<TrackedMemory>(
+        ctx->memory(), "hash-join probe buffer"));
   }
-  scheduler_->ParallelFor(probes_.size(), [&](size_t i) {
-    Operator* probe = probes_[i].get();
-    ExecContext* cctx = child_ctxs_[i].get();
-    statuses[i] = [&]() -> Status {
-      uint64_t bytes = 0;
-      while (true) {
-        BDCC_ASSIGN_OR_RETURN(Batch in, probe->Next(cctx));
-        if (in.empty()) return Status::OK();
-        BDCC_ASSIGN_OR_RETURN(Batch out, probers_[i].ProbeBatch(in));
-        probe->Recycle(std::move(in));
-        if (out.num_rows > 0) {
-          bytes += BatchBytes(out);
-          clone_mem[i]->Set(bytes);
-          outputs[i].push_back(std::move(out));
-        }
-      }
-    }();
-  });
+  QueryControl* control = ctx->control();
+  Status run_status = scheduler_->ParallelForStatus(
+      probes_.size(), [&](size_t i) {
+        Operator* probe = probes_[i].get();
+        ExecContext* cctx = child_ctxs_[i].get();
+        Status s = [&]() -> Status {
+          uint64_t bytes = 0;
+          while (true) {
+            BDCC_RETURN_NOT_OK(cctx->CheckLifecycle());
+            BDCC_ASSIGN_OR_RETURN(Batch in, probe->Next(cctx));
+            if (in.empty()) return Status::OK();
+            BDCC_ASSIGN_OR_RETURN(Batch out, probers_[i].ProbeBatch(in));
+            probe->Recycle(std::move(in));
+            if (out.num_rows > 0) {
+              bytes += BatchBytes(out);
+              BDCC_RETURN_NOT_OK(cctx->ChargeMemory(clone_mem[i].get(), bytes));
+              outputs[i].push_back(std::move(out));
+            }
+          }
+        }();
+        if (BDCC_UNLIKELY(!s.ok())) control->ReportError(s);
+        return s;
+      });
+  for (size_t i = 0; i < probes_.size(); ++i) ctx->MergeStats(*child_ctxs_[i]);
+  BDCC_RETURN_NOT_OK(run_status);
   ready_bytes_ = 0;
   for (size_t i = 0; i < probes_.size(); ++i) {
-    BDCC_RETURN_NOT_OK(statuses[i]);
-    ctx->MergeStats(*child_ctxs_[i]);
     clone_mem[i]->Clear();
     for (Batch& b : outputs[i]) {
       ready_bytes_ += BatchBytes(b);
       ready_.push_back(std::move(b));
     }
   }
-  tracked_ready_ = std::make_unique<TrackedMemory>(ctx->memory());
-  tracked_ready_->Set(ready_bytes_);
+  tracked_ready_ = std::make_unique<TrackedMemory>(ctx->memory(),
+                                                   "hash-join probe output");
+  BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_ready_.get(), ready_bytes_));
   ran_ = true;
   return Status::OK();
 }

@@ -108,8 +108,10 @@ class ParallelHashAgg : public Operator {
   common::TaskScheduler* scheduler_;
   std::vector<std::unique_ptr<HashAgg>> partials_;
   // Partitioned-merge targets (one per radix partition); empty when the
-  // serial merge path ran (scalar aggregate or few groups).
+  // serial merge path ran (scalar aggregate or few groups). Each merger's
+  // budget charge is owned by the single worker that merged the partition.
   std::vector<std::unique_ptr<HashAgg>> mergers_;
+  std::vector<std::unique_ptr<TrackedMemory>> merger_mem_;
   size_t emit_merger_ = 0;
   std::vector<std::unique_ptr<ExecContext>> child_ctxs_;
   bool merged_ = false;

@@ -1,0 +1,137 @@
+// Shared cancel/deadline/first-error state for one query execution.
+//
+// One QueryControl lives in the root ExecContext and is shared (via
+// ExecContext::control()) by every worker clone of the query. Operators poll
+// Check() at morsel boundaries and chunk loops (the cancellation-point
+// contract in src/exec/README.md); a non-OK result means "stop producing,
+// unwind with this status". The three stop reasons and their precedence:
+//
+//   1. first error   — a worker failed; every sibling should drain and the
+//                      query root returns that error, not a generic cancel.
+//   2. cancellation  — RequestCancel() was called (user abort, admission
+//                      control); Check() returns Status::Cancelled.
+//   3. deadline      — a wall-clock deadline passed; Check() returns
+//                      kDeadlineExceeded.
+//
+// Thread-safety: all members are safe to call from any thread. Check() is
+// the hot path: a single relaxed atomic load when the query is healthy; the
+// mutex is touched only after a stop flag is set.
+#ifndef BDCC_EXEC_QUERY_CONTROL_H_
+#define BDCC_EXEC_QUERY_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace bdcc {
+namespace exec {
+
+class QueryControl {
+ public:
+  QueryControl() = default;
+  BDCC_DISALLOW_COPY_AND_ASSIGN(QueryControl);
+
+  /// Ask the query to stop; in-flight operators observe it at their next
+  /// Check() and unwind with Status::Cancelled.
+  void RequestCancel() {
+    flags_.fetch_or(kCancelBit, std::memory_order_release);
+  }
+  bool cancel_requested() const {
+    return (flags_.load(std::memory_order_acquire) & kCancelBit) != 0;
+  }
+
+  /// Stop the query once the steady clock passes `deadline`.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+    flags_.fetch_or(kDeadlineBit, std::memory_order_release);
+  }
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Record a worker's failure; the first reported error wins and every
+  /// subsequent Check() returns it. Cancelled/DeadlineExceeded statuses are
+  /// ignored — they are consequences of a stop already visible through this
+  /// control, and recording one could mask the root-cause error.
+  void ReportError(const Status& error) {
+    if (error.ok() || error.IsCancelled() || error.IsDeadlineExceeded()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = error;
+    }
+    flags_.fetch_or(kErrorBit, std::memory_order_release);
+  }
+
+  /// The stop-or-go poll. OK while the query is healthy; otherwise the
+  /// first error, Status::Cancelled, or kDeadlineExceeded (in that
+  /// precedence).
+  Status Check() const {
+    uint32_t flags = flags_.load(std::memory_order_acquire);
+    if (BDCC_LIKELY(flags == 0)) return Status::OK();
+    if ((flags & kErrorBit) != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return first_error_;
+    }
+    if ((flags & kCancelBit) != 0) {
+      return Status::Cancelled("query cancelled");
+    }
+    int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+    if (now >= deadline_ns_.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  Status first_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
+  /// Forget a surfaced error so the same context can run another query.
+  /// Called by the query driver (CollectAll) after the failure has been
+  /// returned to the caller: a worker's error is scoped to the query that
+  /// produced it, while cancellation and deadlines are externally imposed
+  /// and persist until Reset(). Only the error bit is dropped — a cancel
+  /// raced in from another thread stays visible.
+  void ClearError() {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = Status::OK();
+    flags_.fetch_and(~kErrorBit, std::memory_order_release);
+  }
+
+  /// Rearm for the next query on the same context. Must not race in-flight
+  /// Check()/ReportError() calls (call between queries only).
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = Status::OK();
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    flags_.store(0, std::memory_order_release);
+  }
+
+ private:
+  enum : uint32_t { kCancelBit = 1u, kErrorBit = 2u, kDeadlineBit = 4u };
+
+  std::atomic<uint32_t> flags_{0};
+  // steady_clock nanoseconds since its epoch; valid only while kDeadlineBit
+  // is set.
+  std::atomic<int64_t> deadline_ns_{0};
+  mutable std::mutex mu_;
+  Status first_error_;  // guarded by mu_
+};
+
+}  // namespace exec
+}  // namespace bdcc
+
+#endif  // BDCC_EXEC_QUERY_CONTROL_H_

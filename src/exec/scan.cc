@@ -403,6 +403,7 @@ Result<Batch> PlainScan::Next(ExecContext* ctx) {
   std::vector<uint32_t> rel_scratch;
   size_t appended = 0;
   while (appended < ctx->batch_size()) {
+    BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
     uint64_t limit = rows;
     if (morsels_.valid()) {
       // Walk this clone's strided morsels; a batch may span morsels.
@@ -437,6 +438,10 @@ Result<Batch> PlainScan::Next(ExecContext* ctx) {
     // Zone maps proving every row passes short-circuit the chunk past
     // predicate evaluation (and any encoded-lane work) entirely.
     if (filtering && zone_all_match) ctx->stats()->decodes_skipped += 1;
+    if (BDCC_UNLIKELY(fault::ShouldFail(fault::kScanDecode))) {
+      ctx->stats()->faults_injected += 1;
+      return Status::IOError("injected decode fault (PlainScan chunk)");
+    }
     uint64_t n = end - cursor_;
     if (zero_copy_ && appended == 0 && n >= kMinViewRows &&
         (!filtering || zone_all_match)) {
@@ -562,6 +567,7 @@ Result<Batch> BdccScan::Next(ExecContext* ctx) {
   size_t appended = 0;
   int64_t batch_gid = -2;  // unset sentinel
   while (appended < ctx->batch_size()) {
+    BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
     if (morsels_.valid()) {
       // Walk this clone's strided morsels of range indices.
       while (morsel_pos_ < morsels_.morsels->size()) {
@@ -611,6 +617,10 @@ Result<Batch> BdccScan::Next(ExecContext* ctx) {
     }
     bool filtering = row_filter_ && filter_.active();
     if (filtering && zone_all_match) ctx->stats()->decodes_skipped += 1;
+    if (BDCC_UNLIKELY(fault::ShouldFail(fault::kScanDecode))) {
+      ctx->stats()->faults_injected += 1;
+      return Status::IOError("injected decode fault (BdccScan chunk)");
+    }
     if (zero_copy_ && appended == 0 && end - cursor_ >= kMinViewRows &&
         (!filtering || zone_all_match)) {
       ChargeSpan(data, col_idx_, cursor_, end, ctx);

@@ -55,7 +55,7 @@ Status Sort::Open(ExecContext* ctx) {
   order_.clear();
   cursor_ = 0;
   done_ = false;
-  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory(), "sort buffer");
   return Status::OK();
 }
 
@@ -63,6 +63,7 @@ Result<Batch> Sort::Next(ExecContext* ctx) {
   if (!done_) {
     // Materialize the whole input.
     while (true) {
+      BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
       BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
       if (b.empty()) break;
       if (materialized_.columns.empty()) {
@@ -77,12 +78,15 @@ Result<Batch> Sort::Next(ExecContext* ctx) {
       }
       materialized_.num_rows += b.num_rows;
       child_->Recycle(std::move(b));
+      // Charge per input batch so a budget overrun stops the materialize
+      // loop instead of surfacing only after the whole input is buffered.
+      uint64_t bytes = 0;
+      for (const ColumnVector& c : materialized_.columns) {
+        bytes += ColumnVectorBytes(c);
+      }
+      BDCC_RETURN_NOT_OK(ctx->ChargeMemory(
+          tracked_.get(), bytes + materialized_.num_rows * 4));
     }
-    uint64_t bytes = 0;
-    for (const ColumnVector& c : materialized_.columns) {
-      bytes += ColumnVectorBytes(c);
-    }
-    tracked_->Set(bytes + materialized_.num_rows * 4);
 
     std::vector<std::pair<int, bool>> bound;
     for (const SortKey& k : keys_) {

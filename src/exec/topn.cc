@@ -25,7 +25,7 @@ Status TopN::Open(ExecContext* ctx) {
   final_order_.clear();
   done_ = false;
   cursor_ = 0;
-  tracked_ = std::make_unique<TrackedMemory>(ctx->memory());
+  tracked_ = std::make_unique<TrackedMemory>(ctx->memory(), "top-n heap");
   return Status::OK();
 }
 
@@ -37,6 +37,7 @@ Result<Batch> TopN::Next(ExecContext* ctx) {
   };
   if (!done_) {
     while (true) {
+      BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
       BDCC_ASSIGN_OR_RETURN(Batch b, child_->Next(ctx));
       if (b.empty()) break;
       for (size_t r = 0; r < b.num_rows; ++r) {
@@ -75,7 +76,7 @@ Result<Batch> TopN::Next(ExecContext* ctx) {
       for (const ColumnVector& c : heap_rows_.columns) {
         bytes += ColumnVectorBytes(c);
       }
-      tracked_->Set(bytes);
+      BDCC_RETURN_NOT_OK(ctx->ChargeMemory(tracked_.get(), bytes));
       child_->Recycle(std::move(b));  // heap rows are interned copies
     }
     final_order_ = heap_;

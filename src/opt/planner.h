@@ -62,6 +62,12 @@ struct PlannerOptions {
   /// Worker pool used when num_threads > 1; nullptr = the process-wide
   /// TaskScheduler::Shared().
   common::TaskScheduler* scheduler = nullptr;
+  /// Per-query memory budget in bytes enforced through the ExecContext's
+  /// MemoryTracker (0 = unlimited). Applied at execution time by drivers
+  /// (RunPlan/RunTpchQuery): stateful operators whose tracked growth would
+  /// pass the limit fail the query with ResourceExhausted instead of
+  /// growing — see the budget contract in src/exec/README.md.
+  uint64_t memory_limit_bytes = 0;
 };
 
 struct CompiledQuery {

@@ -6,6 +6,7 @@ namespace bdcc {
 namespace tpch {
 
 Result<exec::Batch> RunPlan(const opt::NodePtr& plan, QueryContext& ctx) {
+  ctx.exec->memory()->set_limit(ctx.planner.memory_limit_bytes);
   BDCC_ASSIGN_OR_RETURN(opt::CompiledQuery compiled,
                         opt::Compile(plan, *ctx.db, ctx.planner));
   if (ctx.notes != nullptr) {
