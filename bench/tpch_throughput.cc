@@ -1,0 +1,281 @@
+// Concurrent serving throughput: N TPC-H query streams against one
+// QueryRunner, swept over admission configurations.
+//
+// Each stream is a thread that serves a fixed number of queries through
+// QueryRunner::Execute — even-numbered streams are interactive (point-ish
+// queries Q6/Q12/Q14, high task priority), odd-numbered streams are batch
+// (heavy Q1/Q9/Q18). Per config the driver reports QPS, p50/p99 latency
+// (overall and interactive-only), and the shed/retry/exhausted counters,
+// as one BENCHJSON row including host_cpus (throughput numbers from a
+// 1-CPU CI host are not comparable to a workstation's).
+//
+// The final config is a deliberate overload — more streams than slots, a
+// pool far below aggregate demand, tiny first budgets — and the driver
+// *asserts* the serving contract there: every query terminates in a
+// defined state (ok/shed/cancelled/exhausted), nothing reports leaked
+// tracked bytes, sheds and retries actually happened, and the pool drains
+// to zero. Violations exit nonzero, so running the binary is the test
+// (the CI throughput-smoke job does exactly that under ASan).
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/query_runner.h"
+
+using namespace bdcc;         // NOLINT
+using namespace bdcc::bench;  // NOLINT
+
+namespace {
+
+struct BenchConfig {
+  const char* name;
+  int streams;
+  serve::RunnerConfig runner;
+  int queries_per_stream = 6;
+  bool overload = false;  // assert sheds/retries happened
+};
+
+struct ConfigResult {
+  serve::RunnerStats stats;
+  std::vector<double> latency_ms;              // completed (ok) queries
+  std::vector<double> interactive_latency_ms;  // ok, interactive class
+  double wall_ms = 0;
+  uint64_t queries = 0;
+  uint64_t leaked_reports = 0;
+  uint64_t undefined_outcomes = 0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+ConfigResult RunConfig(tpch::TpchDb* db, const BenchConfig& cfg) {
+  serve::QueryRunner runner(cfg.runner);
+  ConfigResult out;
+  std::vector<std::vector<double>> lat(cfg.streams);
+  std::vector<std::vector<double>> lat_interactive(cfg.streams);
+  std::vector<uint64_t> leaked(cfg.streams, 0);
+  std::vector<uint64_t> undefined(cfg.streams, 0);
+
+  auto run_query = [db](exec::ExecContext* ctx, uint64_t budget,
+                        int q) -> Result<exec::Batch> {
+    tpch::QueryContext qc;
+    qc.db = &db->db(opt::Scheme::kBdcc);
+    qc.exec = ctx;
+    qc.scale_factor = db->options().scale_factor;
+    qc.planner.memory_limit_bytes = budget;
+    qc.planner.num_threads = 2;
+    return tpch::RunTpchQuery(q, qc);
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> streams;
+  streams.reserve(cfg.streams);
+  for (int s = 0; s < cfg.streams; ++s) {
+    streams.emplace_back([&, s] {
+      const bool interactive = s % 2 == 0;
+      const int interactive_mix[] = {6, 12, 14};
+      const int batch_mix[] = {1, 9, 18};
+      serve::QueryClass cls = interactive ? serve::QueryClass::kInteractive
+                                          : serve::QueryClass::kBatch;
+      for (int i = 0; i < cfg.queries_per_stream; ++i) {
+        int q = interactive ? interactive_mix[i % 3] : batch_mix[i % 3];
+        auto t0 = std::chrono::steady_clock::now();
+        serve::QueryReport report = runner.Execute(
+            cls,
+            [&](exec::ExecContext* ctx, uint64_t budget) {
+              return run_query(ctx, budget, q);
+            });
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        if (report.leaked_bytes != 0) ++leaked[s];
+        switch (report.outcome) {
+          case serve::Outcome::kOk:
+            lat[s].push_back(ms);
+            if (interactive) lat_interactive[s].push_back(ms);
+            break;
+          case serve::Outcome::kShed:
+          case serve::Outcome::kCancelled:
+          case serve::Outcome::kExhausted:
+            break;
+          default:
+            std::fprintf(stderr, "stream %d Q%d undefined outcome: %s\n", s,
+                         q, report.status.ToString().c_str());
+            ++undefined[s];
+        }
+      }
+    });
+  }
+  for (std::thread& t : streams) t.join();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+  for (int s = 0; s < cfg.streams; ++s) {
+    out.latency_ms.insert(out.latency_ms.end(), lat[s].begin(), lat[s].end());
+    out.interactive_latency_ms.insert(out.interactive_latency_ms.end(),
+                                      lat_interactive[s].begin(),
+                                      lat_interactive[s].end());
+    out.leaked_reports += leaked[s];
+    out.undefined_outcomes += undefined[s];
+  }
+  out.queries =
+      static_cast<uint64_t>(cfg.streams) * cfg.queries_per_stream;
+  out.stats = runner.stats();
+  if (runner.pool().reserved() != 0) {
+    std::fprintf(stderr, "%s: pool holds %llu bytes after all streams\n",
+                 cfg.name,
+                 static_cast<unsigned long long>(runner.pool().reserved()));
+    ++out.leaked_reports;
+  }
+  return out;
+}
+
+serve::RunnerConfig WideConfig() {
+  serve::RunnerConfig r;
+  r.admission.of(serve::QueryClass::kInteractive) = {4, 8, 0};
+  r.admission.of(serve::QueryClass::kBatch) = {2, 8, 0};
+  r.pool_bytes = 256ull << 20;
+  return r;
+}
+
+serve::RunnerConfig NarrowConfig() {
+  serve::RunnerConfig r;
+  r.admission.of(serve::QueryClass::kInteractive) = {2, 4, 0};
+  r.admission.of(serve::QueryClass::kBatch) = {1, 4, 0};
+  r.pool_bytes = 64ull << 20;
+  return r;
+}
+
+serve::RunnerConfig OverloadConfig() {
+  serve::RunnerConfig r;
+  // More streams than slots, single-entry queues, a queue-wait limit, and
+  // first budgets far below what the batch queries need: forces queue-full
+  // sheds, mid-query ResourceExhausted retries, and exhausted-after-K.
+  r.admission.of(serve::QueryClass::kInteractive) = {1, 1, 200.0};
+  r.admission.of(serve::QueryClass::kBatch) = {1, 1, 200.0};
+  r.pool_bytes = 1ull << 20;
+  r.default_budget_bytes = 32ull << 10;
+  r.max_retries = 2;
+  r.backoff_base_ms = 1.0;
+  r.backoff_max_ms = 8.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  double sf = BenchScaleFactor(0.01);
+  int host_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("== TPC-H concurrent serving throughput (SF %.3f, %d cpus) ==\n",
+              sf, host_cpus);
+
+  tpch::TpchDbOptions options;
+  options.scale_factor = sf;
+  options.build_plain = false;
+  options.build_pk = false;
+  auto db_result = tpch::TpchDb::Create(options);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "db build failed: %s\n",
+                 db_result.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_result).value();
+
+  std::vector<BenchConfig> configs;
+  configs.push_back({"wide_4streams", 4, WideConfig()});
+  configs.push_back({"wide_8streams", 8, WideConfig()});
+  configs.push_back({"narrow_4streams", 4, NarrowConfig()});
+  configs.push_back({"narrow_8streams", 8, NarrowConfig()});
+  BenchConfig overload{"overload_12streams", 12, OverloadConfig()};
+  overload.overload = true;
+  configs.push_back(overload);
+
+  bool violations = false;
+  std::printf("%-20s | %8s %8s %8s %8s | %6s %6s %6s %6s\n", "config", "qps",
+              "p50(ms)", "p99(ms)", "int_p99", "ok", "shed", "retry", "exh");
+  for (const BenchConfig& cfg : configs) {
+    ConfigResult res = RunConfig(db.get(), cfg);
+    double qps = res.stats.ok / (res.wall_ms / 1000.0);
+    double p50 = Percentile(res.latency_ms, 0.50);
+    double p99 = Percentile(res.latency_ms, 0.99);
+    double int_p99 = Percentile(res.interactive_latency_ms, 0.99);
+    std::printf("%-20s | %8.2f %8.2f %8.2f %8.2f | %6llu %6llu %6llu %6llu\n",
+                cfg.name, qps, p50, p99, int_p99,
+                static_cast<unsigned long long>(res.stats.ok),
+                static_cast<unsigned long long>(res.stats.shed),
+                static_cast<unsigned long long>(res.stats.retries),
+                static_cast<unsigned long long>(res.stats.exhausted));
+
+    JsonLine line("tpch_throughput");
+    line.Str("config", cfg.name)
+        .Num("sf", sf)
+        .Num("streams", cfg.streams)
+        .Num("interactive_slots",
+             cfg.runner.admission.of(serve::QueryClass::kInteractive).slots)
+        .Num("batch_slots",
+             cfg.runner.admission.of(serve::QueryClass::kBatch).slots)
+        .Num("pool_mb",
+             static_cast<double>(cfg.runner.pool_bytes) / (1 << 20))
+        .Num("host_cpus", host_cpus)
+        .Num("queries", static_cast<double>(res.queries))
+        .Num("qps", qps)
+        .Num("p50_ms", p50)
+        .Num("p99_ms", p99)
+        .Num("interactive_p99_ms", int_p99)
+        .Num("ok", static_cast<double>(res.stats.ok))
+        .Num("shed", static_cast<double>(res.stats.shed))
+        .Num("cancelled", static_cast<double>(res.stats.cancelled))
+        .Num("exhausted", static_cast<double>(res.stats.exhausted))
+        .Num("errors", static_cast<double>(res.stats.errors))
+        .Num("retries", static_cast<double>(res.stats.retries));
+    line.Emit();
+
+    // The serving contract, asserted on every config.
+    uint64_t accounted = res.stats.ok + res.stats.shed +
+                         res.stats.cancelled + res.stats.exhausted +
+                         res.stats.errors;
+    if (accounted != res.queries) {
+      std::fprintf(stderr, "%s: %llu queries but %llu terminal outcomes\n",
+                   cfg.name, static_cast<unsigned long long>(res.queries),
+                   static_cast<unsigned long long>(accounted));
+      violations = true;
+    }
+    if (res.undefined_outcomes != 0 || res.stats.errors != 0) {
+      std::fprintf(stderr, "%s: %llu undefined outcomes, %llu errors\n",
+                   cfg.name,
+                   static_cast<unsigned long long>(res.undefined_outcomes),
+                   static_cast<unsigned long long>(res.stats.errors));
+      violations = true;
+    }
+    if (res.leaked_reports != 0) {
+      std::fprintf(stderr, "%s: %llu queries left tracked bytes behind\n",
+                   cfg.name,
+                   static_cast<unsigned long long>(res.leaked_reports));
+      violations = true;
+    }
+    if (cfg.overload) {
+      if (res.stats.shed == 0) {
+        std::fprintf(stderr, "%s: overload produced no sheds\n", cfg.name);
+        violations = true;
+      }
+      if (res.stats.retries == 0) {
+        std::fprintf(stderr, "%s: overload produced no retries\n", cfg.name);
+        violations = true;
+      }
+    }
+  }
+
+  if (violations) {
+    std::fprintf(stderr, "serving-contract violations detected\n");
+    return 1;
+  }
+  std::printf("serving contract held across %zu configs\n", configs.size());
+  return 0;
+}

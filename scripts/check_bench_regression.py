@@ -5,8 +5,9 @@ Compares the JSON lines emitted by the CI bench smoke run against the
 committed perf-trajectory baselines (BENCH_pr5.json). Rows are matched on
 their config keys (bench/mode/build_rows/threads, and any other non-metric
 fields); for each matched row, every *throughput* metric (keys ending in
-"_per_s") that dropped more than the threshold prints a GitHub warning
-annotation. Regressions never fail the build: machine-to-machine variance
+"_per_s") that dropped more than the threshold, and every *tail-latency*
+metric (keys ending in "p99_ms") that rose more than the threshold, prints
+a GitHub warning annotation. Regressions never fail the build: machine-to-machine variance
 (the committed baselines may come from a different core count — see the
 host_cpus field) makes a hard gate meaningless, but a printed warning makes
 a real regression visible in the PR checks.
@@ -29,6 +30,7 @@ import sys
 # Fields that describe the measurement rather than the configuration.
 METRIC_PREFIXES = ("build_ms", "probe_ms", "wall_ms", "time_ms")
 METRIC_SUFFIXES = ("_per_s", "_ms", "_kb", "_bytes")
+METRIC_NAMES = ("qps",)
 # host_cpus is handled by the explicit mismatch skip; the lifecycle
 # counters (morsels_cancelled & co.) are emitted only when nonzero, so they
 # must not take part in row matching or healthy baseline rows would never
@@ -40,11 +42,24 @@ IGNORED_KEYS = (
     "morsels_cancelled",
     "budget_denials",
     "faults_injected",
+    # Throughput-bench outcome counters: how many queries landed in each
+    # terminal state varies run to run (shedding is timing-dependent), so
+    # they can neither key a row nor be compared as a metric.
+    "ok",
+    "shed",
+    "cancelled",
+    "exhausted",
+    "errors",
+    "retries",
 )
 
 
 def is_metric(key):
-    return key.endswith(METRIC_SUFFIXES) or key.startswith(METRIC_PREFIXES)
+    return (
+        key.endswith(METRIC_SUFFIXES)
+        or key.startswith(METRIC_PREFIXES)
+        or key in METRIC_NAMES
+    )
 
 
 def config_key(row):
@@ -95,40 +110,48 @@ def main():
     except ValueError:
         sys.exit(f"error: threshold must be a number, got {sys.argv[3]!r}")
 
-    compared = warned = skipped_cpus = 0
+    matched = warned = skipped = 0
     for key, base_row in baseline.items():
         got = smoke.get(key)
         if got is None:
+            skipped += 1  # baseline config absent from the smoke run
             continue
         if base_row.get("host_cpus") != got.get("host_cpus"):
-            skipped_cpus += 1
+            skipped += 1  # host_cpus mismatch: cross-machine noise
             continue
+        matched += 1
         for metric, base_val in base_row.items():
-            if not metric.endswith("_per_s"):
-                continue  # only throughput metrics: higher is better
+            # Throughput (higher is better) warns on a drop; p99 tail
+            # latency (lower is better) warns on a rise. Mean/p50 latency
+            # is deliberately not gated — the tail is what the serving
+            # layer's admission limits are supposed to protect.
+            if metric.endswith("_per_s") or metric in METRIC_NAMES:
+                direction = "dropped"
+            elif metric.endswith("p99_ms"):
+                direction = "rose"
+            else:
+                continue
             new_val = got.get(metric)
             if not isinstance(base_val, (int, float)) or not base_val:
                 continue
             if not isinstance(new_val, (int, float)):
                 continue
-            compared += 1
-            drop = 1.0 - new_val / base_val
-            if drop > threshold:
+            delta = (
+                1.0 - new_val / base_val
+                if direction == "dropped"
+                else new_val / base_val - 1.0
+            )
+            if delta > threshold:
                 cfg = " ".join(f"{k}={v}" for k, v in key)
                 print(
                     f"::warning title=bench regression::{cfg} {metric} "
-                    f"dropped {drop * 100:.0f}% "
+                    f"{direction} {delta * 100:.0f}% "
                     f"({base_val:.3g} -> {new_val:.3g})"
                 )
                 warned += 1
     print(
-        f"bench-regression: {compared} throughput metrics compared against "
-        f"baseline, {warned} above the {threshold * 100:.0f}% drop threshold"
-        + (
-            f", {skipped_cpus} rows skipped (host_cpus mismatch)"
-            if skipped_cpus
-            else ""
-        )
+        f"bench-regression: {matched} matched, {skipped} skipped, "
+        f"{warned} warned (threshold {threshold * 100:.0f}%)"
     )
     return 0  # regressions warn-only by design; input errors exited above
 

@@ -24,6 +24,9 @@
 //                    body, perturbing morsel interleavings.
 //   join.build       JoinHashTable partitioned build partition fails.
 //   agg.merge        ParallelHashAgg partitioned merge partition fails.
+//   scheduler.inject serve::QueryRunner dispatch — an admitted query fails
+//                    as if its first budget charge was denied
+//                    (ResourceExhausted), exercising the retry path.
 //
 // Thread-safety: all free functions are safe from any thread.
 // ScopedFaultInjection construction/destruction is serialized internally but
@@ -41,6 +44,7 @@ inline constexpr const char* kScanDecode = "scan.decode";
 inline constexpr const char* kTaskDelay = "scheduler.delay";
 inline constexpr const char* kJoinBuild = "join.build";
 inline constexpr const char* kAggMerge = "agg.merge";
+inline constexpr const char* kSchedulerInject = "scheduler.inject";
 
 /// True when any config (env or scoped) has injection turned on.
 bool Enabled();

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kCancelled = 9,
   kDeadlineExceeded = 10,
   kResourceExhausted = 11,
+  kUnavailable = 12,
 };
 
 /// \brief Lightweight success/error value returned by fallible operations.
@@ -65,6 +66,11 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// The service refused the request before doing any work (admission
+  /// queue full, shed under overload); safe to retry after a backoff.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -83,6 +89,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Message text ("" when OK).
   std::string_view message() const {

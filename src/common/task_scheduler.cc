@@ -21,7 +21,21 @@ struct WorkerTls {
 };
 thread_local WorkerTls tls_worker;
 
+// Ambient priority of the calling thread; captured by a TaskGroup when it
+// creates its state, and set by workers for the duration of a task so
+// nested fork-join inherits the spawning query's priority.
+thread_local TaskPriority tls_priority = TaskPriority::kNormal;
+
 }  // namespace
+
+ScopedTaskPriority::ScopedTaskPriority(TaskPriority priority)
+    : previous_(tls_priority) {
+  tls_priority = priority;
+}
+
+ScopedTaskPriority::~ScopedTaskPriority() { tls_priority = previous_; }
+
+TaskPriority ScopedTaskPriority::Current() { return tls_priority; }
 
 // Shared between a TaskGroup and its in-flight tasks; outlives the group if
 // the group is destroyed after Wait (Wait guarantees pending == 0).
@@ -29,6 +43,9 @@ struct GroupState {
   std::mutex mu;
   std::condition_variable done;
   size_t pending = 0;
+  // Scheduling class of every task in this group, captured from the
+  // submitting thread's ambient priority when the group state is created.
+  TaskPriority priority = TaskPriority::kNormal;
   // First-failure capture: `failed` flips once (released by the failing
   // task, acquired at dispatch so queued siblings skip their body);
   // whichever of first_exception/first_status got there first holds the
@@ -86,6 +103,7 @@ TaskScheduler::~TaskScheduler() {
     tasks.clear();
   };
   drop(injected_);
+  drop(injected_high_);
   for (std::unique_ptr<WorkerDeque>& d : deques_) drop(d->tasks);
 }
 
@@ -107,6 +125,18 @@ void TaskScheduler::Enqueue(Task task) {
   // drops must never drive num_queued_ below the number of still-queued
   // tasks (an over-count merely causes one spurious scan).
   num_queued_.fetch_add(1);
+  if (task.group->priority == TaskPriority::kHigh) {
+    // All high-priority tasks go through the dedicated lane — even from
+    // workers. A local LIFO push would be invisible to other workers until
+    // stolen; the lane is checked by everyone before any other source.
+    num_queued_high_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      injected_high_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+    return;
+  }
   if (tls_worker.scheduler == this) {
     // Local push at the bottom: the submitting worker will pop it LIFO
     // (cache-hot); idle workers steal from the top.
@@ -151,6 +181,15 @@ bool TaskScheduler::PopInjected(Task* out) {
   return true;
 }
 
+bool TaskScheduler::PopInjectedHigh(Task* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (injected_high_.empty()) return false;
+  *out = std::move(injected_high_.front());  // FIFO
+  injected_high_.pop_front();
+  num_queued_high_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
 bool TaskScheduler::StealFrom(size_t victim, Task* out) {
   WorkerDeque& d = *deques_[victim];
   std::lock_guard<std::mutex> lock(d.mu);
@@ -167,11 +206,16 @@ void TaskScheduler::RunTask(Task task) {
   // still runs, so Wait() sees every task accounted for.
   if (!task.group->failed.load(std::memory_order_acquire)) {
     fault::MaybeDelay(fault::kTaskDelay);
+    // Run under the group's priority so nested submissions (fork-join
+    // inside an interactive query's morsel) inherit it.
+    TaskPriority saved = tls_priority;
+    tls_priority = task.group->priority;
     try {
       task.fn();
     } catch (...) {
       task.group->RecordException(std::current_exception());
     }
+    tls_priority = saved;
   }
   std::lock_guard<std::mutex> lock(task.group->mu);
   --task.group->pending;
@@ -181,6 +225,13 @@ void TaskScheduler::RunTask(Task task) {
 bool TaskScheduler::RunOneTask() {
   if (num_queued_.load(std::memory_order_acquire) == 0) return false;
   Task task;
+  // Interactive work first: the lane counter keeps this one relaxed load
+  // when no high-priority task is queued (the common case).
+  if (num_queued_high_.load(std::memory_order_relaxed) > 0 &&
+      PopInjectedHigh(&task)) {
+    RunTask(std::move(task));
+    return true;
+  }
   if (PopLocal(&task)) {
     RunTask(std::move(task));
     return true;
@@ -227,12 +278,18 @@ void TaskScheduler::WorkerLoop(size_t worker_index) {
 }
 
 void TaskScheduler::TaskGroup::Submit(std::function<void()> fn) {
-  if (!state_) state_ = std::make_shared<GroupState>();
+  if (!state_) {
+    state_ = std::make_shared<GroupState>();
+    state_->priority = tls_priority;
+  }
   scheduler_->Enqueue(Task{std::move(fn), state_});
 }
 
 void TaskScheduler::TaskGroup::SubmitFallible(std::function<Status()> fn) {
-  if (!state_) state_ = std::make_shared<GroupState>();
+  if (!state_) {
+    state_ = std::make_shared<GroupState>();
+    state_->priority = tls_priority;
+  }
   GroupState* state = state_.get();
   // The wrapper holds no owning reference to the state: the Task's `group`
   // member already keeps it alive for the duration of the run.

@@ -38,6 +38,32 @@ namespace common {
 
 struct GroupState;
 
+/// Scheduling class of a task group. High-priority tasks route through a
+/// dedicated injection lane that every worker checks *before* its own
+/// deque, so a short interactive query's morsels jump ahead of a long
+/// batch scan's backlog instead of queueing behind it. Priority is
+/// ambient: a TaskGroup captures the submitting thread's current priority
+/// (see ScopedTaskPriority) at creation, and a worker running a
+/// high-priority task submits nested work at high priority too.
+enum class TaskPriority : uint8_t { kNormal = 0, kHigh = 1 };
+
+/// RAII override of the calling thread's ambient task priority. The query
+/// serving layer wraps interactive query execution in a kHigh scope so
+/// every TaskGroup the query's operators create inherits it.
+class ScopedTaskPriority {
+ public:
+  explicit ScopedTaskPriority(TaskPriority priority);
+  ~ScopedTaskPriority();
+  ScopedTaskPriority(const ScopedTaskPriority&) = delete;
+  ScopedTaskPriority& operator=(const ScopedTaskPriority&) = delete;
+
+  /// The calling thread's current ambient priority (kNormal by default).
+  static TaskPriority Current();
+
+ private:
+  TaskPriority previous_;
+};
+
 class TaskScheduler {
  public:
   /// \param num_workers Worker threads to spawn (0 is valid: all work then
@@ -112,13 +138,15 @@ class TaskScheduler {
   };
 
   void Enqueue(Task task);
-  /// Find and run one task: local deque bottom (LIFO), then the injection
-  /// queue, then steal from a victim's top (FIFO). Returns false when no
-  /// task anywhere was runnable.
+  /// Find and run one task: the high-priority injection lane first (its
+  /// counter makes the empty case one relaxed load), then the local deque
+  /// bottom (LIFO), then the normal injection queue, then steal from a
+  /// victim's top (FIFO). Returns false when no task anywhere was runnable.
   bool RunOneTask();
   void RunTask(Task task);
   bool PopLocal(Task* out);
   bool PopInjected(Task* out);
+  bool PopInjectedHigh(Task* out);
   bool StealFrom(size_t victim, Task* out);
   void WorkerLoop(size_t worker_index);
 
@@ -128,12 +156,19 @@ class TaskScheduler {
   std::mutex mu_;
   std::condition_variable work_available_;
   std::deque<Task> injected_;
+  // High-priority lane: all kHigh tasks land here (even worker-local
+  // submissions — visibility to every worker beats cache-hot LIFO for
+  // latency-sensitive work) and are drained FIFO ahead of everything else.
+  std::deque<Task> injected_high_;
   bool shutdown_ = false;
 
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
-  // Tasks queued anywhere (injection queue + all deques). Lets idle workers
+  // Tasks queued anywhere (injection queues + all deques). Lets idle workers
   // and helpers skip the scan when the scheduler is empty.
   std::atomic<size_t> num_queued_{0};
+  // Tasks waiting in the high-priority lane; lets RunOneTask skip the lane's
+  // mutex on the (common) no-interactive-work path.
+  std::atomic<size_t> num_queued_high_{0};
   // Workers blocked on work_available_. Lets Enqueue skip the global-mutex
   // fence and the notify when nobody could be asleep (the common case on a
   // busy pool), so local submissions stay on the per-deque mutex only.

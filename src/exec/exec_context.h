@@ -122,6 +122,22 @@ class ExecContext {
   /// has finished; not safe concurrently with other mutations of stats()).
   void MergeStats(const ExecContext& child) { stats_.Merge(child.stats_); }
 
+  /// Rearm this context for another execution attempt of the same query
+  /// (the serving layer's retry path after a ResourceExhausted unwind):
+  /// clears the recorded error, zeroes the memory counters, and installs
+  /// the escalated budget. Cancel and deadline deliberately survive — a
+  /// retry is still the same session request. Root contexts only, and only
+  /// after the previous attempt fully unwound (CollectAll closed the tree,
+  /// so tracked bytes have drained; callers wanting to detect leaks must
+  /// read memory()->current_bytes() *before* this call).
+  void PrepareRerun(uint64_t new_limit_bytes) {
+    BDCC_CHECK_MSG(parent_ == nullptr,
+                   "ExecContext::PrepareRerun on a child context");
+    control_.ClearError();
+    memory_.Reset();
+    memory_.set_limit(new_limit_bytes);
+  }
+
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n; }
 

@@ -132,9 +132,7 @@ ParallelHashAgg::ParallelHashAgg(ChainFactory child_factory, size_t num_clones,
   BDCC_CHECK(num_clones_ > 0);
 }
 
-const Schema& ParallelHashAgg::schema() const {
-  return partials_[0]->schema();
-}
+const Schema& ParallelHashAgg::schema() const { return schema_; }
 
 Status ParallelHashAgg::Open(ExecContext* ctx) {
   partials_.clear();
@@ -150,6 +148,7 @@ Status ParallelHashAgg::Open(ExecContext* ctx) {
     BDCC_RETURN_NOT_OK(agg->Open(child_ctxs_.back().get()));
     partials_.push_back(std::move(agg));
   }
+  schema_ = partials_[0]->schema();
   return Status::OK();
 }
 

@@ -115,6 +115,9 @@ class ParallelHashAgg : public Operator {
   size_t emit_merger_ = 0;
   std::vector<std::unique_ptr<ExecContext>> child_ctxs_;
   bool merged_ = false;
+  // Cached at Open: schema() must stay valid after Close clears partials_
+  // (CollectAll builds its typed-empty result from the closed tree).
+  Schema schema_;
 };
 
 /// Radix partition count (log2) for a parallel hash-join build of

@@ -1,0 +1,176 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <thread>
+
+namespace bdcc {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  for (const ClassLimits& l : config_.limits) {
+    BDCC_CHECK_MSG(l.slots >= 1, "AdmissionController: slots must be >= 1");
+    BDCC_CHECK_MSG(l.queue_capacity >= 0,
+                   "AdmissionController: negative queue capacity");
+  }
+}
+
+AdmitResult AdmissionController::Admit(
+    QueryClass cls, const std::function<bool()>& cancelled) {
+  const ClassLimits& limits = config_.of(cls);
+  Clock::time_point start = Clock::now();
+  AdmitResult result;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ClassState& cs = classes_[static_cast<int>(cls)];
+
+  // Fast path: no backlog and a free slot — skip the queue entirely.
+  if (cs.queue.empty() && cs.executing < limits.slots) {
+    ++cs.executing;
+    ++stats_.admitted;
+    return result;
+  }
+
+  // Queue-full shed: refuse before queuing, with a hint proportional to the
+  // load already ahead of this query.
+  if (static_cast<int>(cs.queue.size()) >= limits.queue_capacity) {
+    ++stats_.shed_queue_full;
+    double depth = static_cast<double>(cs.queue.size() + cs.executing + 1);
+    result.retry_after_ms = config_.retry_after_base_ms * depth;
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "%s admission queue full (%zu waiting, %d executing); "
+                  "retry after %.0f ms",
+                  QueryClassName(cls), cs.queue.size(), cs.executing,
+                  result.retry_after_ms);
+    result.status = Status::Unavailable(msg);
+    return result;
+  }
+
+  uint64_t id = next_waiter_id_++;
+  cs.queue.push_back(id);
+  auto self = std::prev(cs.queue.end());
+  while (true) {
+    // Timed wait so the cancel predicate and the wait limit are observed
+    // even when no Release ever fires (overloaded pool, hung query).
+    slot_free_.wait_for(lock, std::chrono::milliseconds(1));
+    if (cs.queue.front() == id && cs.executing < limits.slots) {
+      cs.queue.erase(self);
+      ++cs.executing;
+      ++stats_.admitted;
+      result.queue_wait_ms = MsSince(start);
+      slot_free_.notify_all();  // the new head may also be grantable
+      return result;
+    }
+    if (cancelled != nullptr && cancelled()) {
+      cs.queue.erase(self);
+      ++stats_.cancelled_in_queue;
+      result.queue_wait_ms = MsSince(start);
+      result.status = Status::Cancelled("query cancelled while queued");
+      slot_free_.notify_all();
+      return result;
+    }
+    double waited = MsSince(start);
+    if (limits.max_queue_wait_ms > 0 && waited >= limits.max_queue_wait_ms) {
+      cs.queue.erase(self);
+      ++stats_.shed_queue_wait;
+      result.queue_wait_ms = waited;
+      double depth = static_cast<double>(cs.queue.size() + cs.executing + 1);
+      result.retry_after_ms = config_.retry_after_base_ms * depth;
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "%s query shed after %.1f ms queue wait (limit %.1f ms); "
+                    "retry after %.0f ms",
+                    QueryClassName(cls), waited, limits.max_queue_wait_ms,
+                    result.retry_after_ms);
+      result.status = Status::Unavailable(msg);
+      slot_free_.notify_all();
+      return result;
+    }
+  }
+}
+
+void AdmissionController::Release(QueryClass cls) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ClassState& cs = classes_[static_cast<int>(cls)];
+    BDCC_CHECK_MSG(cs.executing > 0,
+                   "AdmissionController::Release without a held slot");
+    --cs.executing;
+  }
+  slot_free_.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status MemoryPool::Reserve(uint64_t bytes, double wait_limit_ms,
+                           const std::function<bool()>& cancelled) {
+  if (bytes > capacity_) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "budget of %llu bytes exceeds the %llu-byte serving pool",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(capacity_));
+    return Status::ResourceExhausted(msg);
+  }
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (capacity_ - reserved_ >= bytes) {
+      reserved_ += bytes;
+      return Status::OK();
+    }
+    if (cancelled != nullptr && cancelled()) {
+      return Status::Cancelled("query cancelled waiting for pool memory");
+    }
+    double waited = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    if (waited >= wait_limit_ms) {
+      char msg[160];
+      std::snprintf(
+          msg, sizeof(msg),
+          "serving pool exhausted: %llu of %llu bytes reserved, need %llu",
+          static_cast<unsigned long long>(reserved_),
+          static_cast<unsigned long long>(capacity_),
+          static_cast<unsigned long long>(bytes));
+      return Status::ResourceExhausted(msg);
+    }
+    // Poll: releases are frequent (every query end) and the wait is
+    // bounded, so a 1 ms cadence costs nothing measurable.
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    lock.lock();
+  }
+}
+
+void MemoryPool::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BDCC_CHECK_MSG(bytes <= reserved_, "MemoryPool::Release over-release");
+  reserved_ -= bytes;
+}
+
+uint64_t MemoryPool::reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_;
+}
+
+}  // namespace serve
+}  // namespace bdcc

@@ -1,0 +1,161 @@
+// Admission control for concurrent query serving.
+//
+// Two cooperating gates sit in front of query execution:
+//
+//  - AdmissionController: a bounded FIFO queue per query class
+//    (interactive/batch) in front of a fixed number of execution slots per
+//    class. A query whose class queue is full is shed immediately with
+//    Status::Unavailable and a retry-after hint scaled by the queue depth;
+//    a query that waits longer than the class's queue-wait limit is shed
+//    before it ever executes (work not started is work not wasted).
+//
+//  - MemoryPool: a global byte pool carved into per-query budgets. A query
+//    reserves its budget before executing and returns it afterwards, so the
+//    aggregate footprint of concurrent queries is bounded by the pool even
+//    when each query individually stays under its own MemoryTracker limit.
+//
+// Both gates block by polling with a short timed wait (the same 1 ms
+// pattern as TaskScheduler::TaskGroup::Wait) so an externally flipped
+// cancel flag is observed promptly without a dedicated wakeup channel.
+//
+// Thread-safety: all members of both classes are safe to call from any
+// thread; one controller/pool pair is shared by every serving thread.
+#ifndef BDCC_SERVE_ADMISSION_H_
+#define BDCC_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace bdcc {
+namespace serve {
+
+/// Scheduling class of a query. Interactive queries get their own slots and
+/// queue and run their tasks in the scheduler's high-priority lane; batch
+/// queries absorb the remaining capacity.
+enum class QueryClass : int { kInteractive = 0, kBatch = 1 };
+inline constexpr int kNumQueryClasses = 2;
+
+inline const char* QueryClassName(QueryClass cls) {
+  return cls == QueryClass::kInteractive ? "interactive" : "batch";
+}
+
+/// Per-class admission limits.
+struct ClassLimits {
+  /// Queries of this class executing at once.
+  int slots = 1;
+  /// Queries of this class waiting for a slot before new arrivals are shed.
+  int queue_capacity = 4;
+  /// Longest a query may wait in the queue before being shed (0 = no
+  /// limit). Shedding a stale waiter beats executing it: its client has
+  /// likely timed out already.
+  double max_queue_wait_ms = 0;
+};
+
+struct AdmissionConfig {
+  ClassLimits limits[kNumQueryClasses];
+  /// Base of the retry-after hint attached to queue-full sheds; the hint is
+  /// base * (queued + executing + 1) so clients back off harder the deeper
+  /// the backlog.
+  double retry_after_base_ms = 5.0;
+
+  ClassLimits& of(QueryClass cls) { return limits[static_cast<int>(cls)]; }
+  const ClassLimits& of(QueryClass cls) const {
+    return limits[static_cast<int>(cls)];
+  }
+  int total_slots() const {
+    int n = 0;
+    for (const ClassLimits& l : limits) n += l.slots;
+    return n;
+  }
+};
+
+/// What Admit decided, plus how long the caller queued.
+struct AdmitResult {
+  /// OK: a slot is held and must be returned with Release(). Unavailable:
+  /// shed (queue full or queue-wait limit), retry_after_ms is set.
+  /// Cancelled: the caller's cancel predicate fired while queued.
+  Status status;
+  double queue_wait_ms = 0;
+  double retry_after_ms = 0;
+};
+
+/// Counters since construction (monotonic; read with stats()).
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_queue_wait = 0;
+  uint64_t cancelled_in_queue = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+  BDCC_DISALLOW_COPY_AND_ASSIGN(AdmissionController);
+
+  /// Block until a slot of `cls` is granted (FIFO within the class) or the
+  /// query is shed/cancelled. `cancelled` (may be null) is polled about
+  /// once per millisecond while waiting. On OK the caller holds one slot
+  /// and must call Release(cls) exactly once after execution.
+  AdmitResult Admit(QueryClass cls, const std::function<bool()>& cancelled);
+
+  /// Return a slot taken by a successful Admit.
+  void Release(QueryClass cls);
+
+  AdmissionStats stats() const;
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct ClassState {
+    int executing = 0;
+    // FIFO of waiter ids; the front waiter is next to be granted a slot.
+    // A cancelled/timed-out waiter erases itself, so the list never holds
+    // abandoned entries.
+    std::list<uint64_t> queue;
+  };
+
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  ClassState classes_[kNumQueryClasses];
+  uint64_t next_waiter_id_ = 0;
+  AdmissionStats stats_;
+};
+
+/// Global serving memory pool: Reserve carves a per-query budget out of the
+/// shared capacity, blocking while concurrent queries hold too much of it.
+class MemoryPool {
+ public:
+  explicit MemoryPool(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+  BDCC_DISALLOW_COPY_AND_ASSIGN(MemoryPool);
+
+  /// Block until `bytes` are reserved, the wait limit passes
+  /// (ResourceExhausted — the pool is the resource that ran out), or
+  /// `cancelled` (may be null) fires. Requests larger than the capacity
+  /// fail immediately. wait_limit_ms 0 means fail immediately unless the
+  /// bytes are free right now.
+  Status Reserve(uint64_t bytes, double wait_limit_ms,
+                 const std::function<bool()>& cancelled);
+
+  /// Return bytes taken by a successful Reserve.
+  void Release(uint64_t bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t reserved() const;
+
+ private:
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t reserved_ = 0;
+};
+
+}  // namespace serve
+}  // namespace bdcc
+
+#endif  // BDCC_SERVE_ADMISSION_H_

@@ -1,0 +1,270 @@
+#include "serve/query_runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "common/task_scheduler.h"
+
+namespace bdcc {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Why the session stopped: an explicit Cancel wins over the deadline (the
+// caller acted; the clock merely ran).
+Status StopStatus(Session* session) {
+  if (session != nullptr && !session->cancelled()) {
+    return Status::DeadlineExceeded("session deadline exceeded");
+  }
+  return Status::Cancelled("session cancelled");
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------- Session ----------------
+
+void Session::Cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr) active_->RequestCancel();
+}
+
+void Session::SetDeadline(std::chrono::steady_clock::time_point deadline) {
+  deadline_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         deadline.time_since_epoch())
+                         .count(),
+                     std::memory_order_release);
+}
+
+bool Session::expired() const {
+  if (cancelled()) return true;
+  int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+  if (ns == 0) return false;
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now().time_since_epoch())
+                    .count();
+  return now >= ns;
+}
+
+void Session::ArmControl(exec::QueryControl* control) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_ = control;
+  // Replay state that arrived before this attempt: a pre-cancelled session
+  // must stop the attempt at its first lifecycle check, and the session
+  // deadline binds every attempt.
+  if (cancelled_.load(std::memory_order_acquire)) control->RequestCancel();
+  int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+  if (ns != 0) {
+    control->SetDeadline(Clock::time_point(std::chrono::nanoseconds(ns)));
+  }
+}
+
+void Session::DisarmControl() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_ = nullptr;
+}
+
+// ---------------- QueryRunner ----------------
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kCancelled:
+      return "cancelled";
+    case Outcome::kExhausted:
+      return "exhausted";
+    case Outcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+QueryRunner::QueryRunner(RunnerConfig config)
+    : config_(config), admission_(config.admission), pool_(config.pool_bytes) {
+  BDCC_CHECK_MSG(config_.pool_bytes > 0, "QueryRunner: empty memory pool");
+  BDCC_CHECK_MSG(config_.max_retries >= 0, "QueryRunner: negative retries");
+}
+
+double QueryRunner::JitterFactor() {
+  uint64_t n = jitter_draws_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t z = SplitMix64(config_.jitter_seed ^ n);
+  // Top 53 bits -> [0,1); fold into [0.5, 1.0) so a retry never waits less
+  // than half the nominal backoff (full-jitter collapses to thundering
+  // herds at the low end).
+  double u = static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+  return 0.5 + 0.5 * u;
+}
+
+bool QueryRunner::Backoff(double delay_ms, Session* session,
+                          QueryReport* report) {
+  Clock::time_point start = Clock::now();
+  while (true) {
+    double waited = MsSince(start);
+    if (waited >= delay_ms) {
+      report->backoff_ms += waited;
+      return true;
+    }
+    if (session != nullptr && session->expired()) {
+      report->backoff_ms += waited;
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+QueryReport QueryRunner::Execute(QueryClass cls, const QueryFn& fn,
+                                 Session* session) {
+  QueryReport report;
+  auto finish = [&](Outcome outcome, Status status) -> QueryReport {
+    report.outcome = outcome;
+    report.status = std::move(status);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      switch (outcome) {
+        case Outcome::kOk:
+          ++stats_.ok;
+          break;
+        case Outcome::kShed:
+          ++stats_.shed;
+          break;
+        case Outcome::kCancelled:
+          ++stats_.cancelled;
+          break;
+        case Outcome::kExhausted:
+          ++stats_.exhausted;
+          break;
+        case Outcome::kError:
+          ++stats_.errors;
+          break;
+      }
+    }
+    return std::move(report);
+  };
+
+  auto expired = [session] { return session != nullptr && session->expired(); };
+
+  uint64_t budget = config_.default_budget_bytes;
+  if (budget == 0) {
+    int slots = std::max(1, config_.admission.total_slots());
+    budget = std::max<uint64_t>(1, config_.pool_bytes /
+                                       static_cast<uint64_t>(slots));
+  }
+  budget = std::min(budget, config_.pool_bytes);
+
+  // One context for every attempt: the retry path re-arms it with
+  // PrepareRerun instead of rebuilding, which is exactly the re-Open
+  // contract the bench and soak exercise.
+  exec::ExecContext ctx;
+  common::TaskPriority priority = cls == QueryClass::kInteractive
+                                      ? common::TaskPriority::kHigh
+                                      : common::TaskPriority::kNormal;
+
+  for (int attempt = 0;; ++attempt) {
+    if (expired()) return finish(Outcome::kCancelled, StopStatus(session));
+
+    AdmitResult admit = admission_.Admit(cls, expired);
+    report.queue_wait_ms += admit.queue_wait_ms;
+    if (!admit.status.ok()) {
+      if (admit.status.IsUnavailable()) {
+        report.retry_after_ms = admit.retry_after_ms;
+        return finish(Outcome::kShed, std::move(admit.status));
+      }
+      return finish(Outcome::kCancelled, StopStatus(session));
+    }
+
+    // Slot held; carve the budget out of the global pool. A refusal here is
+    // the same condition as a mid-query ResourceExhausted — ride the same
+    // retry path (backoff gives concurrent queries time to finish and
+    // return their reservations).
+    Status attempt_status = pool_.Reserve(budget, config_.pool_wait_limit_ms,
+                                          expired);
+    if (attempt_status.ok()) {
+      ++report.attempts;
+      report.budget_bytes = budget;
+      ctx.PrepareRerun(budget);
+      if (session != nullptr) session->ArmControl(ctx.control());
+
+      Clock::time_point exec_start = Clock::now();
+      {
+        common::ScopedTaskPriority scope(priority);
+        if (BDCC_UNLIKELY(fault::ShouldFail(fault::kSchedulerInject))) {
+          ++ctx.stats()->faults_injected;
+          attempt_status = Status::ResourceExhausted(
+              "injected dispatch fault (scheduler.inject)");
+        } else {
+          Result<exec::Batch> result = fn(&ctx, budget);
+          if (result.ok()) {
+            report.result = std::move(result).value();
+          } else {
+            attempt_status = std::move(result).status();
+          }
+        }
+      }
+      report.exec_ms += MsSince(exec_start);
+
+      if (session != nullptr) session->DisarmControl();
+      report.peak_bytes = std::max(report.peak_bytes,
+                                   ctx.memory()->peak_bytes());
+      report.leaked_bytes = ctx.memory()->current_bytes();
+      pool_.Release(budget);
+      admission_.Release(cls);
+    } else {
+      admission_.Release(cls);
+      if (attempt_status.IsCancelled()) {
+        return finish(Outcome::kCancelled, StopStatus(session));
+      }
+      // else ResourceExhausted: fall through to the retry classification.
+    }
+
+    if (attempt_status.ok()) return finish(Outcome::kOk, Status::OK());
+    if (attempt_status.IsCancelled() || attempt_status.IsDeadlineExceeded()) {
+      return finish(Outcome::kCancelled, std::move(attempt_status));
+    }
+    if (!attempt_status.IsResourceExhausted()) {
+      return finish(Outcome::kError, std::move(attempt_status));
+    }
+
+    // ResourceExhausted: retry with an escalated budget, unless K
+    // re-admissions are spent.
+    if (attempt >= config_.max_retries) {
+      return finish(Outcome::kExhausted, std::move(attempt_status));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.retries;
+    }
+    double nominal = config_.backoff_base_ms *
+                     static_cast<double>(uint64_t{1} << std::min(attempt, 20));
+    double delay = std::min(config_.backoff_max_ms, nominal) * JitterFactor();
+    if (!Backoff(delay, session, &report)) {
+      return finish(Outcome::kCancelled, StopStatus(session));
+    }
+    budget = std::min(config_.pool_bytes, budget * 2);
+  }
+}
+
+RunnerStats QueryRunner::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace bdcc

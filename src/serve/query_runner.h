@@ -1,0 +1,195 @@
+// QueryRunner: the concurrent query serving layer.
+//
+// One QueryRunner fronts the engine for many serving threads (one blocked
+// caller per in-flight query, mirroring a TPC-H stream). Execute() walks a
+// query through the full lifecycle:
+//
+//   admit (bounded FIFO queue, per-class slots)
+//     -> reserve a budget from the global MemoryPool
+//     -> arm the per-attempt ExecContext (budget, session cancel/deadline)
+//     -> run the query under the class's task priority
+//     -> classify the outcome; on ResourceExhausted, back off and retry
+//        with an escalated budget (bounded exponential backoff with
+//        deterministic jitter, at most max_retries re-admissions)
+//
+// Every query terminates in exactly one defined state (Outcome): ok, shed
+// (admission refused it — safe to retry after report.retry_after_ms),
+// cancelled (session cancel or deadline, wherever it struck), exhausted
+// (still ResourceExhausted after max_retries), or error (non-retryable
+// failure from the query itself). Shed and exhausted queries have done no
+// partial work: their operators were either never opened or fully unwound
+// by CollectAll, and tracked memory has drained (report.leaked_bytes
+// asserts it).
+//
+// Thread-safety: Execute() is safe from any number of threads at once.
+// A Session must not be shared between concurrent Execute calls, but
+// Session::Cancel may race Execute from anywhere.
+#ifndef BDCC_SERVE_QUERY_RUNNER_H_
+#define BDCC_SERVE_QUERY_RUNNER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/batch.h"
+#include "exec/exec_context.h"
+#include "serve/admission.h"
+
+namespace bdcc {
+namespace serve {
+
+/// Per-client handle for cancellation and deadlines. The runner delegates
+/// both to the query's QueryControl while an attempt is executing, so a
+/// Cancel lands mid-attempt at the next morsel boundary; between attempts
+/// (queued, backing off) the runner polls the session directly.
+class Session {
+ public:
+  Session() = default;
+
+  /// Stop the session's query wherever it is: queued, backing off, or
+  /// mid-execution. Idempotent; safe from any thread.
+  void Cancel();
+
+  /// Absolute deadline for the whole request — every attempt, queue wait,
+  /// and backoff counts against it. Set before Execute().
+  void SetDeadline(std::chrono::steady_clock::time_point deadline);
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  /// Cancelled, or past the deadline.
+  bool expired() const;
+
+ private:
+  friend class QueryRunner;
+
+  // Route the live attempt's control through this session so Cancel()
+  // reaches in-flight operators, and push the session's prior state
+  // (cancel already requested, deadline) onto the control.
+  void ArmControl(exec::QueryControl* control);
+  void DisarmControl();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // steady_clock ns; 0 = none
+  std::mutex mu_;
+  exec::QueryControl* active_ = nullptr;  // guarded by mu_
+};
+
+/// The defined terminal states of a served query.
+enum class Outcome : int {
+  kOk = 0,
+  /// Admission refused it (queue full or queue-wait limit); no execution
+  /// happened. Retry after QueryReport::retry_after_ms.
+  kShed = 1,
+  /// Session cancel or deadline, wherever it struck (queue, backoff, or
+  /// mid-execution); QueryReport::status says which.
+  kCancelled = 2,
+  /// Still ResourceExhausted after max_retries re-admissions.
+  kExhausted = 3,
+  /// Non-retryable failure from the query itself (IO error, bad plan...).
+  kError = 4,
+};
+
+const char* OutcomeName(Outcome outcome);
+
+/// Everything a caller (or the throughput bench) wants to know about one
+/// served query.
+struct QueryReport {
+  Outcome outcome = Outcome::kError;
+  Status status;       // OK iff outcome == kOk
+  exec::Batch result;  // empty unless outcome == kOk
+  /// Execution attempts started (0 when shed before any execution).
+  int attempts = 0;
+  double queue_wait_ms = 0;   // summed over admissions
+  double backoff_ms = 0;      // summed over retries
+  double exec_ms = 0;         // summed over attempts
+  double retry_after_ms = 0;  // > 0 when shed
+  uint64_t budget_bytes = 0;  // last granted budget
+  uint64_t peak_bytes = 0;    // max tracked memory over attempts
+  /// Tracked bytes still registered after the final unwind; always 0
+  /// unless an operator leaked its accounting.
+  uint64_t leaked_bytes = 0;
+};
+
+struct RunnerConfig {
+  AdmissionConfig admission;
+  /// Global serving memory pool carved into per-query budgets.
+  uint64_t pool_bytes = 256ull << 20;
+  /// First-attempt budget; 0 derives pool_bytes / total slots.
+  uint64_t default_budget_bytes = 0;
+  /// Re-admissions after a ResourceExhausted attempt (K). The budget
+  /// doubles on every retry, capped at pool_bytes.
+  int max_retries = 3;
+  double backoff_base_ms = 1.0;
+  double backoff_max_ms = 100.0;
+  /// Longest a query holding an admission slot waits for pool memory.
+  double pool_wait_limit_ms = 100.0;
+  /// Seed of the deterministic backoff-jitter stream.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Monotonic counters across all served queries (snapshot with stats()).
+struct RunnerStats {
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+  uint64_t exhausted = 0;
+  uint64_t errors = 0;
+  /// Execution attempts beyond each query's first.
+  uint64_t retries = 0;
+};
+
+class QueryRunner {
+ public:
+  /// The query body: runs the plan against `ctx` and returns its result.
+  /// `budget_bytes` is the granted budget — already installed on the
+  /// context's MemoryTracker; adapters that drive their own planner (e.g.
+  /// the TPC-H harness) must propagate it so downstream set_limit calls
+  /// agree. The body must leave the operator tree closed on both success
+  /// and failure (CollectAll's contract), so the same fn can be re-invoked
+  /// for a retry with a larger budget.
+  using QueryFn =
+      std::function<Result<exec::Batch>(exec::ExecContext* ctx,
+                                        uint64_t budget_bytes)>;
+
+  explicit QueryRunner(RunnerConfig config);
+  BDCC_DISALLOW_COPY_AND_ASSIGN(QueryRunner);
+
+  /// Serve one query on the calling thread, blocking through queueing,
+  /// execution, and retries. `session` (may be null) contributes cancel
+  /// and deadline. Never throws for lifecycle reasons; the report's
+  /// outcome is always one of the defined terminal states.
+  QueryReport Execute(QueryClass cls, const QueryFn& fn,
+                      Session* session = nullptr);
+
+  RunnerStats stats() const;
+  const AdmissionController& admission() const { return admission_; }
+  const MemoryPool& pool() const { return pool_; }
+  const RunnerConfig& config() const { return config_; }
+
+ private:
+  /// Deterministic jitter factor in [0.5, 1.0) — the n-th draw of the
+  /// jitter_seed stream, independent of wall clock and thread timing.
+  double JitterFactor();
+
+  /// Sleep `delay_ms` in 1 ms slices, stopping early if the session
+  /// expires. Returns false when the session expired.
+  bool Backoff(double delay_ms, Session* session, QueryReport* report);
+
+  RunnerConfig config_;
+  AdmissionController admission_;
+  MemoryPool pool_;
+  std::atomic<uint64_t> jitter_draws_{0};
+  mutable std::mutex stats_mu_;
+  RunnerStats stats_;
+};
+
+}  // namespace serve
+}  // namespace bdcc
+
+#endif  // BDCC_SERVE_QUERY_RUNNER_H_

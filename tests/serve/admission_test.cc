@@ -1,0 +1,207 @@
+// AdmissionController and MemoryPool unit tests: slot accounting, bounded
+// queues with FIFO grant order, queue-full and queue-wait shedding with
+// retry-after hints, cancellation while queued, and pool reservations that
+// block, time out, or cancel.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "serve/admission.h"
+
+namespace bdcc {
+namespace serve {
+namespace {
+
+AdmissionConfig OneSlotConfig(int queue_capacity,
+                              double max_queue_wait_ms = 0) {
+  AdmissionConfig config;
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    config.limits[c] = {1, queue_capacity, max_queue_wait_ms};
+  }
+  return config;
+}
+
+TEST(AdmissionControllerTest, FastPathAdmitsUpToSlots) {
+  AdmissionConfig config;
+  config.of(QueryClass::kInteractive) = {2, 0, 0};
+  config.of(QueryClass::kBatch) = {1, 0, 0};
+  AdmissionController admission(config);
+
+  EXPECT_TRUE(admission.Admit(QueryClass::kInteractive, nullptr).status.ok());
+  EXPECT_TRUE(admission.Admit(QueryClass::kInteractive, nullptr).status.ok());
+  EXPECT_TRUE(admission.Admit(QueryClass::kBatch, nullptr).status.ok());
+
+  // Both classes full, zero queue capacity: immediate shed with a hint.
+  AdmitResult shed = admission.Admit(QueryClass::kInteractive, nullptr);
+  ASSERT_TRUE(shed.status.IsUnavailable()) << shed.status.ToString();
+  EXPECT_GT(shed.retry_after_ms, 0);
+
+  // Classes are independent: batch being full never sheds interactive.
+  admission.Release(QueryClass::kInteractive);
+  EXPECT_TRUE(admission.Admit(QueryClass::kInteractive, nullptr).status.ok());
+
+  AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+}
+
+TEST(AdmissionControllerTest, QueuedWaiterGrantedAfterRelease) {
+  AdmissionController admission(OneSlotConfig(/*queue_capacity=*/2));
+  ASSERT_TRUE(admission.Admit(QueryClass::kBatch, nullptr).status.ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    AdmitResult r = admission.Admit(QueryClass::kBatch, nullptr);
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_GT(r.queue_wait_ms, 0);
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load()) << "waiter admitted while the slot was held";
+  admission.Release(QueryClass::kBatch);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  admission.Release(QueryClass::kBatch);
+}
+
+TEST(AdmissionControllerTest, GrantOrderIsFifo) {
+  AdmissionController admission(OneSlotConfig(/*queue_capacity=*/4));
+  ASSERT_TRUE(admission.Admit(QueryClass::kBatch, nullptr).status.ok());
+
+  std::atomic<int> finish_seq{0};
+  int finished_at[2] = {-1, -1};
+  std::thread first([&] {
+    admission.Admit(QueryClass::kBatch, nullptr);
+    finished_at[0] = finish_seq.fetch_add(1);
+    admission.Release(QueryClass::kBatch);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread second([&] {
+    admission.Admit(QueryClass::kBatch, nullptr);
+    finished_at[1] = finish_seq.fetch_add(1);
+    admission.Release(QueryClass::kBatch);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  admission.Release(QueryClass::kBatch);
+  first.join();
+  second.join();
+  EXPECT_LT(finished_at[0], finished_at[1])
+      << "the earlier waiter was granted after the later one";
+}
+
+TEST(AdmissionControllerTest, QueueFullShedsWithDepthScaledHint) {
+  AdmissionController admission(OneSlotConfig(/*queue_capacity=*/1));
+  ASSERT_TRUE(admission.Admit(QueryClass::kBatch, nullptr).status.ok());
+
+  std::thread waiter([&] {
+    // Occupies the single queue entry until the slot frees.
+    EXPECT_TRUE(admission.Admit(QueryClass::kBatch, nullptr).status.ok());
+    admission.Release(QueryClass::kBatch);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  AdmitResult shed = admission.Admit(QueryClass::kBatch, nullptr);
+  ASSERT_TRUE(shed.status.IsUnavailable());
+  // Hint scales with depth: 1 queued + 1 executing + self = 3x base.
+  EXPECT_DOUBLE_EQ(shed.retry_after_ms,
+                   admission.config().retry_after_base_ms * 3);
+  admission.Release(QueryClass::kBatch);
+  waiter.join();
+  EXPECT_EQ(admission.stats().shed_queue_full, 1u);
+}
+
+TEST(AdmissionControllerTest, QueueWaitLimitSheds) {
+  AdmissionController admission(
+      OneSlotConfig(/*queue_capacity=*/2, /*max_queue_wait_ms=*/20));
+  ASSERT_TRUE(admission.Admit(QueryClass::kInteractive, nullptr).status.ok());
+
+  AdmitResult shed = admission.Admit(QueryClass::kInteractive, nullptr);
+  ASSERT_TRUE(shed.status.IsUnavailable()) << shed.status.ToString();
+  EXPECT_GE(shed.queue_wait_ms, 20.0);
+  EXPECT_GT(shed.retry_after_ms, 0);
+  EXPECT_EQ(admission.stats().shed_queue_wait, 1u);
+
+  // The abandoned queue entry is gone: the next waiter gets the slot.
+  admission.Release(QueryClass::kInteractive);
+  EXPECT_TRUE(admission.Admit(QueryClass::kInteractive, nullptr).status.ok());
+}
+
+TEST(AdmissionControllerTest, CancelledWhileQueued) {
+  AdmissionController admission(OneSlotConfig(/*queue_capacity=*/2));
+  ASSERT_TRUE(admission.Admit(QueryClass::kBatch, nullptr).status.ok());
+
+  std::atomic<bool> cancel{false};
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    cancel.store(true);
+  });
+  AdmitResult r = admission.Admit(QueryClass::kBatch,
+                                  [&cancel] { return cancel.load(); });
+  flipper.join();
+  ASSERT_TRUE(r.status.IsCancelled()) << r.status.ToString();
+  EXPECT_EQ(admission.stats().cancelled_in_queue, 1u);
+  admission.Release(QueryClass::kBatch);
+}
+
+TEST(MemoryPoolTest, ReserveAndRelease) {
+  MemoryPool pool(1000);
+  EXPECT_TRUE(pool.Reserve(600, 0, nullptr).ok());
+  EXPECT_EQ(pool.reserved(), 600u);
+  EXPECT_TRUE(pool.Reserve(400, 0, nullptr).ok());
+
+  // Full: an immediate (zero-wait) reserve refuses.
+  Status s = pool.Reserve(1, 0, nullptr);
+  ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+
+  pool.Release(600);
+  EXPECT_TRUE(pool.Reserve(600, 0, nullptr).ok());
+  pool.Release(1000);
+  EXPECT_EQ(pool.reserved(), 0u);
+}
+
+TEST(MemoryPoolTest, OversizedRequestFailsImmediately) {
+  MemoryPool pool(100);
+  Status s = pool.Reserve(101, /*wait_limit_ms=*/1000, nullptr);
+  ASSERT_TRUE(s.IsResourceExhausted());
+}
+
+TEST(MemoryPoolTest, BlockedReserveSucceedsAfterRelease) {
+  MemoryPool pool(100);
+  ASSERT_TRUE(pool.Reserve(100, 0, nullptr).ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    pool.Release(100);
+  });
+  Status s = pool.Reserve(50, /*wait_limit_ms=*/2000, nullptr);
+  releaser.join();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  pool.Release(50);
+}
+
+TEST(MemoryPoolTest, WaitLimitExpires) {
+  MemoryPool pool(100);
+  ASSERT_TRUE(pool.Reserve(100, 0, nullptr).ok());
+  Status s = pool.Reserve(50, /*wait_limit_ms=*/15, nullptr);
+  ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  pool.Release(100);
+}
+
+TEST(MemoryPoolTest, CancelWhileWaiting) {
+  MemoryPool pool(100);
+  ASSERT_TRUE(pool.Reserve(100, 0, nullptr).ok());
+  std::atomic<bool> cancel{false};
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    cancel.store(true);
+  });
+  Status s = pool.Reserve(50, /*wait_limit_ms=*/5000,
+                          [&cancel] { return cancel.load(); });
+  flipper.join();
+  ASSERT_TRUE(s.IsCancelled()) << s.ToString();
+  pool.Release(100);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace bdcc

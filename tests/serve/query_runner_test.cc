@@ -1,0 +1,329 @@
+// QueryRunner lifecycle tests: every terminal Outcome, the granted-budget
+// contract, bounded retry with budget escalation, session cancel/deadline
+// reaching queued and mid-execution queries, and the scheduler.inject
+// fault point riding the retry path.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "gtest/gtest.h"
+#include "serve/query_runner.h"
+
+namespace bdcc {
+namespace serve {
+namespace {
+
+exec::Batch OneRow() {
+  exec::Batch b;
+  b.num_rows = 1;
+  exec::ColumnVector c(TypeId::kInt32);
+  c.i32 = {42};
+  b.columns.push_back(std::move(c));
+  return b;
+}
+
+RunnerConfig SmallConfig() {
+  RunnerConfig config;
+  config.admission.of(QueryClass::kInteractive) = {2, 2, 0};
+  config.admission.of(QueryClass::kBatch) = {1, 2, 0};
+  config.pool_bytes = 1 << 20;
+  config.default_budget_bytes = 1 << 10;
+  config.max_retries = 3;
+  config.backoff_base_ms = 1.0;
+  config.backoff_max_ms = 4.0;
+  return config;
+}
+
+TEST(QueryRunnerTest, OkQueryGetsGrantedBudgetInstalled) {
+  QueryRunner runner(SmallConfig());
+  uint64_t seen_limit = 0;
+  QueryReport report = runner.Execute(
+      QueryClass::kInteractive,
+      [&](exec::ExecContext* ctx, uint64_t budget) -> Result<exec::Batch> {
+        EXPECT_EQ(budget, uint64_t{1} << 10);
+        seen_limit = ctx->memory()->limit();
+        return OneRow();
+      });
+  EXPECT_EQ(report.outcome, Outcome::kOk);
+  EXPECT_TRUE(report.status.ok());
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(seen_limit, uint64_t{1} << 10)
+      << "granted budget was not installed on the context's tracker";
+  EXPECT_EQ(report.result.num_rows, 1u);
+  EXPECT_EQ(runner.stats().ok, 1u);
+  EXPECT_EQ(runner.pool().reserved(), 0u);
+}
+
+TEST(QueryRunnerTest, ResourceExhaustedRetriesWithDoubledBudget) {
+  QueryRunner runner(SmallConfig());
+  std::vector<uint64_t> budgets;
+  QueryReport report = runner.Execute(
+      QueryClass::kBatch,
+      [&](exec::ExecContext*, uint64_t budget) -> Result<exec::Batch> {
+        budgets.push_back(budget);
+        if (budget < (4u << 10)) {
+          return Status::ResourceExhausted("needs more");
+        }
+        return OneRow();
+      });
+  EXPECT_EQ(report.outcome, Outcome::kOk);
+  EXPECT_EQ(report.attempts, 3);
+  ASSERT_EQ(budgets.size(), 3u);
+  EXPECT_EQ(budgets[0], 1u << 10);
+  EXPECT_EQ(budgets[1], 2u << 10);
+  EXPECT_EQ(budgets[2], 4u << 10);
+  EXPECT_EQ(report.budget_bytes, 4u << 10);
+  EXPECT_GT(report.backoff_ms, 0);
+  EXPECT_EQ(runner.stats().retries, 2u);
+}
+
+TEST(QueryRunnerTest, ExhaustedAfterKRetries) {
+  RunnerConfig config = SmallConfig();
+  config.max_retries = 2;
+  QueryRunner runner(config);
+  int calls = 0;
+  QueryReport report = runner.Execute(
+      QueryClass::kBatch,
+      [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+        ++calls;
+        return Status::ResourceExhausted("never enough");
+      });
+  EXPECT_EQ(report.outcome, Outcome::kExhausted);
+  EXPECT_TRUE(report.status.IsResourceExhausted());
+  EXPECT_EQ(calls, 3) << "K retries means K+1 attempts";
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(runner.stats().exhausted, 1u);
+  EXPECT_EQ(runner.stats().retries, 2u);
+  EXPECT_EQ(runner.pool().reserved(), 0u);
+}
+
+TEST(QueryRunnerTest, BudgetEscalationCapsAtPool) {
+  RunnerConfig config = SmallConfig();
+  config.pool_bytes = 3 << 10;  // not a power-of-two multiple of the budget
+  config.default_budget_bytes = 1 << 10;
+  QueryRunner runner(config);
+  std::vector<uint64_t> budgets;
+  QueryReport report = runner.Execute(
+      QueryClass::kBatch,
+      [&](exec::ExecContext*, uint64_t budget) -> Result<exec::Batch> {
+        budgets.push_back(budget);
+        return Status::ResourceExhausted("never enough");
+      });
+  EXPECT_EQ(report.outcome, Outcome::kExhausted);
+  ASSERT_EQ(budgets.size(), 4u);
+  EXPECT_EQ(budgets[1], 2u << 10);
+  EXPECT_EQ(budgets[2], 3u << 10) << "escalation must cap at the pool";
+  EXPECT_EQ(budgets[3], 3u << 10);
+}
+
+TEST(QueryRunnerTest, NonRetryableErrorIsTerminal) {
+  QueryRunner runner(SmallConfig());
+  int calls = 0;
+  QueryReport report = runner.Execute(
+      QueryClass::kInteractive,
+      [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+        ++calls;
+        return Status::IOError("disk on fire");
+      });
+  EXPECT_EQ(report.outcome, Outcome::kError);
+  EXPECT_EQ(calls, 1) << "non-retryable errors must not burn retries";
+  EXPECT_EQ(runner.stats().errors, 1u);
+}
+
+TEST(QueryRunnerTest, ShedWhenQueueFull) {
+  RunnerConfig config = SmallConfig();
+  config.admission.of(QueryClass::kBatch) = {1, 0, 0};
+  QueryRunner runner(config);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool occupying = false;
+  bool release = false;
+  std::thread occupant([&] {
+    runner.Execute(QueryClass::kBatch,
+                   [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+                     {
+                       std::lock_guard<std::mutex> lock(mu);
+                       occupying = true;
+                     }
+                     cv.notify_all();
+                     std::unique_lock<std::mutex> lock(mu);
+                     cv.wait(lock, [&] { return release; });
+                     return OneRow();
+                   });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return occupying; });
+  }
+
+  QueryReport shed = runner.Execute(
+      QueryClass::kBatch,
+      [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+        ADD_FAILURE() << "shed query must never execute";
+        return OneRow();
+      });
+  EXPECT_EQ(shed.outcome, Outcome::kShed);
+  EXPECT_TRUE(shed.status.IsUnavailable());
+  EXPECT_GT(shed.retry_after_ms, 0);
+  EXPECT_EQ(shed.attempts, 0);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  occupant.join();
+  EXPECT_EQ(runner.stats().shed, 1u);
+  EXPECT_EQ(runner.stats().ok, 1u);
+}
+
+TEST(QueryRunnerTest, PreCancelledSessionNeverExecutes) {
+  QueryRunner runner(SmallConfig());
+  Session session;
+  session.Cancel();
+  QueryReport report = runner.Execute(
+      QueryClass::kInteractive,
+      [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+        ADD_FAILURE() << "cancelled session must never execute";
+        return OneRow();
+      },
+      &session);
+  EXPECT_EQ(report.outcome, Outcome::kCancelled);
+  EXPECT_TRUE(report.status.IsCancelled());
+  EXPECT_EQ(report.attempts, 0);
+}
+
+TEST(QueryRunnerTest, SessionCancelReachesMidExecution) {
+  QueryRunner runner(SmallConfig());
+  Session session;
+  QueryReport report = runner.Execute(
+      QueryClass::kInteractive,
+      [&](exec::ExecContext* ctx, uint64_t) -> Result<exec::Batch> {
+        // Simulate an operator loop polling the lifecycle: the session
+        // cancel must land on this attempt's QueryControl.
+        session.Cancel();
+        Status s = ctx->CheckLifecycle();
+        EXPECT_FALSE(s.ok());
+        return s;
+      },
+      &session);
+  EXPECT_EQ(report.outcome, Outcome::kCancelled);
+  EXPECT_TRUE(report.status.IsCancelled()) << report.status.ToString();
+  EXPECT_EQ(runner.stats().cancelled, 1u);
+}
+
+TEST(QueryRunnerTest, SessionDeadlineBoundsRetries) {
+  RunnerConfig config = SmallConfig();
+  config.backoff_base_ms = 50.0;
+  config.backoff_max_ms = 50.0;
+  config.max_retries = 10;
+  QueryRunner runner(config);
+  Session session;
+  session.SetTimeout(std::chrono::milliseconds(30));
+  QueryReport report = runner.Execute(
+      QueryClass::kBatch,
+      [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+        return Status::ResourceExhausted("forces backoff");
+      },
+      &session);
+  // The first backoff (>= 25ms with jitter) outlives the 30ms deadline, so
+  // the loop must stop as cancelled long before 10 retries.
+  EXPECT_EQ(report.outcome, Outcome::kCancelled);
+  EXPECT_TRUE(report.status.IsDeadlineExceeded()) << report.status.ToString();
+  EXPECT_LE(report.attempts, 2);
+}
+
+TEST(QueryRunnerTest, DeadlineInsideQueryReportsCancelled) {
+  QueryRunner runner(SmallConfig());
+  Session session;
+  session.SetTimeout(std::chrono::milliseconds(10));
+  QueryReport report = runner.Execute(
+      QueryClass::kInteractive,
+      [&](exec::ExecContext* ctx, uint64_t) -> Result<exec::Batch> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        Status s = ctx->CheckLifecycle();
+        EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+        return s;
+      },
+      &session);
+  EXPECT_EQ(report.outcome, Outcome::kCancelled);
+  EXPECT_TRUE(report.status.IsDeadlineExceeded());
+}
+
+TEST(QueryRunnerTest, SchedulerInjectFaultRidesRetryPath) {
+  RunnerConfig config = SmallConfig();
+  config.max_retries = 2;
+  QueryRunner runner(config);
+  fault::ScopedFaultInjection scope(/*seed=*/7, /*probability=*/1.0,
+                                    fault::kSchedulerInject);
+  int calls = 0;
+  QueryReport report = runner.Execute(
+      QueryClass::kBatch,
+      [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+        ++calls;
+        return OneRow();
+      });
+  EXPECT_EQ(calls, 0) << "injected dispatch fault must pre-empt the body";
+  EXPECT_EQ(report.outcome, Outcome::kExhausted);
+  EXPECT_TRUE(report.status.IsResourceExhausted());
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(runner.pool().reserved(), 0u);
+}
+
+TEST(QueryRunnerTest, LeakedTrackedBytesAreReported) {
+  QueryRunner runner(SmallConfig());
+  QueryReport report = runner.Execute(
+      QueryClass::kInteractive,
+      [&](exec::ExecContext* ctx, uint64_t) -> Result<exec::Batch> {
+        ctx->memory()->Allocate(100);  // deliberately never released
+        return OneRow();
+      });
+  EXPECT_EQ(report.outcome, Outcome::kOk);
+  EXPECT_EQ(report.leaked_bytes, 100u)
+      << "the report must expose undrained tracked bytes";
+  EXPECT_EQ(report.peak_bytes, 100u);
+}
+
+TEST(QueryRunnerTest, ConcurrentStreamsAllTerminateDefined) {
+  RunnerConfig config = SmallConfig();
+  config.admission.of(QueryClass::kInteractive) = {2, 1, 50.0};
+  config.admission.of(QueryClass::kBatch) = {1, 1, 50.0};
+  QueryRunner runner(config);
+  std::atomic<uint64_t> undefined{0};
+  std::vector<std::thread> streams;
+  for (int s = 0; s < 6; ++s) {
+    streams.emplace_back([&, s] {
+      QueryClass cls =
+          s % 2 == 0 ? QueryClass::kInteractive : QueryClass::kBatch;
+      for (int i = 0; i < 10; ++i) {
+        QueryReport r = runner.Execute(
+            cls, [&](exec::ExecContext*, uint64_t) -> Result<exec::Batch> {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              return OneRow();
+            });
+        if (r.outcome != Outcome::kOk && r.outcome != Outcome::kShed &&
+            r.outcome != Outcome::kCancelled &&
+            r.outcome != Outcome::kExhausted) {
+          undefined.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : streams) t.join();
+  EXPECT_EQ(undefined.load(), 0u);
+  RunnerStats stats = runner.stats();
+  EXPECT_EQ(stats.ok + stats.shed + stats.cancelled + stats.exhausted +
+                stats.errors,
+            60u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(runner.pool().reserved(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace bdcc

@@ -1,0 +1,125 @@
+// Priority starvation: interactive work must not queue behind a batch
+// backlog. The deterministic tests use a zero-worker scheduler where every
+// dispatch happens inside Wait in a fixed order, asserting the structural
+// property (the high lane drains before any backlogged normal task, and
+// without priority the same submission waits behind the whole backlog).
+// The threaded test then bounds the observed interactive queue wait under
+// a real batch flood on a 2-worker scheduler.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/task_scheduler.h"
+#include "gtest/gtest.h"
+
+namespace bdcc {
+namespace common {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// Structural form of the starvation bound: with a batch backlog already
+// queued, an interactive (kHigh) task submitted afterwards runs with ZERO
+// batch tasks dispatched between its submission and its execution.
+TEST(ServeStarvationTest, InteractiveSkipsBatchBacklogDeterministic) {
+  TaskScheduler scheduler(0);
+  int batch_dispatched = 0;
+  int batch_seen_by_interactive = -1;
+
+  TaskScheduler::TaskGroup batch(&scheduler);
+  for (int i = 0; i < 50; ++i) {
+    batch.Submit([&batch_dispatched] { ++batch_dispatched; });
+  }
+
+  TaskScheduler::TaskGroup interactive(&scheduler);
+  {
+    ScopedTaskPriority scope(TaskPriority::kHigh);
+    interactive.Submit([&] { batch_seen_by_interactive = batch_dispatched; });
+  }
+
+  batch.Wait();
+  interactive.Wait();
+  ASSERT_EQ(batch_dispatched, 50);
+  EXPECT_EQ(batch_seen_by_interactive, 0)
+      << batch_seen_by_interactive
+      << " batch tasks ran before the interactive task despite the backlog "
+         "being queued first";
+}
+
+// The contrast case: the same submission at normal priority is FIFO behind
+// the entire backlog. This is the starvation the high lane exists to fix.
+TEST(ServeStarvationTest, NormalPriorityWaitsBehindBacklogDeterministic) {
+  TaskScheduler scheduler(0);
+  int batch_dispatched = 0;
+  int batch_seen_by_latecomer = -1;
+
+  TaskScheduler::TaskGroup batch(&scheduler);
+  for (int i = 0; i < 50; ++i) {
+    batch.Submit([&batch_dispatched] { ++batch_dispatched; });
+  }
+  TaskScheduler::TaskGroup latecomer(&scheduler);
+  latecomer.Submit([&] { batch_seen_by_latecomer = batch_dispatched; });
+
+  batch.Wait();
+  latecomer.Wait();
+  EXPECT_EQ(batch_seen_by_latecomer, 50)
+      << "FIFO contrast broke: the normal-priority latecomer overtook the "
+         "backlog";
+}
+
+// Threaded bound: two workers chew through ~600 batch tasks of ~1ms each
+// (~300ms of backlog per worker) while interactive tasks arrive every few
+// milliseconds. Each interactive submit→start latency is measured; the lane
+// must keep the worst case far below the FIFO expectation (hundreds of ms).
+TEST(ServeStarvationTest, InteractiveQueueWaitBoundedUnderBatchFlood) {
+  TaskScheduler scheduler(2);
+
+  std::atomic<bool> flood_on{true};
+  std::thread batch_flood([&] {
+    while (flood_on.load(std::memory_order_relaxed)) {
+      TaskScheduler::TaskGroup batch(&scheduler);
+      for (int i = 0; i < 64; ++i) {
+        batch.Submit([] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        });
+      }
+      batch.Wait();
+    }
+  });
+
+  // Let the backlog build before probing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::vector<double> waits_ms;
+  for (int probe = 0; probe < 20; ++probe) {
+    ScopedTaskPriority scope(TaskPriority::kHigh);
+    TaskScheduler::TaskGroup interactive(&scheduler);
+    Clock::time_point submitted = Clock::now();
+    double wait_ms = -1;
+    interactive.Submit([&wait_ms, submitted] { wait_ms = MsSince(submitted); });
+    interactive.Wait();
+    ASSERT_GE(wait_ms, 0);
+    waits_ms.push_back(wait_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  flood_on.store(false);
+  batch_flood.join();
+
+  std::sort(waits_ms.begin(), waits_ms.end());
+  double p99 = waits_ms[waits_ms.size() - 1];  // worst of 20 probes
+  // A FIFO queue behind 64 outstanding 1ms tasks on 2 workers would wait
+  // ~32ms+ per probe; the high lane only waits for in-flight task bodies
+  // (~1ms) plus scheduling noise. 100ms is a generous CI-safe ceiling that
+  // still rules out FIFO behaviour across 20 probes.
+  EXPECT_LT(p99, 100.0) << "worst interactive queue wait suggests starvation";
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace bdcc
