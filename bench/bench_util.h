@@ -69,6 +69,11 @@ struct QueryRun {
   uint64_t morsels_cancelled = 0;
   uint64_t budget_denials = 0;
   uint64_t faults_injected = 0;
+  // Delta-leg counters: nonzero only when the plan scanned a live table
+  // with unmerged appends (see src/delta/).
+  uint64_t delta_rows_scanned = 0;
+  uint64_t delta_chunks = 0;
+  uint64_t merges_completed = 0;
   std::vector<std::string> notes;
   bool ok = false;
   std::string error;
@@ -103,6 +108,9 @@ inline QueryRun RunQueryCold(tpch::TpchDb* db, opt::Scheme scheme, int q) {
   out.morsels_cancelled = exec_ctx.stats()->morsels_cancelled;
   out.budget_denials = exec_ctx.stats()->budget_denials;
   out.faults_injected = exec_ctx.stats()->faults_injected;
+  out.delta_rows_scanned = exec_ctx.stats()->delta_rows_scanned;
+  out.delta_chunks = exec_ctx.stats()->delta_chunks;
+  out.merges_completed = exec_ctx.stats()->merges_completed;
   if (result.ok()) {
     out.ok = true;
     out.rows = result.value().num_rows;
@@ -186,6 +194,16 @@ inline void AddLifecycleCounters(JsonLine& line, const QueryRun& run) {
   }
   if (run.faults_injected > 0) {
     line.Num("faults_injected", static_cast<double>(run.faults_injected));
+  }
+  if (run.delta_rows_scanned > 0) {
+    line.Num("delta_rows_scanned",
+             static_cast<double>(run.delta_rows_scanned));
+  }
+  if (run.delta_chunks > 0) {
+    line.Num("delta_chunks", static_cast<double>(run.delta_chunks));
+  }
+  if (run.merges_completed > 0) {
+    line.Num("merges_completed", static_cast<double>(run.merges_completed));
   }
 }
 

@@ -42,6 +42,13 @@ IGNORED_KEYS = (
     "morsels_cancelled",
     "budget_denials",
     "faults_injected",
+    # Delta-leg counters (nonzero only when a plan scanned unmerged
+    # appends) and the derived merge-restore ratio: informational, never
+    # part of row identity.
+    "delta_rows_scanned",
+    "delta_chunks",
+    "merges_completed",
+    "restore_ratio",
     # Throughput-bench outcome counters: how many queries landed in each
     # terminal state varies run to run (shedding is timing-dependent), so
     # they can neither key a row nor be compared as a metric.

@@ -5,6 +5,35 @@
 
 namespace bdcc {
 
+Result<std::vector<uint64_t>> ComputeBdccKeys(const BdccTable& table,
+                                              const Table& new_rows,
+                                              const TableResolver& resolver) {
+  if (new_rows.name() != table.name()) {
+    return Status::InvalidArgument(
+        "appended rows must carry the table's name (dimension paths are "
+        "anchored at it)");
+  }
+  // Keys for the new tuples: per-use bins down the FK paths, composed with
+  // the table's existing masks (Definition 4 — independent of old data).
+  std::vector<std::vector<uint64_t>> bins;
+  std::vector<int> dim_bits;
+  for (const DimensionUse& use : table.uses()) {
+    BDCC_ASSIGN_OR_RETURN(std::vector<uint64_t> b,
+                          ComputeBinColumn(new_rows, use, resolver));
+    bins.push_back(std::move(b));
+    dim_bits.push_back(use.dimension->bits());
+  }
+  uint64_t n_new = new_rows.num_rows();
+  std::vector<uint64_t> new_keys(n_new);
+  std::vector<uint64_t> row_bins(bins.size());
+  for (uint64_t r = 0; r < n_new; ++r) {
+    for (size_t u = 0; u < bins.size(); ++u) row_bins[u] = bins[u][r];
+    new_keys[r] = interleave::ComposeKey(row_bins.data(), dim_bits.data(),
+                                         table.full_spec());
+  }
+  return new_keys;
+}
+
 Result<AppendStats> AppendToBdccTable(BdccTable* table, const Table& new_rows,
                                       const TableResolver& resolver) {
   BDCC_CHECK(table != nullptr);
@@ -28,26 +57,9 @@ Result<AppendStats> AppendToBdccTable(BdccTable* table, const Table& new_rows,
     return stats;
   }
 
-  // Keys for the new tuples: per-use bins down the FK paths, composed with
-  // the table's existing masks (Definition 4 — independent of old data).
-  std::vector<std::vector<uint64_t>> bins;
-  std::vector<int> dim_bits;
-  for (const DimensionUse& use : table->uses()) {
-    BDCC_ASSIGN_OR_RETURN(std::vector<uint64_t> b,
-                          ComputeBinColumn(new_rows, use, resolver));
-    bins.push_back(std::move(b));
-    dim_bits.push_back(use.dimension->bits());
-  }
+  BDCC_ASSIGN_OR_RETURN(std::vector<uint64_t> new_keys,
+                        ComputeBdccKeys(*table, new_rows, resolver));
   uint64_t n_new = new_rows.num_rows();
-  std::vector<uint64_t> new_keys(n_new);
-  {
-    std::vector<uint64_t> row_bins(bins.size());
-    for (uint64_t r = 0; r < n_new; ++r) {
-      for (size_t u = 0; u < bins.size(); ++u) row_bins[u] = bins[u][r];
-      new_keys[r] = interleave::ComposeKey(row_bins.data(), dim_bits.data(),
-                                           table->full_spec());
-    }
-  }
 
   // Stage the new rows with their key column, then merge-sort everything.
   Table staged = new_rows.Clone();

@@ -20,6 +20,15 @@ struct AppendStats {
   uint64_t groups_after = 0;
 };
 
+/// \brief Compute the `_bdcc_` key of every row of `new_rows` using
+/// `table`'s dimension uses and full-granularity masks (Definition 4: a new
+/// tuple's key depends only on its own dimension bins, never on old data).
+/// `new_rows` must carry the table's name — dimension paths are anchored at
+/// it. Shared by bulk append and the delta store.
+Result<std::vector<uint64_t>> ComputeBdccKeys(const BdccTable& table,
+                                              const Table& new_rows,
+                                              const TableResolver& resolver);
+
 /// \brief Merge `new_rows` (same schema as the original source table, same
 /// table name) into `table`, preserving the clustered order and count-table
 /// granularity. Not supported after small-group consolidation (the physical

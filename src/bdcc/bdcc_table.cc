@@ -174,6 +174,21 @@ std::string BdccTable::DescribeUses() const {
   return out;
 }
 
+BdccTable BdccTable::WithData(Table data, CountTable counts) const {
+  BDCC_CHECK(data.num_columns() == data_.num_columns());
+  BdccTable out(std::move(data));
+  out.uses_ = uses_;
+  out.full_spec_ = full_spec_;
+  out.count_table_ = std::move(counts);
+  // The group-size analysis describes the build-time distribution; it only
+  // feeds reporting and the (rebuild-time) self-tune decision, so the copy
+  // staying slightly stale is fine.
+  out.analysis_ = analysis_;
+  out.decision_ = decision_;
+  out.bdcc_col_ = bdcc_col_;
+  return out;
+}
+
 Result<BdccTable> BuildBdccTable(Table source, std::vector<DimensionUse> uses,
                                  const TableResolver& resolver,
                                  const BdccBuildOptions& options) {

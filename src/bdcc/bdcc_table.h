@@ -82,6 +82,13 @@ class BdccTable {
 
   std::string DescribeUses() const;
 
+  /// \brief New version of this table with replacement storage and counts:
+  /// same uses, masks, granularity and design metadata, different rows. The
+  /// delta subsystem's merge publication path — the old version stays alive
+  /// untouched for readers pinned to earlier snapshots. `data` must have the
+  /// same column schema (including `_bdcc_`) and be sorted on the key.
+  BdccTable WithData(Table data, CountTable counts) const;
+
  private:
   friend Result<BdccTable> BuildBdccTable(Table source,
                                           std::vector<DimensionUse> uses,

@@ -27,6 +27,13 @@
 //   scheduler.inject serve::QueryRunner dispatch — an admitted query fails
 //                    as if its first budget charge was denied
 //                    (ResourceExhausted), exercising the retry path.
+//   delta.append     delta::DeltaStore::Append — the chunk build fails with
+//                    IOError before any state is published (the store is
+//                    unchanged; the caller can retry the same batch).
+//   delta.merge      delta::LiveTable merge pass — a dirty-group merge step
+//                    fails with Internal; the pass unwinds without
+//                    publishing, leaving the prior snapshot intact and
+//                    re-publishable.
 //
 // Thread-safety: all free functions are safe from any thread.
 // ScopedFaultInjection construction/destruction is serialized internally but
@@ -45,6 +52,8 @@ inline constexpr const char* kTaskDelay = "scheduler.delay";
 inline constexpr const char* kJoinBuild = "join.build";
 inline constexpr const char* kAggMerge = "agg.merge";
 inline constexpr const char* kSchedulerInject = "scheduler.inject";
+inline constexpr const char* kDeltaAppend = "delta.append";
+inline constexpr const char* kDeltaMerge = "delta.merge";
 
 /// True when any config (env or scoped) has injection turned on.
 bool Enabled();

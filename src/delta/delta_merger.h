@@ -1,0 +1,109 @@
+// Background incremental re-clustering for a live table.
+//
+// A DeltaMerger hangs a merge policy off a LiveTable: every successful
+// append pokes it (via the table's append observer), and when the delta has
+// grown past `trigger_rows` it schedules one task on the work-stealing
+// scheduler that runs bounded LiveTable::Merge passes until the delta is
+// back under the trigger. The task runs in the scheduler's *normal* lane by
+// default — re-clustering is batch work; interactive queries' morsels route
+// through the high-priority lane and jump ahead of it (see
+// common/task_scheduler.h).
+//
+// At most one pass chain is in flight at a time (an atomic claim); pokes
+// while one runs are absorbed, and the chain re-checks the trigger after
+// releasing its claim so a concurrent append can never be lost between
+// "loop decided to exit" and "claim released". Stop() cancels the in-flight
+// pass through the merger's QueryControl (LiveTable::Merge polls it between
+// groups and unwinds publishing nothing) and drains the task.
+#ifndef BDCC_DELTA_DELTA_MERGER_H_
+#define BDCC_DELTA_DELTA_MERGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/task_scheduler.h"
+#include "delta/live_table.h"
+#include "exec/exec_context.h"
+
+namespace bdcc {
+namespace delta {
+
+/// \brief Schedules LiveTable merge passes in the background.
+class DeltaMerger {
+ public:
+  struct Options {
+    /// Schedule a pass once delta_rows() reaches this many rows.
+    uint64_t trigger_rows = 4096;
+    /// Bound per pass (LiveTable::MergeOptions::max_groups); 0 = all dirty
+    /// groups in one pass.
+    size_t max_groups_per_pass = 0;
+    /// Scheduling class of merge tasks. Keep kNormal so interactive queries
+    /// overtake re-clustering.
+    common::TaskPriority priority = common::TaskPriority::kNormal;
+    /// Install this merger as `table`'s append observer (pokes on append).
+    bool observe_appends = true;
+  };
+
+  /// `table` and `scheduler` must outlive the merger.
+  DeltaMerger(LiveTable* table, common::TaskScheduler* scheduler,
+              Options options);
+  DeltaMerger(LiveTable* table, common::TaskScheduler* scheduler)
+      : DeltaMerger(table, scheduler, Options()) {}
+  ~DeltaMerger();  // Stop()s
+  BDCC_DISALLOW_COPY_AND_ASSIGN(DeltaMerger);
+
+  /// Schedule a pass chain if the delta is over the trigger and none is in
+  /// flight. Safe from any thread; cheap when nothing to do.
+  void Poke();
+
+  /// Cancel any in-flight pass (nothing gets published) and drain the task.
+  /// The merger stays stopped; idempotent.
+  void Stop();
+
+  /// Block until the delta is below the trigger and no pass is in flight
+  /// (helps run scheduler tasks while waiting). For tests and benchmarks.
+  void Drain();
+
+  uint64_t passes_completed() const {
+    return passes_completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t passes_failed() const {
+    return passes_failed_.load(std::memory_order_relaxed);
+  }
+  /// First/most recent non-OK merge status (OK when none failed yet).
+  Status last_error() const;
+  /// Merge counters accumulated across background passes (merges_completed,
+  /// faults_injected, morsels_cancelled).
+  exec::ExecStats background_stats() const;
+
+ private:
+  void RunChain();
+
+  LiveTable* table_;
+  common::TaskScheduler* scheduler_;
+  Options options_;
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> in_flight_{false};
+  std::atomic<uint64_t> passes_completed_{0};
+  std::atomic<uint64_t> passes_failed_{0};
+
+  // Merge passes run on scheduler workers with this context: its
+  // QueryControl is the Stop() channel, its stats accumulate across passes
+  // (guarded by ctx_mu_ against concurrent background_stats() readers —
+  // passes themselves are serialized by the in-flight claim).
+  mutable std::mutex ctx_mu_;
+  mutable exec::ExecContext ctx_;
+  Status last_error_;  // guarded by ctx_mu_
+
+  std::mutex group_mu_;  // serializes Submit (Poke threads) vs Wait (Stop)
+  common::TaskScheduler::TaskGroup group_;
+};
+
+}  // namespace delta
+}  // namespace bdcc
+
+#endif  // BDCC_DELTA_DELTA_MERGER_H_

@@ -1,0 +1,124 @@
+// Unclustered append region of a live BDCC table.
+//
+// Every Append(batch) against a live table seals one immutable DeltaChunk:
+// the batch's rows with their `_bdcc_` key column computed up the dimension
+// paths (bdcc/append.cc's key computation — Definition 4 makes a new tuple's
+// key independent of old data), sorted by that key, zone-mapped at the base
+// table's granularity, and pre-bucketed into per-group row slices at the
+// count-table granularity so the background merger can pick dirty groups
+// without rescanning. Chunks are immutable after Build, which is what makes
+// concurrent scan/merge/append safe without read-side locking: readers pin
+// a snapshot (see live_table.h) whose chunk set never mutates.
+//
+// Chunk string columns carry their *own* dictionaries — sharing the base
+// table's would mean interning into a dictionary concurrent readers are
+// decoding. Scan batches therefore never mix clustered and delta rows (the
+// delta-side scan leg cuts batches at chunk boundaries).
+//
+// Memory: every chunk charges its footprint to the store's MemoryTracker on
+// Build and releases it on destruction (when the last snapshot holding the
+// chunk closes). A tracker limit turns appends past the budget into clean
+// ResourceExhausted refusals with the store unchanged.
+#ifndef BDCC_DELTA_DELTA_STORE_H_
+#define BDCC_DELTA_DELTA_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdcc/bdcc_table.h"
+#include "common/result.h"
+#include "exec/memory_tracker.h"
+#include "storage/table.h"
+
+namespace bdcc {
+namespace delta {
+
+/// \brief One immutable, sealed batch of appended rows.
+class DeltaChunk {
+ public:
+  /// Rows of one count-table-granularity group inside data() (half-open).
+  struct GroupSlice {
+    uint64_t key = 0;  // reduced-granularity _bdcc_ value
+    uint64_t row_begin = 0;
+    uint64_t row_end = 0;
+  };
+
+  /// \brief Seal `rows` (source schema, the table's name) into a chunk:
+  /// compute keys via `base`'s uses, sort, zone-map, bucket. Fails without
+  /// side effects on schema mismatch, key-computation errors, a fired
+  /// `delta.append` fault (IOError), or a delta memory budget refusal
+  /// (ResourceExhausted).
+  static Result<DeltaChunk> Build(const BdccTable& base, const Table& rows,
+                                  const TableResolver& resolver,
+                                  uint32_t zone_rows,
+                                  exec::MemoryTracker* memory);
+
+  /// \brief Seal rows that already carry their `_bdcc_` column (the merge
+  /// path's residual chunk: rows of groups a bounded pass deferred).
+  /// `sources[i]` = {chunk, row}; rows must be given in full-key order.
+  static Result<DeltaChunk> FromKeyedRows(
+      const BdccTable& base,
+      const std::vector<std::pair<const DeltaChunk*, uint64_t>>& sources,
+      uint32_t zone_rows, exec::MemoryTracker* memory);
+
+  DeltaChunk(DeltaChunk&& other) noexcept;
+  DeltaChunk& operator=(DeltaChunk&& other) noexcept;
+  ~DeltaChunk();
+  BDCC_DISALLOW_COPY_AND_ASSIGN(DeltaChunk);
+
+  /// Chunk rows in the base data()'s column schema (including `_bdcc_`),
+  /// sorted on the key, with zone maps built.
+  const Table& data() const { return data_; }
+  uint64_t num_rows() const { return data_.num_rows(); }
+
+  /// Key-ascending per-group slices at the count-table granularity.
+  const std::vector<GroupSlice>& groups() const { return groups_; }
+
+  /// Bytes charged to the delta memory tracker.
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  explicit DeltaChunk(Table data) : data_(std::move(data)) {}
+
+  // Zone-map, bucket by reduced key, and charge `memory` (shared tail of
+  // both build paths; `keys` are the full-granularity sorted keys).
+  Status Seal(const BdccTable& base, const std::vector<uint64_t>& keys,
+              uint32_t zone_rows, exec::MemoryTracker* memory);
+
+  Table data_;
+  std::vector<GroupSlice> groups_;
+  uint64_t bytes_ = 0;
+  exec::MemoryTracker* memory_ = nullptr;
+};
+
+/// \brief Append front of a live table: builds sealed chunks and owns the
+/// delta region's memory accounting. Thread-safe — concurrent Append calls
+/// build independent chunks (the tracker is atomic); chunk-list publication
+/// is the LiveTable's job so it stays atomic with snapshot epochs.
+class DeltaStore {
+ public:
+  /// `zone_rows` is the chunk zone-map granularity (use the base table's);
+  /// `memory_limit` > 0 caps the delta region's total tracked bytes.
+  DeltaStore(uint32_t zone_rows, uint64_t memory_limit) : zone_rows_(zone_rows) {
+    memory_.set_limit(memory_limit);
+  }
+
+  /// Seal one append batch against `base` (any version of the table — uses,
+  /// masks and schema are version-invariant).
+  Result<std::shared_ptr<const DeltaChunk>> Append(
+      const BdccTable& base, const Table& rows,
+      const TableResolver& resolver) const;
+
+  exec::MemoryTracker* memory() const { return &memory_; }
+  uint32_t zone_rows() const { return zone_rows_; }
+
+ private:
+  uint32_t zone_rows_;
+  mutable exec::MemoryTracker memory_;
+};
+
+}  // namespace delta
+}  // namespace bdcc
+
+#endif  // BDCC_DELTA_DELTA_STORE_H_

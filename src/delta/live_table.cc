@@ -1,0 +1,377 @@
+#include "delta/live_table.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace bdcc {
+namespace delta {
+
+namespace {
+
+// One delta row awaiting merge: its full-granularity key plus its home
+// (chunk index in the merge's pinned snapshot, row inside the chunk).
+struct DeltaRowRef {
+  uint64_t key = 0;
+  uint32_t chunk = 0;
+  uint64_t row = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<LiveTable>> LiveTable::Create(
+    BdccTable base, const TableResolver* resolver, Options options) {
+  BDCC_CHECK(resolver != nullptr);
+  if (base.data().num_rows() != base.logical_rows()) {
+    return Status::InvalidArgument(
+        "live append after small-group consolidation is not supported; the "
+        "merge walk needs physical row order == clustered order");
+  }
+  uint32_t zone_rows = options.zone_rows != 0 ? options.zone_rows
+                       : base.data().HasZoneMaps() ? base.data().zone_rows()
+                                                   : 1024;
+  std::unique_ptr<LiveTable> live(new LiveTable());
+  live->name_ = base.name();
+  live->resolver_ = resolver;
+  live->zone_rows_ = zone_rows;
+  live->store_ =
+      std::make_unique<DeltaStore>(zone_rows, options.delta_memory_limit);
+  auto snap = std::make_shared<TableSnapshot>();
+  snap->epoch = 1;
+  snap->base = std::make_shared<const BdccTable>(std::move(base));
+  live->current_ = std::move(snap);
+  return live;
+}
+
+LiveTable::~LiveTable() = default;
+
+Result<uint64_t> LiveTable::Append(const Table& rows) {
+  if (rows.num_rows() == 0) return 0;
+  std::shared_ptr<const BdccTable> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = current_->base;
+  }
+  // Build (sort + zone-map + bucket) outside the lock: keys depend only on
+  // the table's uses and masks, which every base version shares.
+  BDCC_ASSIGN_OR_RETURN(std::shared_ptr<const DeltaChunk> chunk,
+                        store_->Append(*base, rows, *resolver_));
+  uint64_t appended = chunk->num_rows();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto next = std::make_shared<TableSnapshot>(*current_);
+    next->epoch = current_->epoch + 1;
+    next->chunks.push_back(std::move(chunk));
+    next->delta_rows += appended;
+    chunk_seqs_.push_back(next_chunk_seq_++);
+    rows_appended_ += appended;
+    ++chunks_appended_;
+    PublishLocked(std::move(next));
+  }
+  std::function<void()> observer;
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    observer = observer_;
+  }
+  if (observer) observer();
+  return appended;
+}
+
+std::shared_ptr<const TableSnapshot> LiveTable::OpenSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const TableSnapshot> snap = current_;
+  uint64_t epoch = snap->epoch;
+  ++readers_[epoch];
+  // Aliasing handle: shares ownership of the snapshot and, on destruction
+  // (any thread), checks the reader out of the epoch registry.
+  LiveTable* self = this;
+  return std::shared_ptr<const TableSnapshot>(
+      snap.get(), [self, snap, epoch](const TableSnapshot*) mutable {
+        snap.reset();
+        self->OnSnapshotReleased(epoch);
+      });
+}
+
+Result<LiveTable::MergeStats> LiveTable::Merge(const MergeOptions& options,
+                                               exec::ExecContext* ctx) {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+
+  std::shared_ptr<const TableSnapshot> snap;
+  std::vector<uint64_t> seqs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = current_;
+    seqs = chunk_seqs_;
+  }
+  if (snap->chunks.empty()) {
+    return MergeStats{snap->epoch, 0, 0, 0};
+  }
+  const BdccTable& base = *snap->base;
+  const int bdcc_col = base.bdcc_column_index();
+
+  // Bucket the delta by dirty group. Chunks are visited oldest-first and
+  // rows ascending, so after the stable sort each group's rows sit in
+  // (full key, chunk, row) order — exactly the order a serial bulk append's
+  // stable sort would have given them.
+  std::map<uint64_t, std::vector<DeltaRowRef>> dirty;
+  for (uint32_t ci = 0; ci < snap->chunks.size(); ++ci) {
+    const DeltaChunk& chunk = *snap->chunks[ci];
+    const auto& lane = chunk.data().column(bdcc_col).i64();
+    for (const DeltaChunk::GroupSlice& slice : chunk.groups()) {
+      std::vector<DeltaRowRef>& rows = dirty[slice.key];
+      for (uint64_t r = slice.row_begin; r < slice.row_end; ++r) {
+        rows.push_back(DeltaRowRef{static_cast<uint64_t>(lane[r]), ci, r});
+      }
+    }
+  }
+  for (auto& [key, rows] : dirty) {
+    (void)key;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const DeltaRowRef& a, const DeltaRowRef& b) {
+                       return a.key < b.key;
+                     });
+  }
+
+  // Pick this pass's groups: all of them, or the max_groups with the most
+  // delta rows (ties to the smaller key, for determinism).
+  std::set<uint64_t> selected;
+  if (options.max_groups == 0 || options.max_groups >= dirty.size()) {
+    for (const auto& [key, rows] : dirty) selected.insert(key);
+  } else {
+    std::vector<std::pair<uint64_t, uint64_t>> order;  // {rows, key}
+    order.reserve(dirty.size());
+    for (const auto& [key, rows] : dirty) order.push_back({rows.size(), key});
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (size_t i = 0; i < options.max_groups; ++i) {
+      selected.insert(order[i].second);
+    }
+  }
+
+  // Build the merged base with fresh dictionaries (live readers keep
+  // decoding the old version's) by walking base groups ∪ dirty groups in
+  // key order. Clean and deferred groups copy their base span verbatim;
+  // selected groups two-pointer merge on full keys, base rows first at ties
+  // (AppendToBdccTable's stable-sort puts new rows after old).
+  const Table& base_data = base.data();
+  const auto& base_keys = base_data.column(bdcc_col).i64();
+  Table merged(base_data.name());
+  for (size_t c = 0; c < base_data.num_columns(); ++c) {
+    BDCC_RETURN_NOT_OK(
+        merged.AddColumn(base_data.column_name(static_cast<int>(c)),
+                         Column(base_data.column(static_cast<int>(c)).type())));
+  }
+  std::vector<uint64_t> sorted_keys;
+  sorted_keys.reserve(base_data.num_rows() + snap->delta_rows);
+  std::vector<std::pair<const DeltaChunk*, uint64_t>> residual_rows;
+
+  MergeStats result;
+  auto merge_group = [&](uint64_t row_begin, uint64_t row_end,
+                         const std::vector<DeltaRowRef>* delta_rows)
+      -> Status {
+    if (ctx != nullptr) BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
+    if (BDCC_UNLIKELY(fault::ShouldFail(fault::kDeltaMerge))) {
+      if (ctx != nullptr) ++ctx->stats()->faults_injected;
+      return Status::Internal("injected merge fault (dirty group rewrite)");
+    }
+    uint64_t i = row_begin;
+    size_t j = 0;
+    size_t n_delta = delta_rows != nullptr ? delta_rows->size() : 0;
+    while (i < row_end || j < n_delta) {
+      // Run of base rows with keys <= the next delta key.
+      uint64_t run_begin = i;
+      while (i < row_end &&
+             (j >= n_delta ||
+              static_cast<uint64_t>(base_keys[i]) <= (*delta_rows)[j].key)) {
+        sorted_keys.push_back(static_cast<uint64_t>(base_keys[i]));
+        ++i;
+      }
+      if (i > run_begin) merged.AppendRowsFrom(base_data, run_begin, i);
+      while (j < n_delta &&
+             (i >= row_end ||
+              (*delta_rows)[j].key < static_cast<uint64_t>(base_keys[i]))) {
+        const DeltaRowRef& ref = (*delta_rows)[j];
+        merged.AppendRowsFrom(snap->chunks[ref.chunk]->data(), ref.row,
+                              ref.row + 1);
+        sorted_keys.push_back(ref.key);
+        ++j;
+      }
+    }
+    result.rows_merged += n_delta;
+    ++result.groups_merged;
+    return Status::OK();
+  };
+
+  auto run = [&]() -> Status {
+    const auto& entries = base.count_table().entries();
+    size_t ei = 0;
+    auto dit = dirty.begin();
+    while (ei < entries.size() || dit != dirty.end()) {
+      bool take_base = dit == dirty.end() ||
+                       (ei < entries.size() && entries[ei].key < dit->first);
+      bool take_delta = ei == entries.size() ||
+                        (dit != dirty.end() && dit->first < entries[ei].key);
+      if (take_base) {
+        // Clean group: bulk copy.
+        const CountEntry& e = entries[ei++];
+        merged.AppendRowsFrom(base_data, e.row_begin, e.row_begin + e.count);
+        for (uint64_t r = 0; r < e.count; ++r) {
+          sorted_keys.push_back(
+              static_cast<uint64_t>(base_keys[e.row_begin + r]));
+        }
+        continue;
+      }
+      const uint64_t key = dit->first;
+      const std::vector<DeltaRowRef>& delta_rows = dit->second;
+      uint64_t row_begin = 0;
+      uint64_t row_end = 0;
+      if (!take_delta) {
+        row_begin = entries[ei].row_begin;
+        row_end = row_begin + entries[ei].count;
+        ++ei;
+      }
+      if (selected.count(key) != 0) {
+        BDCC_RETURN_NOT_OK(merge_group(row_begin, row_end, &delta_rows));
+      } else {
+        // Deferred: base span stays as-is, delta rows ride to the residual
+        // chunk (already in (key, chunk, row) order, keys ascending across
+        // the map walk).
+        if (row_end > row_begin) {
+          merged.AppendRowsFrom(base_data, row_begin, row_end);
+          for (uint64_t r = row_begin; r < row_end; ++r) {
+            sorted_keys.push_back(static_cast<uint64_t>(base_keys[r]));
+          }
+        }
+        for (const DeltaRowRef& ref : delta_rows) {
+          residual_rows.push_back({snap->chunks[ref.chunk].get(), ref.row});
+        }
+        result.rows_deferred += delta_rows.size();
+      }
+      ++dit;
+    }
+    return Status::OK();
+  };
+  Status pass = run();
+
+  std::shared_ptr<const DeltaChunk> residual;
+  if (pass.ok() && !residual_rows.empty()) {
+    Result<DeltaChunk> r = DeltaChunk::FromKeyedRows(
+        base, residual_rows, zone_rows_, store_->memory());
+    if (r.ok()) {
+      residual = std::make_shared<const DeltaChunk>(std::move(r).value());
+    } else {
+      pass = r.status();
+    }
+  }
+  if (!pass.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++merges_failed_;
+    return pass;
+  }
+
+  merged.BuildZoneMaps(base_data.HasZoneMaps() ? base_data.zone_rows()
+                                               : zone_rows_);
+  if (base_data.HasEncodedLanes()) merged.BuildEncodedLanes();
+  if (base_data.HasIoHandles()) {
+    merged.RegisterWithBufferPool(base_data.buffer_pool());
+  }
+  CountTable counts =
+      CountTable::Build(sorted_keys, base.full_bits(), base.count_bits());
+  auto new_base = std::make_shared<const BdccTable>(
+      base.WithData(std::move(merged), std::move(counts)));
+
+  // Publish: new base, residual chunk (its rows predate every surviving
+  // chunk), plus any chunks appended since this pass pinned its snapshot.
+  // Consumption is tracked by seq *membership*, not a high-water seq: a
+  // previous pass's residual carries a seq larger than chunks appended
+  // while that pass ran, so the pinned seq list is not ascending.
+  std::sort(seqs.begin(), seqs.end());
+  const uint64_t consumed_max_seq = seqs.back();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto next = std::make_shared<TableSnapshot>();
+    next->epoch = current_->epoch + 1;
+    next->base = std::move(new_base);
+    next->delta_watermark = consumed_max_seq;
+    std::vector<uint64_t> new_seqs;
+    if (residual != nullptr) {
+      next->delta_rows += residual->num_rows();
+      next->chunks.push_back(std::move(residual));
+      new_seqs.push_back(next_chunk_seq_++);
+    }
+    for (size_t i = 0; i < current_->chunks.size(); ++i) {
+      if (std::binary_search(seqs.begin(), seqs.end(), chunk_seqs_[i])) {
+        continue;  // consumed by this pass (merged or moved to the residual)
+      }
+      next->delta_rows += current_->chunks[i]->num_rows();
+      next->chunks.push_back(current_->chunks[i]);
+      new_seqs.push_back(chunk_seqs_[i]);
+    }
+    chunk_seqs_ = std::move(new_seqs);
+    result.epoch = next->epoch;
+    PublishLocked(std::move(next));
+    ++merges_completed_;
+    rows_merged_ += result.rows_merged;
+  }
+  if (ctx != nullptr) ++ctx->stats()->merges_completed;
+  return result;
+}
+
+uint64_t LiveTable::delta_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->delta_rows;
+}
+
+uint64_t LiveTable::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->epoch;
+}
+
+LiveTable::Stats LiveTable::stats() const {
+  Stats out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.epoch = current_->epoch;
+  out.rows_appended = rows_appended_;
+  out.chunks_appended = chunks_appended_;
+  out.delta_rows = current_->delta_rows;
+  out.delta_chunks = current_->chunks.size();
+  out.delta_bytes = store_->memory()->current_bytes();
+  out.merges_completed = merges_completed_;
+  out.merges_failed = merges_failed_;
+  out.rows_merged = rows_merged_;
+  out.epochs_retired = epochs_retired_;
+  for (const auto& [epoch, count] : readers_) out.open_snapshots += count;
+  return out;
+}
+
+void LiveTable::SetAppendObserver(std::function<void()> observer) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  observer_ = std::move(observer);
+}
+
+void LiveTable::PublishLocked(std::shared_ptr<const TableSnapshot> next) {
+  uint64_t old_epoch = current_->epoch;
+  current_ = std::move(next);
+  auto it = readers_.find(old_epoch);
+  if (it == readers_.end()) {
+    ++epochs_retired_;  // superseded with no readers left (or ever)
+  }
+}
+
+void LiveTable::OnSnapshotReleased(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = readers_.find(epoch);
+  BDCC_CHECK(it != readers_.end() && it->second > 0);
+  if (--it->second == 0) {
+    readers_.erase(it);
+    if (epoch != current_->epoch) ++epochs_retired_;
+  }
+}
+
+}  // namespace delta
+}  // namespace bdcc

@@ -1,0 +1,77 @@
+#include "delta/snapshot_db.h"
+
+namespace bdcc {
+namespace delta {
+
+SnapshotDb::SnapshotDb(const opt::PhysicalDb* base) : base_(base) {
+  BDCC_CHECK(base_ != nullptr);
+  BDCC_CHECK_MSG(base_->scheme() == opt::Scheme::kBdcc,
+                 "SnapshotDb overlays live tables on the BDCC scheme only");
+}
+
+void SnapshotDb::AddLiveTable(LiveTable* table) {
+  BDCC_CHECK(table != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[table->name()];
+  e.live = table;
+  e.pinned = table->OpenSnapshot();
+}
+
+void SnapshotDb::Refresh() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    // Pin the new epoch before dropping the old handle so the table is
+    // never observable unpinned.
+    std::shared_ptr<const TableSnapshot> fresh = e.live->OpenSnapshot();
+    e.pinned = std::move(fresh);
+  }
+}
+
+uint64_t SnapshotDb::pinned_epoch(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(table);
+  return it == entries_.end() ? 0 : it->second.pinned->epoch;
+}
+
+opt::Scheme SnapshotDb::scheme() const { return base_->scheme(); }
+
+const catalog::Catalog& SnapshotDb::schema_catalog() const {
+  return base_->schema_catalog();
+}
+
+const Table* SnapshotDb::storage(const std::string& table) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(table);
+    if (it != entries_.end()) return &it->second.pinned->base->data();
+  }
+  return base_->storage(table);
+}
+
+const BdccTable* SnapshotDb::bdcc(const std::string& table) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(table);
+    if (it != entries_.end()) return it->second.pinned->base.get();
+  }
+  return base_->bdcc(table);
+}
+
+std::string SnapshotDb::sorted_on(const std::string& table) const {
+  return base_->sorted_on(table);
+}
+
+bool SnapshotDb::unique_key(const std::string& table,
+                            const std::string& column) const {
+  return base_->unique_key(table, column);
+}
+
+std::shared_ptr<const TableSnapshot> SnapshotDb::snapshot(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(table);
+  return it == entries_.end() ? nullptr : it->second.pinned;
+}
+
+}  // namespace delta
+}  // namespace bdcc

@@ -1,0 +1,71 @@
+// PhysicalDb adapter serving snapshot-consistent reads over live tables.
+//
+// A SnapshotDb wraps a base PhysicalDb (kBdcc scheme) and overlays it with
+// LiveTables: for each registered live table it pins one TableSnapshot and
+// answers storage()/bdcc() from that snapshot's base version and snapshot()
+// with the pinned handle, so every plan compiled against the db sees one
+// consistent {base version, delta chunk set} pair — regardless of appends
+// and merges racing ahead on the LiveTable. Refresh() re-pins the current
+// epochs; queries compiled before a Refresh keep their own pins (the
+// planner copies the shared_ptr into scan leaves), so in-flight queries and
+// new queries can run against different epochs side by side.
+//
+// Typical serving-loop usage: Refresh() between queries (or on a timer) for
+// freshness; never mid-plan.
+#ifndef BDCC_DELTA_SNAPSHOT_DB_H_
+#define BDCC_DELTA_SNAPSHOT_DB_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "delta/live_table.h"
+#include "opt/physical_db.h"
+
+namespace bdcc {
+namespace delta {
+
+/// \brief Snapshot-pinning PhysicalDb over a base db plus live tables.
+class SnapshotDb : public opt::PhysicalDb {
+ public:
+  /// `base` must outlive this db and use the kBdcc scheme (live tables are
+  /// a BDCC-scheme feature; Plain/PK schemes have no delta machinery).
+  explicit SnapshotDb(const opt::PhysicalDb* base);
+
+  /// Overlay `table` (must outlive this db) for its name; pins its current
+  /// snapshot. The base db's entry for that name is shadowed.
+  void AddLiveTable(LiveTable* table);
+
+  /// Re-pin every live table's current snapshot (call between queries).
+  void Refresh();
+
+  /// Epoch this db currently serves for `table` (0 if not live here).
+  uint64_t pinned_epoch(const std::string& table) const;
+
+  // PhysicalDb:
+  opt::Scheme scheme() const override;
+  const catalog::Catalog& schema_catalog() const override;
+  const Table* storage(const std::string& table) const override;
+  const BdccTable* bdcc(const std::string& table) const override;
+  std::string sorted_on(const std::string& table) const override;
+  bool unique_key(const std::string& table,
+                  const std::string& column) const override;
+  std::shared_ptr<const TableSnapshot> snapshot(
+      const std::string& table) const override;
+
+ private:
+  struct Entry {
+    LiveTable* live = nullptr;
+    std::shared_ptr<const TableSnapshot> pinned;
+  };
+
+  const opt::PhysicalDb* base_;
+  mutable std::mutex mu_;  // guards entries' pinned handles across Refresh
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace delta
+}  // namespace bdcc
+
+#endif  // BDCC_DELTA_SNAPSHOT_DB_H_

@@ -120,9 +120,9 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
         i32.push_back(other.i32_data()[row]);
       } else {
         // Source carries a different dictionary (e.g. expression-generated
-        // strings): fall back to interning by content. GetOrAdd only ever
-        // appends, so existing codes remain valid.
-        i32.push_back(dict->GetOrAdd(other.GetString(row)));
+        // strings or a delta chunk's private dictionary): fall back to
+        // interning by content.
+        i32.push_back(InternString(other.GetString(row)));
       }
       break;
     default:
@@ -142,9 +142,26 @@ void ColumnVector::AppendInterning(const ColumnVector& other, size_t row) {
     AppendNull();
     return;
   }
-  if (dict == nullptr) dict = std::make_shared<Dictionary>();
-  i32.push_back(dict->GetOrAdd(other.GetString(row)));
+  i32.push_back(InternString(other.GetString(row)));
   if (!nulls.empty()) nulls.push_back(0);
+}
+
+int32_t ColumnVector::InternString(std::string_view s) {
+  if (dict == nullptr) dict = std::make_shared<Dictionary>();
+  int32_t code = dict->Find(s);
+  if (code >= 0) return code;
+  if (dict.use_count() > 1) {
+    // The dictionary is aliased — typically adopted from a scanned batch
+    // whose pointer is the table's (or a delta chunk's) own dictionary,
+    // which concurrent readers may be using. Adding a genuinely new string
+    // would race with them, so swap in a private copy first. GetOrAdd in
+    // entry order reassigns identical codes, so codes already appended to
+    // this lane stay valid.
+    auto copy = std::make_shared<Dictionary>();
+    for (int32_t c = 0; c < dict->size(); ++c) copy->GetOrAdd(dict->Get(c));
+    dict = std::move(copy);
+  }
+  return dict->GetOrAdd(s);
 }
 
 void ColumnVector::AppendNull() {

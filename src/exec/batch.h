@@ -119,6 +119,11 @@ struct ColumnVector {
   /// dictionary. Safe across inputs whose dictionaries differ per batch
   /// (e.g. expression-generated strings); used by materializing operators.
   void AppendInterning(const ColumnVector& other, size_t row);
+  /// Intern `s` into this vector's dictionary and return its code. Never
+  /// writes to an aliased dictionary (a scanned batch's pointer is the
+  /// table's own, possibly read concurrently): adding a new string to a
+  /// shared dictionary first swaps in a private code-preserving copy.
+  int32_t InternString(std::string_view s);
   /// Append an explicit NULL (lane gets a zero placeholder).
   void AppendNull();
 

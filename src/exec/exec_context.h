@@ -45,6 +45,13 @@ struct ExecStats {
   uint64_t budget_denials = 0;
   // Faults fired by the injection layer on this context's paths.
   uint64_t faults_injected = 0;
+  // Rows read from the unclustered delta region of a live table (pre-filter,
+  // like rows_scanned which also includes them).
+  uint64_t delta_rows_scanned = 0;
+  // Delta chunks a scan's delta-side leg entered.
+  uint64_t delta_chunks = 0;
+  // Background merge passes that published a new snapshot epoch.
+  uint64_t merges_completed = 0;
 
   void Reset() { *this = ExecStats{}; }
 
@@ -62,6 +69,9 @@ struct ExecStats {
     morsels_cancelled += other.morsels_cancelled;
     budget_denials += other.budget_denials;
     faults_injected += other.faults_injected;
+    delta_rows_scanned += other.delta_rows_scanned;
+    delta_chunks += other.delta_chunks;
+    merges_completed += other.merges_completed;
   }
 };
 

@@ -477,10 +477,17 @@ Status BdccScan::Open(ExecContext* ctx) {
   range_idx_ = 0;
   cursor_ = 0;
   morsel_pos_ = morsels_.offset;
+  delta_idx_ = 0;
+  delta_cursor_ = 0;
+  delta_bound_ = -1;
+  main_done_ = false;
   filter_.ClearRecycled();
   // Morsel restriction addresses ranges by index, so grouped scans (which
   // sort/coalesce below) must use group-id chunking instead.
   BDCC_CHECK(!morsels_.valid() || grouping_.empty());
+  // The delta is unclustered: grouped emission over it is impossible (the
+  // planner must not hand a grouped scan a delta leg).
+  BDCC_CHECK(delta_chunks_.empty() || grouping_.empty());
   ctx->stats()->groups_pruned += pruned_groups_;
   filter_.set_encoded_eval(encoded_eval_);
   if (row_filter_) {
@@ -521,8 +528,7 @@ Status BdccScan::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-bool BdccScan::ZoneAllowed(uint64_t zone) const {
-  const Table& data = table_->data();
+bool BdccScan::ZoneAllowedIn(const Table& data, uint64_t zone) const {
   if (!data.HasZoneMaps()) return true;
   for (const auto& [col, range] : bound_preds_) {
     if (!data.zone_map(col).MayMatch(zone, range)) return false;
@@ -530,13 +536,20 @@ bool BdccScan::ZoneAllowed(uint64_t zone) const {
   return true;
 }
 
-bool BdccScan::ZoneAllMatch(uint64_t zone) const {
-  const Table& data = table_->data();
+bool BdccScan::ZoneAllMatchIn(const Table& data, uint64_t zone) const {
   if (!data.HasZoneMaps()) return false;
   for (const auto& [col, range] : bound_preds_) {
     if (!data.zone_map(col).AllMatch(zone, range)) return false;
   }
   return true;
+}
+
+bool BdccScan::ZoneAllowed(uint64_t zone) const {
+  return ZoneAllowedIn(table_->data(), zone);
+}
+
+bool BdccScan::ZoneAllMatch(uint64_t zone) const {
+  return ZoneAllMatchIn(table_->data(), zone);
 }
 
 int64_t GroupIdForKey(const BdccTable& table,
@@ -559,6 +572,7 @@ int64_t BdccScan::GroupIdOf(uint64_t key) const {
 }
 
 Result<Batch> BdccScan::Next(ExecContext* ctx) {
+  if (main_done_) return NextDelta(ctx);
   const Table& data = table_->data();
   uint32_t zone_rows = data.HasZoneMaps() ? data.zone_rows() : 0;
   Batch out = filter_.TakeBatch(data, col_idx_, schema_, ctx->batch_size());
@@ -642,7 +656,80 @@ Result<Batch> BdccScan::Next(ExecContext* ctx) {
   selb.Finish(&out);
   out.group_id = batch_gid == -2 ? -1 : batch_gid;
   if (grouping_.empty()) out.group_id = -1;
+  if (out.num_rows == 0 && !delta_chunks_.empty()) {
+    // Clustered leg drained without producing a batch: hand off to the
+    // delta-side leg (never mixing legs inside one batch).
+    main_done_ = true;
+    filter_.Recycle(std::move(out), schema_);
+    return NextDelta(ctx);
+  }
   return out;
+}
+
+Result<Batch> BdccScan::NextDelta(ExecContext* ctx) {
+  std::vector<uint32_t> rel_scratch;
+  while (delta_idx_ < delta_chunks_.size()) {
+    const Table& chunk = *delta_chunks_[delta_idx_];
+    uint64_t rows = chunk.num_rows();
+    if (rows == 0) {
+      ++delta_idx_;
+      delta_cursor_ = 0;
+      continue;
+    }
+    if (delta_bound_ != static_cast<int>(delta_idx_)) {
+      // Entering this chunk: re-bind string verdict tables to its private
+      // dictionaries (numeric bounds re-bind for free).
+      if (row_filter_) BDCC_RETURN_NOT_OK(filter_.Bind(chunk, preds_));
+      delta_bound_ = static_cast<int>(delta_idx_);
+      ctx->stats()->delta_chunks += 1;
+    }
+    // TakeBatch wires output dictionaries from `chunk`, and the batch ends
+    // at the chunk boundary — downstream never sees mixed dictionary
+    // sources inside one batch.
+    Batch out = filter_.TakeBatch(chunk, col_idx_, schema_, ctx->batch_size());
+    SelBuilder selb;
+    size_t appended = 0;
+    uint32_t zone_rows = chunk.HasZoneMaps() ? chunk.zone_rows() : 0;
+    while (appended < ctx->batch_size() && delta_cursor_ < rows) {
+      BDCC_RETURN_NOT_OK(ctx->CheckLifecycle());
+      uint64_t end =
+          std::min(rows, delta_cursor_ + (ctx->batch_size() - appended));
+      bool zone_all_match = false;
+      if (zone_rows != 0) {
+        uint64_t zone = delta_cursor_ / zone_rows;
+        if (!ZoneAllowedIn(chunk, zone)) {
+          ctx->stats()->zones_skipped += 1;
+          delta_cursor_ = std::min<uint64_t>(rows, (zone + 1) * zone_rows);
+          continue;
+        }
+        end = std::min<uint64_t>(end, (zone + 1) * zone_rows);
+        ctx->stats()->zones_read += 1;
+        zone_all_match = ZoneAllMatchIn(chunk, zone);
+      }
+      bool filtering = row_filter_ && filter_.active();
+      if (filtering && zone_all_match) ctx->stats()->decodes_skipped += 1;
+      if (BDCC_UNLIKELY(fault::ShouldFail(fault::kScanDecode))) {
+        ctx->stats()->faults_injected += 1;
+        return Status::IOError("injected decode fault (BdccScan delta chunk)");
+      }
+      ctx->stats()->delta_rows_scanned += end - delta_cursor_;
+      appended += EmitChunk(chunk, col_idx_, delta_cursor_, end,
+                            filtering && !zone_all_match, &filter_, ctx, &out,
+                            &selb, &rel_scratch);
+      delta_cursor_ = end;
+    }
+    if (delta_cursor_ >= rows) {
+      ++delta_idx_;
+      delta_cursor_ = 0;
+    }
+    if (selb.logical_rows() > 0 || appended > 0) {
+      selb.Finish(&out);
+      return out;
+    }
+    filter_.Recycle(std::move(out), schema_);  // fully filtered: next chunk
+  }
+  // End of stream: an empty batch typed per the schema (base dictionaries).
+  return filter_.TakeBatch(table_->data(), col_idx_, schema_, 0);
 }
 
 }  // namespace exec

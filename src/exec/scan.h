@@ -15,6 +15,7 @@
 #ifndef BDCC_EXEC_SCAN_H_
 #define BDCC_EXEC_SCAN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -210,9 +211,29 @@ class BdccScan : public Operator {
   /// parallelize by group-id chunking instead. Call before Open.
   void RestrictToMorsels(MorselSet morsels) { morsels_ = std::move(morsels); }
 
+  /// Attach the delta-side leg of a live-table snapshot: once the clustered
+  /// ranges drain, the scan walks `chunks` (sealed delta chunk tables in the
+  /// base data()'s column schema) under the same zone pruning and row-level
+  /// sarg filtering. Batches are cut at chunk boundaries and string verdicts
+  /// are re-bound per chunk — every chunk carries its own dictionaries (see
+  /// src/delta/delta_store.h). `pin` keeps the snapshot (base version +
+  /// chunks) alive for the scan's lifetime; `table` passed to the
+  /// constructor must be that snapshot's base. Only valid for ungrouped
+  /// scans (the delta is unclustered, so grouped emission is impossible —
+  /// the planner falls back to ungrouped plans while a delta is live). Call
+  /// before Open.
+  void AttachDelta(std::shared_ptr<const void> pin,
+                   std::vector<const Table*> chunks) {
+    delta_pin_ = std::move(pin);
+    delta_chunks_ = std::move(chunks);
+  }
+
  private:
   bool ZoneAllowed(uint64_t zone) const;
   bool ZoneAllMatch(uint64_t zone) const;
+  bool ZoneAllowedIn(const Table& data, uint64_t zone) const;
+  bool ZoneAllMatchIn(const Table& data, uint64_t zone) const;
+  Result<Batch> NextDelta(ExecContext* ctx);
 
   const BdccTable* table_;
   std::vector<std::string> col_names_;
@@ -231,6 +252,14 @@ class BdccScan : public Operator {
   bool zero_copy_ = false;
   EncodedEval encoded_eval_ = EncodedEval::kOff;
   internal::ScanFilterState filter_;
+  // Delta-side leg (AttachDelta): snapshot pin, chunk walk state, and the
+  // chunk the filter's dictionary verdicts are currently bound to.
+  std::shared_ptr<const void> delta_pin_;
+  std::vector<const Table*> delta_chunks_;
+  size_t delta_idx_ = 0;
+  uint64_t delta_cursor_ = 0;
+  int delta_bound_ = -1;
+  bool main_done_ = false;
 };
 
 /// Group id `key` maps to under `grouping` (-1 when grouping is empty):

@@ -2,6 +2,7 @@
 #ifndef BDCC_OPT_PHYSICAL_DB_H_
 #define BDCC_OPT_PHYSICAL_DB_H_
 
+#include <memory>
 #include <string>
 
 #include "bdcc/bdcc_table.h"
@@ -9,6 +10,11 @@
 #include "storage/table.h"
 
 namespace bdcc {
+
+namespace delta {
+struct TableSnapshot;
+}  // namespace delta
+
 namespace opt {
 
 enum class Scheme { kPlain = 0, kPk = 1, kBdcc = 2 };
@@ -40,6 +46,19 @@ class PhysicalDb {
   /// (merge-join uniqueness precondition).
   virtual bool unique_key(const std::string& table,
                           const std::string& column) const = 0;
+
+  /// Pinned snapshot of `table` when it is live (taking online appends);
+  /// null for static tables (the default). When non-null, bdcc(table) and
+  /// storage(table) must return the snapshot's base version, and the
+  /// planner adds a delta-side scan leg over the snapshot's chunks (see
+  /// src/delta/snapshot_db.h). Compiled plans copy the returned shared_ptr
+  /// into their scan leaves, so they stay consistent even if the db is
+  /// refreshed to a newer epoch while they run.
+  virtual std::shared_ptr<const delta::TableSnapshot> snapshot(
+      const std::string& table) const {
+    (void)table;
+    return nullptr;
+  }
 };
 
 }  // namespace opt

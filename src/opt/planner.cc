@@ -6,6 +6,7 @@
 #include "bdcc/scatter_scan.h"
 #include "common/bits.h"
 #include "common/task_scheduler.h"
+#include "delta/live_table.h"
 #include "exec/filter.h"
 #include "exec/hash_agg.h"
 #include "exec/merge_join.h"
@@ -175,6 +176,18 @@ class PlannerImpl {
       const catalog::ForeignKey* fk,
       const std::vector<std::string>& probe_prefix, bool fk_from_probe_side);
 
+  // True when `table` currently has unmerged delta rows. Grouped (sandwich)
+  // plans are skipped for such tables: the delta is unclustered, so a scan
+  // cannot emit it under the group-id contract. This only disables the
+  // grouping/pruning *optimizations* — predicates stay enforced row-level
+  // by scan sargs, Filters and joins, so results are unchanged; the
+  // sandwich paths light back up once the background merger drains the
+  // delta.
+  bool LiveDelta(const std::string& table) const {
+    std::shared_ptr<const delta::TableSnapshot> snap = db_.snapshot(table);
+    return snap != nullptr && !snap->chunks.empty();
+  }
+
   const PhysicalDb& db_;
   PlannerOptions opts_;
   PushdownAnalysis analysis_;
@@ -285,6 +298,23 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
   const BdccTable* bt =
       db_.scheme() == Scheme::kBdcc ? db_.bdcc(scan.table) : nullptr;
   if (bt != nullptr) {
+    // Live table: pin the db's snapshot and collect the delta-side chunk
+    // tables. The pin (copied into every scan leaf) keeps the base version
+    // and chunks alive for the plan's whole lifetime.
+    std::shared_ptr<const delta::TableSnapshot> snap = db_.snapshot(scan.table);
+    std::vector<const Table*> delta_tables;
+    if (snap != nullptr) {
+      BDCC_CHECK(snap->base.get() == bt);  // snapshot()/bdcc() must agree
+      for (const auto& chunk : snap->chunks) {
+        delta_tables.push_back(&chunk->data());
+      }
+    }
+    if (!delta_tables.empty() && req != nullptr) {
+      // Callers gate grouped requests on LiveDelta(); reaching here means a
+      // sandwich site missed the gate.
+      return Status::Internal("grouped scan requested over live table " +
+                              scan.table + " with unmerged delta rows");
+    }
     std::vector<GroupRange> ranges;
     if (req != nullptr && !req->order.empty()) {
       BDCC_ASSIGN_OR_RETURN(ranges, PlanScatterScan(*bt, req->order));
@@ -330,7 +360,8 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
       }
       out.leaf_factory = [bt, cols = scan.columns, shared_ranges, zone_preds,
                           grouping, pruned, morsels, conjuncts,
-                          scan_filters_rows, encoded_eval, zero_copy](
+                          scan_filters_rows, encoded_eval, zero_copy, snap,
+                          delta_tables](
                              const LeafClone& c) -> Result<exec::OperatorPtr> {
         std::vector<GroupRange> clone_ranges;
         if (c.gid_lo >= 0) {
@@ -352,6 +383,15 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
           scan_op->RestrictToMorsels(
               exec::MorselSet{morsels, c.instance, c.total});
         }
+        if (!delta_tables.empty()) {
+          // Stride whole chunks across clones: chunks are disjoint, so the
+          // union over clones covers the delta exactly once.
+          std::vector<const Table*> clone_chunks;
+          for (size_t i = c.instance; i < delta_tables.size(); i += c.total) {
+            clone_chunks.push_back(delta_tables[i]);
+          }
+          scan_op->AttachDelta(snap, std::move(clone_chunks));
+        }
         exec::OperatorPtr op = std::move(scan_op);
         if (!conjuncts.empty()) {
           op = std::make_unique<exec::Filter>(std::move(op),
@@ -366,6 +406,13 @@ Result<SubPlan> PlannerImpl::CompileScan(const NodePtr& node,
     bdcc_scan->EnableRowFilter(scan_filters_rows);
     bdcc_scan->SetEncodedEval(encoded_eval);
     bdcc_scan->EnableZeroCopy(zero_copy);
+    if (!delta_tables.empty()) {
+      bdcc_scan->AttachDelta(snap, delta_tables);
+      Note("delta leg: " + scan.table + " + " +
+           std::to_string(delta_tables.size()) + " chunk(s), " +
+           std::to_string(snap->delta_rows) + " rows @epoch " +
+           std::to_string(snap->epoch));
+    }
     out.op = add_filter(std::move(bdcc_scan));
     if (req != nullptr) {
       out.grouped_base = bt;
@@ -430,7 +477,11 @@ Result<SubPlan> PlannerImpl::CompileJoin(const NodePtr& node) {
     if (left_base != nullptr && right_base != nullptr) {
       const BdccTable* bt_l = db_.bdcc(left_base->scan.table);
       const BdccTable* bt_r = db_.bdcc(right_base->scan.table);
-      if (bt_l != nullptr && bt_r != nullptr) {
+      // Unmerged delta rows on either side rule out grouped emission (the
+      // hash-join fallback below still sees them via the delta scan leg).
+      if (bt_l != nullptr && bt_r != nullptr &&
+          !LiveDelta(left_base->scan.table) &&
+          !LiveDelta(right_base->scan.table)) {
         bool fk_from_left = fk->from_table == left_base->scan.table &&
                             fk->to_table == right_base->scan.table;
         bool fk_from_right = fk->from_table == right_base->scan.table &&
@@ -511,6 +562,7 @@ Result<SubPlan> PlannerImpl::CompileJoin(const NodePtr& node) {
       BDCC_ASSIGN_OR_RETURN(SubPlan left, Compile(left_l, nullptr));
       const BdccTable* bt_r = db_.bdcc(right_base->scan.table);
       if (left.grouped_base != nullptr && bt_r != nullptr &&
+          !LiveDelta(right_base->scan.table) &&
           fk->to_table == right_base->scan.table) {
         // FK chain from the probe base to the FK's from-table.
         const std::vector<std::string>* prefix = nullptr;
@@ -735,7 +787,7 @@ Result<SubPlan> PlannerImpl::CompileAgg(const NodePtr& node) {
   if (db_.scheme() == Scheme::kBdcc && opts_.enable_sandwich &&
       base != nullptr && !an.group_cols.empty()) {
     const BdccTable* bt = db_.bdcc(base->scan.table);
-    if (bt != nullptr) {
+    if (bt != nullptr && !LiveDelta(base->scan.table)) {
       std::vector<AbsorbedTable> self{{base->scan.table, {}}};
       std::vector<size_t> uses = determined_uses(bt, self);
       if (!uses.empty()) {

@@ -1,0 +1,259 @@
+// LiveTable: epoch publication, snapshot pinning, merge-equals-rebuild,
+// bounded passes with residual chunks, and failure atomicity.
+#include "delta/live_table.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdcc/append.h"
+#include "bdcc/small_groups.h"
+#include "common/fault_injection.h"
+#include "tests/delta/delta_fixture.h"
+
+namespace bdcc {
+namespace delta {
+namespace {
+
+class LiveTableTest : public DeltaFixture {
+ protected:
+  std::unique_ptr<LiveTable> MakeLive() {
+    resolver_ = std::make_unique<Resolver>(&tables_, &catalog_);
+    return LiveTable::Create(Build(tables_.at("F")), resolver_.get())
+        .ValueOrDie();
+  }
+
+  // Every cell equal (strings via materialized values, so independent
+  // dictionaries with different code assignments still compare equal).
+  static void ExpectTablesEqual(const Table& a, const Table& b) {
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    for (int c = 0; c < static_cast<int>(a.num_columns()); ++c) {
+      ASSERT_EQ(a.column_name(c), b.column_name(c));
+      for (uint64_t r = 0; r < a.num_rows(); ++r) {
+        ASSERT_EQ(a.column(c).GetValue(r).ToString(),
+                  b.column(c).GetValue(r).ToString())
+            << a.column_name(c) << " row " << r;
+      }
+    }
+  }
+
+  static void ExpectCountTablesEqual(const BdccTable& a, const BdccTable& b) {
+    ASSERT_EQ(a.count_bits(), b.count_bits());
+    const auto& ea = a.count_table().entries();
+    const auto& eb = b.count_table().entries();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].key, eb[i].key);
+      EXPECT_EQ(ea[i].count, eb[i].count);
+      EXPECT_EQ(ea[i].row_begin, eb[i].row_begin);
+    }
+  }
+
+  std::unique_ptr<Resolver> resolver_;
+};
+
+TEST_F(LiveTableTest, AppendPublishesNewEpochs) {
+  auto live = MakeLive();
+  EXPECT_EQ(live->epoch(), 1u);
+  EXPECT_EQ(live->delta_rows(), 0u);
+
+  EXPECT_EQ(live->Append(MakeRows(1, 300)).ValueOrDie(), 300u);
+  EXPECT_EQ(live->epoch(), 2u);
+  EXPECT_EQ(live->delta_rows(), 300u);
+
+  EXPECT_EQ(live->Append(MakeRows(2, 200)).ValueOrDie(), 200u);
+  EXPECT_EQ(live->epoch(), 3u);
+  EXPECT_EQ(live->delta_rows(), 500u);
+
+  // Empty appends publish nothing.
+  EXPECT_EQ(live->Append(MakeRows(3, 0)).ValueOrDie(), 0u);
+  EXPECT_EQ(live->epoch(), 3u);
+
+  LiveTable::Stats stats = live->stats();
+  EXPECT_EQ(stats.rows_appended, 500u);
+  EXPECT_EQ(stats.chunks_appended, 2u);
+  EXPECT_EQ(stats.delta_chunks, 2u);
+  EXPECT_GT(stats.delta_bytes, 0u);
+}
+
+TEST_F(LiveTableTest, CreateRejectsConsolidatedBase) {
+  BdccTable base = Build(tables_.at("F"));
+  SelfTuneOptions tune;
+  tune.efficient_access_bytes = 1 << 20;  // every group is "small"
+  tune.min_group_fraction = 1.0;
+  auto stats = ConsolidateSmallGroups(&base, tune).ValueOrDie();
+  ASSERT_GT(stats.rows_copied, 0u);  // physical order != clustered order now
+  Resolver resolver(&tables_, &catalog_);
+  auto refused = LiveTable::Create(std::move(base), &resolver);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsInvalidArgument())
+      << refused.status().ToString();
+}
+
+TEST_F(LiveTableTest, SnapshotsPinTheirEpoch) {
+  auto live = MakeLive();
+  ASSERT_TRUE(live->Append(MakeRows(1, 300)).ok());
+
+  auto pinned = live->OpenSnapshot();
+  EXPECT_EQ(pinned->epoch, 2u);
+  ASSERT_EQ(pinned->chunks.size(), 1u);
+  const BdccTable* pinned_base = pinned->base.get();
+  const DeltaChunk* pinned_chunk = pinned->chunks[0].get();
+
+  // Appends and merges publish new epochs; the pinned snapshot is frozen.
+  ASSERT_TRUE(live->Append(MakeRows(2, 200)).ok());
+  ASSERT_TRUE(live->Merge().ok());
+  EXPECT_EQ(live->epoch(), 4u);
+  EXPECT_EQ(live->delta_rows(), 0u);
+
+  EXPECT_EQ(pinned->epoch, 2u);
+  EXPECT_EQ(pinned->base.get(), pinned_base);
+  ASSERT_EQ(pinned->chunks.size(), 1u);
+  EXPECT_EQ(pinned->chunks[0].get(), pinned_chunk);
+  EXPECT_EQ(pinned->chunks[0]->num_rows(), 300u);
+
+  // The merged epoch got a *new* base version.
+  auto fresh = live->OpenSnapshot();
+  EXPECT_NE(fresh->base.get(), pinned_base);
+  EXPECT_TRUE(fresh->chunks.empty());
+
+  LiveTable::Stats stats = live->stats();
+  EXPECT_EQ(stats.open_snapshots, 2u);
+
+  // Epochs retire as their last reader closes (epochs 1 and 3 had no
+  // readers and retired on publication).
+  pinned.reset();
+  fresh.reset();
+  EXPECT_EQ(live->stats().open_snapshots, 0u);
+  EXPECT_EQ(live->stats().epochs_retired, 3u);  // epochs 1, 2, 3
+}
+
+TEST_F(LiveTableTest, MergeEqualsSerialBulkAppend) {
+  auto live = MakeLive();
+  Table extra1 = MakeRows(7, 900);
+  Table extra2 = MakeRows(8, 600);
+  ASSERT_TRUE(live->Append(extra1).ok());
+  ASSERT_TRUE(live->Append(extra2).ok());
+
+  LiveTable::MergeStats merged = live->Merge().ValueOrDie();
+  EXPECT_EQ(merged.rows_merged, 1500u);
+  EXPECT_EQ(merged.rows_deferred, 0u);
+  EXPECT_GT(merged.groups_merged, 0u);
+  EXPECT_EQ(live->delta_rows(), 0u);
+
+  BdccTable serial = Build(tables_.at("F"));
+  Resolver resolver(&tables_, &catalog_);
+  ASSERT_TRUE(AppendToBdccTable(&serial, extra1, resolver).ok());
+  ASSERT_TRUE(AppendToBdccTable(&serial, extra2, resolver).ok());
+
+  auto snap = live->OpenSnapshot();
+  ExpectTablesEqual(snap->base->data(), serial.data());
+  ExpectCountTablesEqual(*snap->base, serial);
+}
+
+TEST_F(LiveTableTest, BoundedMergeDefersRowsToResidualChunk) {
+  auto live = MakeLive();
+  Table extra = MakeRows(9, 1200);
+  ASSERT_TRUE(live->Append(extra).ok());
+
+  LiveTable::MergeOptions bounded;
+  bounded.max_groups = 1;
+  LiveTable::MergeStats pass = live->Merge(bounded).ValueOrDie();
+  EXPECT_EQ(pass.groups_merged, 1u);
+  EXPECT_GT(pass.rows_merged, 0u);
+  EXPECT_GT(pass.rows_deferred, 0u);
+  EXPECT_EQ(pass.rows_merged + pass.rows_deferred, 1200u);
+
+  // Deferred rows live in a residual chunk; repeated bounded passes drain
+  // the delta completely.
+  auto snap = live->OpenSnapshot();
+  ASSERT_EQ(snap->chunks.size(), 1u);
+  EXPECT_EQ(snap->chunks[0]->num_rows(), pass.rows_deferred);
+  snap.reset();
+
+  int passes = 1;
+  while (live->delta_rows() > 0) {
+    ASSERT_TRUE(live->Merge(bounded).ok());
+    ASSERT_LT(++passes, 200);
+  }
+  EXPECT_GT(passes, 2);
+
+  // The incremental result still equals one serial bulk append.
+  BdccTable serial = Build(tables_.at("F"));
+  Resolver resolver(&tables_, &catalog_);
+  ASSERT_TRUE(AppendToBdccTable(&serial, extra, resolver).ok());
+  auto final_snap = live->OpenSnapshot();
+  ExpectTablesEqual(final_snap->base->data(), serial.data());
+  ExpectCountTablesEqual(*final_snap->base, serial);
+}
+
+TEST_F(LiveTableTest, FailedMergeLeavesPriorSnapshotIntact) {
+  auto live = MakeLive();
+  ASSERT_TRUE(live->Append(MakeRows(4, 400)).ok());
+  uint64_t epoch_before = live->epoch();
+
+  {
+    fault::ScopedFaultInjection fault(/*seed=*/3, /*probability=*/1.0,
+                                      fault::kDeltaMerge);
+    auto failed = live->Merge();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kInternal)
+        << failed.status().ToString();
+  }
+  EXPECT_EQ(live->epoch(), epoch_before);
+  EXPECT_EQ(live->delta_rows(), 400u);
+  EXPECT_EQ(live->stats().merges_failed, 1u);
+  EXPECT_EQ(live->stats().merges_completed, 0u);
+
+  // Retry outside the fault scope succeeds on the same delta.
+  LiveTable::MergeStats merged = live->Merge().ValueOrDie();
+  EXPECT_EQ(merged.rows_merged, 400u);
+  EXPECT_EQ(live->delta_rows(), 0u);
+  EXPECT_EQ(live->stats().merges_completed, 1u);
+}
+
+TEST_F(LiveTableTest, CancelledMergePublishesNothing) {
+  auto live = MakeLive();
+  ASSERT_TRUE(live->Append(MakeRows(5, 400)).ok());
+  uint64_t epoch_before = live->epoch();
+
+  exec::ExecContext ctx(nullptr);
+  ctx.control()->RequestCancel();
+  auto cancelled = live->Merge(LiveTable::MergeOptions(), &ctx);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.status().IsCancelled())
+      << cancelled.status().ToString();
+  EXPECT_EQ(live->epoch(), epoch_before);
+  EXPECT_EQ(live->delta_rows(), 400u);
+}
+
+TEST_F(LiveTableTest, AppendFaultAndBudgetLeaveStateUnchanged) {
+  resolver_ = std::make_unique<Resolver>(&tables_, &catalog_);
+  LiveTable::Options options;
+  options.delta_memory_limit = 1;  // below any sealed chunk
+  auto live =
+      LiveTable::Create(Build(tables_.at("F")), resolver_.get(), options)
+          .ValueOrDie();
+
+  auto refused = live->Append(MakeRows(6, 100));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted());
+  EXPECT_EQ(live->epoch(), 1u);
+  EXPECT_EQ(live->delta_rows(), 0u);
+
+  auto unlimited = MakeLive();
+  {
+    fault::ScopedFaultInjection fault(/*seed=*/13, /*probability=*/1.0,
+                                      fault::kDeltaAppend);
+    auto failed = unlimited->Append(MakeRows(6, 100));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  }
+  EXPECT_EQ(unlimited->epoch(), 1u);
+  EXPECT_EQ(unlimited->Append(MakeRows(6, 100)).ValueOrDie(), 100u);
+}
+
+}  // namespace
+}  // namespace delta
+}  // namespace bdcc

@@ -1,0 +1,186 @@
+// TPC-H over a live (appending) lineitem: Q1 and Q6 run through a
+// SnapshotDb overlay whose lineitem is a LiveTable rebuilt from a row
+// subset, with the remainder appended as delta. Results must match the
+// fully-clustered database at every base/delta split, before and after the
+// background merge drains the delta — the layout (and the ungrouped plans
+// the planner falls back to while a delta is live) must never show through.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "delta/live_table.h"
+#include "delta/snapshot_db.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "tpch/tpch_db.h"
+#include "tpch/tpch_queries.h"
+
+namespace bdcc {
+namespace tpch {
+namespace {
+
+// Resolver over the plain scheme's source rows plus the catalog's FKs
+// (dimension-path lookups for key computation during rebuild and append).
+class PlainResolver : public TableResolver {
+ public:
+  explicit PlainResolver(const TpchDb* db) : db_(db) {}
+  Result<const Table*> GetTable(const std::string& name) const override {
+    const Table* t = db_->plain().storage(name);
+    if (t == nullptr) return Status::NotFound(name);
+    return t;
+  }
+  Result<const catalog::ForeignKey*> GetForeignKey(
+      const std::string& id) const override {
+    return db_->schema_catalog().GetForeignKey(id);
+  }
+
+ private:
+  const TpchDb* db_;
+};
+
+class TpchDeltaScanTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    TpchDbOptions options;
+    options.scale_factor = 0.005;
+    options.seed = 7;
+    options.build_pk = false;
+    db_ = TpchDb::Create(options).ValueOrDie();
+    resolver_ = std::make_unique<PlainResolver>(db_.get());
+  }
+  static void TearDownTestSuite() {
+    resolver_.reset();
+    db_.reset();
+  }
+
+  // Rebuild lineitem's BDCC table from its first `base_rows` source rows
+  // (same dimension uses and build options as the designed table).
+  static BdccTable RebuildLineitemBase(uint64_t base_rows) {
+    const Table* full = db_->plain().storage("LINEITEM");
+    Table subset(full->name());
+    for (int c = 0; c < static_cast<int>(full->num_columns()); ++c) {
+      subset.AddColumn(full->column_name(c), Column(full->column(c).type()))
+          .AbortIfNotOK();
+    }
+    subset.AppendRowsFrom(*full, 0, base_rows);
+    BdccBuildOptions build = db_->options().advisor.build;
+    build.zone_rows = db_->options().zone_rows;
+    return BuildBdccTable(std::move(subset),
+                          db_->bdcc_tables().at("LINEITEM").uses(), *resolver_,
+                          build)
+        .ValueOrDie();
+  }
+
+  // Rows [begin, end) of the plain lineitem as an append batch.
+  static Table SliceLineitem(uint64_t begin, uint64_t end) {
+    const Table* full = db_->plain().storage("LINEITEM");
+    Table slice(full->name());
+    for (int c = 0; c < static_cast<int>(full->num_columns()); ++c) {
+      slice.AddColumn(full->column_name(c), Column(full->column(c).type()))
+          .AbortIfNotOK();
+    }
+    slice.AppendRowsFrom(*full, begin, end);
+    return slice;
+  }
+
+  static Result<exec::Batch> Run(int q, const opt::PhysicalDb* db,
+                                 int num_threads,
+                                 exec::ExecContext* exec_ctx) {
+    QueryContext ctx;
+    ctx.db = db;
+    ctx.exec = exec_ctx;
+    ctx.scale_factor = db_->options().scale_factor;
+    ctx.planner.num_threads = num_threads;
+    return RunTpchQuery(q, ctx);
+  }
+
+  static std::unique_ptr<TpchDb> db_;
+  static std::unique_ptr<PlainResolver> resolver_;
+};
+
+std::unique_ptr<TpchDb> TpchDeltaScanTest::db_;
+std::unique_ptr<PlainResolver> TpchDeltaScanTest::resolver_;
+
+// Param: delta percentage of lineitem rows (0, 10, 50).
+TEST_P(TpchDeltaScanTest, Q1AndQ6AgreeAtEverySplitAndAfterMerge) {
+  const int delta_pct = GetParam();
+  const uint64_t total = db_->plain().storage("LINEITEM")->num_rows();
+  const uint64_t base_rows = total - total * delta_pct / 100;
+
+  auto live =
+      delta::LiveTable::Create(RebuildLineitemBase(base_rows), resolver_.get())
+          .ValueOrDie();
+  // Append the remainder in three batches (multiple chunks, multiple
+  // epochs), mirroring a steady trickle of inserts.
+  if (base_rows < total) {
+    uint64_t at = base_rows, step = (total - base_rows + 2) / 3;
+    while (at < total) {
+      uint64_t end = std::min(total, at + step);
+      ASSERT_EQ(live->Append(SliceLineitem(at, end)).ValueOrDie(), end - at);
+      at = end;
+    }
+  }
+
+  delta::SnapshotDb overlay(&db_->bdcc());
+  overlay.AddLiveTable(live.get());
+
+  // References over the fully-clustered database, then the live phase for
+  // both queries — the merge must stay AFTER both, or Q6 would see an
+  // already-drained delta.
+  std::map<int, exec::Batch> reference;
+  for (int q : {1, 6}) {
+    exec::ExecContext exec_ctx(nullptr);
+    auto full = Run(q, &db_->bdcc(), /*num_threads=*/1, &exec_ctx);
+    ASSERT_TRUE(full.ok()) << "Q" << q << ": " << full.status().ToString();
+    reference[q] = std::move(full).value();
+  }
+
+  for (int q : {1, 6}) {
+    std::string label =
+        "Q" + std::to_string(q) + " delta=" + std::to_string(delta_pct) + "% ";
+    for (int threads : {1, 4}) {
+      exec::ExecContext exec_ctx(nullptr);
+      auto result = Run(q, &overlay, threads, &exec_ctx);
+      ASSERT_TRUE(result.ok())
+          << label << "threads=" << threads << ": "
+          << result.status().ToString();
+      testutil::ExpectBatchesEqual(reference[q], result.value(),
+                                   label + "live (threads=" +
+                                       std::to_string(threads) + ") ");
+      if (delta_pct > 0) {
+        // The delta leg really ran (merged across parallel clones).
+        EXPECT_GT(exec_ctx.stats()->delta_rows_scanned, 0u)
+            << label << "threads=" << threads;
+        EXPECT_GT(exec_ctx.stats()->delta_chunks, 0u);
+      } else {
+        EXPECT_EQ(exec_ctx.stats()->delta_rows_scanned, 0u);
+      }
+    }
+  }
+
+  // Drain the delta; the overlay re-pins, plans re-gain grouped paths, and
+  // results still agree.
+  ASSERT_TRUE(live->Merge().ok());
+  overlay.Refresh();
+  for (int q : {1, 6}) {
+    std::string label =
+        "Q" + std::to_string(q) + " delta=" + std::to_string(delta_pct) + "% ";
+    exec::ExecContext exec_ctx(nullptr);
+    auto merged = Run(q, &overlay, /*num_threads=*/1, &exec_ctx);
+    ASSERT_TRUE(merged.ok()) << label << merged.status().ToString();
+    testutil::ExpectBatchesEqual(reference[q], merged.value(),
+                                 label + "post-merge ");
+    EXPECT_EQ(exec_ctx.stats()->delta_rows_scanned, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, TpchDeltaScanTest,
+                         ::testing::Values(0, 10, 50),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "delta" + std::to_string(info.param) + "pct";
+                         });
+
+}  // namespace
+}  // namespace tpch
+}  // namespace bdcc
